@@ -1,0 +1,73 @@
+"""Section III-I case study: the paper's published attack vectors.
+
+These benchmarks both time the verification model on the exact
+Table II/III configuration and *assert the published results*:
+
+* Objective 1 — states 9/10 in different amounts: SAT at 16
+  measurements / 7 substations with the paper's compromised-bus set
+  {4, 7, 9, 10, 11, 13, 14}; UNSAT at 15/7 and 16/6; the equal-change
+  relaxation is SAT at 15/6 with the paper's exact measurement set.
+* Objective 2 — state 12 only: the unique attack vector
+  {12, 32, 39, 46, 53}; UNSAT once measurement 46 is secured; SAT again
+  under topology poisoning, excluding line 13 with the paper's exact
+  measurement set {12, 13, 32, 33, 39, 53}.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.casestudy import attack_objective_1, attack_objective_2
+from repro.core.verification import verify_attack
+
+PAPER_OBJ1_BUSES = [4, 7, 9, 10, 11, 13, 14]
+PAPER_OBJ1_EQUAL = [8, 9, 11, 13, 28, 29, 31, 33, 39, 44, 46, 47, 49, 51, 53]
+PAPER_OBJ2 = [12, 32, 39, 46, 53]
+PAPER_OBJ2_TOPO = [12, 13, 32, 33, 39, 53]
+
+
+def test_objective1_16meas_7buses(benchmark):
+    spec = attack_objective_1(max_measurements=16, max_buses=7, distinct=True)
+    result = run_once(benchmark, lambda: verify_attack(spec))
+    assert result.attack_exists
+    assert result.attack.compromised_buses(spec.plan) == PAPER_OBJ1_BUSES
+    assert {9, 10} <= set(result.attack.attacked_states)
+
+
+def test_objective1_15meas_unsat(benchmark):
+    spec = attack_objective_1(max_measurements=15, max_buses=7, distinct=True)
+    result = run_once(benchmark, lambda: verify_attack(spec))
+    assert not result.attack_exists
+
+
+def test_objective1_6buses_unsat(benchmark):
+    spec = attack_objective_1(max_measurements=16, max_buses=6, distinct=True)
+    result = run_once(benchmark, lambda: verify_attack(spec))
+    assert not result.attack_exists
+
+
+def test_objective1_equal_change(benchmark):
+    spec = attack_objective_1(max_measurements=15, max_buses=6, distinct=False)
+    result = run_once(benchmark, lambda: verify_attack(spec))
+    assert result.attack_exists
+    assert result.attack.altered_measurements == PAPER_OBJ1_EQUAL
+    assert result.attack.compromised_buses(spec.plan) == [4, 6, 7, 9, 11, 13]
+
+
+def test_objective2_exact_vector(benchmark):
+    spec = attack_objective_2()
+    result = run_once(benchmark, lambda: verify_attack(spec))
+    assert result.attack_exists
+    assert result.attack.altered_measurements == PAPER_OBJ2
+    assert result.attack.attacked_states == [12]
+
+
+def test_objective2_secured_46_unsat(benchmark):
+    spec = attack_objective_2(secure_measurement_46=True)
+    result = run_once(benchmark, lambda: verify_attack(spec))
+    assert not result.attack_exists
+
+
+def test_objective2_topology_poisoning(benchmark):
+    spec = attack_objective_2(secure_measurement_46=True, allow_topology_attack=True)
+    result = run_once(benchmark, lambda: verify_attack(spec))
+    assert result.attack_exists
+    assert result.attack.altered_measurements == PAPER_OBJ2_TOPO
+    assert sorted(result.attack.excluded_lines) == [13]

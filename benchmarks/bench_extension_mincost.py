@@ -1,0 +1,29 @@
+"""Extension benchmark: minimum-attack-cost analytics.
+
+Not a paper figure — times the binary-search optimization loop built on
+the verification model (`repro.core.mincost`), the feature that turns
+Figure 4(c)'s feasibility boundary into a per-state security metric.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.mincost import minimum_attack_cost, state_attack_costs
+from repro.core.spec import AttackGoal, AttackSpec
+from repro.grid.cases import load_case
+
+
+@pytest.mark.parametrize("case_name,target", [("ieee14", 8), ("ieee14", 10), ("ieee30", 15)])
+def test_single_state_min_cost(benchmark, case_name, target):
+    grid = load_case(case_name)
+    spec = AttackSpec.default(grid, goal=AttackGoal.states(target))
+    result = run_once(benchmark, lambda: minimum_attack_cost(spec))
+    assert result.cost is not None
+    assert result.cost >= 3  # any visible corruption needs >= 3 injections
+
+
+def test_all_state_costs_ieee14(benchmark):
+    spec = AttackSpec.default(load_case("ieee14"))
+    costs = run_once(benchmark, lambda: state_attack_costs(spec))
+    assert len(costs) == 13
+    assert min(c for c in costs.values() if c is not None) == 4  # the leaf bus

@@ -1,0 +1,40 @@
+"""Figure 5(a): synthesis-mechanism execution time vs. problem size.
+
+Paper: security-architecture synthesis time grows roughly
+quadratically with bus count and is much slower than a single
+verification (the verification model runs once per candidate);
+measured at 90% and 100% measurement density.
+
+Here: the same two densities on the 14- and 30-bus systems (57-bus
+behind ``REPRO_BENCH_FULL=1``).  The attack model is the worst case
+(complete knowledge, unlimited resources, any state) and the operator
+budget is set just above each system's minimum so the loop does real
+work.
+"""
+
+import pytest
+
+from benchmarks.conftest import requires_full, run_once
+from repro.analysis.sweeps import spec_for_case
+from repro.core.synthesis import SynthesisSettings, synthesize_architecture
+
+# budgets found by probing: one above the minimum feasible architecture
+BUDGETS = {"ieee14": 5, "ieee30": 12, "ieee57": 25}
+
+CASES = [
+    pytest.param("ieee14", id="ieee14"),
+    pytest.param("ieee30", id="ieee30"),
+    pytest.param("ieee57", marks=requires_full, id="ieee57"),
+]
+
+
+@pytest.mark.parametrize("density", [0.9, 1.0], ids=["90pct", "100pct"])
+@pytest.mark.parametrize("case_name", CASES)
+def test_fig5a_synthesis_time(benchmark, case_name, density):
+    spec = spec_for_case(
+        case_name, measurement_fraction=density, seed=7, any_state=True
+    )
+    settings = SynthesisSettings(max_secured_buses=BUDGETS[case_name])
+    result = run_once(benchmark, lambda: synthesize_architecture(spec, settings))
+    assert result.architecture is not None
+    assert len(result.architecture) <= BUDGETS[case_name]

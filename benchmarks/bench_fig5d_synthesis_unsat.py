@@ -1,0 +1,39 @@
+"""Figure 5(d): synthesis time in unsatisfiable cases.
+
+Paper: on the IEEE 30-bus system, when the operator's budget is below
+the minimum number of buses a security plan needs (10 in one scenario,
+12 in another), proving that *no* architecture exists takes the
+longest — and the closer the budget is to the minimum, the slower the
+proof, because early rejection stops happening.
+
+Here: the same shape on the 30-bus system.  Under the worst-case attack
+model the minimum architecture is 11 buses (the paper's two scenarios
+bracket this at 10 and 12); we sweep budgets 6..10, asserting
+infeasibility throughout — runtime is expected to climb toward the
+budget-10 end.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.sweeps import spec_for_case
+from repro.core.synthesis import SynthesisSettings, synthesize_architecture
+
+MINIMUM = 11  # probed minimum feasible budget for ieee30, worst-case model
+
+
+@pytest.mark.parametrize("budget", [6, 7, 8, 9, 10], ids=lambda b: f"budget{b}")
+def test_fig5d_synthesis_unsat(benchmark, budget):
+    spec = spec_for_case("ieee30", any_state=True)
+    settings = SynthesisSettings(max_secured_buses=budget)
+    result = run_once(benchmark, lambda: synthesize_architecture(spec, settings))
+    assert result.architecture is None  # below the minimum: no plan exists
+
+
+def test_fig5d_minimum_is_feasible(benchmark):
+    """Sanity anchor for the sweep: the probed minimum budget works."""
+    spec = spec_for_case("ieee30", any_state=True)
+    settings = SynthesisSettings(max_secured_buses=MINIMUM)
+    result = run_once(benchmark, lambda: synthesize_architecture(spec, settings))
+    assert result.architecture is not None
+    assert len(result.architecture) <= MINIMUM

@@ -1,0 +1,31 @@
+"""Shared configuration for the evaluation benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (Section V); the mapping is in DESIGN.md's experiment index
+and each module's docstring.  Measured numbers land in the
+pytest-benchmark table; EXPERIMENTS.md records the paper-vs-measured
+comparison.
+
+Set ``REPRO_BENCH_FULL=1`` to include the largest configurations
+(IEEE 300-bus verification, 57-bus synthesis), which add several
+minutes to the run.
+"""
+
+import os
+
+import pytest
+
+
+def full_runs_enabled() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+requires_full = pytest.mark.skipif(
+    not full_runs_enabled(),
+    reason="large configuration; set REPRO_BENCH_FULL=1 to include",
+)
+
+
+def run_once(benchmark, fn):
+    """Benchmark a seconds-scale solver call: one round, one iteration."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

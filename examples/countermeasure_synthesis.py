@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Security architecture synthesis (paper Section IV).
+
+Runs Algorithm 1 on the three Section IV-E scenarios of increasing
+attacker power, verifies each synthesized architecture, enumerates the
+alternative minimal architectures the paper mentions, and compares the
+result against the worst-case-model baselines from the literature
+(Bobba et al. basic-measurement protection; Kim & Poor greedy).
+
+Run:  python examples/countermeasure_synthesis.py
+"""
+
+from repro.core.casestudy import synthesis_scenario
+from repro.core.report import format_synthesis
+from repro.core.synthesis import (
+    SynthesisSettings,
+    enumerate_architectures,
+    synthesize_architecture,
+)
+from repro.core.verification import verify_attack
+from repro.defense import bobba_protection_set, greedy_bus_protection, kim_poor_greedy
+
+SCENARIO_NOTES = {
+    1: "limited knowledge (lines 3/17 unknown), at most 12 injections",
+    2: "complete knowledge, unlimited injections",
+    3: "scenario 2 + topology poisoning of non-core lines 5/13",
+}
+
+
+def main() -> None:
+    for number in (1, 2, 3):
+        spec = synthesis_scenario(number)
+        print(f"\n=== Scenario {number}: {SCENARIO_NOTES[number]} ===")
+
+        # find the smallest budget with a feasible architecture
+        for budget in range(1, spec.grid.num_buses):
+            settings = SynthesisSettings(max_secured_buses=budget)
+            result = synthesize_architecture(spec, settings)
+            if result.architecture is not None:
+                break
+            print(f"  budget {budget}: infeasible ({result.iterations} iterations)")
+        print(f"  budget {budget}: " + format_synthesis(result, spec).replace("\n", "\n  "))
+
+        # the architecture really works: the attack model must be unsat
+        secured = spec.with_secured_buses(result.architecture)
+        check = verify_attack(secured)
+        print(f"  re-verification with architecture applied: {check.outcome.value}")
+
+        # alternative minimal architectures (paper: "there can be
+        # different sets of buses, which also can secure the system")
+        alternatives = enumerate_architectures(
+            spec, SynthesisSettings(max_secured_buses=budget), limit=5
+        )
+        print(f"  minimal architectures within budget {budget}: {alternatives}")
+
+    # --- worst-case baselines for comparison ----------------------------
+    spec = synthesis_scenario(2)
+    plan = spec.plan
+    print("\n=== Worst-case-model baselines (complete knowledge) ===")
+    bobba = bobba_protection_set(plan)
+    print(f"  Bobba et al. basic measurement set ({len(bobba)} meters): {bobba}")
+    kim = kim_poor_greedy(plan)
+    print(f"  Kim & Poor greedy measurement set ({len(kim)} meters): {kim}")
+    greedy = greedy_bus_protection(plan)
+    print(f"  greedy bus protection ({len(greedy)} buses): {greedy}")
+    print(
+        "  -> the formal synthesis tailors the bus set to the declared "
+        "attack model and budget instead of the worst case"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Security analytics: attack costs, weak points, PMU placement.
+
+Extends the paper's framework into an operator's planning workflow on
+the IEEE 14-bus system:
+
+1. per-state **minimum attack cost** (the fewest injections corrupting
+   each state) — the boundary the paper's Figure 4(c) sweeps across;
+2. the grid's **weakest states** and **most exposed measurements**;
+3. **bus criticality**: how much securing a single substation raises
+   the cheapest attack;
+4. a **PMU defense placement**: the smallest PMU set whose securing
+   blocks every UFDI attack, cross-checked against the pure
+   observability placement.
+
+Run:  python examples/security_analytics.py
+"""
+
+from repro import AttackGoal, AttackSpec, load_case, verify_attack
+from repro.analysis.security_metrics import bus_criticality, security_metrics
+from repro.core.mincost import minimum_attack_cost
+from repro.defense.pmu import pmu_defense_placement, pmu_observability_cover
+
+
+def main() -> None:
+    grid = load_case("ieee14")
+    spec = AttackSpec.default(grid, goal=AttackGoal.any())
+
+    print("=== per-state minimum attack costs (measurement injections) ===")
+    report = security_metrics(spec)
+    for bus in sorted(report.state_costs):
+        cost = report.state_costs[bus]
+        bar = "#" * (cost or 0)
+        print(f"  bus {bus:>3}: {cost:>3} {bar}")
+    print(f"\nweakest states: {report.weakest_states} "
+          f"(grid attack cost {report.grid_attack_cost})")
+
+    print("\n=== most exposed measurements ===")
+    ranked = sorted(report.measurement_exposure.items(), key=lambda kv: -kv[1])
+    for meas, count in ranked[:8]:
+        print(f"  {spec.plan.describe(meas):<42s} in {count} minimal attacks")
+
+    print("\n=== bus criticality: grid attack cost after securing one bus ===")
+    crit = bus_criticality(spec, buses=[4, 6, 7, 8, 9])
+    for bus, cost in sorted(crit.items()):
+        print(f"  secure bus {bus}: cheapest remaining attack "
+              f"{'none (immune)' if cost is None else cost}")
+
+    print("\n=== joint-budget analytics ===")
+    from repro.core.spec import ResourceLimits
+
+    constrained = spec.with_goal(AttackGoal.states(10)).with_limits(
+        ResourceLimits(max_buses=3)
+    )
+    result = minimum_attack_cost(constrained)
+    print(f"cheapest attack on state 10 touching <=3 substations: "
+          f"{result.cost} measurements")
+
+    print("\n=== PMU placements ===")
+    cover = pmu_observability_cover(grid)
+    print(f"minimum PMUs for observability (dominating set): {cover}")
+    defense = pmu_defense_placement(spec)
+    print(f"minimum PMUs to block all UFDI attacks:           {defense}")
+    check = verify_attack(spec.with_secured_buses(defense))
+    print(f"re-verification with the defense applied: {check.outcome.value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Security threat analytics and countermeasure synthesis for power
+system state estimation.
+
+A from-scratch reproduction of Rahman, Al-Shaer & Kavasseri (DSN 2014):
+a formal framework for verifying Undetected False Data Injection (UFDI)
+attacks — including topology poisoning — against DC-model power-system
+state estimation, and a counterexample-guided mechanism to synthesize
+bus-level security architectures that resist a declared attack model.
+
+Quickstart::
+
+    from repro import (AttackGoal, AttackSpec, ResourceLimits,
+                       load_case, verify_attack)
+
+    grid = load_case("ieee14")
+    spec = AttackSpec.default(
+        grid,
+        goal=AttackGoal.states(9, 10),
+        limits=ResourceLimits(max_measurements=16, max_buses=7),
+    )
+    result = verify_attack(spec)
+    if result.attack_exists:
+        print(result.attack.summary(spec.plan))
+
+See :mod:`repro.core` for the paper's contribution, and the substrate
+packages :mod:`repro.smt` (a bundled DPLL(T) SMT solver),
+:mod:`repro.milp`, :mod:`repro.grid`, :mod:`repro.estimation`,
+:mod:`repro.attacks` and :mod:`repro.defense`.
+"""
+
+from repro.core import (
+    AttackGoal,
+    AttackSpec,
+    LineAttributes,
+    ResourceLimits,
+    SynthesisResult,
+    SynthesisSettings,
+    VerificationOutcome,
+    VerificationResult,
+    enumerate_architectures,
+    synthesize_against_all,
+    synthesize_architecture,
+    synthesize_measurement_architecture,
+    verify_attack,
+)
+from repro.attacks import AttackVector
+from repro.estimation import MeasurementPlan
+from repro.grid import Grid, Line, load_case, solve_dc_flow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackGoal",
+    "AttackSpec",
+    "AttackVector",
+    "Grid",
+    "Line",
+    "LineAttributes",
+    "MeasurementPlan",
+    "ResourceLimits",
+    "SynthesisResult",
+    "SynthesisSettings",
+    "VerificationOutcome",
+    "VerificationResult",
+    "enumerate_architectures",
+    "load_case",
+    "synthesize_against_all",
+    "solve_dc_flow",
+    "synthesize_architecture",
+    "synthesize_measurement_architecture",
+    "verify_attack",
+    "__version__",
+]

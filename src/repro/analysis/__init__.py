@@ -1,0 +1,23 @@
+"""Evaluation support: parameter sweeps, model metrics, impact analysis.
+
+:mod:`repro.analysis.sweeps` holds the shared experiment configurations
+behind the paper's Figures 4 and 5; :mod:`repro.analysis.metrics`
+measures model sizes and memory (Table IV); :mod:`repro.analysis.impact`
+quantifies what an attack does to the operator's estimated loads.
+"""
+
+from repro.analysis.sweeps import (
+    default_targets,
+    measurement_subset,
+    spec_for_case,
+)
+from repro.analysis.metrics import model_metrics
+from repro.analysis.impact import attack_impact
+
+__all__ = [
+    "attack_impact",
+    "default_targets",
+    "measurement_subset",
+    "model_metrics",
+    "spec_for_case",
+]

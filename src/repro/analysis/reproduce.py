@@ -1,0 +1,246 @@
+"""One-shot reproduction of the paper's evaluation section.
+
+``python -m repro.analysis.reproduce [--full] [--skip-synthesis]``
+prints, for every figure and table of Section V plus the case studies,
+the same rows/series the paper reports — timing sweeps, sat/unsat
+verdicts and model sizes — as plain text tables.  The pytest-benchmark
+variants in ``benchmarks/`` measure the same instances with warmup and
+statistics; this module is the quick, human-readable pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.metrics import model_metrics
+from repro.analysis.sweeps import default_targets, spec_for_case
+from repro.core.casestudy import (
+    attack_objective_1,
+    attack_objective_2,
+    synthesis_scenario,
+)
+from repro.core.synthesis import SynthesisSettings, synthesize_architecture
+from repro.core.verification import verify_attack
+from repro.grid.cases import load_case
+
+
+def _timed(fn: Callable):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _header(title: str) -> None:
+    print(f"\n{'=' * 74}\n{title}\n{'=' * 74}")
+
+
+def case_studies() -> None:
+    _header("Section III-I case study (exact attack vectors)")
+    rows = [
+        ("objective 1: 16 meas / 7 buses, distinct", attack_objective_1(16, 7, True)),
+        ("objective 1: 15 meas (expect unsat)", attack_objective_1(15, 7, True)),
+        ("objective 1: 6 buses (expect unsat)", attack_objective_1(16, 6, True)),
+        ("objective 1: equal change, 15/6", attack_objective_1(15, 6, False)),
+        ("objective 2: state 12 only", attack_objective_2()),
+        ("objective 2: meas 46 secured", attack_objective_2(True)),
+        ("objective 2: + topology attack", attack_objective_2(True, True)),
+    ]
+    for label, spec in rows:
+        result, elapsed = _timed(lambda s=spec: verify_attack(s))
+        verdict = "sat  " if result.attack_exists else "unsat"
+        extra = ""
+        if result.attack is not None:
+            extra = f" meas={result.attack.altered_measurements}"
+            if result.attack.excluded_lines:
+                extra += f" excluded={sorted(result.attack.excluded_lines)}"
+        print(f"  {label:<42} {verdict} {elapsed:7.3f}s{extra}")
+
+
+def figure_4a(cases: Sequence[str]) -> None:
+    _header("Figure 4(a): verification time vs. system size (3 targets each)")
+    print(f"  {'system':<10} {'targets':<22} {'times (s)':<26} avg")
+    for name in cases:
+        grid = load_case(name)
+        targets = default_targets(grid, 3)
+        times = []
+        for target in targets:
+            spec = spec_for_case(name, target_bus=target)
+            __, elapsed = _timed(lambda s=spec: verify_attack(s))
+            times.append(elapsed)
+        joined = " ".join(f"{t:7.3f}" for t in times)
+        print(
+            f"  {name:<10} {str(targets):<22} {joined:<26} "
+            f"{sum(times) / len(times):7.3f}"
+        )
+
+
+def figure_4b() -> None:
+    _header("Figure 4(b): verification time vs. % taken measurements")
+    densities = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+    print("  " + f"{'system':<10}" + "".join(f"{int(d*100):>8}%" for d in densities))
+    for name in ("ieee30", "ieee57"):
+        times = []
+        for density in densities:
+            spec = spec_for_case(name, measurement_fraction=density, seed=42)
+            __, elapsed = _timed(lambda s=spec: verify_attack(s))
+            times.append(elapsed)
+        print(f"  {name:<10}" + "".join(f"{t:8.3f}" for t in times))
+
+
+def figure_4c() -> None:
+    _header("Figure 4(c): verification time vs. attacker resource limit T_CZ")
+    limits = [4, 8, 12, 16, 20, 24, 28]
+    print("  " + f"{'system':<10}" + "".join(f"{l:>8}" for l in limits))
+    for name in ("ieee14", "ieee30"):
+        grid = load_case(name)
+        target = default_targets(grid, 1)[0]
+        times = []
+        for limit in limits:
+            spec = spec_for_case(name, target_bus=target, max_measurements=limit)
+            __, elapsed = _timed(lambda s=spec: verify_attack(s))
+            times.append(elapsed)
+        print(f"  {name:<10}" + "".join(f"{t:8.3f}" for t in times))
+
+
+def figure_4d(cases: Sequence[str]) -> None:
+    _header("Figure 4(d): satisfiable vs. unsatisfiable verification time")
+    print(f"  {'system':<10} {'sat (s)':>10} {'unsat (s)':>10}")
+    for name in cases:
+        grid = load_case(name)
+        target = default_targets(grid, 1)[0]
+        sat_spec = spec_for_case(name, target_bus=target)
+        unsat_spec = spec_for_case(name, target_bus=target, max_measurements=2)
+        sat_result, sat_time = _timed(lambda: verify_attack(sat_spec))
+        unsat_result, unsat_time = _timed(lambda: verify_attack(unsat_spec))
+        assert sat_result.attack_exists and not unsat_result.attack_exists
+        print(f"  {name:<10} {sat_time:10.3f} {unsat_time:10.3f}")
+
+
+def figure_5a(full: bool) -> None:
+    _header("Figure 5(a): synthesis time vs. system size (90% / 100% meas)")
+    budgets = {"ieee14": 5, "ieee30": 12, "ieee57": 25}
+    cases = ["ieee14", "ieee30"] + (["ieee57"] if full else [])
+    print(f"  {'system':<10} {'90% (s)':>10} {'100% (s)':>10}")
+    for name in cases:
+        times = []
+        for density in (0.9, 1.0):
+            spec = spec_for_case(
+                name, measurement_fraction=density, seed=7, any_state=True
+            )
+            settings = SynthesisSettings(max_secured_buses=budgets[name])
+            result, elapsed = _timed(
+                lambda s=spec, st=settings: synthesize_architecture(s, st)
+            )
+            assert result.architecture is not None
+            times.append(elapsed)
+        print(f"  {name:<10} {times[0]:10.3f} {times[1]:10.3f}")
+
+
+def figure_5bc(full: bool) -> None:
+    _header("Figure 5(b): synthesis time vs. % taken measurements (ieee30)")
+    budgets = {0.6: 14, 0.7: 13, 0.8: 12, 0.9: 12, 1.0: 12}
+    print("  " + "".join(f"{int(d*100):>8}%" for d in sorted(budgets)))
+    times = []
+    for density in sorted(budgets):
+        spec = spec_for_case(
+            "ieee30", measurement_fraction=density, seed=7, any_state=True
+        )
+        settings = SynthesisSettings(max_secured_buses=budgets[density])
+        __, elapsed = _timed(lambda s=spec, st=settings: synthesize_architecture(s, st))
+        times.append(elapsed)
+    print("  " + "".join(f"{t:8.2f}" for t in times))
+
+    _header("Figure 5(c): synthesis time vs. attacker resource limit (ieee14)")
+    limits = [8, 12, 16, 20, 24]
+    print("  " + "".join(f"{l:>8}" for l in limits))
+    times = []
+    for limit in limits:
+        spec = spec_for_case("ieee14", any_state=True, max_measurements=limit)
+        settings = SynthesisSettings(max_secured_buses=5)
+        __, elapsed = _timed(lambda s=spec, st=settings: synthesize_architecture(s, st))
+        times.append(elapsed)
+    print("  " + "".join(f"{t:8.2f}" for t in times))
+
+
+def figure_5d() -> None:
+    _header("Figure 5(d): unsatisfiable synthesis time vs. operator budget (ieee30)")
+    print("  minimum feasible budget is 11 buses; sweeping below it:")
+    print("  " + "".join(f"{b:>8}" for b in (6, 7, 8, 9, 10)))
+    times = []
+    for budget in (6, 7, 8, 9, 10):
+        spec = spec_for_case("ieee30", any_state=True)
+        settings = SynthesisSettings(max_secured_buses=budget)
+        result, elapsed = _timed(
+            lambda s=spec, st=settings: synthesize_architecture(s, st)
+        )
+        assert result.architecture is None
+        times.append(elapsed)
+    print("  " + "".join(f"{t:8.2f}" for t in times))
+
+
+def table_4(cases: Sequence[str]) -> None:
+    _header("Table IV: model sizes / memory")
+    print(
+        f"  {'system':<10} {'model':<22} {'satvars':>8} {'clauses':>8} "
+        f"{'atoms':>7} {'peakMB':>8}"
+    )
+    for name in cases:
+        metrics = model_metrics(spec_for_case(name, any_state=True))
+        for model_name, m in metrics.items():
+            print(
+                f"  {name:<10} {model_name:<22} {m.sat_variables:>8} "
+                f"{m.clauses:>8} {m.theory_atoms:>7} {m.peak_memory_mb:>8.2f}"
+            )
+
+
+def scenarios() -> None:
+    _header("Section IV-E synthesis scenarios")
+    for number in (1, 2, 3):
+        spec = synthesis_scenario(number)
+        for budget in range(1, 8):
+            settings = SynthesisSettings(max_secured_buses=budget)
+            result, elapsed = _timed(
+                lambda s=spec, st=settings: synthesize_architecture(s, st)
+            )
+            if result.architecture is not None:
+                print(
+                    f"  scenario {number}: minimum budget {budget}, "
+                    f"architecture {result.architecture} "
+                    f"({result.iterations} iterations, {elapsed:.2f}s)"
+                )
+                break
+            print(f"  scenario {number}: budget {budget} infeasible ({elapsed:.2f}s)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="include ieee300 and 57-bus synthesis"
+    )
+    parser.add_argument(
+        "--skip-synthesis", action="store_true", help="figures 4 and tables only"
+    )
+    args = parser.parse_args(argv)
+    verification_cases = ["ieee14", "ieee30", "ieee57", "ieee118"]
+    if args.full:
+        verification_cases.append("ieee300")
+
+    case_studies()
+    figure_4a(verification_cases)
+    figure_4b()
+    figure_4c()
+    figure_4d(verification_cases[:4])
+    table_4(verification_cases[:4])
+    if not args.skip_synthesis:
+        scenarios()
+        figure_5a(args.full)
+        figure_5bc(args.full)
+        figure_5d()
+    print("\ndone.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""AC-aware stealthy attack construction.
+
+The paper's framework (and the DC UFDI literature) constructs attacks
+that are exactly stealthy under the *linear* estimator; replayed
+against an AC estimator they leak residual quadratically in magnitude
+(see :mod:`repro.estimation.ac`).  An attacker with full nonlinear
+model knowledge can do better: report measurements exactly consistent
+with the AC measurement functions at the corrupted state,
+
+    z' = h_AC(v + dv, theta + dtheta),
+
+which leaves the AC residual untouched at *any* magnitude.  This module
+implements that construction — the natural "future work" escalation of
+the paper's threat model — so the defense analysis can consider both
+attacker tiers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.attacks.vector import AttackVector
+from repro.estimation.ac import AcFlowResult, AcSystem
+from repro.estimation.measurement import MeasurementPlan
+
+
+def ac_perfect_attack(
+    system: AcSystem,
+    plan: MeasurementPlan,
+    flow: AcFlowResult,
+    angle_deltas: Optional[Mapping[int, float]] = None,
+    voltage_deltas: Optional[Mapping[int, float]] = None,
+    tol: float = 1e-12,
+) -> "AcAttack":
+    """Construct an injection exactly consistent with the AC model.
+
+    ``angle_deltas``/``voltage_deltas`` map bus -> desired estimated
+    shift.  The returned :class:`AcAttack` carries deltas for the full
+    AC telemetry layout (P block, Q block, V block — see
+    :meth:`AcSystem.measurement_vector`).
+    """
+    angle_deltas = dict(angle_deltas or {})
+    voltage_deltas = dict(voltage_deltas or {})
+    v_new = flow.v.copy()
+    theta_new = flow.theta.copy()
+    for bus, delta in angle_deltas.items():
+        theta_new[bus - 1] += delta
+    for bus, delta in voltage_deltas.items():
+        v_new[bus - 1] += delta
+    z_base = system.measurement_vector(plan, flow.v, flow.theta)
+    z_new = system.measurement_vector(plan, v_new, theta_new)
+    deltas = z_new - z_base
+    deltas[np.abs(deltas) < tol] = 0.0
+    return AcAttack(
+        system=system,
+        plan=plan,
+        deltas=deltas,
+        angle_deltas=dict(angle_deltas),
+        voltage_deltas=dict(voltage_deltas),
+    )
+
+
+class AcAttack:
+    """An AC-consistent stealthy injection over the full telemetry."""
+
+    def __init__(
+        self,
+        system: AcSystem,
+        plan: MeasurementPlan,
+        deltas: np.ndarray,
+        angle_deltas: Dict[int, float],
+        voltage_deltas: Dict[int, float],
+    ) -> None:
+        self.system = system
+        self.plan = plan
+        self.deltas = deltas
+        self.angle_deltas = angle_deltas
+        self.voltage_deltas = voltage_deltas
+
+    @property
+    def num_altered(self) -> int:
+        return int(np.count_nonzero(self.deltas))
+
+    def altered_positions(self) -> np.ndarray:
+        return np.nonzero(self.deltas)[0]
+
+    def apply_to(self, z: np.ndarray) -> np.ndarray:
+        if z.shape != self.deltas.shape:
+            raise ValueError(
+                f"z has shape {z.shape}, expected {self.deltas.shape}"
+            )
+        return z + self.deltas
+
+    def dc_projection(self) -> AttackVector:
+        """The active-power slice as a DC :class:`AttackVector`.
+
+        Useful for comparing footprints: the P-block deltas mapped back
+        to the paper's potential-measurement numbering.
+        """
+        taken = self.plan.taken_in_order()
+        measurement_deltas = {
+            meas: float(self.deltas[i])
+            for i, meas in enumerate(taken)
+            if self.deltas[i] != 0.0
+        }
+        return AttackVector(
+            measurement_deltas=measurement_deltas,
+            state_deltas=dict(self.angle_deltas),
+        )

@@ -1,0 +1,120 @@
+"""Algebraic UFDI attack construction (Liu, Ning & Reiter, CCS'09).
+
+The original stealthy-attack recipe: any injection of the form
+``a = H c`` leaves the WLS residual unchanged (paper Section II-B).
+Two constructions are provided:
+
+* :func:`perfect_knowledge_attack` — the attacker knows H fully and
+  picks the state corruption ``c`` directly;
+* :func:`restricted_access_attack` — the attacker can only touch an
+  accessible, unsecured measurement subset; a stealthy ``c`` must make
+  ``H c`` vanish on every untouchable row, which is a null-space
+  computation.
+
+These serve as baselines for, and independent cross-checks of, the SMT
+verification model in :mod:`repro.core.verification`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.attacks.vector import AttackVector
+from repro.estimation.measurement import MeasurementPlan, build_h
+
+
+def _vector_from_c(
+    plan: MeasurementPlan, c: np.ndarray, reference_bus: int, tol: float
+) -> AttackVector:
+    grid = plan.grid
+    h_full = build_h(grid, reference_bus)  # all potential measurements
+    a_full = h_full @ c
+    deltas: Dict[int, float] = {}
+    for meas in plan.taken_in_order():
+        value = float(a_full[meas - 1])
+        if abs(value) > tol:
+            deltas[meas] = value
+    columns = [j for j in grid.buses if j != reference_bus]
+    states = {
+        bus: float(value)
+        for bus, value in zip(columns, c)
+        if abs(value) > tol
+    }
+    return AttackVector(deltas, states)
+
+
+def perfect_knowledge_attack(
+    plan: MeasurementPlan,
+    target_deltas: Mapping[int, float],
+    reference_bus: int = 1,
+    tol: float = 1e-12,
+) -> AttackVector:
+    """The textbook ``a = H c`` attack for a chosen state corruption.
+
+    ``target_deltas`` maps bus -> desired angle change (the reference
+    bus cannot be targeted).  Every taken measurement whose value moves
+    is included in the vector — the attacker needs access to all of
+    them for the attack to stay stealthy.
+    """
+    grid = plan.grid
+    columns = [j for j in grid.buses if j != reference_bus]
+    index_of = {bus: k for k, bus in enumerate(columns)}
+    c = np.zeros(len(columns))
+    for bus, delta in target_deltas.items():
+        if bus == reference_bus:
+            raise ValueError("cannot target the reference bus")
+        if bus not in index_of:
+            raise ValueError(f"unknown bus {bus}")
+        c[index_of[bus]] = delta
+    return _vector_from_c(plan, c, reference_bus, tol)
+
+
+def restricted_access_attack(
+    plan: MeasurementPlan,
+    desired: Optional[Mapping[int, float]] = None,
+    reference_bus: int = 1,
+    tol: float = 1e-9,
+) -> Optional[AttackVector]:
+    """A stealthy attack touching only accessible, unsecured measurements.
+
+    Computes the null space of H restricted to the *protected* rows
+    (taken measurements that are secured or inaccessible): any ``c`` in
+    it yields ``a = H c`` that vanishes where the attacker cannot
+    inject.  If ``desired`` is given, the projection of the desired
+    state corruption onto that null space is used; otherwise the first
+    basis vector.  Returns None when no nonzero stealthy ``c`` exists
+    (the protected rows pin every state) or the projection is zero.
+    """
+    grid = plan.grid
+    columns = [j for j in grid.buses if j != reference_bus]
+    protected_rows = [
+        meas
+        for meas in plan.taken_in_order()
+        if plan.is_secured(meas) or not plan.is_accessible(meas)
+    ]
+    if protected_rows:
+        h_protected = build_h(grid, reference_bus, taken=protected_rows)
+        # null space via SVD
+        __, s, vt = np.linalg.svd(h_protected)
+        rank = int(np.sum(s > tol * max(1.0, s[0] if len(s) else 1.0)))
+        null_basis = vt[rank:].T  # columns span the null space
+    else:
+        null_basis = np.eye(len(columns))
+    if null_basis.shape[1] == 0:
+        return None
+    if desired:
+        index_of = {bus: k for k, bus in enumerate(columns)}
+        target = np.zeros(len(columns))
+        for bus, delta in desired.items():
+            if bus == reference_bus:
+                raise ValueError("cannot target the reference bus")
+            target[index_of[bus]] = delta
+        coeffs = null_basis.T @ target
+        c = null_basis @ coeffs
+        if np.linalg.norm(c) < tol:
+            return None
+    else:
+        c = null_basis[:, 0]
+    return _vector_from_c(plan, c, reference_bus, tol=1e-9)

@@ -1,0 +1,68 @@
+"""Numerically coordinated topology-poisoning attacks.
+
+Given a true operating point, a poisoned topology snapshot and a desired
+state corruption, compute the injection that makes the telemetered
+measurements *exactly consistent* with the poisoned topology and the
+corrupted states (paper Section III-E): the reported vector becomes
+``z' = H_poisoned (x + c)``, so the WLS residual under the poisoned
+model is unchanged and both the bad-data and topology-error detectors
+stay silent.
+
+This is the operating-point-level ground truth against which the
+abstract (delta-space) SMT topology constraints are validated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.attacks.vector import AttackVector
+from repro.estimation.measurement import MeasurementPlan, build_h
+from repro.grid.dcflow import DcFlowResult
+from repro.grid.topology import TopologySnapshot
+
+
+def coordinated_topology_attack(
+    plan: MeasurementPlan,
+    flow: DcFlowResult,
+    snapshot: TopologySnapshot,
+    state_deltas: Optional[Mapping[int, float]] = None,
+    reference_bus: int = 1,
+    true_mapped_lines=None,
+    tol: float = 1e-12,
+) -> AttackVector:
+    """Build the injection coordinating ``snapshot`` with ``state_deltas``.
+
+    ``flow`` is the true operating point (measurements before attack are
+    ``H_true x``); the returned vector's deltas satisfy
+    ``a = (H_pois - H_true) x + H_pois c`` over all potential
+    measurements, restricted to the taken ones.  ``true_mapped_lines``
+    is the *actual* in-service line set (default: every line) — pass it
+    when staging inclusion attacks, where the true grid has open lines.
+    """
+    grid = plan.grid
+    state_deltas = dict(state_deltas or {})
+    columns = [j for j in grid.buses if j != reference_bus]
+    index_of = {bus: k for k, bus in enumerate(columns)}
+    c = np.zeros(len(columns))
+    for bus, delta in state_deltas.items():
+        if bus == reference_bus:
+            raise ValueError("cannot target the reference bus")
+        c[index_of[bus]] = delta
+    x = np.delete(flow.theta, reference_bus - 1)
+    h_true = build_h(grid, reference_bus, mapped_lines=true_mapped_lines)
+    h_pois = build_h(grid, reference_bus, mapped_lines=snapshot.mapped_lines)
+    a_full = (h_pois - h_true) @ x + h_pois @ c
+    deltas: Dict[int, float] = {}
+    for meas in plan.taken_in_order():
+        value = float(a_full[meas - 1])
+        if abs(value) > tol:
+            deltas[meas] = value
+    return AttackVector(
+        measurement_deltas=deltas,
+        state_deltas={b: d for b, d in state_deltas.items() if d != 0},
+        excluded_lines=snapshot.excluded_lines,
+        included_lines=snapshot.included_lines,
+    )

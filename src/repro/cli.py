@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Drives the full pipeline from spec files in the text format of
+:mod:`repro.core.io` (paper Section III-H):
+
+.. code-block:: console
+
+    $ python -m repro.cli cases
+    $ python -m repro.cli template ieee14 > grid.spec
+    $ python -m repro.cli verify grid.spec --backend smt
+    $ python -m repro.cli synthesize grid.spec --budget 4
+    $ python -m repro.cli mincost grid.spec --dimension measurements
+    $ python -m repro.cli metrics grid.spec
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.security_metrics import security_metrics
+from repro.core.io import load_spec_file, write_spec
+from repro.core.mincost import minimum_attack_cost
+from repro.core.report import format_synthesis, format_verification
+from repro.core.spec import AttackGoal, AttackSpec
+from repro.core.synthesis import (
+    SynthesisSettings,
+    enumerate_architectures,
+    synthesize_architecture,
+)
+from repro.core.verification import verify_attack
+from repro.grid.cases import available_cases, load_case
+
+
+def _cmd_cases(args: argparse.Namespace) -> int:
+    for name in available_cases():
+        grid = load_case(name)
+        print(
+            f"{name:<10} {grid.num_buses:>4} buses {grid.num_lines:>4} lines "
+            f"avg degree {grid.average_degree():.2f}"
+        )
+    return 0
+
+
+def _cmd_template(args: argparse.Namespace) -> int:
+    grid = load_case(args.case)
+    spec = AttackSpec.default(grid, goal=AttackGoal.any())
+    sys.stdout.write(write_spec(spec))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    spec = load_spec_file(args.specfile)
+    result = verify_attack(spec, backend=args.backend)
+    print(format_verification(result, spec))
+    return 0 if not result.attack_exists else 2
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    spec = load_spec_file(args.specfile)
+    settings = SynthesisSettings(
+        max_secured_buses=args.budget,
+        excluded_buses=frozenset(args.exclude or []),
+        blocking=args.blocking,
+        neighbor_pruning=not args.no_pruning,
+    )
+    if args.enumerate:
+        architectures = enumerate_architectures(spec, settings, limit=args.enumerate)
+        if not architectures:
+            print("no architecture within the budget resists the attack model")
+            return 1
+        for arch in architectures:
+            print(f"secure buses {arch}")
+        return 0
+    result = synthesize_architecture(spec, settings)
+    print(format_synthesis(result, spec))
+    return 0 if result.feasible else 1
+
+
+def _cmd_mincost(args: argparse.Namespace) -> int:
+    spec = load_spec_file(args.specfile)
+    if not (spec.goal.target_states or spec.goal.any_state):
+        print("spec has no attack goal; add a 'target' line", file=sys.stderr)
+        return 1
+    result = minimum_attack_cost(spec, dimension=args.dimension, backend=args.backend)
+    if result.cost is None:
+        print("goal is infeasible at any budget (no attack exists)")
+        return 0
+    print(f"minimum {args.dimension} budget: {result.cost} ({result.probes} probes)")
+    if result.attack is not None:
+        print(f"witness alters measurements {result.attack.altered_measurements}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    spec = load_spec_file(args.specfile)
+    report = security_metrics(spec, backend=args.backend)
+    print("state attack costs (smaller = weaker):")
+    for bus in sorted(report.state_costs):
+        cost = report.state_costs[bus]
+        print(f"  bus {bus:>3}: {'immune' if cost is None else cost}")
+    print(f"weakest states: {report.weakest_states}")
+    print(f"grid attack cost: {report.grid_attack_cost}")
+    exposed = sorted(
+        report.measurement_exposure.items(), key=lambda kv: -kv[1]
+    )[:10]
+    print("most exposed measurements (top 10):")
+    for meas, count in exposed:
+        print(f"  {spec.plan.describe(meas):<40s} in {count} minimal attacks")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UFDI threat analytics and countermeasure synthesis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("cases", help="list bundled test systems").set_defaults(
+        func=_cmd_cases
+    )
+
+    p = sub.add_parser("template", help="emit a default spec for a test system")
+    p.add_argument("case", choices=available_cases())
+    p.set_defaults(func=_cmd_template)
+
+    p = sub.add_parser("verify", help="verify UFDI attack feasibility")
+    p.add_argument("specfile")
+    p.add_argument("--backend", choices=["smt", "milp"], default="smt")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("synthesize", help="synthesize a security architecture")
+    p.add_argument("specfile")
+    p.add_argument("--budget", type=int, required=True, help="max secured buses")
+    p.add_argument("--exclude", type=int, nargs="*", help="operator-unsecurable buses")
+    p.add_argument(
+        "--blocking",
+        choices=["counterexample", "subset", "exact"],
+        default="counterexample",
+    )
+    p.add_argument("--no-pruning", action="store_true", help="disable Eq. 30 pruning")
+    p.add_argument(
+        "--enumerate", type=int, metavar="K", help="list up to K minimal architectures"
+    )
+    p.set_defaults(func=_cmd_synthesize)
+
+    p = sub.add_parser("mincost", help="minimum attack cost for the spec's goal")
+    p.add_argument("specfile")
+    p.add_argument("--dimension", choices=["measurements", "buses"], default="measurements")
+    p.add_argument("--backend", choices=["smt", "milp"], default="smt")
+    p.set_defaults(func=_cmd_mincost)
+
+    p = sub.add_parser("metrics", help="per-state / per-measurement security metrics")
+    p.add_argument("specfile")
+    p.add_argument("--backend", choices=["smt", "milp"], default="smt")
+    p.set_defaults(func=_cmd_metrics)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

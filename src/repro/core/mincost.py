@@ -1,0 +1,113 @@
+"""Minimum-cost attack analytics.
+
+The verification model answers *whether* an attack within given budgets
+exists; operators also want the *cheapest* attack — the smallest number
+of measurement injections (or compromised substations) that still
+achieves a goal.  That boundary is exactly where the paper's Figure 4(c)
+curves flatten, and it doubles as a per-state security metric: states
+with expensive cheapest-attacks are well protected.
+
+Implemented as a binary search over the budget, each probe being one
+verification run under the (incremental) SMT solver — the optimization
+loop Z3 users would write with ``push``/``pop``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.attacks.vector import AttackVector
+from repro.core.spec import AttackGoal, AttackSpec, ResourceLimits
+from repro.core.verification import verify_attack
+
+
+@dataclass(frozen=True)
+class MinCostResult:
+    """The cheapest attack satisfying a spec's goal.
+
+    ``cost`` is None when no attack exists at any budget (the goal is
+    infeasible even unconstrained).
+    """
+
+    cost: Optional[int]
+    attack: Optional[AttackVector]
+    probes: int  # number of verification calls spent
+
+
+def _probe(spec: AttackSpec, budget: Optional[int], dimension: str, backend: str):
+    limits = spec.limits
+    if dimension == "measurements":
+        limits = dataclasses.replace(limits, max_measurements=budget)
+    else:
+        limits = dataclasses.replace(limits, max_buses=budget)
+    return verify_attack(spec.with_limits(limits), backend=backend)
+
+
+def minimum_attack_cost(
+    spec: AttackSpec,
+    dimension: str = "measurements",
+    upper_bound: Optional[int] = None,
+    backend: str = "smt",
+) -> MinCostResult:
+    """Binary-search the smallest budget at which the goal stays feasible.
+
+    ``dimension`` is ``"measurements"`` (T_CZ) or ``"buses"`` (T_CB).
+    Any limit the spec already carries in the *other* dimension is kept,
+    so joint questions ("cheapest attack touching at most 3 substations")
+    compose naturally.
+    """
+    if dimension not in ("measurements", "buses"):
+        raise ValueError("dimension must be 'measurements' or 'buses'")
+    probes = 0
+
+    unconstrained = _probe(spec, None, dimension, backend)
+    probes += 1
+    if not unconstrained.attack_exists:
+        return MinCostResult(None, None, probes)
+    attack = unconstrained.attack
+    if dimension == "measurements":
+        high = len(attack.altered_measurements)
+    else:
+        high = len(attack.compromised_buses(spec.plan))
+    if upper_bound is not None:
+        high = min(high, upper_bound)
+
+    low = 0
+    best_attack = attack
+    # invariant: a budget of `high` is feasible, a budget of `low` is not
+    # (budget 0 is infeasible unless the unconstrained attack is empty)
+    if high == 0:
+        return MinCostResult(0, attack, probes)
+    while low + 1 < high:
+        mid = (low + high) // 2
+        result = _probe(spec, mid, dimension, backend)
+        probes += 1
+        if result.attack_exists:
+            high = mid
+            best_attack = result.attack
+        else:
+            low = mid
+    return MinCostResult(high, best_attack, probes)
+
+
+def state_attack_costs(
+    spec: AttackSpec,
+    dimension: str = "measurements",
+    backend: str = "smt",
+) -> Dict[int, Optional[int]]:
+    """The cheapest-attack cost for every individual state.
+
+    A per-bus security metric in the spirit of Vukovic et al. [10]:
+    buses whose state can be corrupted with few injections are the
+    grid's weak points and the natural first targets for securing.
+    """
+    costs: Dict[int, Optional[int]] = {}
+    for bus in spec.grid.buses:
+        if bus == spec.reference_bus:
+            continue
+        goal_spec = spec.with_goal(AttackGoal.states(bus))
+        result = minimum_attack_cost(goal_spec, dimension=dimension, backend=backend)
+        costs[bus] = result.cost
+    return costs

@@ -1,0 +1,74 @@
+"""Human-readable reporting of verification and synthesis results."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.attacks.vector import AttackVector
+from repro.core.spec import AttackSpec
+from repro.core.synthesis import SynthesisResult
+from repro.core.verification import VerificationResult
+
+
+def format_attack(attack: AttackVector, spec: AttackSpec) -> str:
+    """A detailed multi-line description of an attack vector."""
+    plan = spec.plan
+    lines: List[str] = []
+    lines.append("UFDI attack vector")
+    lines.append("  injected measurements:")
+    for meas in attack.altered_measurements:
+        delta = attack.measurement_deltas[meas]
+        lines.append(f"    {plan.describe(meas):<40s} delta = {delta:+.6g}")
+    lines.append(f"  compromised buses: {attack.compromised_buses(plan)}")
+    lines.append("  corrupted states:")
+    for bus in attack.attacked_states:
+        lines.append(f"    bus {bus:3d}: dtheta = {attack.state_deltas[bus]:+.6g}")
+    if attack.excluded_lines:
+        for i in sorted(attack.excluded_lines):
+            line = spec.grid.line(i)
+            lines.append(
+                f"  topology: line {i} ({line.from_bus}-{line.to_bus}) excluded"
+            )
+    if attack.included_lines:
+        for i in sorted(attack.included_lines):
+            line = spec.grid.line(i)
+            lines.append(
+                f"  topology: line {i} ({line.from_bus}-{line.to_bus}) included"
+            )
+    return "\n".join(lines)
+
+
+def format_verification(result: VerificationResult, spec: AttackSpec) -> str:
+    """Report a verification outcome like the paper's Section III-I text."""
+    lines = [
+        f"verification [{result.backend}]: {result.outcome.value} "
+        f"in {result.runtime_seconds:.3f}s"
+    ]
+    if result.attack is not None:
+        lines.append(format_attack(result.attack, spec))
+    else:
+        lines.append("  no attack vector satisfies the given constraints")
+    return "\n".join(lines)
+
+
+def format_synthesis(result: SynthesisResult, spec: AttackSpec) -> str:
+    """Report a synthesis outcome like the paper's Section IV-E text."""
+    lines = [
+        f"synthesis: {result.iterations} iteration(s) "
+        f"in {result.runtime_seconds:.3f}s"
+    ]
+    if result.architecture is None:
+        lines.append(
+            "  no security architecture within the budget resists the attack model"
+        )
+    elif not result.architecture:
+        lines.append("  the attack model is already infeasible; nothing to secure")
+    else:
+        lines.append(f"  secure buses {result.architecture}")
+        secured = set()
+        for bus in result.architecture:
+            secured.update(
+                m for m in spec.plan.measurements_at_bus(bus) if spec.plan.is_taken(m)
+            )
+        lines.append(f"  (data-integrity-protects measurements {sorted(secured)})")
+    return "\n".join(lines)

@@ -1,0 +1,298 @@
+"""Security architecture synthesis (paper Section IV, Algorithm 1).
+
+An iterative combination of two formal models:
+
+* the **candidate selection model** — picks a set of buses to secure,
+  subject to the operator's budget ``T_SB`` (Eq. 27), operator-excluded
+  buses (Eq. 29) and the analytic neighbour-pruning constraint (Eq. 30);
+* the **UFDI verification model** — checks whether the candidate blocks
+  every attack admitted by the security requirements (the attack spec).
+
+When a candidate fails, Algorithm 1 adds a constraint removing it from
+the candidate space and iterates.  This implementation strengthens the
+paper's blocking step with *counterexample-guided* refinement (the
+default): a failed candidate yields a concrete attack that compromises
+buses ``CB``; since the attack remains valid under any architecture
+disjoint from ``CB``, the clause ``OR_{j in CB} sb_j`` soundly prunes
+every such architecture at once.  The paper's literal single-candidate
+blocking is available as ``blocking="exact"``, and subset blocking
+(a failed candidate's subsets also fail) as ``blocking="subset"``.
+
+The verification model is built once with symbolic security variables
+(Eq. 28 wired inside) and re-checked under assumptions, mirroring the
+push/pop usage of the paper's Z3 implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.attacks.vector import AttackVector
+from repro.core.spec import AttackSpec
+from repro.core.verification import UfdiEncoder
+from repro.smt import Not, Or, Result, Solver, implies
+
+
+class SynthesisError(RuntimeError):
+    """The synthesis loop could not reach a conclusion."""
+
+
+@dataclass(frozen=True)
+class SynthesisSettings:
+    """Operator-side configuration (paper Eqs. 27, 29, 30).
+
+    ``max_secured_buses``    — the budget ``T_SB``
+    ``excluded_buses``       — buses the operator cannot secure (Eq. 29)
+    ``neighbor_pruning``     — apply the analytic constraint (Eq. 30)
+    ``blocking``             — ``"counterexample"`` (default), ``"subset"``
+                               or ``"exact"`` (the paper's Algorithm 1 verbatim)
+    ``max_iterations``       — safety bound on loop length
+    """
+
+    max_secured_buses: int
+    excluded_buses: frozenset = frozenset()
+    neighbor_pruning: bool = True
+    blocking: str = "counterexample"
+    max_iterations: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.max_secured_buses < 0:
+            raise ValueError("budget must be nonnegative")
+        if self.blocking not in ("counterexample", "subset", "exact"):
+            raise ValueError(f"unknown blocking mode {self.blocking!r}")
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of a synthesis run."""
+
+    architecture: Optional[List[int]]  # secured buses (or measurements)
+    iterations: int
+    runtime_seconds: float
+    counterexamples: List[AttackVector] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        return self.architecture is not None
+
+
+def _candidate_model(
+    spec: AttackSpec, settings: SynthesisSettings
+) -> tuple[Solver, dict]:
+    """Build the candidate security architecture selection model."""
+    solver = Solver()
+    sb = {j: solver.bool_var(f"sb_{j}") for j in spec.grid.buses}
+    solver.add_at_most(list(sb.values()), settings.max_secured_buses)  # Eq. 27
+    for j in settings.excluded_buses:  # Eq. 29
+        solver.add(Not(sb[j]))
+    if settings.neighbor_pruning:  # Eq. 30
+        plan = spec.plan
+        for line in spec.grid.lines:
+            fwd_taken = plan.is_taken(plan.forward_index(line.index))
+            bwd_taken = plan.is_taken(plan.backward_index(line.index))
+            if fwd_taken:
+                solver.add(implies(sb[line.from_bus], Not(sb[line.to_bus])))
+            if bwd_taken:
+                solver.add(implies(sb[line.to_bus], Not(sb[line.from_bus])))
+    return solver, sb
+
+
+def synthesize_architecture(
+    spec: AttackSpec,
+    settings: SynthesisSettings,
+    collect_counterexamples: bool = False,
+) -> SynthesisResult:
+    """Find a bus set whose securing makes the attack spec UNSAT.
+
+    Returns an infeasible result (``architecture=None``) when no
+    architecture within the budget resists the attack model.
+    """
+    start = time.perf_counter()
+    selector, sb = _candidate_model(spec, settings)
+    verifier = UfdiEncoder(spec, symbolic_security=True)
+    counterexamples: List[AttackVector] = []
+    iterations = 0
+    while iterations < settings.max_iterations:
+        iterations += 1
+        if selector.check() is not Result.SAT:
+            return SynthesisResult(
+                None, iterations, time.perf_counter() - start, counterexamples
+            )
+        model = selector.model()
+        candidate = sorted(j for j, var in sb.items() if model.value(var))
+        outcome = verifier.check(secured_buses=candidate)
+        if outcome is Result.UNSAT:
+            return SynthesisResult(
+                candidate, iterations, time.perf_counter() - start, counterexamples
+            )
+        if outcome is not Result.SAT:
+            raise SynthesisError("verification returned UNKNOWN")
+        attack = verifier.extract_attack()
+        if collect_counterexamples:
+            counterexamples.append(attack)
+        _block_candidate(selector, sb, spec, settings, candidate, attack)
+    raise SynthesisError(f"no conclusion after {settings.max_iterations} iterations")
+
+
+def _block_candidate(
+    selector: Solver,
+    sb: dict,
+    spec: AttackSpec,
+    settings: SynthesisSettings,
+    candidate: Sequence[int],
+    attack: AttackVector,
+) -> None:
+    if settings.blocking == "counterexample":
+        compromised = attack.compromised_buses(spec.plan)
+        usable = [j for j in compromised if j not in settings.excluded_buses]
+        if not usable:
+            # The attack needs no (securable) measurement alterations —
+            # no bus architecture can ever stop it.
+            selector.add(Or())  # empty clause: selection model becomes UNSAT
+            return
+        selector.add(Or(*[sb[j] for j in usable]))
+        return
+    if settings.blocking == "subset":
+        others = [sb[j] for j in spec.grid.buses if j not in set(candidate)]
+        selector.add(Or(*others) if others else Or())
+        return
+    # exact: forbid this precise assignment (paper Algorithm 1, line 14)
+    literals = []
+    candidate_set = set(candidate)
+    for j in spec.grid.buses:
+        literals.append(Not(sb[j]) if j in candidate_set else sb[j])
+    selector.add(Or(*literals))
+
+
+def enumerate_architectures(
+    spec: AttackSpec,
+    settings: SynthesisSettings,
+    limit: int = 10,
+) -> List[List[int]]:
+    """Enumerate (up to ``limit``) minimal-by-inclusion architectures.
+
+    After each solution S, the clause ``OR_{j in S} not sb_j`` blocks S
+    and all its supersets (a superset of a working architecture always
+    works and is uninteresting), so the enumeration walks an antichain.
+    """
+    start_settings = settings
+    results: List[List[int]] = []
+    selector, sb = _candidate_model(spec, start_settings)
+    verifier = UfdiEncoder(spec, symbolic_security=True)
+    iterations = 0
+    while len(results) < limit and iterations < settings.max_iterations:
+        iterations += 1
+        if selector.check() is not Result.SAT:
+            break
+        model = selector.model()
+        candidate = sorted(j for j, var in sb.items() if model.value(var))
+        outcome = verifier.check(secured_buses=candidate)
+        if outcome is Result.UNSAT:
+            results.append(candidate)
+            if not candidate:
+                break  # the empty architecture works; nothing else is minimal
+            selector.add(Or(*[Not(sb[j]) for j in candidate]))
+        elif outcome is Result.SAT:
+            attack = verifier.extract_attack()
+            _block_candidate(selector, sb, spec, settings, candidate, attack)
+        else:
+            raise SynthesisError("verification returned UNKNOWN")
+    return results
+
+
+def synthesize_against_all(
+    specs: Sequence[AttackSpec],
+    settings: SynthesisSettings,
+) -> SynthesisResult:
+    """Synthesize one architecture resisting a *list* of attack models.
+
+    The paper frames synthesis "with respect to a list of security
+    requirements"; each requirement is an attack spec (they must share
+    the same grid and measurement plan — they may differ in goals,
+    limits, knowledge and topology capability).  A candidate passes
+    only when *every* verification model is UNSAT; any SAT model
+    contributes its counterexample clause.
+    """
+    if not specs:
+        raise ValueError("need at least one attack spec")
+    base = specs[0]
+    for other in specs[1:]:
+        if other.grid.lines != base.grid.lines or other.plan.taken != base.plan.taken:
+            raise ValueError("all specs must share the grid and measurement plan")
+    start = time.perf_counter()
+    selector, sb = _candidate_model(base, settings)
+    verifiers = [UfdiEncoder(spec, symbolic_security=True) for spec in specs]
+    counterexamples: List[AttackVector] = []
+    iterations = 0
+    while iterations < settings.max_iterations:
+        iterations += 1
+        if selector.check() is not Result.SAT:
+            return SynthesisResult(
+                None, iterations, time.perf_counter() - start, counterexamples
+            )
+        model = selector.model()
+        candidate = sorted(j for j, var in sb.items() if model.value(var))
+        failed = None
+        for spec, verifier in zip(specs, verifiers):
+            outcome = verifier.check(secured_buses=candidate)
+            if outcome is Result.SAT:
+                failed = (spec, verifier)
+                break
+            if outcome is not Result.UNSAT:
+                raise SynthesisError("verification returned UNKNOWN")
+        if failed is None:
+            return SynthesisResult(
+                candidate, iterations, time.perf_counter() - start, counterexamples
+            )
+        spec, verifier = failed
+        attack = verifier.extract_attack()
+        counterexamples.append(attack)
+        _block_candidate(selector, sb, spec, settings, candidate, attack)
+    raise SynthesisError(f"no conclusion after {settings.max_iterations} iterations")
+
+
+def synthesize_measurement_architecture(
+    spec: AttackSpec,
+    max_secured_measurements: int,
+    max_iterations: int = 100_000,
+) -> SynthesisResult:
+    """The measurement-level synthesis variant (paper Section IV-A).
+
+    Selects individual measurements to data-integrity-protect instead of
+    whole substations; same counterexample-guided loop.
+    """
+    start = time.perf_counter()
+    verifier = UfdiEncoder(spec, symbolic_security=True)
+    attackable = sorted(verifier.sz)  # measurements with securing variables
+    selector = Solver()
+    sm = {i: selector.bool_var(f"sm_{i}") for i in attackable}
+    if sm:
+        selector.add_at_most(list(sm.values()), max_secured_measurements)
+    counterexamples: List[AttackVector] = []
+    iterations = 0
+    while iterations < max_iterations:
+        iterations += 1
+        if selector.check() is not Result.SAT:
+            return SynthesisResult(
+                None, iterations, time.perf_counter() - start, counterexamples
+            )
+        model = selector.model()
+        candidate = sorted(i for i, var in sm.items() if model.value(var))
+        outcome = verifier.check(secured_measurements=candidate)
+        if outcome is Result.UNSAT:
+            return SynthesisResult(
+                candidate, iterations, time.perf_counter() - start, counterexamples
+            )
+        if outcome is not Result.SAT:
+            raise SynthesisError("verification returned UNKNOWN")
+        attack = verifier.extract_attack()
+        counterexamples.append(attack)
+        altered = [i for i in attack.altered_measurements if i in sm]
+        if not altered:
+            return SynthesisResult(
+                None, iterations, time.perf_counter() - start, counterexamples
+            )
+        selector.add(Or(*[sm[i] for i in altered]))
+    raise SynthesisError(f"no conclusion after {max_iterations} iterations")

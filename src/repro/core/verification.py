@@ -1,0 +1,436 @@
+"""The UFDI attack verification model (paper Section III).
+
+Encodes the feasibility of an undetected false data injection attack —
+including topology poisoning — as a QF_LRA constraint system, decided
+either by the bundled SMT solver (:mod:`repro.smt`) or by a mirrored
+MILP (:mod:`repro.milp`).
+
+Constraint inventory (numbers refer to the paper's equations; the OCR
+of Section III-E/F garbles a few, the reconstruction below is validated
+end-to-end against the numerical WLS estimator in the integration
+tests):
+
+* Eq. 5   ``cx_j <-> (dtheta_j != 0)`` — the paper states the forward
+  implication; the converse is required for the measurement-coupling
+  chain to be meaningful and is included (an un-attacked state does not
+  move).  The reference bus is pinned to 0.
+* Eq. 6/7 state-induced line-flow delta: for a *mapped* line,
+  ``dpS_i = ld_i (dtheta_f - dtheta_t)``; for an unmapped line 0.
+* Eq. 8   mapped-topology definition: ``ml_i <-> (tl_i and not el_i) or
+  (not tl_i and il_i)``.
+* Eq. 9   ``el_i -> tl_i and not fl_i and not sl_i``.
+* Eq. 10  ``il_i -> not tl_i and not sl_i``.
+* Eq. 11/12 topology-induced delta ``dpT_i``: zero without poisoning;
+  on exclusion the reported flow must drop to zero, on inclusion a
+  nonzero flow must appear.  In the default (abstract, homogeneous)
+  mode this is ``|dpT_i| >= eps``; when the spec carries a base
+  operating point it is pinned to ``-P0_i`` (exclusion) or the phantom
+  base flow (inclusion).
+* Eq. 13  ``dpTotal_i = dpS_i + dpT_i``.
+* Eq. 14  bus-consumption delta: incoming minus outgoing totals.
+* Eq. 15/16 measurement coupling: for a taken measurement,
+  ``cz <-> (delta != 0)``; untaken measurements are unconstrained, and
+  a nonzero delta on a taken-but-unalterable measurement is forbidden.
+* Eq. 17/18 knowledge: altering a line's flow measurements requires
+  knowing its admittance (``strict_knowledge`` additionally pins the
+  angle difference across unknown lines).
+* Eq. 19-21 accessibility and security: ``cz_i -> az_i and not sz_i``.
+* Eq. 22  ``sum cz <= T_CZ``.
+* Eq. 23/24 bus compromise: ``cz -> cb_(residence bus)``,
+  ``sum cb <= T_CB``.
+* Eq. 25  attack goal (with an *exclusive* mode for "attack state j
+  only").
+* Eq. 26  pairwise-distinct state changes.
+
+Disequalities use the ``eps`` tolerance encoding, which is
+satisfiability-exact here because the abstract constraint system is
+homogeneous (any solution rescales); see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.attacks.vector import AttackVector
+from repro.core.spec import AttackSpec
+from repro.smt import (
+    And,
+    BoolVar,
+    FALSE,
+    LinExpr,
+    Not,
+    Or,
+    RealVar,
+    Result,
+    Solver,
+    TRUE,
+    eq,
+    ge,
+    implies,
+    le,
+    neq_with_eps,
+    to_fraction,
+)
+
+
+class VerificationOutcome(enum.Enum):
+    ATTACK_EXISTS = "sat"
+    SECURE = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of a UFDI verification run."""
+
+    outcome: VerificationOutcome
+    attack: Optional[AttackVector]
+    backend: str
+    runtime_seconds: float
+    statistics: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def attack_exists(self) -> bool:
+        return self.outcome is VerificationOutcome.ATTACK_EXISTS
+
+
+@dataclass
+class _LineEncoding:
+    """Per-line bookkeeping used during model extraction."""
+
+    total_expr: LinExpr
+    el: Optional[BoolVar] = None
+    il: Optional[BoolVar] = None
+
+
+class UfdiEncoder:
+    """Builds (and re-checks) the verification model for one spec.
+
+    With ``symbolic_security=True`` the per-bus securing decisions
+    ``sb_j`` become free boolean variables wired through Eq. 28, so the
+    synthesis loop (Algorithm 1) can evaluate candidate architectures
+    as solver *assumptions* without re-encoding — the incremental
+    push/pop usage of the paper's Z3 implementation.
+    """
+
+    def __init__(
+        self,
+        spec: AttackSpec,
+        epsilon: Optional[Union[int, float, Fraction]] = None,
+        symbolic_security: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.symbolic_security = symbolic_security
+        self.epsilon = to_fraction(
+            epsilon if epsilon is not None else self._default_epsilon()
+        )
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.solver = Solver()
+        self.dtheta: Dict[int, RealVar] = {}
+        self.cx: Dict[int, BoolVar] = {}
+        self.cz: Dict[int, BoolVar] = {}
+        self.cb: Dict[int, BoolVar] = {}
+        self.sb: Dict[int, BoolVar] = {}
+        self.sz: Dict[int, BoolVar] = {}
+        self.lines: Dict[int, _LineEncoding] = {}
+        self.bus_delta: Dict[int, LinExpr] = {}
+        self._encode()
+
+    # ------------------------------------------------------------------
+    def _default_epsilon(self) -> Fraction:
+        if self.spec.base_flows is None:
+            return Fraction(1)
+        nonzero = [
+            abs(to_fraction(v)) for v in self.spec.base_flows.values() if v != 0
+        ]
+        scale = min(nonzero) if nonzero else Fraction(1)
+        return scale / 1_000_000
+
+    def _nonzero(self, expr) -> "Or":
+        return neq_with_eps(expr, self.epsilon)
+
+    # ------------------------------------------------------------------
+    def _encode(self) -> None:
+        spec = self.spec
+        s = self.solver
+        grid = spec.grid
+        plan = spec.plan
+        ref = spec.reference_bus
+
+        # -- states (Eq. 5) --------------------------------------------
+        for j in grid.buses:
+            self.dtheta[j] = s.real_var(f"dtheta_{j}")
+        s.add(eq(self.dtheta[ref], 0))
+        for j in grid.buses:
+            if j == ref:
+                continue
+            cx = s.bool_var(f"cx_{j}")
+            self.cx[j] = cx
+            s.add(implies(cx, self._nonzero(self.dtheta[j])))
+            s.add(implies(Not(cx), eq(self.dtheta[j], 0)))
+
+        # -- per-line flow deltas (Eqs. 6-13) ---------------------------
+        for line in grid.lines:
+            self.lines[line.index] = self._encode_line(line)
+
+        # -- bus consumption deltas (Eq. 14) ----------------------------
+        for j in grid.buses:
+            delta = LinExpr({}, Fraction(0))
+            for line in grid.lines_at(j):
+                total = self.lines[line.index].total_expr
+                if line.to_bus == j:
+                    delta = delta + total
+                else:
+                    delta = delta - total
+            self.bus_delta[j] = delta
+
+        # -- measurement coupling (Eqs. 15-16, 19) ----------------------
+        for line in grid.lines:
+            total = self.lines[line.index].total_expr
+            self._couple_measurement(plan.forward_index(line.index), total)
+            self._couple_measurement(plan.backward_index(line.index), -total)
+        for j in grid.buses:
+            self._couple_measurement(plan.bus_index(j), self.bus_delta[j])
+
+        # -- knowledge (Eqs. 17-18) -------------------------------------
+        for line in grid.lines:
+            if spec.attrs(line.index).knows_admittance:
+                continue
+            for meas in (
+                plan.forward_index(line.index),
+                plan.backward_index(line.index),
+            ):
+                if meas in self.cz:
+                    s.add(Not(self.cz[meas]))
+            if spec.strict_knowledge:
+                s.add(
+                    eq(self.dtheta[line.from_bus] - self.dtheta[line.to_bus], 0)
+                )
+
+        # -- bus compromise (Eq. 23) ------------------------------------
+        for meas, cz in self.cz.items():
+            bus = plan.residence_bus(meas)
+            cb = self.cb.get(bus)
+            if cb is None:
+                cb = s.bool_var(f"cb_{bus}")
+                self.cb[bus] = cb
+            s.add(implies(cz, cb))
+
+        # -- resource limits (Eqs. 22, 24) ------------------------------
+        if spec.limits.max_measurements is not None and self.cz:
+            s.add_at_most(list(self.cz.values()), spec.limits.max_measurements)
+        if spec.limits.max_buses is not None and self.cb:
+            s.add_at_most(list(self.cb.values()), spec.limits.max_buses)
+
+        # -- goal (Eqs. 25-26) ------------------------------------------
+        if spec.goal.any_state and self.cx:
+            s.add(Or(*self.cx.values()))
+        for j in sorted(spec.goal.target_states):
+            s.add(self.cx[j])
+        if spec.goal.exclusive:
+            for j, cx in self.cx.items():
+                if j not in spec.goal.target_states:
+                    s.add(Not(cx))
+        for a, b in spec.goal.distinct_pairs:
+            expr = self._theta_delta(a) - self._theta_delta(b)
+            s.add(self._nonzero(expr))
+
+        # -- symbolic bus-level security (Eq. 28) -----------------------
+        if self.symbolic_security:
+            for j in grid.buses:
+                sb = s.bool_var(f"sb_{j}")
+                self.sb[j] = sb
+                for meas in plan.measurements_at_bus(j):
+                    sz = self.sz.get(meas)
+                    if sz is not None:
+                        s.add(implies(sb, sz))
+
+    def _theta_delta(self, bus: int) -> LinExpr:
+        if bus == self.spec.reference_bus:
+            return LinExpr({}, Fraction(0))
+        return LinExpr.of(self.dtheta[bus])
+
+    # ------------------------------------------------------------------
+    def _encode_line(self, line) -> _LineEncoding:
+        spec = self.spec
+        s = self.solver
+        attrs = spec.attrs(line.index)
+        admittance = to_fraction(line.admittance)
+        flow_expr = (
+            self._theta_delta(line.from_bus) - self._theta_delta(line.to_bus)
+        ) * admittance
+        can_ex = spec.allow_topology_attack and attrs.can_exclude()
+        can_in = spec.allow_topology_attack and attrs.can_include()
+
+        if attrs.in_true_topology and not can_ex:
+            # permanently mapped: pure state-induced delta (Eqs. 6, 12)
+            return _LineEncoding(total_expr=flow_expr)
+        if not attrs.in_true_topology and not can_in:
+            # permanently absent: no delta at all
+            return _LineEncoding(total_expr=LinExpr({}, Fraction(0)))
+
+        dp_state = s.real_var(f"dpS_{line.index}")
+        dp_topo = s.real_var(f"dpT_{line.index}")
+        if can_ex:
+            el = s.bool_var(f"el_{line.index}")
+            # Eq. 7: excluded (unmapped) line has no state-induced delta
+            s.add(implies(el, eq(dp_state, 0)))
+            s.add(implies(Not(el), eq(LinExpr.of(dp_state) - flow_expr, 0)))
+            s.add(implies(Not(el), eq(dp_topo, 0)))
+            if spec.base_flows is not None:
+                base = to_fraction(spec.base_flows.get(line.index, 0.0))
+                # reported flow must become exactly zero (Section III-E)
+                s.add(implies(el, eq(dp_topo, -base)))
+            else:
+                s.add(implies(el, self._nonzero(dp_topo)))
+            return _LineEncoding(
+                total_expr=LinExpr.of(dp_state) + dp_topo, el=el
+            )
+        # inclusion attack on an out-of-service line
+        il = s.bool_var(f"il_{line.index}")
+        s.add(implies(il, eq(LinExpr.of(dp_state) - flow_expr, 0)))
+        s.add(implies(Not(il), eq(dp_state, 0)))
+        s.add(implies(Not(il), eq(dp_topo, 0)))
+        if spec.base_angles is not None:
+            phantom = admittance * (
+                to_fraction(spec.base_angles.get(line.from_bus, 0.0))
+                - to_fraction(spec.base_angles.get(line.to_bus, 0.0))
+            )
+            s.add(implies(il, eq(dp_topo, phantom)))
+        else:
+            # the included line must show a nonzero flow (Section III-E)
+            s.add(implies(il, self._nonzero(dp_topo)))
+        return _LineEncoding(total_expr=LinExpr.of(dp_state) + dp_topo, il=il)
+
+    # ------------------------------------------------------------------
+    def _couple_measurement(self, meas: int, delta_expr: LinExpr) -> None:
+        """Eqs. 15-16 and 19-21 for one potential measurement."""
+        spec = self.spec
+        plan = spec.plan
+        s = self.solver
+        if not plan.is_taken(meas):
+            return  # not recorded: no consistency obligation
+        alterable = plan.is_accessible(meas) and not plan.is_secured(meas)
+        if not alterable:
+            # a taken measurement the attacker cannot touch must not move
+            s.add(eq(delta_expr, 0))
+            return
+        cz = s.bool_var(f"cz_{meas}")
+        self.cz[meas] = cz
+        s.add(implies(cz, self._nonzero(delta_expr)))
+        s.add(implies(Not(cz), eq(delta_expr, 0)))
+        if self.symbolic_security:
+            sz = s.bool_var(f"sz_{meas}")
+            self.sz[meas] = sz
+            s.add(implies(cz, Not(sz)))
+
+    # ------------------------------------------------------------------
+    # solving and extraction
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        secured_buses: Sequence[int] = (),
+        secured_measurements: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> Result:
+        """Decide attack feasibility, optionally under extra security.
+
+        ``secured_buses``/``secured_measurements`` require
+        ``symbolic_security=True`` and are applied as assumptions.
+        """
+        assumptions: List[BoolVar] = []
+        for bus in secured_buses:
+            assumptions.append(self.sb[bus])
+        for meas in secured_measurements:
+            sz = self.sz.get(meas)
+            if sz is not None:
+                assumptions.append(sz)
+        return self.solver.check(assumptions, max_conflicts=max_conflicts)
+
+    def extract_attack(self, model=None) -> AttackVector:
+        """Read the attack vector out of a model (default: last SAT model)."""
+        if model is None:
+            model = self.solver.model()
+        spec = self.spec
+        plan = spec.plan
+        deltas: Dict[int, float] = {}
+        for line in spec.grid.lines:
+            total = model.eval_expr(self.lines[line.index].total_expr)
+            fwd = plan.forward_index(line.index)
+            bwd = plan.backward_index(line.index)
+            if fwd in self.cz and model.value(self.cz[fwd]):
+                deltas[fwd] = float(total)
+            if bwd in self.cz and model.value(self.cz[bwd]):
+                deltas[bwd] = float(-total)
+        for j in spec.grid.buses:
+            meas = plan.bus_index(j)
+            if meas in self.cz and model.value(self.cz[meas]):
+                deltas[meas] = float(model.eval_expr(self.bus_delta[j]))
+        states = {}
+        for j, cx in self.cx.items():
+            if model.value(cx):
+                states[j] = float(model.real_value(self.dtheta[j]))
+        excluded = frozenset(
+            i
+            for i, enc in self.lines.items()
+            if enc.el is not None and model.value(enc.el)
+        )
+        included = frozenset(
+            i
+            for i, enc in self.lines.items()
+            if enc.il is not None and model.value(enc.il)
+        )
+        return AttackVector(deltas, states, excluded, included)
+
+
+def verify_attack(
+    spec: AttackSpec,
+    backend: str = "smt",
+    epsilon: Optional[Union[int, float, Fraction]] = None,
+    max_conflicts: Optional[int] = None,
+) -> VerificationResult:
+    """Verify whether a UFDI attack satisfying ``spec`` exists.
+
+    ``backend`` is ``"smt"`` (exact, bundled DPLL(T) engine) or
+    ``"milp"`` (big-M mirror on scipy/HiGHS; fast on large systems,
+    subject to big-M scale limits — see :mod:`repro.milp.backend`).
+    """
+    start = time.perf_counter()
+    encoder = UfdiEncoder(spec, epsilon=epsilon)
+    if backend == "smt":
+        result = encoder.check(max_conflicts=max_conflicts)
+        runtime = time.perf_counter() - start
+        if result is Result.SAT:
+            return VerificationResult(
+                VerificationOutcome.ATTACK_EXISTS,
+                encoder.extract_attack(),
+                "smt",
+                runtime,
+                encoder.solver.statistics(),
+            )
+        outcome = (
+            VerificationOutcome.SECURE
+            if result is Result.UNSAT
+            else VerificationOutcome.UNKNOWN
+        )
+        return VerificationResult(
+            outcome, None, "smt", runtime, encoder.solver.statistics()
+        )
+    if backend == "milp":
+        from repro.milp.backend import solve_encoder_milp
+
+        milp_result = solve_encoder_milp(encoder)
+        runtime = time.perf_counter() - start
+        return VerificationResult(
+            milp_result.outcome,
+            milp_result.attack,
+            "milp",
+            runtime,
+            milp_result.statistics,
+        )
+    raise ValueError(f"unknown backend {backend!r} (use 'smt' or 'milp')")

@@ -1,0 +1,26 @@
+"""Defense baselines from the literature the paper compares against.
+
+* Bobba et al. (2010): protecting any *basic measurement set* (a
+  full-rank row subset) is necessary and sufficient against
+  perfect-knowledge UFDI attacks — :func:`bobba_protection_set`;
+* Kim & Poor (2011): a greedy sub-optimal selection of measurements to
+  immunize — :func:`kim_poor_greedy`;
+* a bus-level greedy heuristic for direct comparison with the paper's
+  synthesis mechanism — :func:`greedy_bus_protection`.
+
+These baselines assume the worst-case attack model (full knowledge,
+unlimited resources); the paper's synthesis instead tailors the
+architecture to a declared attack model and operator budget.
+"""
+
+from repro.defense.baselines import (
+    bobba_protection_set,
+    greedy_bus_protection,
+    kim_poor_greedy,
+)
+
+__all__ = [
+    "bobba_protection_set",
+    "greedy_bus_protection",
+    "kim_poor_greedy",
+]

@@ -1,0 +1,33 @@
+"""State-estimation substrate: measurement model, WLS, bad-data detection.
+
+Implements the estimation pipeline the paper attacks: the measurement
+model built from the (possibly poisoned) topology (paper Eq. 2), the
+weighted-least-squares estimator (Eq. 1), the chi-square bad-data test
+and largest-normalized-residual identification, numerical observability
+analysis, and residual-based topology-error detection.
+"""
+
+from repro.estimation.measurement import MeasurementPlan, build_h, build_measurements
+from repro.estimation.wls import StateEstimate, wls_estimate
+from repro.estimation.baddata import BadDataResult, chi_square_test, largest_normalized_residuals
+from repro.estimation.observability import (
+    ObservabilityReport,
+    analyze_observability,
+    basic_measurement_set,
+    critical_measurements,
+)
+
+__all__ = [
+    "BadDataResult",
+    "MeasurementPlan",
+    "ObservabilityReport",
+    "StateEstimate",
+    "analyze_observability",
+    "basic_measurement_set",
+    "build_h",
+    "build_measurements",
+    "chi_square_test",
+    "critical_measurements",
+    "largest_normalized_residuals",
+    "wls_estimate",
+]

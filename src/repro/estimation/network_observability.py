@@ -1,0 +1,148 @@
+"""Graph-based (topological) observability analysis.
+
+The numerical rank test (:mod:`repro.estimation.observability`) answers
+*whether* a plan is observable; the classical graph-theoretic analysis
+(Krumpholz/Clements/Davis style, simplified to the DC measurement
+model) explains *why*: it builds a maximal *measurement spanning
+forest* and reports the observable islands and the boundary buses where
+state cannot be related across islands.
+
+For the DC model the construction is exact for flow measurements (a
+taken flow measurement on line i merges its two end buses) and a safe
+approximation for injections (an injection at bus j merges j with its
+neighbours once all other incident flows are resolvable; we use the
+standard greedy assignment, which may under-approximate observability
+but never over-approximates island merging incorrectly for forest
+assignment of injections to unresolved incident lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.estimation.measurement import MeasurementPlan
+from repro.grid.model import Grid
+
+
+class _UnionFind:
+    def __init__(self, items) -> None:
+        self.parent = {item: item for item in items}
+
+    def find(self, item):
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a, b) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[ra] = rb
+        return True
+
+
+@dataclass(frozen=True)
+class TopologicalObservability:
+    """Result of graph-based observability analysis.
+
+    ``islands``            — maximal observable bus groups
+    ``observable``         — True iff one island covers the whole grid
+    ``flow_merged_lines``  — lines whose flow measurement merged islands
+    ``injection_assignments`` — injection bus -> line it was assigned to
+    """
+
+    islands: Tuple[frozenset, ...]
+    observable: bool
+    flow_merged_lines: Tuple[int, ...]
+    injection_assignments: Dict[int, int]
+
+
+def topological_observability(plan: MeasurementPlan) -> TopologicalObservability:
+    """Run the forest-construction observability analysis."""
+    grid = plan.grid
+    uf = _UnionFind(grid.buses)
+    flow_merged: List[int] = []
+    # phase 1: every taken flow measurement relates its two end buses
+    for line in grid.lines:
+        fwd = plan.forward_index(line.index)
+        bwd = plan.backward_index(line.index)
+        if plan.is_taken(fwd) or plan.is_taken(bwd):
+            if uf.union(line.from_bus, line.to_bus):
+                flow_merged.append(line.index)
+    # phase 2: greedily assign each taken injection to one incident
+    # unmerged line (the injection equation then determines that line's
+    # flow, merging the islands); iterate to a fixpoint
+    assignments: Dict[int, int] = {}
+    changed = True
+    while changed:
+        changed = False
+        for j in grid.buses:
+            if j in assignments or not plan.is_taken(plan.bus_index(j)):
+                continue
+            # candidate lines: incident lines whose ends are in
+            # different islands
+            candidates = [
+                line
+                for line in grid.lines_at(j)
+                if uf.find(line.from_bus) != uf.find(line.to_bus)
+            ]
+            if len(candidates) == 1:
+                # unambiguous: the injection pins exactly this boundary
+                # flow, so the merge is certain
+                line = candidates[0]
+                uf.union(line.from_bus, line.to_bus)
+                assignments[j] = line.index
+                changed = True
+    # one more greedy sweep: ambiguous injections still merge one island
+    # (standard forest assignment: pick any candidate)
+    for j in grid.buses:
+        if j in assignments or not plan.is_taken(plan.bus_index(j)):
+            continue
+        candidates = [
+            line
+            for line in grid.lines_at(j)
+            if uf.find(line.from_bus) != uf.find(line.to_bus)
+        ]
+        if candidates:
+            line = candidates[0]
+            uf.union(line.from_bus, line.to_bus)
+            assignments[j] = line.index
+
+    groups: Dict[int, Set[int]] = {}
+    for j in grid.buses:
+        groups.setdefault(uf.find(j), set()).add(j)
+    islands = tuple(
+        frozenset(group) for group in sorted(groups.values(), key=lambda g: min(g))
+    )
+    return TopologicalObservability(
+        islands=islands,
+        observable=len(islands) == 1,
+        flow_merged_lines=tuple(flow_merged),
+        injection_assignments=assignments,
+    )
+
+
+def unobservable_boundary_lines(plan: MeasurementPlan) -> List[int]:
+    """Lines crossing observable-island boundaries.
+
+    These are exactly the cut lines along which an attacker can shift
+    whole islands without touching any taken measurement — the
+    island-shift attacks the paper's Eq. 26 distinctness requirement
+    guards against.
+    """
+    result = topological_observability(plan)
+    if result.observable:
+        return []
+    island_of = {}
+    for k, island in enumerate(result.islands):
+        for bus in island:
+            island_of[bus] = k
+    return [
+        line.index
+        for line in plan.grid.lines
+        if island_of[line.from_bus] != island_of[line.to_bus]
+    ]

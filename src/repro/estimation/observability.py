@@ -1,0 +1,107 @@
+"""Numerical observability analysis.
+
+Tools used both by operators (is the measurement plan sufficient?) and
+by the Bobba et al. defense baseline (protecting a *basic measurement
+set* — a minimal row subset of full rank — provably blocks all UFDI
+attacks under the perfect-knowledge model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.estimation.measurement import MeasurementPlan, build_h
+from repro.grid.model import Grid
+
+
+@dataclass(frozen=True)
+class ObservabilityReport:
+    """Result of an observability analysis for a measurement plan."""
+
+    num_states: int
+    rank: int
+    observable: bool
+    redundancy: float  # taken measurements per state
+
+
+def analyze_observability(
+    plan: MeasurementPlan,
+    reference_bus: int = 1,
+    rank_tol: float = 1e-8,
+) -> ObservabilityReport:
+    """Check whether the taken measurements make the system observable."""
+    grid = plan.grid
+    h = build_h(grid, reference_bus, taken=plan.taken_in_order())
+    n = grid.num_buses - 1
+    rank = int(np.linalg.matrix_rank(h, tol=rank_tol))
+    return ObservabilityReport(
+        num_states=n,
+        rank=rank,
+        observable=rank == n,
+        redundancy=len(plan.taken) / max(n, 1),
+    )
+
+
+def basic_measurement_set(
+    plan: MeasurementPlan,
+    reference_bus: int = 1,
+    rank_tol: float = 1e-8,
+    prefer: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """A minimal set of taken measurements with full-rank H.
+
+    Greedy: scan measurements (``prefer`` first, then numbering order),
+    keeping a row when it increases rank.  The result has exactly
+    ``n = b - 1`` measurements for an observable plan; protecting them
+    is the Bobba et al. sufficient condition against UFDI attacks.
+    """
+    grid = plan.grid
+    n = grid.num_buses - 1
+    order: List[int] = []
+    seen = set()
+    for meas in list(prefer or []) + plan.taken_in_order():
+        if meas in plan.taken and meas not in seen:
+            order.append(meas)
+            seen.add(meas)
+    chosen: List[int] = []
+    rows: List[np.ndarray] = []
+    rank = 0
+    for meas in order:
+        row = build_h(grid, reference_bus, taken=[meas])[0]
+        candidate = rows + [row]
+        new_rank = int(np.linalg.matrix_rank(np.array(candidate), tol=rank_tol))
+        if new_rank > rank:
+            chosen.append(meas)
+            rows.append(row)
+            rank = new_rank
+            if rank == n:
+                break
+    return sorted(chosen)
+
+
+def critical_measurements(
+    plan: MeasurementPlan,
+    reference_bus: int = 1,
+    rank_tol: float = 1e-8,
+) -> List[int]:
+    """Measurements whose single removal makes the system unobservable.
+
+    The residual of a critical measurement is structurally zero, so bad
+    data on it is undetectable even without coordination — operators
+    care about eliminating them with redundancy.
+    """
+    grid = plan.grid
+    n = grid.num_buses - 1
+    taken = plan.taken_in_order()
+    full = build_h(grid, reference_bus, taken=taken)
+    if int(np.linalg.matrix_rank(full, tol=rank_tol)) < n:
+        raise ValueError("system is not observable; criticality is undefined")
+    critical: List[int] = []
+    for pos, meas in enumerate(taken):
+        reduced = np.delete(full, pos, axis=0)
+        if int(np.linalg.matrix_rank(reduced, tol=rank_tol)) < n:
+            critical.append(meas)
+    return critical

@@ -1,0 +1,149 @@
+"""Hybrid SCADA + PMU state estimation (DC model).
+
+The paper's countermeasure deploys secured PMUs at selected buses
+(Section IV-A).  Besides *securing* the existing measurements there, a
+PMU adds a qualitatively different measurement: a direct, time-synchronized
+reading of the bus angle itself.  This module extends the DC estimator
+with those phasor rows so the defense can be studied numerically:
+
+* PMU angle rows are ``e_j`` unit rows in H — they pin states directly;
+* a stealthy attack ``a = Hc`` must now satisfy ``c_j = a_(pmu row)``,
+  so *secured* PMU rows force ``c_j = 0`` at every PMU bus;
+* :func:`pmu_attack_space_dimension` quantifies the remaining stealthy
+  degrees of freedom for a placement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.estimation.measurement import MeasurementPlan, build_h, build_measurements
+from repro.grid.dcflow import DcFlowResult
+from repro.grid.model import Grid
+
+
+def build_h_with_pmus(
+    grid: Grid,
+    pmu_buses: Sequence[int],
+    reference_bus: int = 1,
+    taken: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """H for the SCADA plan plus one angle row per PMU bus.
+
+    PMU rows are appended after the SCADA rows, in ``pmu_buses`` order;
+    a PMU at the reference bus contributes an all-zero row (its angle is
+    the reference and carries no information).
+    """
+    scada = build_h(grid, reference_bus, taken=taken)
+    columns = [j for j in grid.buses if j != reference_bus]
+    col_of = {bus: k for k, bus in enumerate(columns)}
+    pmu_rows = np.zeros((len(pmu_buses), len(columns)))
+    for row, bus in enumerate(pmu_buses):
+        if bus != reference_bus:
+            pmu_rows[row, col_of[bus]] = 1.0
+    return np.vstack([scada, pmu_rows])
+
+
+def build_measurements_with_pmus(
+    plan: MeasurementPlan,
+    flow: DcFlowResult,
+    pmu_buses: Sequence[int],
+    noise_std: float = 0.0,
+    pmu_noise_std: float = 0.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """The hybrid telemetry vector: SCADA block then PMU angle block.
+
+    PMUs are typically an order of magnitude more accurate than SCADA;
+    pass distinct noise levels to model that.
+    """
+    z_scada = build_measurements(plan, flow, noise_std=noise_std, seed=seed)
+    angles = np.array([flow.angle(bus) for bus in pmu_buses])
+    if pmu_noise_std > 0:
+        rng = np.random.default_rng(seed + 1)
+        angles = angles + rng.normal(0.0, pmu_noise_std, size=angles.shape)
+    return np.concatenate([z_scada, angles])
+
+
+def hybrid_weights(
+    plan: MeasurementPlan,
+    num_pmus: int,
+    scada_std: float,
+    pmu_std: float,
+) -> np.ndarray:
+    """WLS weights for the hybrid vector (reciprocal variances)."""
+    return np.concatenate(
+        [
+            np.full(len(plan.taken), 1.0 / scada_std**2),
+            np.full(num_pmus, 1.0 / pmu_std**2),
+        ]
+    )
+
+
+def pmu_attack_space_dimension(
+    plan: MeasurementPlan,
+    pmu_buses: Iterable[int],
+    reference_bus: int = 1,
+    tol: float = 1e-9,
+) -> int:
+    """Dimension of the stealthy state-shift space under secured PMUs.
+
+    Protected rows are the plan's secured/inaccessible SCADA
+    measurements plus the PMU angle rows (PMUs are assumed
+    integrity-protected, as in the paper).  Zero means no undetected
+    attack of any kind remains.
+    """
+    grid = plan.grid
+    protected_scada = sorted(
+        m
+        for m in plan.taken
+        if plan.is_secured(m) or not plan.is_accessible(m)
+    )
+    rows: List[np.ndarray] = []
+    if protected_scada:
+        rows.extend(build_h(grid, reference_bus, taken=protected_scada))
+    columns = [j for j in grid.buses if j != reference_bus]
+    col_of = {bus: k for k, bus in enumerate(columns)}
+    for bus in pmu_buses:
+        if bus == reference_bus:
+            continue
+        row = np.zeros(len(columns))
+        row[col_of[bus]] = 1.0
+        rows.append(row)
+    n = len(columns)
+    if not rows:
+        return n
+    rank = int(np.linalg.matrix_rank(np.array(rows), tol=tol))
+    return n - rank
+
+
+def minimal_pmu_count_for_immunity(
+    plan: MeasurementPlan,
+    reference_bus: int = 1,
+) -> Tuple[int, List[int]]:
+    """Greedy: fewest PMU-angle buses closing the whole attack space.
+
+    Unlike bus-level measurement securing, every PMU angle row pins one
+    new state directly, so the greedy count equals the dimension of the
+    space left open by the already-protected SCADA rows.
+    """
+    chosen: List[int] = []
+    remaining = pmu_attack_space_dimension(plan, chosen, reference_bus)
+    candidates = [j for j in plan.grid.buses if j != reference_bus]
+    while remaining > 0:
+        best_bus, best_dim = None, remaining
+        for bus in candidates:
+            if bus in chosen:
+                continue
+            dim = pmu_attack_space_dimension(plan, chosen + [bus], reference_bus)
+            if dim < best_dim:
+                best_bus, best_dim = bus, dim
+                if dim == remaining - 1:
+                    break  # an angle row cuts at most one dimension
+        if best_bus is None:
+            break
+        chosen.append(best_bus)
+        remaining = best_dim
+    return len(chosen), sorted(chosen)

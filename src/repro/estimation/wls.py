@@ -1,0 +1,92 @@
+"""Weighted least squares state estimation (paper Eq. 1).
+
+``x_hat = (H^T W H)^{-1} H^T W z`` with W the inverse meter-error
+covariance.  The residual ``z - H x_hat`` feeds the bad-data detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class UnobservableSystemError(ValueError):
+    """H is rank-deficient: the state is not estimable from z."""
+
+
+@dataclass(frozen=True)
+class StateEstimate:
+    """Result of a WLS estimation.
+
+    ``x_hat``        — estimated states (bus angles, reference removed)
+    ``residual``     — ``z - H x_hat``
+    ``objective``    — weighted residual sum of squares ``r^T W r``
+    ``residual_norm``— the l2 norm ``||z - H x_hat||`` the paper uses
+    ``dof``          — degrees of freedom ``m - n`` of the chi-square test
+    """
+
+    x_hat: np.ndarray
+    residual: np.ndarray
+    objective: float
+    residual_norm: float
+    dof: int
+
+
+def wls_estimate(
+    h: np.ndarray,
+    z: np.ndarray,
+    weights: Optional[Sequence[float]] = None,
+    rank_tol: float = 1e-8,
+) -> StateEstimate:
+    """Solve the WLS estimation problem.
+
+    ``weights`` are the diagonal of W (reciprocal meter variances); all
+    ones by default.  Raises :class:`UnobservableSystemError` when H is
+    rank-deficient (unobservable system).
+    """
+    h = np.asarray(h, dtype=float)
+    z = np.asarray(z, dtype=float)
+    m, n = h.shape
+    if z.shape != (m,):
+        raise ValueError(f"z must have length {m}, got {z.shape}")
+    w = np.ones(m) if weights is None else np.asarray(weights, dtype=float)
+    if w.shape != (m,):
+        raise ValueError(f"weights must have length {m}, got {w.shape}")
+    if np.any(w <= 0):
+        raise ValueError("weights must be positive")
+    sqrt_w = np.sqrt(w)
+    hw = h * sqrt_w[:, None]
+    rank = np.linalg.matrix_rank(hw, tol=rank_tol)
+    if rank < n:
+        raise UnobservableSystemError(
+            f"H has rank {rank} < {n}: system unobservable with this plan"
+        )
+    x_hat, *_ = np.linalg.lstsq(hw, z * sqrt_w, rcond=None)
+    residual = z - h @ x_hat
+    objective = float(residual @ (w * residual))
+    return StateEstimate(
+        x_hat=x_hat,
+        residual=residual,
+        objective=objective,
+        residual_norm=float(np.linalg.norm(residual)),
+        dof=m - n,
+    )
+
+
+def gain_matrix(h: np.ndarray, weights: Optional[Sequence[float]] = None) -> np.ndarray:
+    """The WLS gain matrix ``G = H^T W H`` (used by residual analysis)."""
+    h = np.asarray(h, dtype=float)
+    m = h.shape[0]
+    w = np.ones(m) if weights is None else np.asarray(weights, dtype=float)
+    return h.T @ (h * w[:, None])
+
+
+def hat_matrix(h: np.ndarray, weights: Optional[Sequence[float]] = None) -> np.ndarray:
+    """The projection ``K = H G^{-1} H^T W`` mapping z to estimated z."""
+    h = np.asarray(h, dtype=float)
+    m = h.shape[0]
+    w = np.ones(m) if weights is None else np.asarray(weights, dtype=float)
+    g = gain_matrix(h, w)
+    return h @ np.linalg.solve(g, h.T * w[None, :])

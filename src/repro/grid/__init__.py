@@ -1,0 +1,29 @@
+"""Power-grid substrate: network model, IEEE test cases, topology processing.
+
+This package provides everything "below" state estimation: the bus/branch
+network model (:mod:`repro.grid.model`), the IEEE test systems and the
+deterministic synthetic large cases (:mod:`repro.grid.cases`,
+:mod:`repro.grid.synthetic`), a MATPOWER case-file parser
+(:mod:`repro.grid.matpower`), the breaker/switch topology processor that
+maps telemetered statuses into the effective network model
+(:mod:`repro.grid.topology`), and a DC power-flow solver used to create
+operating points for examples and integration tests
+(:mod:`repro.grid.dcflow`).
+"""
+
+from repro.grid.model import Bus, Grid, Line
+from repro.grid.cases import load_case
+from repro.grid.dcflow import DcFlowResult, solve_dc_flow
+from repro.grid.topology import BreakerStatus, TopologyProcessor, TopologySnapshot
+
+__all__ = [
+    "BreakerStatus",
+    "Bus",
+    "DcFlowResult",
+    "Grid",
+    "Line",
+    "TopologyProcessor",
+    "TopologySnapshot",
+    "load_case",
+    "solve_dc_flow",
+]

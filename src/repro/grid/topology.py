@@ -1,0 +1,148 @@
+"""The topology processor.
+
+The EMS does not use a fixed a-priori network model: breaker and switch
+statuses are telemetered to the control center and a *topology
+processor* maps them into the effective bus/branch model used to build
+the measurement matrix H (paper Section II-B).  This module models that
+pipeline, including its attack surface:
+
+* :class:`BreakerStatus` — the telemetered status of one line, plus the
+  static security attributes from the paper's Table II: whether the line
+  is part of the *core* (fixed) topology and whether its status
+  telemetry is integrity-protected;
+* :class:`TopologyProcessor` — maps statuses to a
+  :class:`TopologySnapshot` (the set of in-service lines);
+* :meth:`TopologyProcessor.apply_poisoning` — an exclusion/inclusion
+  attack on the telemetry, validated against the fixed/secured rules
+  (paper Eqs. (9)-(10)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.grid.model import Grid
+
+
+class TopologyAttackError(ValueError):
+    """A poisoning attempt violated a fixed/secured line-status rule."""
+
+
+@dataclass(frozen=True)
+class BreakerStatus:
+    """Telemetered and static attributes of one line's switchgear.
+
+    ``closed``   — line is in service in the *true* topology (``tl_i``)
+    ``fixed``    — line belongs to the core topology and is never opened
+                   (``fl_i``); a fixed line is always closed
+    ``secured``  — status telemetry is integrity-protected (``sl_i``)
+    """
+
+    line_index: int
+    closed: bool = True
+    fixed: bool = False
+    secured: bool = False
+
+    def __post_init__(self) -> None:
+        if self.fixed and not self.closed:
+            raise ValueError(
+                f"line {self.line_index}: a fixed (core) line must be closed"
+            )
+
+
+@dataclass(frozen=True)
+class TopologySnapshot:
+    """The processor's output: which lines are mapped into the model."""
+
+    grid: Grid
+    mapped_lines: FrozenSet[int]
+    excluded_lines: FrozenSet[int] = frozenset()
+    included_lines: FrozenSet[int] = frozenset()
+
+    @property
+    def poisoned(self) -> bool:
+        return bool(self.excluded_lines or self.included_lines)
+
+    def is_mapped(self, line_index: int) -> bool:
+        return line_index in self.mapped_lines
+
+    def effective_grid(self) -> Grid:
+        """Materialize the mapped topology as a (renumbered) grid."""
+        return self.grid.restrict(sorted(self.mapped_lines))
+
+    def islands(self) -> List[set]:
+        return self.grid.islands(self.mapped_lines)
+
+    def is_connected(self) -> bool:
+        return self.grid.is_connected(self.mapped_lines)
+
+
+class TopologyProcessor:
+    """Maps breaker telemetry into the effective topology."""
+
+    def __init__(self, grid: Grid, statuses: Optional[Sequence[BreakerStatus]] = None):
+        self.grid = grid
+        if statuses is None:
+            statuses = [BreakerStatus(line.index) for line in grid.lines]
+        by_index: Dict[int, BreakerStatus] = {}
+        for status in statuses:
+            if not 1 <= status.line_index <= grid.num_lines:
+                raise ValueError(f"status for unknown line {status.line_index}")
+            if status.line_index in by_index:
+                raise ValueError(f"duplicate status for line {status.line_index}")
+            by_index[status.line_index] = status
+        for line in grid.lines:
+            by_index.setdefault(line.index, BreakerStatus(line.index))
+        self.statuses: Dict[int, BreakerStatus] = by_index
+
+    def status(self, line_index: int) -> BreakerStatus:
+        return self.statuses[line_index]
+
+    def true_topology(self) -> TopologySnapshot:
+        """The faithful mapping: exactly the closed lines."""
+        mapped = frozenset(
+            i for i, status in self.statuses.items() if status.closed
+        )
+        return TopologySnapshot(self.grid, mapped)
+
+    def apply_poisoning(
+        self,
+        exclusions: Iterable[int] = (),
+        inclusions: Iterable[int] = (),
+    ) -> TopologySnapshot:
+        """Produce the poisoned mapping for an exclusion/inclusion attack.
+
+        Enforces the paper's feasibility rules: a line can be *excluded*
+        only if it is closed, not fixed and not status-secured (Eq. 9);
+        it can be *included* only if it is open and not status-secured
+        (Eq. 10).  Raises :class:`TopologyAttackError` otherwise.
+        """
+        exclusions = frozenset(exclusions)
+        inclusions = frozenset(inclusions)
+        if exclusions & inclusions:
+            raise TopologyAttackError(
+                f"lines {sorted(exclusions & inclusions)} both excluded and included"
+            )
+        for i in exclusions:
+            status = self.statuses[i]
+            if not status.closed:
+                raise TopologyAttackError(f"line {i} is open; cannot exclude it")
+            if status.fixed:
+                raise TopologyAttackError(f"line {i} is fixed (core topology)")
+            if status.secured:
+                raise TopologyAttackError(f"line {i} status telemetry is secured")
+        for i in inclusions:
+            status = self.statuses[i]
+            if status.closed:
+                raise TopologyAttackError(f"line {i} is closed; cannot include it")
+            if status.secured:
+                raise TopologyAttackError(f"line {i} status telemetry is secured")
+        mapped = frozenset(
+            i
+            for i, status in self.statuses.items()
+            if (status.closed and i not in exclusions) or i in inclusions
+        )
+        return TopologySnapshot(
+            self.grid, mapped, excluded_lines=exclusions, included_lines=inclusions
+        )

@@ -1,0 +1,114 @@
+"""A small branch-and-bound MILP solver on top of ``scipy.optimize.linprog``.
+
+A third, independent decision procedure for mixed binary/continuous
+linear feasibility problems (besides the bundled SMT engine and HiGHS).
+Depth-first search branching on the most-fractional integer variable,
+with best-bound pruning when an objective is given.  Used in the test
+suite to cross-check the other two backends on small instances, and as
+a readable reference implementation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+
+class BnbStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    NODE_LIMIT = "node_limit"
+
+
+@dataclass
+class BnbResult:
+    status: BnbStatus
+    x: Optional[np.ndarray] = None
+    objective: Optional[float] = None
+    nodes_explored: int = 0
+
+
+def branch_and_bound(
+    c: Sequence[float],
+    a_ub: Optional[np.ndarray] = None,
+    b_ub: Optional[Sequence[float]] = None,
+    a_eq: Optional[np.ndarray] = None,
+    b_eq: Optional[Sequence[float]] = None,
+    bounds: Optional[Sequence[Tuple[Optional[float], Optional[float]]]] = None,
+    integer_mask: Optional[Sequence[bool]] = None,
+    max_nodes: int = 10_000,
+    int_tol: float = 1e-6,
+) -> BnbResult:
+    """Minimize ``c @ x`` subject to linear constraints and integrality.
+
+    ``integer_mask[i]`` marks variables that must take integer values.
+    Uses LP relaxations solved by HiGHS-simplex via ``linprog``; branches
+    on the most fractional integer variable; prunes nodes whose LP bound
+    cannot beat the incumbent.
+    """
+    c = np.asarray(c, dtype=float)
+    n = len(c)
+    if bounds is None:
+        bounds = [(None, None)] * n
+    if integer_mask is None:
+        integer_mask = [False] * n
+    integer_cols = [i for i, flag in enumerate(integer_mask) if flag]
+
+    best_x: Optional[np.ndarray] = None
+    best_obj = np.inf
+    nodes = 0
+    # each stack entry: list of per-variable (lb, ub) overrides
+    stack: List[List[Tuple[Optional[float], Optional[float]]]] = [list(bounds)]
+
+    while stack and nodes < max_nodes:
+        node_bounds = stack.pop()
+        nodes += 1
+        res = linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=node_bounds,
+            method="highs",
+        )
+        if res.status != 0:
+            continue  # infeasible or unbounded branch
+        if best_x is not None and res.fun >= best_obj - 1e-9:
+            continue  # bound pruning
+        x = res.x
+        # find most fractional integer variable
+        branch_var = -1
+        branch_frac = int_tol
+        for i in integer_cols:
+            frac = abs(x[i] - round(x[i]))
+            if frac > branch_frac:
+                branch_var = i
+                branch_frac = frac
+        if branch_var == -1:
+            # integral: new incumbent
+            obj = float(res.fun)
+            if obj < best_obj:
+                best_obj = obj
+                best_x = x.copy()
+                for i in integer_cols:
+                    best_x[i] = round(best_x[i])
+            continue
+        value = x[branch_var]
+        lo, hi = node_bounds[branch_var]
+        down = list(node_bounds)
+        down[branch_var] = (lo, float(np.floor(value)))
+        up = list(node_bounds)
+        up[branch_var] = (float(np.ceil(value)), hi)
+        stack.append(down)
+        stack.append(up)
+
+    if best_x is not None:
+        return BnbResult(BnbStatus.OPTIMAL, best_x, best_obj, nodes)
+    if nodes >= max_nodes and stack:
+        return BnbResult(BnbStatus.NODE_LIMIT, nodes_explored=nodes)
+    return BnbResult(BnbStatus.INFEASIBLE, nodes_explored=nodes)

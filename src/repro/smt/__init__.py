@@ -1,0 +1,64 @@
+"""A small SMT solver for quantifier-free linear real arithmetic (QF_LRA).
+
+This package is a from-scratch substitute for the Z3 solver used by the
+paper.  It provides exactly the fragment the UFDI verification and
+countermeasure-synthesis models need:
+
+* Boolean structure (:mod:`repro.smt.terms`) compiled to CNF by a Tseitin
+  transformation (:mod:`repro.smt.cnf`),
+* a CDCL SAT core with watched literals, first-UIP clause learning, VSIDS
+  branching, phase saving and Luby restarts (:mod:`repro.smt.sat`),
+* an incremental Simplex procedure over exact rationals with
+  delta-rational strict-bound handling, in the style of Dutertre and
+  de Moura (:mod:`repro.smt.simplex`),
+* the DPLL(T) glue binding the two together (:mod:`repro.smt.theory`,
+  :mod:`repro.smt.solver`),
+* CNF cardinality constraints via sequential-counter encodings
+  (:mod:`repro.smt.cardinality`).
+
+The public entry point is :class:`repro.smt.solver.Solver`.
+"""
+
+from repro.smt.terms import (
+    And,
+    Atom,
+    BoolConst,
+    BoolVar,
+    FALSE,
+    LinExpr,
+    Not,
+    Or,
+    RealVar,
+    TRUE,
+    eq,
+    ge,
+    iff,
+    implies,
+    le,
+    neq_with_eps,
+    to_fraction,
+)
+from repro.smt.solver import Model, Result, Solver
+
+__all__ = [
+    "And",
+    "Atom",
+    "BoolConst",
+    "BoolVar",
+    "FALSE",
+    "LinExpr",
+    "Model",
+    "Not",
+    "Or",
+    "RealVar",
+    "Result",
+    "Solver",
+    "TRUE",
+    "eq",
+    "ge",
+    "iff",
+    "implies",
+    "le",
+    "neq_with_eps",
+    "to_fraction",
+]

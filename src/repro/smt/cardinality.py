@@ -1,0 +1,78 @@
+"""CNF cardinality constraints (sequential-counter / Sinz encoding).
+
+These operate directly on SAT literals through a ``new_var``/``add_clause``
+interface so they can target either the SMT solver's CNF or a standalone
+SAT instance.  The sequential counter for ``sum(lits) <= k`` introduces
+``n*k`` auxiliary variables and O(n*k) clauses and is arc-consistent
+under unit propagation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+
+def encode_at_most(
+    lits: Sequence[int],
+    k: int,
+    new_var: Callable[[], int],
+    add_clause: Callable[[List[int]], None],
+) -> None:
+    """Encode ``sum(lits) <= k`` (each literal counts when true)."""
+    n = len(lits)
+    if k < 0:
+        raise ValueError("k must be nonnegative")
+    if k >= n:
+        return
+    if k == 0:
+        for lit in lits:
+            add_clause([-lit])
+        return
+    # registers[i][j] is true iff at least j+1 of lits[0..i] are true
+    prev: List[int] = []
+    for i, lit in enumerate(lits):
+        width = min(i + 1, k)
+        cur = [new_var() for _ in range(width)]
+        # lits[i] -> cur[0]
+        add_clause([-lit, cur[0]])
+        for j in range(len(prev)):
+            # carry: prev[j] -> cur[j]
+            add_clause([-prev[j], cur[j]])
+            # increment: lit & prev[j] -> cur[j+1]
+            if j + 1 < width:
+                add_clause([-lit, -prev[j], cur[j + 1]])
+        if i >= k:
+            # overflow: lit & prev[k-1] -> false
+            add_clause([-lit, -prev[k - 1]])
+        prev = cur
+
+
+def encode_at_least(
+    lits: Sequence[int],
+    k: int,
+    new_var: Callable[[], int],
+    add_clause: Callable[[List[int]], None],
+) -> None:
+    """Encode ``sum(lits) >= k`` via at-most on the negated literals."""
+    n = len(lits)
+    if k <= 0:
+        return
+    if k > n:
+        add_clause([])  # unsatisfiable
+        return
+    if k == n:
+        for lit in lits:
+            add_clause([lit])
+        return
+    encode_at_most([-lit for lit in lits], n - k, new_var, add_clause)
+
+
+def encode_exactly(
+    lits: Sequence[int],
+    k: int,
+    new_var: Callable[[], int],
+    add_clause: Callable[[List[int]], None],
+) -> None:
+    """Encode ``sum(lits) == k``."""
+    encode_at_most(lits, k, new_var, add_clause)
+    encode_at_least(lits, k, new_var, add_clause)

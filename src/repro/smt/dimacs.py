@@ -1,0 +1,99 @@
+"""DIMACS CNF import/export for the SAT core.
+
+Lets the bundled CDCL solver interoperate with the wider SAT ecosystem:
+exported verification skeletons can be fed to external solvers for
+independent confirmation, and standard benchmark files exercise the
+core directly (used by the test suite with a few bundled instances).
+Only the boolean skeleton travels — arithmetic atoms become free
+variables, so exported instances are *relaxations* (UNSAT in DIMACS
+implies UNSAT of the full formula, not conversely).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.smt.sat import SatSolver
+
+
+class DimacsError(ValueError):
+    """Malformed DIMACS content."""
+
+
+def parse_dimacs(text: str) -> Tuple[int, List[List[int]]]:
+    """Parse DIMACS CNF text into (num_vars, clauses)."""
+    num_vars: Optional[int] = None
+    declared_clauses: Optional[int] = None
+    clauses: List[List[int]] = []
+    current: List[int] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(("c", "%")):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError(f"line {lineno}: bad problem line {line!r}")
+            num_vars, declared_clauses = int(parts[2]), int(parts[3])
+            continue
+        if line == "0":  # some benchmark files end with a bare 0
+            continue
+        try:
+            tokens = [int(tok) for tok in line.split()]
+        except ValueError as exc:
+            raise DimacsError(f"line {lineno}: {line!r}") from exc
+        for token in tokens:
+            if token == 0:
+                clauses.append(current)
+                current = []
+            else:
+                current.append(token)
+    if current:
+        clauses.append(current)
+    if num_vars is None:
+        raise DimacsError("missing 'p cnf' problem line")
+    for clause in clauses:
+        for lit in clause:
+            if abs(lit) > num_vars:
+                raise DimacsError(
+                    f"literal {lit} exceeds declared variable count {num_vars}"
+                )
+    return num_vars, clauses
+
+
+def write_dimacs(num_vars: int, clauses: Iterable[List[int]]) -> str:
+    """Serialize (num_vars, clauses) as DIMACS CNF text."""
+    clause_list = [list(c) for c in clauses]
+    out = [f"p cnf {num_vars} {len(clause_list)}"]
+    for clause in clause_list:
+        out.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(out) + "\n"
+
+
+def solver_from_dimacs(text: str) -> SatSolver:
+    """Build a :class:`SatSolver` loaded with a DIMACS instance."""
+    num_vars, clauses = parse_dimacs(text)
+    solver = SatSolver()
+    solver.ensure_vars(num_vars)
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            break
+    return solver
+
+
+def solve_dimacs_file(path: Union[str, Path]) -> Optional[bool]:
+    """Convenience: solve a DIMACS file; True/False/None (budget)."""
+    solver = solver_from_dimacs(Path(path).read_text())
+    return solver.solve()
+
+
+def export_solver_cnf(smt_solver) -> str:
+    """Export an SMT :class:`~repro.smt.solver.Solver`'s boolean skeleton.
+
+    Arithmetic atom variables are included as plain variables (their
+    theory meaning is dropped), so a DIMACS-level UNSAT soundly implies
+    the SMT formula is UNSAT.
+    """
+    cnf = smt_solver._cnf
+    return write_dimacs(cnf.num_vars, cnf.clauses)

@@ -1,0 +1,468 @@
+"""A CDCL SAT solver with a DPLL(T) theory hook.
+
+Features: two-watched-literal propagation, first-UIP conflict analysis,
+VSIDS-style variable activities with a lazy heap, phase saving, Luby
+restarts, learned-clause database reduction, incremental solving under
+assumptions, and a pluggable theory listener (used by the LRA simplex
+theory in :mod:`repro.smt.theory`).
+
+Literals are DIMACS integers (``+v`` / ``-v``); variables are 1-based.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Optional, Protocol, Sequence
+
+
+class TheoryListener(Protocol):
+    """What the SAT core needs from a theory solver."""
+
+    def is_theory_var(self, var: int) -> bool:
+        """True if SAT variable ``var`` denotes a theory atom."""
+
+    def assert_lit(self, lit: int, trail_index: int) -> Optional[List[int]]:
+        """Assert a theory literal; return a conflicting literal set or None.
+
+        A conflict is a list of asserted literals that are jointly
+        theory-inconsistent (the negation of their conjunction will be
+        learned as a clause).
+        """
+
+    def check(self) -> Optional[List[int]]:
+        """Full consistency check; same conflict convention as above."""
+
+    def backtrack_to(self, trail_size: int) -> None:
+        """Retract every assertion made at trail index >= ``trail_size``."""
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence.
+
+    ``luby(i) = 2^(k-1)`` when ``i == 2^k - 1``; otherwise it recurses on
+    ``i - 2^(k-1) + 1`` for the ``k`` with ``2^(k-1) <= i < 2^k - 1``.
+    """
+    if i < 1:
+        raise ValueError("luby sequence is 1-based")
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
+
+
+class SatSolver:
+    """CDCL solver; see module docstring."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+        self.learnts: List[List[int]] = []
+        self.watches: dict[int, List[List[int]]] = {}
+        # per-variable state (index 0 unused)
+        self.assign: List[int] = [0]  # 0 unassigned, +1 true, -1 false
+        self.level: List[int] = [0]
+        self.reason: List[Optional[List[int]]] = [None]
+        self.activity: List[float] = [0.0]
+        self.saved_phase: List[bool] = [False]
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.qhead = 0
+        self.ok = True
+        self.theory: Optional[TheoryListener] = None
+        self.theory_qhead = 0
+        self.var_inc = 1.0
+        self.var_decay = 1.0 / 0.95
+        self._heap: List[tuple[float, int]] = []
+        self.default_phase = False
+        # statistics
+        self.stats = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "theory_conflicts": 0,
+            "learned_literals": 0,
+        }
+        self.conflict_budget: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # variables and clauses
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self.assign.append(0)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.saved_phase.append(self.default_phase)
+        self._heap_push(self.num_vars)
+        return self.num_vars
+
+    def ensure_vars(self, count: int) -> None:
+        while self.num_vars < count:
+            self.new_var()
+
+    def value(self, lit: int) -> int:
+        val = self.assign[abs(lit)]
+        return val if lit > 0 else -val
+
+    def decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Add a problem clause (must be called at decision level 0).
+
+        Returns False if the clause makes the instance trivially UNSAT.
+        """
+        if not self.ok:
+            return False
+        assert self.decision_level() == 0, "clauses must be added at level 0"
+        seen = set()
+        out: List[int] = []
+        for lit in lits:
+            var = abs(lit)
+            self.ensure_vars(var)
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            val = self.value(lit)
+            if val == 1:
+                return True  # already satisfied at level 0
+            if val == -1:
+                continue  # falsified at level 0; drop literal
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self.ok = False
+            return False
+        if len(out) == 1:
+            self._enqueue(out[0], None)
+            return True
+        self.clauses.append(out)
+        self._watch(out)
+        return True
+
+    def _watch(self, clause: List[int]) -> None:
+        self.watches.setdefault(-clause[0], []).append(clause)
+        self.watches.setdefault(-clause[1], []).append(clause)
+
+    # ------------------------------------------------------------------
+    # trail operations
+    # ------------------------------------------------------------------
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> None:
+        var = abs(lit)
+        self.assign[var] = 1 if lit > 0 else -1
+        self.level[var] = self.decision_level()
+        self.reason[var] = reason
+        self.trail.append(lit)
+
+    def cancel_until(self, target_level: int) -> None:
+        if self.decision_level() <= target_level:
+            return
+        bound = self.trail_lim[target_level]
+        for i in range(len(self.trail) - 1, bound - 1, -1):
+            lit = self.trail[i]
+            var = abs(lit)
+            self.saved_phase[var] = lit > 0
+            self.assign[var] = 0
+            self.reason[var] = None
+            self._heap_push(var)
+        del self.trail[bound:]
+        del self.trail_lim[target_level:]
+        self.qhead = bound
+        if self.theory is not None and self.theory_qhead > bound:
+            self.theory.backtrack_to(bound)
+            self.theory_qhead = bound
+
+    # ------------------------------------------------------------------
+    # VSIDS
+    # ------------------------------------------------------------------
+    def _heap_push(self, var: int) -> None:
+        heapq.heappush(self._heap, (-self.activity[var], var))
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            scale = 1e-100
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= scale
+            self.var_inc *= scale
+        self._heap_push(var)
+
+    def _decay(self) -> None:
+        self.var_inc *= self.var_decay
+
+    def _pick_branch_var(self) -> Optional[int]:
+        while self._heap:
+            neg_act, var = heapq.heappop(self._heap)
+            if self.assign[var] == 0 and -neg_act == self.activity[var]:
+                return var
+        # heap exhausted: linear scan (rare; repopulates nothing)
+        for var in range(1, self.num_vars + 1):
+            if self.assign[var] == 0:
+                return var
+        return None
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+    def _bcp(self) -> Optional[List[int]]:
+        """Unit propagation; returns a falsified clause on conflict."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            self.stats["propagations"] += 1
+            watchlist = self.watches.get(lit)
+            if not watchlist:
+                continue
+            i = 0
+            j = 0
+            n = len(watchlist)
+            while i < n:
+                clause = watchlist[i]
+                i += 1
+                neg = -lit
+                if clause[0] == neg:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self.assign[abs(first)] == (1 if first > 0 else -1):
+                    watchlist[j] = clause
+                    j += 1
+                    continue
+                found = False
+                for k in range(2, len(clause)):
+                    other = clause[k]
+                    if self.value(other) != -1:
+                        clause[1], clause[k] = other, neg
+                        self.watches.setdefault(-other, []).append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # clause is unit or conflicting
+                watchlist[j] = clause
+                j += 1
+                if self.value(first) == -1:
+                    # conflict: keep remaining watches in place
+                    while i < n:
+                        watchlist[j] = watchlist[i]
+                        j += 1
+                        i += 1
+                    del watchlist[j:]
+                    return clause
+                self._enqueue(first, clause)
+            del watchlist[j:]
+        return None
+
+    def _theory_propagate(self) -> Optional[List[int]]:
+        """Feed newly assigned theory literals to the theory and check.
+
+        Returns a *conflict clause* (list of literals, all currently
+        false) or None.
+        """
+        theory = self.theory
+        if theory is None:
+            return None
+        while self.theory_qhead < len(self.trail):
+            lit = self.trail[self.theory_qhead]
+            if theory.is_theory_var(abs(lit)):
+                conflict = theory.assert_lit(lit, self.theory_qhead)
+                if conflict is not None:
+                    self.theory_qhead += 1
+                    self.stats["theory_conflicts"] += 1
+                    return [-l for l in conflict]
+            self.theory_qhead += 1
+        conflict = theory.check()
+        if conflict is not None:
+            self.stats["theory_conflicts"] += 1
+            return [-l for l in conflict]
+        return None
+
+    def _propagate_all(self) -> Optional[List[int]]:
+        confl = self._bcp()
+        if confl is not None:
+            return confl
+        return self._theory_propagate()
+
+    # ------------------------------------------------------------------
+    # conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: List[int]) -> tuple[Optional[List[int]], int]:
+        """Return (learnt clause with asserting literal first, backjump level).
+
+        Returns (None, 0) when the conflict proves UNSAT (level 0).
+        """
+        # A theory conflict may only involve literals below the current
+        # decision level; in that case first backtrack to the highest
+        # level mentioned so the invariant of 1-UIP analysis holds.
+        conflict_level = max((self.level[abs(q)] for q in conflict), default=0)
+        if conflict_level == 0:
+            return None, 0
+        if conflict_level < self.decision_level():
+            self.cancel_until(conflict_level)
+
+        current = self.decision_level()
+        learnt: List[int] = [0]
+        seen = [False] * (self.num_vars + 1)
+        path_count = 0
+        p = 0
+        index = len(self.trail) - 1
+        confl = conflict
+        while True:
+            start = 0 if p == 0 else 1
+            for k in range(start, len(confl)):
+                q = confl[k]
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] >= current:
+                        path_count += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            p_lit = self.trail[index]
+            var = abs(p_lit)
+            index -= 1
+            path_count -= 1
+            if path_count == 0:
+                learnt[0] = -p_lit
+                break
+            confl = self.reason[var]
+            assert confl is not None, "non-decision literal must have a reason"
+            p = p_lit
+        # conflict-clause minimization: drop literals implied by the rest
+        marked = {abs(q) for q in learnt}
+        out = [learnt[0]]
+        for q in learnt[1:]:
+            reason = self.reason[abs(q)]
+            if reason is None or not all(
+                abs(r) in marked or self.level[abs(r)] == 0 for r in reason[1:]
+            ):
+                out.append(q)
+        learnt = out
+        if len(learnt) == 1:
+            backjump = 0
+        else:
+            # move the highest-level remaining literal to position 1
+            best = 1
+            for k in range(2, len(learnt)):
+                if self.level[abs(learnt[k])] > self.level[abs(learnt[best])]:
+                    best = k
+            learnt[1], learnt[best] = learnt[best], learnt[1]
+            backjump = self.level[abs(learnt[1])]
+        self.stats["learned_literals"] += len(learnt)
+        return learnt, backjump
+
+    def _record_learnt(self, learnt: List[int]) -> None:
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+        else:
+            self.learnts.append(learnt)
+            self._watch(learnt)
+            self._enqueue(learnt[0], learnt)
+
+    def _reduce_db(self) -> None:
+        """Drop the longer half of non-reason learned clauses."""
+        locked = {id(self.reason[abs(l)]) for l in self.trail if self.reason[abs(l)]}
+        self.learnts.sort(key=len)
+        keep = len(self.learnts) // 2
+        removed = []
+        kept = self.learnts[:keep]
+        for clause in self.learnts[keep:]:
+            if id(clause) in locked or len(clause) <= 2:
+                kept.append(clause)
+            else:
+                removed.append(clause)
+        if not removed:
+            return
+        dead = {id(c) for c in removed}
+        self.learnts = kept
+        for watchlist in self.watches.values():
+            watchlist[:] = [c for c in watchlist if id(c) not in dead]
+
+    # ------------------------------------------------------------------
+    # main search
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Iterable[int] = ()) -> Optional[bool]:
+        """Solve under assumptions.
+
+        Returns True (SAT; model available via :attr:`assign`), False
+        (UNSAT under these assumptions), or None if the conflict budget
+        was exhausted.  The trail is left intact on SAT so that callers
+        can read the model and theory state; call :meth:`cancel_until`
+        (or solve again) afterwards.
+        """
+        if not self.ok:
+            return False
+        self.cancel_until(0)
+        assumptions = list(assumptions)
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+        restart_count = 0
+        conflicts_until_restart = luby(1) * 100
+        conflicts_in_round = 0
+        max_learnts = max(2000, len(self.clauses) // 2)
+        total_conflicts = 0
+
+        while True:
+            conflict = self._propagate_all()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                total_conflicts += 1
+                conflicts_in_round += 1
+                if self.decision_level() == 0:
+                    self.ok = False
+                    return False
+                learnt, backjump = self._analyze(conflict)
+                if learnt is None:
+                    self.ok = False
+                    return False
+                self.cancel_until(backjump)
+                self._record_learnt(learnt)
+                self._decay()
+                if (
+                    self.conflict_budget is not None
+                    and total_conflicts >= self.conflict_budget
+                ):
+                    self.cancel_until(0)
+                    return None
+                continue
+
+            if conflicts_in_round >= conflicts_until_restart:
+                restart_count += 1
+                self.stats["restarts"] += 1
+                conflicts_in_round = 0
+                conflicts_until_restart = luby(restart_count + 1) * 100
+                self.cancel_until(0)
+                continue
+
+            if len(self.learnts) > max_learnts:
+                self._reduce_db()
+                max_learnts = int(max_learnts * 1.3)
+
+            # assumptions come first, as pseudo-decisions
+            if self.decision_level() < len(assumptions):
+                lit = assumptions[self.decision_level()]
+                val = self.value(lit)
+                if val == 1:
+                    self.trail_lim.append(len(self.trail))
+                    continue
+                if val == -1:
+                    # conflicting assumption: UNSAT under assumptions
+                    self.cancel_until(0)
+                    return False
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
+                continue
+
+            var = self._pick_branch_var()
+            if var is None:
+                return True  # full assignment, theory-consistent
+            self.stats["decisions"] += 1
+            self.trail_lim.append(len(self.trail))
+            lit = var if self.saved_phase[var] else -var
+            self._enqueue(lit, None)

@@ -1,0 +1,337 @@
+"""Incremental Simplex for SMT, after Dutertre & de Moura (CAV'06).
+
+The solver maintains a tableau of *basic* variables expressed as linear
+combinations of *nonbasic* variables, an assignment mapping every
+variable to a :class:`DeltaRational`, and per-variable lower/upper bounds
+tagged with the SAT literal that introduced them.  Bounds are asserted
+and retracted incrementally as the SAT core walks its trail; ``check``
+restores the invariant that every basic variable lies within its bounds
+or reports a minimal conflicting set of bound literals.
+
+All arithmetic is exact (:class:`fractions.Fraction`), so SAT/UNSAT
+answers carry no floating-point risk.  Strict inequalities are handled
+symbolically through the infinitesimal component of delta-rationals.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+ZERO = Fraction(0)
+
+
+class DeltaRational:
+    """A number of the form ``r + k * delta`` for an infinitesimal delta."""
+
+    __slots__ = ("r", "k")
+
+    def __init__(self, r: Fraction, k: Fraction = ZERO) -> None:
+        self.r = r
+        self.k = k
+
+    def __add__(self, other: "DeltaRational") -> "DeltaRational":
+        return DeltaRational(self.r + other.r, self.k + other.k)
+
+    def __sub__(self, other: "DeltaRational") -> "DeltaRational":
+        return DeltaRational(self.r - other.r, self.k - other.k)
+
+    def scale(self, factor: Fraction) -> "DeltaRational":
+        return DeltaRational(self.r * factor, self.k * factor)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DeltaRational)
+            and self.r == other.r
+            and self.k == other.k
+        )
+
+    def __lt__(self, other: "DeltaRational") -> bool:
+        return (self.r, self.k) < (other.r, other.k)
+
+    def __le__(self, other: "DeltaRational") -> bool:
+        return (self.r, self.k) <= (other.r, other.k)
+
+    def __gt__(self, other: "DeltaRational") -> bool:
+        return (self.r, self.k) > (other.r, other.k)
+
+    def __ge__(self, other: "DeltaRational") -> bool:
+        return (self.r, self.k) >= (other.r, other.k)
+
+    def __hash__(self) -> int:
+        return hash((self.r, self.k))
+
+    def __repr__(self) -> str:
+        if self.k == 0:
+            return f"{self.r}"
+        return f"{self.r}{'+' if self.k > 0 else ''}{self.k}d"
+
+    def concretize(self, delta: Fraction) -> Fraction:
+        return self.r + self.k * delta
+
+
+DR_ZERO = DeltaRational(ZERO, ZERO)
+
+
+class Simplex:
+    """The incremental simplex engine.
+
+    Variables are dense integer indices allocated via :meth:`new_var`.
+    Definitional rows (slack variables for linear forms) are installed
+    with :meth:`add_row` before the search starts; bound assertions and
+    retractions then drive the search.
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        # tableau: basic var -> {nonbasic var: coefficient}
+        self.rows: Dict[int, Dict[int, Fraction]] = {}
+        # column index: var -> set of basic vars whose row mentions it
+        self.cols: Dict[int, set] = {}
+        self.assign: List[DeltaRational] = []
+        self.lower: List[Optional[DeltaRational]] = []
+        self.upper: List[Optional[DeltaRational]] = []
+        self.lower_reason: List[Optional[int]] = []
+        self.upper_reason: List[Optional[int]] = []
+        # undo trail: (var, 'L'|'U', old_bound, old_reason)
+        self.trail: List[Tuple[int, str, Optional[DeltaRational], Optional[int]]] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        var = self.num_vars
+        self.num_vars += 1
+        self.assign.append(DR_ZERO)
+        self.lower.append(None)
+        self.upper.append(None)
+        self.lower_reason.append(None)
+        self.upper_reason.append(None)
+        self.cols.setdefault(var, set())
+        return var
+
+    def add_row(self, slack: int, coeffs: Dict[int, Fraction]) -> None:
+        """Install the definition ``slack == sum(coeff * var)``.
+
+        Must be called before any bounds are asserted; ``slack`` becomes
+        a basic variable.
+        """
+        assert slack not in self.rows, "slack already defined"
+        assert not self.trail, "rows must be installed before bound assertions"
+        row: Dict[int, Fraction] = {}
+        value = DR_ZERO
+        for var, coeff in coeffs.items():
+            if coeff == 0:
+                continue
+            if var in self.rows:
+                # substitute the definition of a basic variable
+                for v2, c2 in self.rows[var].items():
+                    row[v2] = row.get(v2, ZERO) + coeff * c2
+                    if row[v2] == 0:
+                        del row[v2]
+            else:
+                row[var] = row.get(var, ZERO) + coeff
+                if row[var] == 0:
+                    del row[var]
+        for var, coeff in row.items():
+            value = value + self.assign[var].scale(coeff)
+            self.cols[var].add(slack)
+        self.rows[slack] = row
+        self.assign[slack] = value
+
+    # ------------------------------------------------------------------
+    # assignment maintenance
+    # ------------------------------------------------------------------
+    def _update_nonbasic(self, var: int, value: DeltaRational) -> None:
+        delta = value - self.assign[var]
+        for basic in self.cols[var]:
+            self.assign[basic] = self.assign[basic] + delta.scale(self.rows[basic][var])
+        self.assign[var] = value
+
+    def _pivot_and_update(self, basic: int, nonbasic: int, value: DeltaRational) -> None:
+        coeff = self.rows[basic][nonbasic]
+        theta = (value - self.assign[basic]).scale(Fraction(1) / coeff)
+        self.assign[basic] = value
+        self.assign[nonbasic] = self.assign[nonbasic] + theta
+        for other in self.cols[nonbasic]:
+            if other != basic:
+                self.assign[other] = self.assign[other] + theta.scale(
+                    self.rows[other][nonbasic]
+                )
+        self._pivot(basic, nonbasic)
+
+    def _pivot(self, basic: int, nonbasic: int) -> None:
+        """Swap roles: ``nonbasic`` enters the basis, ``basic`` leaves."""
+        row = self.rows.pop(basic)
+        coeff = row.pop(nonbasic)
+        inv = Fraction(1) / coeff
+        new_row = {basic: inv}
+        for var, c in row.items():
+            new_row[var] = -c * inv
+            self.cols[var].discard(basic)
+        self.cols[nonbasic].discard(basic)
+        self.cols[basic].add(nonbasic)
+        for var in new_row:
+            if var != basic:
+                self.cols[var].add(nonbasic)
+        self.rows[nonbasic] = new_row
+        # substitute into every other row that mentions `nonbasic`
+        for other in list(self.cols[nonbasic]):
+            if other == nonbasic:
+                continue
+            orow = self.rows[other]
+            factor = orow.pop(nonbasic)
+            for var, c in new_row.items():
+                newc = orow.get(var, ZERO) + factor * c
+                if newc == 0:
+                    if var in orow:
+                        del orow[var]
+                    self.cols[var].discard(other)
+                else:
+                    orow[var] = newc
+                    self.cols[var].add(other)
+        self.cols[nonbasic] = {
+            b for b in self.cols[nonbasic] if b in self.rows and nonbasic in self.rows[b]
+        }
+
+    # ------------------------------------------------------------------
+    # bounds
+    # ------------------------------------------------------------------
+    def assert_lower(self, var: int, value: DeltaRational, reason: int) -> Optional[List[int]]:
+        """Assert ``var >= value``; returns conflicting reasons or None."""
+        if self.lower[var] is not None and value <= self.lower[var]:
+            return None
+        upper = self.upper[var]
+        if upper is not None and value > upper:
+            return [reason, self.upper_reason[var]]
+        self.trail.append((var, "L", self.lower[var], self.lower_reason[var]))
+        self.lower[var] = value
+        self.lower_reason[var] = reason
+        if var not in self.rows and self.assign[var] < value:
+            self._update_nonbasic(var, value)
+        return None
+
+    def assert_upper(self, var: int, value: DeltaRational, reason: int) -> Optional[List[int]]:
+        """Assert ``var <= value``; returns conflicting reasons or None."""
+        if self.upper[var] is not None and value >= self.upper[var]:
+            return None
+        lower = self.lower[var]
+        if lower is not None and value < lower:
+            return [reason, self.lower_reason[var]]
+        self.trail.append((var, "U", self.upper[var], self.upper_reason[var]))
+        self.upper[var] = value
+        self.upper_reason[var] = reason
+        if var not in self.rows and self.assign[var] > value:
+            self._update_nonbasic(var, value)
+        return None
+
+    def mark(self) -> int:
+        """Current undo-trail position, for later :meth:`backtrack`."""
+        return len(self.trail)
+
+    def backtrack(self, mark: int) -> None:
+        """Retract all bound assertions made after ``mark``."""
+        while len(self.trail) > mark:
+            var, which, old_value, old_reason = self.trail.pop()
+            if which == "L":
+                self.lower[var] = old_value
+                self.lower_reason[var] = old_reason
+            else:
+                self.upper[var] = old_value
+                self.upper_reason[var] = old_reason
+
+    # ------------------------------------------------------------------
+    # the check procedure
+    # ------------------------------------------------------------------
+    def check(self) -> Optional[List[int]]:
+        """Restore feasibility; returns a conflicting reason set or None.
+
+        Nonbasic variables are always within their bounds; this pivots
+        until every basic variable is too (SAT) or some row proves a
+        bound conflict (UNSAT, with the reasons of all involved bounds).
+
+        Pivot selection follows Bland's smallest-index rule throughout,
+        which guarantees termination (no cycling) and measures fastest
+        on the verification workloads.
+        """
+        while True:
+            violating = -1
+            increase = False
+            for basic in self.rows:
+                val = self.assign[basic]
+                lo = self.lower[basic]
+                if lo is not None and val < lo:
+                    if violating == -1 or basic < violating:
+                        violating, increase = basic, True
+                    continue
+                hi = self.upper[basic]
+                if hi is not None and val > hi:
+                    if violating == -1 or basic < violating:
+                        violating, increase = basic, False
+            if violating == -1:
+                return None
+            row = self.rows[violating]
+            pivot_var = -1
+            for var in row:
+                coeff = row[var]
+                if increase:
+                    movable = (
+                        coeff > 0
+                        and (self.upper[var] is None or self.assign[var] < self.upper[var])
+                    ) or (
+                        coeff < 0
+                        and (self.lower[var] is None or self.assign[var] > self.lower[var])
+                    )
+                else:
+                    movable = (
+                        coeff > 0
+                        and (self.lower[var] is None or self.assign[var] > self.lower[var])
+                    ) or (
+                        coeff < 0
+                        and (self.upper[var] is None or self.assign[var] < self.upper[var])
+                    )
+                if movable and (pivot_var == -1 or var < pivot_var):
+                    pivot_var = var
+            if pivot_var == -1:
+                # conflict: the row pins `violating` strictly outside its bound
+                reasons = []
+                if increase:
+                    reasons.append(self.lower_reason[violating])
+                    for var, coeff in row.items():
+                        reasons.append(
+                            self.upper_reason[var] if coeff > 0 else self.lower_reason[var]
+                        )
+                else:
+                    reasons.append(self.upper_reason[violating])
+                    for var, coeff in row.items():
+                        reasons.append(
+                            self.lower_reason[var] if coeff > 0 else self.upper_reason[var]
+                        )
+                return sorted({r for r in reasons if r is not None})
+            target = self.lower[violating] if increase else self.upper[violating]
+            assert target is not None
+            self._pivot_and_update(violating, pivot_var, target)
+
+    # ------------------------------------------------------------------
+    # model extraction
+    # ------------------------------------------------------------------
+    def concrete_values(self) -> List[Fraction]:
+        """Concretize delta-rationals into plain rationals.
+
+        Chooses a positive rational value for delta small enough that all
+        asserted bounds remain satisfied.
+        """
+        delta = Fraction(1)
+        for var in range(self.num_vars):
+            val = self.assign[var]
+            for bound, is_lower in ((self.lower[var], True), (self.upper[var], False)):
+                if bound is None:
+                    continue
+                diff_r = val.r - bound.r if is_lower else bound.r - val.r
+                diff_k = val.k - bound.k if is_lower else bound.k - val.k
+                # need diff_r + diff_k * delta >= 0
+                if diff_k < 0:
+                    assert diff_r >= 0, "bound violated at concretization"
+                    if diff_r > 0:
+                        delta = min(delta, Fraction(diff_r, -diff_k) / 2)
+        return [self.assign[var].concretize(delta) for var in range(self.num_vars)]

@@ -1,0 +1,285 @@
+"""The user-facing SMT solver facade.
+
+:class:`Solver` offers a small subset of the Z3 API surface that the
+paper's implementation (Section III.H) relies on: variable creation,
+assertion of boolean/arithmetic terms, cardinality constraints,
+``push``/``pop`` scopes, ``check`` returning SAT/UNSAT, and model
+extraction.
+
+Scopes are implemented with guard literals: every clause asserted inside
+a pushed scope carries the negated scope guard, and ``check`` assumes
+all active guards; ``pop`` permanently disables the guard.  This keeps
+learned clauses sound across scope changes, which is how incremental SMT
+solvers behave.
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.smt.cardinality import encode_at_least, encode_at_most, encode_exactly
+from repro.smt.cnf import CnfBuilder
+from repro.smt.sat import SatSolver
+from repro.smt.terms import BoolTerm, BoolVar, LinExpr, RealVar, to_fraction
+from repro.smt.theory import LraTheory
+
+
+class Result(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+class Model:
+    """A satisfying assignment: boolean values plus exact rational reals."""
+
+    def __init__(
+        self, bool_values: Dict[int, bool], real_values: Dict[int, Fraction]
+    ) -> None:
+        self._bools = bool_values
+        self._reals = real_values
+
+    def value(self, var: BoolVar) -> bool:
+        """Boolean value of ``var`` (False if the variable is unconstrained)."""
+        return self._bools.get(var.index, False)
+
+    def real_value(self, var: RealVar) -> Fraction:
+        """Exact rational value of ``var`` (0 if unconstrained)."""
+        return self._reals.get(var.index, Fraction(0))
+
+    def eval_expr(self, expr: Union[LinExpr, RealVar]) -> Fraction:
+        """Evaluate an affine expression under this model."""
+        e = LinExpr.of(expr)
+        total = e.const
+        for var_index, coeff in e.coeffs.items():
+            total += coeff * self._reals.get(var_index, Fraction(0))
+        return total
+
+
+class Solver:
+    """An incremental QF_LRA solver (drop-in for the paper's use of Z3)."""
+
+    def __init__(self) -> None:
+        self._sat = SatSolver()
+        self._theory = LraTheory()
+        self._sat.theory = self._theory
+        self._cnf: Optional[CnfBuilder] = None
+        self._cnf = CnfBuilder(add_clause=self._install_clause)
+        self._next_bool = 0
+        self._next_real = 0
+        self._bool_vars: List[BoolVar] = []
+        self._real_vars: List[RealVar] = []
+        self._guards: List[int] = []  # active scope guard literals
+        self._result: Optional[Result] = None
+        self._model: Optional[Model] = None
+        # atoms grouped by canonical linear form, for lattice lemmas:
+        # form -> list of (op, bound, sat var)
+        self._atoms_by_form: Dict[tuple, List[tuple]] = {}
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+    def bool_var(self, name: str) -> BoolVar:
+        var = BoolVar(name, self._next_bool)
+        self._next_bool += 1
+        self._bool_vars.append(var)
+        return var
+
+    def real_var(self, name: str) -> RealVar:
+        var = RealVar(name, self._next_real)
+        self._next_real += 1
+        self._real_vars.append(var)
+        return var
+
+    def bool_vars(self, prefix: str, count: int) -> List[BoolVar]:
+        return [self.bool_var(f"{prefix}{i}") for i in range(count)]
+
+    def real_vars(self, prefix: str, count: int) -> List[RealVar]:
+        return [self.real_var(f"{prefix}{i}") for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # clause plumbing
+    # ------------------------------------------------------------------
+    def _install_clause(self, lits: List[int]) -> None:
+        # clear any leftover search state first: new atoms may install
+        # simplex rows, which requires an empty bound trail
+        self._sat.cancel_until(0)
+        self._register_new_atoms(lits)
+        self._sat.add_clause(lits)
+
+    def _register_new_atoms(self, lits: Iterable[int]) -> None:
+        if self._cnf is None:  # during CnfBuilder construction
+            return
+        for lit in lits:
+            var = abs(lit)
+            atom = self._cnf.atom_of_var.get(var)
+            if atom is not None and var not in self._theory._atom_map:
+                self._theory.register_atom(var, atom)
+                self._emit_lattice_lemmas(var, atom)
+
+    def _emit_lattice_lemmas(self, sat_var: int, atom) -> None:
+        """Teach BCP the ordering relations between atoms on one form.
+
+        For atoms over the same canonical linear form ``s`` the lemmas
+        ``(s<=a) -> (s<=b)`` for ``a<=b``, ``(s>=b) -> (s>=a)`` for
+        ``a<=b``, ``not ((s<=a) and (s>=b))`` for ``a<b`` and
+        ``(s<=a) or (s>=b)`` for ``b<=a`` are theory-valid.  Emitting
+        them statically lets unit propagation do most arithmetic
+        reasoning, which is decisive for the verification encodings
+        (``cz <-> delta != 0`` clusters 4+ atoms per form).
+        """
+        coeffs, op, bound = atom
+        siblings = self._atoms_by_form.setdefault(coeffs, [])
+        for other_op, other_bound, other_var in siblings:
+            if other_var == sat_var:
+                continue
+            if op == "<=" and other_op == "<=":
+                if bound <= other_bound:
+                    self._install_clause([-sat_var, other_var])
+                else:
+                    self._install_clause([-other_var, sat_var])
+            elif op == ">=" and other_op == ">=":
+                if bound <= other_bound:
+                    self._install_clause([-other_var, sat_var])
+                else:
+                    self._install_clause([-sat_var, other_var])
+            else:
+                le_b, le_v = (bound, sat_var) if op == "<=" else (other_bound, other_var)
+                ge_b, ge_v = (bound, sat_var) if op == ">=" else (other_bound, other_var)
+                if le_b < ge_b:
+                    self._install_clause([-le_v, -ge_v])
+                else:
+                    self._install_clause([le_v, ge_v])
+        siblings.append((op, bound, sat_var))
+
+    def _guarded(self, lits: List[int]) -> List[int]:
+        if self._guards:
+            return [-self._guards[-1]] + lits
+        return lits
+
+    def _new_sat_var(self) -> int:
+        var = self._cnf.new_var()
+        self._sat.ensure_vars(var)
+        return var
+
+    # ------------------------------------------------------------------
+    # assertions
+    # ------------------------------------------------------------------
+    def add(self, *terms: BoolTerm) -> None:
+        """Assert one or more boolean terms in the current scope."""
+        guard = self._guards[-1] if self._guards else None
+        for term in terms:
+            self._cnf.assert_term(term, guard=guard)
+        self._invalidate()
+
+    def add_at_most(self, variables: Sequence[BoolVar], k: int) -> None:
+        """Assert that at most ``k`` of ``variables`` are true."""
+        lits = [self._cnf.literal_for(v) for v in variables]
+        encode_at_most(
+            lits, k, self._new_sat_var, lambda c: self._cnf.add_clause(self._guarded(c))
+        )
+        self._invalidate()
+
+    def add_at_least(self, variables: Sequence[BoolVar], k: int) -> None:
+        """Assert that at least ``k`` of ``variables`` are true."""
+        lits = [self._cnf.literal_for(v) for v in variables]
+        encode_at_least(
+            lits, k, self._new_sat_var, lambda c: self._cnf.add_clause(self._guarded(c))
+        )
+        self._invalidate()
+
+    def add_exactly(self, variables: Sequence[BoolVar], k: int) -> None:
+        """Assert that exactly ``k`` of ``variables`` are true."""
+        lits = [self._cnf.literal_for(v) for v in variables]
+        encode_exactly(
+            lits, k, self._new_sat_var, lambda c: self._cnf.add_clause(self._guarded(c))
+        )
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    # scopes
+    # ------------------------------------------------------------------
+    def push(self) -> None:
+        """Open a retractable assertion scope."""
+        guard = self._new_sat_var()
+        self._guards.append(guard)
+        self._invalidate()
+
+    def pop(self) -> None:
+        """Discard all assertions made since the matching :meth:`push`."""
+        if not self._guards:
+            raise RuntimeError("pop without matching push")
+        guard = self._guards.pop()
+        self._cnf.add_clause([-guard])  # permanently disable the scope
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        assumptions: Sequence[BoolTerm] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> Result:
+        """Decide satisfiability of the asserted formulas.
+
+        ``assumptions`` are extra literals assumed for this call only.
+        ``max_conflicts`` bounds the search (returns UNKNOWN on timeout).
+        """
+        self._sat.cancel_until(0)  # atoms must register on a clean simplex
+        assumption_lits = list(self._guards)
+        for term in assumptions:
+            lit = self._cnf.literal_for(term)
+            self._register_new_atoms([lit])
+            assumption_lits.append(lit)
+        self._sat.conflict_budget = max_conflicts
+        outcome = self._sat.solve(assumption_lits)
+        if outcome is None:
+            self._result = Result.UNKNOWN
+            self._model = None
+        elif outcome:
+            self._result = Result.SAT
+            self._extract_model()
+        else:
+            self._result = Result.UNSAT
+            self._model = None
+        return self._result
+
+    def _extract_model(self) -> None:
+        bools: Dict[int, bool] = {}
+        for var in self._bool_vars:
+            sat_var = self._cnf._bool_vars.get(var.index)
+            if sat_var is not None and sat_var <= self._sat.num_vars:
+                bools[var.index] = self._sat.assign[sat_var] == 1
+        reals = self._theory.real_values()
+        self._model = Model(bools, reals)
+
+    def model(self) -> Model:
+        """The model from the last SAT :meth:`check` call."""
+        if self._result is not Result.SAT or self._model is None:
+            raise RuntimeError("model() requires a preceding SAT check()")
+        return self._model
+
+    def _invalidate(self) -> None:
+        self._result = None
+        self._model = None
+
+    # ------------------------------------------------------------------
+    # introspection (Table IV support)
+    # ------------------------------------------------------------------
+    def statistics(self) -> Dict[str, int]:
+        """Model-size and search statistics."""
+        stats = dict(self._sat.stats)
+        stats.update(
+            sat_variables=self._sat.num_vars,
+            clauses=len(self._sat.clauses),
+            learnt_clauses=len(self._sat.learnts),
+            bool_variables=self._next_bool,
+            real_variables=self._next_real,
+            theory_atoms=len(self._theory._atom_map),
+            simplex_variables=self._theory.simplex.num_vars,
+            simplex_rows=len(self._theory.simplex.rows),
+        )
+        return stats

@@ -1,0 +1,103 @@
+"""The linear-real-arithmetic theory listener for the SAT core.
+
+Maps canonical atoms (from :mod:`repro.smt.cnf`) to bounds on simplex
+variables.  Each distinct linear form gets one simplex *slack* variable;
+single-variable forms bind directly to the problem variable's simplex
+column.  Literal polarity decides the bound:
+
+====================  =======================================
+literal               asserted bound
+====================  =======================================
+``(e <= b)`` true     upper bound ``b``
+``(e <= b)`` false    lower bound ``b + delta``  (strict ``>``)
+``(e >= b)`` true     lower bound ``b``
+``(e >= b)`` false    upper bound ``b - delta``  (strict ``<``)
+====================  =======================================
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.smt.cnf import CanonicalAtom
+from repro.smt.simplex import DeltaRational, Simplex
+
+ONE = Fraction(1)
+
+
+class LraTheory:
+    """DPLL(T) listener backed by :class:`~repro.smt.simplex.Simplex`."""
+
+    def __init__(self) -> None:
+        self.simplex = Simplex()
+        # RealVar.index -> simplex var
+        self._real_vars: Dict[int, int] = {}
+        # canonical linear form -> simplex var holding its value
+        self._forms: Dict[Tuple[Tuple[int, Fraction], ...], int] = {}
+        # SAT var -> (simplex var, op, bound)
+        self._atom_map: Dict[int, Tuple[int, str, Fraction]] = {}
+        # undo log: (trail_index, simplex mark)
+        self._marks: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # registration (called by the Solver facade at encode time)
+    # ------------------------------------------------------------------
+    def simplex_var_for_real(self, real_index: int) -> int:
+        var = self._real_vars.get(real_index)
+        if var is None:
+            var = self.simplex.new_var()
+            self._real_vars[real_index] = var
+        return var
+
+    def register_atom(self, sat_var: int, atom: CanonicalAtom) -> None:
+        if sat_var in self._atom_map:
+            return
+        coeffs, op, bound = atom
+        if len(coeffs) == 1:
+            real_index, coeff = coeffs[0]
+            assert coeff == 1, "canonical atoms are monic"
+            svar = self.simplex_var_for_real(real_index)
+        else:
+            svar = self._forms.get(coeffs)
+            if svar is None:
+                simplex_coeffs = {
+                    self.simplex_var_for_real(ri): c for ri, c in coeffs
+                }
+                svar = self.simplex.new_var()
+                self.simplex.add_row(svar, simplex_coeffs)
+                self._forms[coeffs] = svar
+        self._atom_map[sat_var] = (svar, op, bound)
+
+    # ------------------------------------------------------------------
+    # TheoryListener protocol
+    # ------------------------------------------------------------------
+    def is_theory_var(self, var: int) -> bool:
+        return var in self._atom_map
+
+    def assert_lit(self, lit: int, trail_index: int) -> Optional[List[int]]:
+        svar, op, bound = self._atom_map[abs(lit)]
+        self._marks.append((trail_index, self.simplex.mark()))
+        if lit > 0:
+            if op == "<=":
+                return self.simplex.assert_upper(svar, DeltaRational(bound), lit)
+            return self.simplex.assert_lower(svar, DeltaRational(bound), lit)
+        if op == "<=":  # not (e <= b)  =>  e > b
+            return self.simplex.assert_lower(svar, DeltaRational(bound, ONE), lit)
+        return self.simplex.assert_upper(svar, DeltaRational(bound, -ONE), lit)
+
+    def check(self) -> Optional[List[int]]:
+        return self.simplex.check()
+
+    def backtrack_to(self, trail_size: int) -> None:
+        while self._marks and self._marks[-1][0] >= trail_size:
+            __, mark = self._marks.pop()
+            self.simplex.backtrack(mark)
+
+    # ------------------------------------------------------------------
+    # model extraction
+    # ------------------------------------------------------------------
+    def real_values(self) -> Dict[int, Fraction]:
+        """Concrete rational values for every registered RealVar index."""
+        values = self.simplex.concrete_values()
+        return {ri: values[sv] for ri, sv in self._real_vars.items()}

@@ -1,0 +1,66 @@
+"""Tests for attack impact analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.impact import attack_impact
+from repro.attacks.liu import perfect_knowledge_attack
+from repro.core.spec import AttackGoal, AttackSpec
+from repro.core.verification import verify_attack
+from repro.grid.cases import ieee14
+from repro.grid.dcflow import nominal_injections, solve_dc_flow
+
+
+@pytest.fixture
+def setting():
+    grid = ieee14()
+    spec = AttackSpec.default(grid, goal=AttackGoal.states(10))
+    flow = solve_dc_flow(grid, nominal_injections(grid))
+    return spec, flow
+
+
+class TestImpact:
+    def test_state_shift_matches_attack(self, setting):
+        spec, flow = setting
+        attack = perfect_knowledge_attack(spec.plan, {10: 0.1})
+        impact = attack_impact(spec, attack, flow)
+        assert impact.state_shift[10] == pytest.approx(0.1, abs=1e-8)
+        assert impact.state_shift[1] == 0.0
+        assert abs(impact.state_shift[3]) < 1e-8
+
+    def test_formal_attack_impact(self, setting):
+        spec, flow = setting
+        result = verify_attack(spec)
+        impact = attack_impact(spec, result.attack.scaled(0.02), flow)
+        assert impact.state_shift[10] != 0.0
+
+    def test_flow_shift_consistent_with_states(self, setting):
+        spec, flow = setting
+        attack = perfect_knowledge_attack(spec.plan, {10: 0.1})
+        impact = attack_impact(spec, attack, flow)
+        line16 = spec.grid.line(16)  # 9-10
+        expected = line16.admittance * (
+            impact.state_shift[9] - impact.state_shift[10]
+        )
+        assert impact.flow_shift[16] == pytest.approx(expected, abs=1e-8)
+
+    def test_load_shift_sums_to_zero(self, setting):
+        # shifting flows moves apparent load around, it cannot create power
+        spec, flow = setting
+        attack = perfect_knowledge_attack(spec.plan, {10: 0.1, 12: -0.05})
+        impact = attack_impact(spec, attack, flow)
+        assert sum(impact.load_shift.values()) == pytest.approx(0.0, abs=1e-8)
+
+    def test_aggregates(self, setting):
+        spec, flow = setting
+        attack = perfect_knowledge_attack(spec.plan, {10: 0.1})
+        impact = attack_impact(spec, attack, flow)
+        assert impact.max_flow_shift > 0
+        assert impact.total_load_shift > 0
+
+    def test_empty_attack_no_impact(self, setting):
+        from repro.attacks.vector import AttackVector
+
+        spec, flow = setting
+        impact = attack_impact(spec, AttackVector(), flow)
+        assert impact.max_flow_shift == pytest.approx(0.0, abs=1e-9)

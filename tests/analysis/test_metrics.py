@@ -1,0 +1,38 @@
+"""Tests for the Table IV model metrics."""
+
+from repro.analysis.metrics import model_metrics
+from repro.analysis.sweeps import spec_for_case
+
+
+class TestModelMetrics:
+    def test_both_models_measured(self):
+        metrics = model_metrics(spec_for_case("ieee14", any_state=True))
+        assert set(metrics) == {"verification", "candidate_selection"}
+
+    def test_verification_dominates(self):
+        metrics = model_metrics(spec_for_case("ieee14", any_state=True))
+        v, c = metrics["verification"], metrics["candidate_selection"]
+        assert v.peak_memory_mb > c.peak_memory_mb
+        assert v.sat_variables > 0
+        assert v.theory_atoms > 0
+        assert c.theory_atoms == 0
+
+    def test_growth_with_system_size(self):
+        m14 = model_metrics(spec_for_case("ieee14", any_state=True))
+        m30 = model_metrics(spec_for_case("ieee30", any_state=True))
+        assert (
+            m30["verification"].sat_variables > m14["verification"].sat_variables
+        )
+        assert (
+            m30["verification"].peak_memory_mb > m14["verification"].peak_memory_mb
+        )
+
+    def test_roughly_linear_growth(self):
+        # Table IV's claim: memory grows about linearly in bus count
+        m14 = model_metrics(spec_for_case("ieee14", any_state=True))
+        m57 = model_metrics(spec_for_case("ieee57", any_state=True))
+        ratio = (
+            m57["verification"].sat_variables / m14["verification"].sat_variables
+        )
+        size_ratio = 57 / 14
+        assert ratio < 2.5 * size_ratio  # clearly sub-quadratic

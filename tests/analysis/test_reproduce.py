@@ -1,0 +1,39 @@
+"""Smoke tests for the one-shot evaluation reproducer."""
+
+import pytest
+
+from repro.analysis import reproduce
+
+
+class TestSections:
+    def test_case_studies_print_expected_verdicts(self, capsys):
+        reproduce.case_studies()
+        out = capsys.readouterr().out
+        assert out.count("sat") >= 7  # every row reports a verdict
+        assert "unsat" in out
+        assert "excluded=[13]" in out  # the topology-poisoning revival
+
+    def test_figure_4a_rows(self, capsys):
+        reproduce.figure_4a(["ieee14"])
+        out = capsys.readouterr().out
+        assert "ieee14" in out
+        assert "avg" in out
+
+    def test_figure_4d_asserts_verdicts(self, capsys):
+        reproduce.figure_4d(["ieee14"])
+        out = capsys.readouterr().out
+        assert "sat (s)" in out
+
+    def test_table_4_rows(self, capsys):
+        reproduce.table_4(["ieee14"])
+        out = capsys.readouterr().out
+        assert "verification" in out
+        assert "candidate_selection" in out
+
+
+class TestSynthesisSections:
+    def test_scenarios_section(self, capsys):
+        reproduce.scenarios()
+        out = capsys.readouterr().out
+        assert out.count("minimum budget") == 3
+        assert "infeasible" in out

@@ -1,0 +1,81 @@
+"""Tests for the shared sweep configurations."""
+
+import pytest
+
+from repro.analysis.sweeps import default_targets, measurement_subset, spec_for_case
+from repro.core.verification import verify_attack
+from repro.estimation.measurement import MeasurementPlan
+from repro.estimation.observability import analyze_observability
+from repro.grid.cases import ieee14, ieee30, load_case
+
+
+class TestDefaultTargets:
+    def test_count_and_range(self):
+        grid = ieee30()
+        targets = default_targets(grid, 3)
+        assert len(targets) == 3
+        assert all(2 <= t <= 30 for t in targets)
+
+    def test_deterministic(self):
+        grid = ieee14()
+        assert default_targets(grid) == default_targets(grid)
+
+    def test_no_duplicates(self):
+        for name in ("ieee14", "ieee30", "ieee57"):
+            targets = default_targets(load_case(name), 3)
+            assert len(set(targets)) == 3
+
+
+class TestMeasurementSubset:
+    def test_fraction_respected(self):
+        grid = ieee30()
+        taken = measurement_subset(grid, 0.7)
+        assert len(taken) == pytest.approx(0.7 * 112, abs=1)
+
+    def test_always_observable(self):
+        grid = ieee30()
+        for fraction in (0.5, 0.6, 0.8, 1.0):
+            taken = measurement_subset(grid, fraction, seed=3)
+            plan = MeasurementPlan(grid, taken=set(taken))
+            assert analyze_observability(plan).observable
+
+    def test_deterministic_per_seed(self):
+        grid = ieee14()
+        assert measurement_subset(grid, 0.6, seed=1) == measurement_subset(
+            grid, 0.6, seed=1
+        )
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            measurement_subset(ieee14(), 0.0)
+        with pytest.raises(ValueError):
+            measurement_subset(ieee14(), 1.5)
+
+    def test_includes_all_injections(self):
+        grid = ieee14()
+        taken = measurement_subset(grid, 0.5)
+        assert set(range(41, 55)) <= taken
+
+
+class TestSpecForCase:
+    def test_defaults(self):
+        spec = spec_for_case("ieee14")
+        assert spec.grid.num_buses == 14
+        assert spec.goal.target_states  # a default target was chosen
+
+    def test_explicit_target(self):
+        spec = spec_for_case("ieee14", target_bus=9)
+        assert spec.goal.target_states == frozenset({9})
+
+    def test_any_state(self):
+        spec = spec_for_case("ieee14", any_state=True)
+        assert spec.goal.any_state
+
+    def test_limits_passed_through(self):
+        spec = spec_for_case("ieee14", max_measurements=7, max_buses=3)
+        assert spec.limits.max_measurements == 7
+        assert spec.limits.max_buses == 3
+
+    def test_sweep_instances_are_verifiable(self):
+        spec = spec_for_case("ieee14", measurement_fraction=0.7)
+        assert verify_attack(spec).attack_exists

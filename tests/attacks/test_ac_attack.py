@@ -1,0 +1,95 @@
+"""Tests for AC-aware stealthy attack construction."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.attacks.ac_attack import ac_perfect_attack
+from repro.attacks.liu import perfect_knowledge_attack
+from repro.estimation.ac import AcSystem, dc_attack_residual_inflation
+from repro.estimation.measurement import MeasurementPlan
+from repro.grid.cases import ieee14
+from repro.grid.dcflow import nominal_injections
+
+NOISE = 0.005
+
+
+@pytest.fixture(scope="module")
+def setting():
+    grid = ieee14()
+    system = AcSystem(grid)
+    plan = MeasurementPlan(grid)
+    inj = nominal_injections(grid, magnitude=0.5)
+    flow = system.solve_power_flow(inj, 0.2 * inj)
+    return system, plan, flow
+
+
+def attacked_objective(system, plan, flow, attack, seed=0):
+    rng = np.random.default_rng(seed)
+    z = system.measurement_vector(plan, flow.v, flow.theta)
+    z = z + rng.normal(0, NOISE, size=z.shape)
+    w = np.full(len(z), 1 / NOISE**2)
+    est = system.estimate_state(plan, attack.apply_to(z), w)
+    return est
+
+
+class TestAcPerfectAttack:
+    def test_exactly_stealthy_at_large_magnitude(self, setting):
+        system, plan, flow = setting
+        attack = ac_perfect_attack(system, plan, flow, angle_deltas={10: 0.3})
+        est = attacked_objective(system, plan, flow, attack)
+        dof = 122 - 27
+        threshold = stats.chi2.ppf(0.99, dof)
+        assert est.objective < threshold  # exact stealth, any magnitude
+
+    def test_estimated_state_shifts_exactly(self, setting):
+        system, plan, flow = setting
+        attack = ac_perfect_attack(system, plan, flow, angle_deltas={10: 0.3})
+        est = attacked_objective(system, plan, flow, attack)
+        shift = est.theta[9] - flow.theta[9]
+        assert shift == pytest.approx(0.3, abs=2e-3)
+
+    def test_voltage_target(self, setting):
+        system, plan, flow = setting
+        attack = ac_perfect_attack(system, plan, flow, voltage_deltas={5: 0.02})
+        est = attacked_objective(system, plan, flow, attack)
+        assert est.v[4] - flow.v[4] == pytest.approx(0.02, abs=2e-3)
+
+    def test_beats_dc_attack_at_same_magnitude(self, setting):
+        system, plan, flow = setting
+        magnitude = 0.2
+        dc_attack = perfect_knowledge_attack(plan, {10: magnitude})
+        __, dc_objective = dc_attack_residual_inflation(
+            system, plan, flow, dc_attack
+        )
+        ac_attack = ac_perfect_attack(
+            system, plan, flow, angle_deltas={10: magnitude}
+        )
+        ac_objective = attacked_objective(system, plan, flow, ac_attack).objective
+        assert ac_objective < dc_objective / 10  # orders of magnitude cleaner
+
+    def test_touches_reactive_and_voltage_channels(self, setting):
+        # AC stealth costs more access: Q measurements (and possibly V)
+        # must also be altered — the defense-relevant difference
+        system, plan, flow = setting
+        attack = ac_perfect_attack(system, plan, flow, angle_deltas={10: 0.1})
+        positions = attack.altered_positions()
+        num_p = len(plan.taken)
+        assert any(p >= num_p for p in positions)  # beyond the P block
+
+    def test_dc_projection_shape(self, setting):
+        system, plan, flow = setting
+        attack = ac_perfect_attack(system, plan, flow, angle_deltas={10: 0.1})
+        dc_view = attack.dc_projection()
+        assert dc_view.state_deltas == {10: 0.1}
+        # the P-block footprint resembles the DC attack's local support
+        dc_attack = perfect_knowledge_attack(plan, {10: 0.1})
+        assert set(dc_attack.altered_measurements) <= set(
+            dc_view.altered_measurements
+        )
+
+    def test_shape_mismatch_rejected(self, setting):
+        system, plan, flow = setting
+        attack = ac_perfect_attack(system, plan, flow, angle_deltas={10: 0.1})
+        with pytest.raises(ValueError, match="shape"):
+            attack.apply_to(np.zeros(3))

@@ -1,0 +1,113 @@
+"""Tests for the algebraic (Liu et al.) attack constructions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.liu import perfect_knowledge_attack, restricted_access_attack
+from repro.estimation.measurement import MeasurementPlan, build_h, build_measurements
+from repro.estimation.wls import wls_estimate
+from repro.grid.cases import ieee14
+from repro.grid.dcflow import nominal_injections, solve_dc_flow
+
+
+def estimator_setup(plan):
+    grid = plan.grid
+    flow = solve_dc_flow(grid, nominal_injections(grid))
+    z = build_measurements(plan, flow, noise_std=0.01, seed=4)
+    h = build_h(grid, 1, plan.taken_in_order())
+    return z, h
+
+
+class TestPerfectKnowledge:
+    def test_residual_unchanged(self):
+        plan = MeasurementPlan(ieee14())
+        z, h = estimator_setup(plan)
+        attack = perfect_knowledge_attack(plan, {10: 0.1, 12: -0.05})
+        base = wls_estimate(h, z)
+        attacked = wls_estimate(h, attack.apply_to(z, plan))
+        assert attacked.objective == pytest.approx(base.objective, abs=1e-8)
+
+    def test_states_shift_exactly(self):
+        plan = MeasurementPlan(ieee14())
+        z, h = estimator_setup(plan)
+        attack = perfect_knowledge_attack(plan, {10: 0.1})
+        base = wls_estimate(h, z)
+        attacked = wls_estimate(h, attack.apply_to(z, plan))
+        shift = attacked.x_hat - base.x_hat
+        assert shift[8] == pytest.approx(0.1, abs=1e-9)  # bus 10 is column 8
+        assert np.linalg.norm(np.delete(shift, 8)) < 1e-9
+
+    def test_footprint_is_local(self):
+        plan = MeasurementPlan(ieee14())
+        attack = perfect_knowledge_attack(plan, {8: 0.1})
+        # bus 8 hangs off bus 7 by line 14 only: the attack touches
+        # line 14's flows and the two endpoint injections
+        assert set(attack.altered_measurements) == {14, 34, 47, 48}
+
+    def test_reference_bus_rejected(self):
+        plan = MeasurementPlan(ieee14())
+        with pytest.raises(ValueError, match="reference"):
+            perfect_knowledge_attack(plan, {1: 0.1})
+
+    def test_unknown_bus_rejected(self):
+        plan = MeasurementPlan(ieee14())
+        with pytest.raises(ValueError, match="unknown bus"):
+            perfect_knowledge_attack(plan, {99: 0.1})
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 14), st.floats(0.01, 1.0))
+    def test_hypothesis_any_target_is_stealthy(self, bus, delta):
+        plan = MeasurementPlan(ieee14())
+        z, h = estimator_setup(plan)
+        attack = perfect_knowledge_attack(plan, {bus: delta})
+        base = wls_estimate(h, z)
+        attacked = wls_estimate(h, attack.apply_to(z, plan))
+        assert attacked.objective == pytest.approx(base.objective, abs=1e-6)
+
+
+class TestRestrictedAccess:
+    def test_no_protection_always_finds_attack(self):
+        plan = MeasurementPlan(ieee14())
+        attack = restricted_access_attack(plan)
+        assert attack is not None
+        assert attack.attacked_states
+
+    def test_avoids_protected_measurements(self):
+        plan = MeasurementPlan(ieee14(), secured={1, 2, 41}, inaccessible={3})
+        attack = restricted_access_attack(plan)
+        assert attack is not None
+        assert not set(attack.altered_measurements) & {1, 2, 3, 41}
+
+    def test_attack_is_stealthy(self):
+        plan = MeasurementPlan(ieee14(), secured={1, 2, 41})
+        z, h = estimator_setup(plan)
+        attack = restricted_access_attack(plan)
+        base = wls_estimate(h, z)
+        attacked = wls_estimate(h, attack.apply_to(z, plan))
+        assert attacked.objective == pytest.approx(base.objective, abs=1e-6)
+
+    def test_full_rank_protection_blocks_everything(self):
+        from repro.estimation.observability import basic_measurement_set
+
+        grid = ieee14()
+        plan = MeasurementPlan(grid)
+        basic = basic_measurement_set(plan)
+        protected = MeasurementPlan(grid, secured=set(basic))
+        assert restricted_access_attack(protected) is None
+
+    def test_desired_projection(self):
+        plan = MeasurementPlan(ieee14(), secured={1})
+        attack = restricted_access_attack(plan, desired={10: 0.1})
+        assert attack is not None
+        # projection keeps a bus-10 component
+        assert attack.state_deltas.get(10, 0.0) != 0.0
+
+    def test_desired_orthogonal_to_nullspace_returns_none(self):
+        from repro.estimation.observability import basic_measurement_set
+
+        grid = ieee14()
+        plan = MeasurementPlan(grid)
+        basic = basic_measurement_set(plan)
+        protected = MeasurementPlan(grid, secured=set(basic))
+        assert restricted_access_attack(protected, desired={10: 0.1}) is None

@@ -1,0 +1,115 @@
+"""Tests for consequence-driven (flow-shift) attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.overload import (
+    fake_congestion_attack,
+    flow_shift_attack,
+    overload_masking_attack,
+)
+from repro.estimation.baddata import chi_square_test
+from repro.estimation.measurement import MeasurementPlan, build_h, build_measurements
+from repro.estimation.observability import basic_measurement_set
+from repro.estimation.wls import wls_estimate
+from repro.grid.cases import ieee14
+from repro.grid.dcflow import nominal_injections, solve_dc_flow
+
+NOISE = 0.005
+
+
+def estimated_flow(plan, z, line_index, reference_bus=1, weights=None):
+    grid = plan.grid
+    h = build_h(grid, reference_bus, taken=plan.taken_in_order())
+    est = wls_estimate(h, z, weights)
+    line = grid.line(line_index)
+    columns = [j for j in grid.buses if j != reference_bus]
+    theta = {bus: est.x_hat[k] for k, bus in enumerate(columns)}
+    theta[reference_bus] = 0.0
+    return line.admittance * (theta[line.from_bus] - theta[line.to_bus]), est
+
+
+@pytest.fixture
+def setting():
+    grid = ieee14()
+    plan = MeasurementPlan(grid)
+    flow = solve_dc_flow(grid, nominal_injections(grid))
+    z = build_measurements(plan, flow, noise_std=NOISE, seed=9)
+    w = np.full(len(z), 1 / NOISE**2)
+    return grid, plan, flow, z, w
+
+
+class TestFlowShift:
+    def test_shift_achieved_and_stealthy(self, setting):
+        grid, plan, flow, z, w = setting
+        target_line = 7  # 4-5
+        attack = flow_shift_attack(plan, target_line, -0.3)
+        assert attack is not None
+        base_flow, base_est = estimated_flow(plan, z, target_line, weights=w)
+        new_flow, new_est = estimated_flow(
+            plan, attack.apply_to(z, plan), target_line, weights=w
+        )
+        assert new_flow - base_flow == pytest.approx(-0.3, abs=1e-6)
+        assert new_est.objective == pytest.approx(base_est.objective, abs=1e-5)
+        assert not chi_square_test(new_est).bad_data_detected
+
+    def test_respects_protection(self, setting):
+        grid, plan, flow, z, w = setting
+        protected = plan.with_secured_measurements({7, 27, 44, 45})
+        attack = flow_shift_attack(protected, 7, -0.3)
+        if attack is not None:
+            assert not set(attack.altered_measurements) & {7, 27, 44, 45}
+
+    def test_fully_protected_returns_none(self, setting):
+        grid, plan, flow, z, w = setting
+        basic = basic_measurement_set(plan)
+        protected = plan.with_secured_measurements(basic)
+        assert flow_shift_attack(protected, 7, -0.3) is None
+
+    def test_zero_desired_shift_is_trivial(self, setting):
+        grid, plan, flow, z, w = setting
+        attack = flow_shift_attack(plan, 7, 0.0)
+        assert attack is not None
+        assert attack.altered_measurements == []
+
+
+class TestOverloadMasking:
+    def test_masks_overload(self, setting):
+        grid, plan, flow, z, w = setting
+        line = 7
+        true_flow = flow.flow(line)
+        rating = abs(true_flow) * 0.8  # the line is 25% over its rating
+        attack = overload_masking_attack(plan, flow, line, rating)
+        assert attack is not None
+        new_flow, est = estimated_flow(
+            plan, attack.apply_to(z, plan), line, weights=w
+        )
+        assert abs(new_flow) < rating  # operator sees a safe line
+        assert not chi_square_test(est).bad_data_detected
+
+    def test_healthy_line_needs_no_masking(self, setting):
+        grid, plan, flow, z, w = setting
+        line = 7
+        rating = abs(flow.flow(line)) * 2.0
+        assert overload_masking_attack(plan, flow, line, rating) is None
+
+
+class TestFakeCongestion:
+    def test_fakes_overload(self, setting):
+        grid, plan, flow, z, w = setting
+        line = 7
+        true_flow = flow.flow(line)
+        rating = abs(true_flow) * 1.5  # healthy
+        attack = fake_congestion_attack(plan, flow, line, rating)
+        assert attack is not None
+        new_flow, est = estimated_flow(
+            plan, attack.apply_to(z, plan), line, weights=w
+        )
+        assert abs(new_flow) > rating  # operator sees congestion
+        assert not chi_square_test(est).bad_data_detected
+
+    def test_congested_line_needs_no_faking(self, setting):
+        grid, plan, flow, z, w = setting
+        line = 7
+        rating = abs(flow.flow(line)) * 0.5
+        assert fake_congestion_attack(plan, flow, line, rating) is None

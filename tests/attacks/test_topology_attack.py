@@ -1,0 +1,103 @@
+"""Tests for numerically coordinated topology-poisoning attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.topology_attack import coordinated_topology_attack
+from repro.estimation.baddata import chi_square_test
+from repro.estimation.measurement import MeasurementPlan, build_h, build_measurements
+from repro.estimation.wls import wls_estimate
+from repro.grid.cases import ieee14
+from repro.grid.dcflow import solve_dc_flow
+from repro.grid.topology import BreakerStatus, TopologyProcessor
+
+NOISE = 0.004
+
+
+def loaded_case():
+    grid = ieee14()
+    plan = MeasurementPlan(grid)
+    injections = np.zeros(grid.num_buses)
+    injections[0] = 1.5
+    injections[12] = -1.0
+    injections[13] = -0.5
+    flow = solve_dc_flow(grid, injections)
+    z = build_measurements(plan, flow, noise_std=NOISE, seed=8)
+    w = np.full(len(z), 1 / NOISE**2)
+    return grid, plan, flow, z, w
+
+
+class TestExclusionAttack:
+    def test_vector_metadata(self):
+        grid, plan, flow, z, w = loaded_case()
+        proc = TopologyProcessor(grid)
+        poisoned = proc.apply_poisoning(exclusions=[13])
+        attack = coordinated_topology_attack(plan, flow, poisoned, {12: 0.05})
+        assert attack.excluded_lines == frozenset({13})
+        assert attack.state_deltas == {12: 0.05}
+
+    def test_excluded_line_measurement_reads_zero(self):
+        grid, plan, flow, z_clean, w = loaded_case()
+        proc = TopologyProcessor(grid)
+        poisoned = proc.apply_poisoning(exclusions=[13])
+        attack = coordinated_topology_attack(plan, flow, poisoned)
+        z = build_measurements(plan, flow)  # noiseless
+        z_attacked = attack.apply_to(z, plan)
+        # measurement 13 = forward flow of line 13 must now read 0
+        assert z_attacked[12] == pytest.approx(0.0, abs=1e-9)
+        assert z_attacked[32] == pytest.approx(0.0, abs=1e-9)
+
+    def test_evades_estimator_under_poisoned_topology(self):
+        grid, plan, flow, z, w = loaded_case()
+        proc = TopologyProcessor(grid)
+        poisoned = proc.apply_poisoning(exclusions=[13])
+        attack = coordinated_topology_attack(plan, flow, poisoned, {12: 0.05})
+        h_pois = build_h(
+            grid, 1, plan.taken_in_order(), mapped_lines=poisoned.mapped_lines
+        )
+        est = wls_estimate(h_pois, attack.apply_to(z, plan), w)
+        assert not chi_square_test(est).bad_data_detected
+
+    def test_pure_topology_attack_without_state_change(self):
+        grid, plan, flow, z, w = loaded_case()
+        proc = TopologyProcessor(grid)
+        poisoned = proc.apply_poisoning(exclusions=[13])
+        attack = coordinated_topology_attack(plan, flow, poisoned)
+        assert attack.state_deltas == {}
+        h_pois = build_h(
+            grid, 1, plan.taken_in_order(), mapped_lines=poisoned.mapped_lines
+        )
+        est = wls_estimate(h_pois, attack.apply_to(z, plan), w)
+        assert not chi_square_test(est).bad_data_detected
+
+    def test_reference_target_rejected(self):
+        grid, plan, flow, z, w = loaded_case()
+        proc = TopologyProcessor(grid)
+        poisoned = proc.apply_poisoning(exclusions=[13])
+        with pytest.raises(ValueError, match="reference"):
+            coordinated_topology_attack(plan, flow, poisoned, {1: 0.1})
+
+
+class TestInclusionAttack:
+    def test_phantom_line_shows_flow(self):
+        grid = ieee14()
+        plan = MeasurementPlan(grid)
+        statuses = [
+            BreakerStatus(line.index, closed=line.index != 5)
+            for line in grid.lines
+        ]
+        proc = TopologyProcessor(grid, statuses)
+        true_lines = proc.true_topology().mapped_lines
+        injections = np.zeros(grid.num_buses)
+        injections[0] = 1.0
+        injections[8] = -1.0
+        flow = solve_dc_flow(grid, injections, line_indices=true_lines)
+        poisoned = proc.apply_poisoning(inclusions=[5])
+        attack = coordinated_topology_attack(
+            plan, flow, poisoned, true_mapped_lines=true_lines
+        )
+        z = build_measurements(plan, flow)
+        z_attacked = attack.apply_to(z, plan)
+        # the phantom line 5 (2-5) must now show a nonzero flow
+        assert abs(z_attacked[4]) > 1e-6
+        assert 5 in attack.included_lines

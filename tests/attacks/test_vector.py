@@ -1,0 +1,86 @@
+"""Tests for the AttackVector exchange format."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.vector import AttackVector
+from repro.estimation.measurement import MeasurementPlan
+from repro.grid.cases import ieee14
+
+
+@pytest.fixture
+def plan():
+    return MeasurementPlan(ieee14())
+
+
+class TestProperties:
+    def test_altered_sorted_and_nonzero_only(self):
+        attack = AttackVector({5: 1.0, 3: -2.0, 9: 0.0})
+        assert attack.altered_measurements == [3, 5]
+
+    def test_attacked_states(self):
+        attack = AttackVector(state_deltas={4: 0.1, 2: 0.0})
+        assert attack.attacked_states == [4]
+
+    def test_compromised_buses_use_residency(self, plan):
+        # measurement 8 (line 8 fwd) resides at bus 4; 28 (bwd) at bus 7
+        attack = AttackVector({8: 1.0, 28: -1.0})
+        assert attack.compromised_buses(plan) == [4, 7]
+
+    def test_topology_flags(self):
+        attack = AttackVector(excluded_lines=frozenset({13}))
+        assert attack.uses_topology_poisoning
+        assert not AttackVector({1: 1.0}).uses_topology_poisoning
+
+    def test_scaled(self, plan):
+        attack = AttackVector({1: 2.0}, {2: 0.5})
+        half = attack.scaled(0.5)
+        assert half.measurement_deltas[1] == 1.0
+        assert half.state_deltas[2] == 0.25
+
+
+class TestApply:
+    def test_injects_at_plan_positions(self, plan):
+        z = np.zeros(54)
+        attack = AttackVector({1: 1.5, 54: -2.0})
+        out = attack.apply_to(z, plan)
+        assert out[0] == 1.5
+        assert out[-1] == -2.0
+        assert z[0] == 0.0  # original untouched
+
+    def test_subset_plan_positions(self):
+        grid = ieee14()
+        plan = MeasurementPlan(grid, taken={3, 10, 41})
+        z = np.zeros(3)
+        out = AttackVector({10: 1.0}).apply_to(z, plan)
+        assert list(out) == [0.0, 1.0, 0.0]
+
+    def test_untaken_measurement_rejected(self):
+        grid = ieee14()
+        plan = MeasurementPlan(grid, taken={1, 2})
+        with pytest.raises(ValueError, match="untaken"):
+            AttackVector({5: 1.0}).apply_to(np.zeros(2), plan)
+
+    def test_secured_measurement_rejected(self):
+        grid = ieee14()
+        plan = MeasurementPlan(grid, secured={5})
+        with pytest.raises(ValueError, match="secured"):
+            AttackVector({5: 1.0}).apply_to(np.zeros(54), plan)
+
+    def test_shape_mismatch_rejected(self, plan):
+        with pytest.raises(ValueError, match="shape"):
+            AttackVector({1: 1.0}).apply_to(np.zeros(10), plan)
+
+
+class TestSummary:
+    def test_summary_mentions_everything(self, plan):
+        attack = AttackVector(
+            {1: 1.0},
+            {2: 0.1},
+            excluded_lines=frozenset({13}),
+            included_lines=frozenset({5}),
+        )
+        text = attack.summary(plan)
+        assert "[1]" in text
+        assert "excluded lines: [13]" in text
+        assert "included lines: [5]" in text

@@ -1,0 +1,132 @@
+"""Tests for the text input-file format (paper Section III-H)."""
+
+import pytest
+
+from repro.core.casestudy import attack_objective_1, synthesis_scenario
+from repro.core.io import (
+    SpecParseError,
+    load_spec_file,
+    parse_spec,
+    save_spec_file,
+    write_spec,
+)
+from repro.core.spec import AttackGoal, AttackSpec, ResourceLimits
+from repro.core.verification import verify_attack
+from repro.grid.cases import ieee14
+
+MINIMAL = """
+# a 2-bus system
+buses 2
+line 1 1 2 5.0 1 1 0 0
+target 2
+"""
+
+
+class TestParse:
+    def test_minimal(self):
+        spec = parse_spec(MINIMAL)
+        assert spec.grid.num_buses == 2
+        assert spec.goal.target_states == frozenset({2})
+        assert spec.plan.taken == {1, 2, 3, 4}  # defaults: all taken
+
+    def test_measurement_flags(self):
+        spec = parse_spec(
+            MINIMAL + "measurement 1 0 0 1\nmeasurement 2 1 1 0\n"
+        )
+        assert 1 not in spec.plan.taken
+        assert spec.plan.is_secured(2)
+        assert not spec.plan.is_accessible(2)
+
+    def test_limits(self):
+        spec = parse_spec(MINIMAL + "limit measurements 5\nlimit buses 2\n")
+        assert spec.limits.max_measurements == 5
+        assert spec.limits.max_buses == 2
+
+    def test_goal_keywords(self):
+        spec = parse_spec(MINIMAL + "distinct 1 2\nexclusive 1\ntopology_attack 1\n")
+        assert spec.goal.distinct_pairs == ((1, 2),)
+        assert spec.goal.exclusive
+        assert spec.allow_topology_attack
+
+    def test_target_any(self):
+        spec = parse_spec("buses 2\nline 1 1 2 5.0 1 1 0 0\ntarget any\n")
+        assert spec.goal.any_state
+
+    def test_line_attributes(self):
+        spec = parse_spec("buses 2\nline 1 1 2 5.0 0 1 1 1\n")
+        attrs = spec.attrs(1)
+        assert not attrs.knows_admittance
+        assert attrs.fixed and attrs.status_secured
+
+    def test_comments_and_blank_lines(self):
+        assert parse_spec("# c\n\n" + MINIMAL).grid.num_buses == 2
+
+    def test_missing_buses_rejected(self):
+        with pytest.raises(SpecParseError, match="buses"):
+            parse_spec("line 1 1 2 5.0 1 1 0 0")
+
+    def test_missing_lines_rejected(self):
+        with pytest.raises(SpecParseError, match="line"):
+            parse_spec("buses 2")
+
+    def test_bad_flag_rejected(self):
+        with pytest.raises(SpecParseError, match="flag"):
+            parse_spec("buses 2\nline 1 1 2 5.0 yes 1 0 0")
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(SpecParseError, match="keyword"):
+            parse_spec(MINIMAL + "frobnicate 1\n")
+
+    def test_unknown_limit_rejected(self):
+        with pytest.raises(SpecParseError, match="limit"):
+            parse_spec(MINIMAL + "limit gigawatts 3\n")
+
+    def test_short_row_rejected(self):
+        with pytest.raises(SpecParseError):
+            parse_spec("buses 2\nline 1 1 2\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "make_spec",
+        [
+            lambda: attack_objective_1(16, 7, True),
+            lambda: synthesis_scenario(3),
+            lambda: AttackSpec.default(
+                ieee14(),
+                goal=AttackGoal.states(12, exclusive=True),
+                limits=ResourceLimits(max_measurements=9),
+            ),
+        ],
+        ids=["objective1", "scenario3", "custom"],
+    )
+    def test_write_parse_preserves_verdict(self, make_spec):
+        spec = make_spec()
+        round_tripped = parse_spec(write_spec(spec))
+        original = verify_attack(spec)
+        replayed = verify_attack(round_tripped)
+        assert original.outcome == replayed.outcome
+        if original.attack is not None:
+            assert (
+                original.attack.altered_measurements
+                == replayed.attack.altered_measurements
+            )
+
+    def test_round_trip_fields(self):
+        spec = attack_objective_1(16, 7, True)
+        rt = parse_spec(write_spec(spec))
+        assert rt.grid.num_buses == spec.grid.num_buses
+        assert rt.plan.taken == spec.plan.taken
+        assert rt.plan.secured == spec.plan.secured
+        assert rt.plan.inaccessible == spec.plan.inaccessible
+        assert rt.goal.target_states == spec.goal.target_states
+        assert rt.limits == spec.limits
+        for i in range(1, 21):
+            assert rt.attrs(i) == spec.attrs(i)
+
+    def test_file_round_trip(self, tmp_path):
+        spec = synthesis_scenario(1)
+        path = tmp_path / "scenario1.spec"
+        save_spec_file(spec, path)
+        loaded = load_spec_file(path)
+        assert loaded.limits.max_measurements == 12

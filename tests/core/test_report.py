@@ -1,0 +1,52 @@
+"""Tests for result reporting."""
+
+from repro.core.casestudy import attack_objective_2, synthesis_scenario
+from repro.core.report import format_attack, format_synthesis, format_verification
+from repro.core.synthesis import SynthesisSettings, synthesize_architecture
+from repro.core.verification import verify_attack
+
+
+class TestFormatAttack:
+    def test_mentions_measurements_and_states(self):
+        spec = attack_objective_2()
+        result = verify_attack(spec)
+        text = format_attack(result.attack, spec)
+        for meas in (12, 32, 39, 46, 53):
+            assert f"z{meas}:" in text
+        assert "bus  12" in text
+        assert "compromised buses: [6, 12, 13]" in text
+
+    def test_mentions_topology_changes(self):
+        spec = attack_objective_2(True, True)
+        result = verify_attack(spec)
+        text = format_attack(result.attack, spec)
+        assert "line 13 (6-13) excluded" in text
+
+
+class TestFormatVerification:
+    def test_sat_report(self):
+        spec = attack_objective_2()
+        text = format_verification(verify_attack(spec), spec)
+        assert "sat" in text
+        assert "UFDI attack vector" in text
+
+    def test_unsat_report(self):
+        spec = attack_objective_2(secure_measurement_46=True)
+        text = format_verification(verify_attack(spec), spec)
+        assert "unsat" in text
+        assert "no attack vector" in text
+
+
+class TestFormatSynthesis:
+    def test_feasible_report(self):
+        spec = synthesis_scenario(1)
+        result = synthesize_architecture(spec, SynthesisSettings(max_secured_buses=4))
+        text = format_synthesis(result, spec)
+        assert "secure buses" in text
+        assert "protects measurements" in text
+
+    def test_infeasible_report(self):
+        spec = synthesis_scenario(1)
+        result = synthesize_architecture(spec, SynthesisSettings(max_secured_buses=1))
+        text = format_synthesis(result, spec)
+        assert "no security architecture" in text

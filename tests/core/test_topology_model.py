@@ -1,0 +1,182 @@
+"""Tests for the topology-poisoning constraints of the verification model
+(paper Eqs. 7-12), in both abstract and operating-point modes."""
+
+import numpy as np
+import pytest
+
+from repro.core.spec import AttackGoal, AttackSpec, LineAttributes
+from repro.core.verification import verify_attack
+from repro.estimation.measurement import MeasurementPlan
+from repro.grid.cases import ieee14
+from repro.grid.dcflow import nominal_injections, solve_dc_flow
+from repro.grid.model import Grid, Line
+
+
+def attrs_with_free_lines(free, total=20, open_lines=()):
+    out = {}
+    for i in range(1, total + 1):
+        out[i] = LineAttributes(
+            in_true_topology=i not in open_lines,
+            fixed=(i not in free) and (i not in open_lines),
+        )
+    return out
+
+
+class TestEligibilityRules:
+    """Eqs. 9-10: only eligible lines can be excluded/included."""
+
+    def test_fixed_lines_never_excluded(self):
+        spec = AttackSpec.default(
+            ieee14(),
+            goal=AttackGoal.states(12, exclusive=True),
+            line_attrs=attrs_with_free_lines(free={5}),
+            allow_topology_attack=True,
+        )
+        result = verify_attack(spec)
+        if result.attack_exists:
+            assert result.attack.excluded_lines <= {5}
+
+    def test_status_secured_line_never_excluded(self):
+        attrs = attrs_with_free_lines(free={13})
+        attrs[13] = LineAttributes(fixed=False, status_secured=True)
+        spec = AttackSpec.default(
+            ieee14(),
+            goal=AttackGoal.states(12, exclusive=True),
+            line_attrs=attrs,
+            allow_topology_attack=True,
+        )
+        result = verify_attack(spec)
+        if result.attack_exists:
+            assert not result.attack.excluded_lines
+
+    def test_closed_line_never_included(self):
+        spec = AttackSpec.default(
+            ieee14(),
+            goal=AttackGoal.any(),
+            line_attrs=attrs_with_free_lines(free={5, 13}),
+            allow_topology_attack=True,
+        )
+        result = verify_attack(spec)
+        assert result.attack_exists
+        assert not result.attack.included_lines  # nothing is open
+
+    def test_flag_off_means_no_topology_vars(self):
+        spec = AttackSpec.default(
+            ieee14(),
+            goal=AttackGoal.any(),
+            line_attrs=attrs_with_free_lines(free={5, 13}),
+            allow_topology_attack=False,
+        )
+        result = verify_attack(spec)
+        assert not result.attack.uses_topology_poisoning
+
+
+class TestExclusionSemantics:
+    """The paper's Objective-2 revival: exclusion creates new freedom."""
+
+    def test_exclusion_unlocks_blocked_attack(self):
+        from repro.core.casestudy import attack_objective_2
+
+        blocked = attack_objective_2(secure_measurement_46=True)
+        assert not verify_attack(blocked).attack_exists
+        revived = attack_objective_2(
+            secure_measurement_46=True, allow_topology_attack=True
+        )
+        result = verify_attack(revived)
+        assert result.attack_exists
+        assert result.attack.excluded_lines == frozenset({13})
+
+    def test_excluded_line_flow_measurements_altered(self):
+        from repro.core.casestudy import attack_objective_2
+
+        spec = attack_objective_2(
+            secure_measurement_46=True, allow_topology_attack=True
+        )
+        attack = verify_attack(spec).attack
+        # line 13's flow measurements (13 and 33) must be altered to
+        # fake the zero flow
+        assert {13, 33} <= set(attack.altered_measurements)
+
+
+class TestInclusionSemantics:
+    def test_inclusion_attack_on_open_line(self):
+        # a 3-bus ring with one open line: including it gives the
+        # attacker a phantom path
+        grid = Grid(
+            3,
+            [Line(1, 1, 2, 2.0), Line(2, 2, 3, 2.0), Line(3, 1, 3, 2.0)],
+        )
+        attrs = {
+            1: LineAttributes(fixed=True),
+            2: LineAttributes(fixed=True),
+            3: LineAttributes(in_true_topology=False),
+        }
+        spec = AttackSpec.default(
+            grid,
+            goal=AttackGoal.any(),
+            line_attrs=attrs,
+            allow_topology_attack=True,
+        )
+        result = verify_attack(spec)
+        assert result.attack_exists
+
+    def test_open_unincludable_line_is_inert(self):
+        grid = Grid(
+            3,
+            [Line(1, 1, 2, 2.0), Line(2, 2, 3, 2.0), Line(3, 1, 3, 2.0)],
+        )
+        attrs = {
+            1: LineAttributes(fixed=True),
+            2: LineAttributes(fixed=True),
+            3: LineAttributes(in_true_topology=False, status_secured=True),
+        }
+        spec = AttackSpec.default(
+            grid,
+            goal=AttackGoal.states(3, exclusive=True),
+            line_attrs=attrs,
+            allow_topology_attack=True,
+        )
+        result = verify_attack(spec)
+        if result.attack_exists:
+            assert not result.attack.included_lines
+            # line 3's measurements can never be altered
+            assert not {3, 6} & set(result.attack.altered_measurements)
+
+
+class TestOperatingPointMode:
+    def test_exclusion_delta_matches_base_flow(self):
+        from repro.core.casestudy import attack_objective_2
+
+        grid = ieee14()
+        flow = solve_dc_flow(grid, nominal_injections(grid))
+        spec = attack_objective_2(
+            secure_measurement_46=True, allow_topology_attack=True
+        ).with_operating_point(flow)
+        result = verify_attack(spec)
+        assert result.attack_exists
+        assert result.attack.excluded_lines == frozenset({13})
+        # the forward flow measurement of line 13 must move to exactly 0
+        delta13 = result.attack.measurement_deltas[13]
+        assert delta13 == pytest.approx(-flow.flow(13), abs=1e-9)
+
+    def test_operating_point_attack_replays_cleanly(self):
+        from repro.core.casestudy import attack_objective_2
+        from repro.estimation.baddata import chi_square_test
+        from repro.estimation.measurement import build_h, build_measurements
+        from repro.estimation.wls import wls_estimate
+
+        grid = ieee14()
+        flow = solve_dc_flow(grid, nominal_injections(grid))
+        spec = attack_objective_2(
+            secure_measurement_46=True, allow_topology_attack=True
+        ).with_operating_point(flow)
+        result = verify_attack(spec)
+        attack = result.attack
+        plan = spec.plan
+        noise = 0.01
+        z = build_measurements(plan, flow, noise_std=noise, seed=5)
+        w = np.full(len(z), 1 / noise**2)
+        mapped = set(range(1, 21)) - set(attack.excluded_lines)
+        h_pois = build_h(grid, 1, plan.taken_in_order(), mapped_lines=mapped)
+        est = wls_estimate(h_pois, attack.apply_to(z, plan), w)
+        assert not chi_square_test(est).bad_data_detected

@@ -1,0 +1,117 @@
+"""Tests for the literature defense baselines."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.liu import restricted_access_attack
+from repro.core.spec import AttackGoal, AttackSpec
+from repro.core.verification import verify_attack
+from repro.defense.baselines import (
+    bobba_protection_set,
+    greedy_bus_protection,
+    kim_poor_greedy,
+    protection_blocks_all_attacks,
+)
+from repro.estimation.measurement import MeasurementPlan
+from repro.grid.cases import ieee14, ieee30
+
+
+@pytest.fixture
+def plan():
+    return MeasurementPlan(ieee14())
+
+
+class TestBobba:
+    def test_size_is_minimal(self, plan):
+        assert len(bobba_protection_set(plan)) == 13
+
+    def test_blocks_all_algebraic_attacks(self, plan):
+        protected = bobba_protection_set(plan)
+        assert protection_blocks_all_attacks(plan, protected)
+        secured = plan.with_secured_measurements(protected)
+        assert restricted_access_attack(secured) is None
+
+    def test_blocks_all_formal_attacks(self, plan):
+        protected = bobba_protection_set(plan)
+        spec = AttackSpec(
+            grid=plan.grid,
+            plan=plan.with_secured_measurements(protected),
+            goal=AttackGoal.any(),
+        )
+        assert not verify_attack(spec).attack_exists
+
+    def test_removing_one_reopens_attacks(self, plan):
+        protected = bobba_protection_set(plan)
+        weakened = protected[:-1]
+        assert not protection_blocks_all_attacks(plan, weakened)
+
+
+class TestKimPoor:
+    def test_full_run_blocks_everything(self, plan):
+        protected = kim_poor_greedy(plan)
+        assert protection_blocks_all_attacks(plan, protected)
+
+    def test_size_reasonable(self, plan):
+        # greedy needs exactly n measurements here (each step cuts the
+        # null space by at most 1, and full protection needs rank n)
+        assert len(kim_poor_greedy(plan)) == 13
+
+    def test_budget_truncates(self, plan):
+        partial = kim_poor_greedy(plan, budget=5)
+        assert len(partial) == 5
+        assert not protection_blocks_all_attacks(plan, partial)
+
+    def test_respects_taken_subset(self):
+        grid = ieee14()
+        plan = MeasurementPlan(grid, taken=set(range(41, 55)))
+        protected = kim_poor_greedy(plan)
+        assert set(protected) <= set(range(41, 55))
+        assert protection_blocks_all_attacks(plan, protected)
+
+
+class TestGreedyBus:
+    def test_blocks_everything(self, plan):
+        buses = greedy_bus_protection(plan)
+        secured = plan.with_secured_buses(buses)
+        spec = AttackSpec(
+            grid=plan.grid, plan=secured, goal=AttackGoal.any()
+        )
+        assert not verify_attack(spec).attack_exists
+
+    def test_budget_respected(self, plan):
+        assert len(greedy_bus_protection(plan, budget=3)) == 3
+
+    def test_greedy_not_smaller_than_formal_minimum(self, plan):
+        # the paper's pitch: formal synthesis finds minimal sets; the
+        # greedy heuristic may overshoot but never undershoots
+        from repro.core.synthesis import SynthesisSettings, synthesize_architecture
+
+        spec = AttackSpec(grid=plan.grid, plan=plan, goal=AttackGoal.any())
+        greedy = greedy_bus_protection(plan)
+        minimum = None
+        for budget in range(1, len(greedy) + 1):
+            result = synthesize_architecture(
+                spec, SynthesisSettings(max_secured_buses=budget)
+            )
+            if result.architecture is not None:
+                minimum = len(result.architecture)
+                break
+        assert minimum is not None
+        assert minimum <= len(greedy)
+
+    def test_ieee30(self):
+        plan = MeasurementPlan(ieee30())
+        buses = greedy_bus_protection(plan)
+        secured = plan.with_secured_buses(buses)
+        protected_rows = sorted(
+            m for m in secured.taken if secured.is_secured(m)
+        )
+        assert protection_blocks_all_attacks(plan, protected_rows)
+
+
+class TestBlocksAllAttacksPredicate:
+    def test_empty_protection_fails(self, plan):
+        assert not protection_blocks_all_attacks(plan, [])
+
+    def test_full_protection_succeeds(self, plan):
+        assert protection_blocks_all_attacks(plan, list(range(1, 55)))

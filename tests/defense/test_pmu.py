@@ -1,0 +1,72 @@
+"""Tests for PMU placement."""
+
+import pytest
+
+from repro.core.spec import AttackGoal, AttackSpec, ResourceLimits
+from repro.core.verification import verify_attack
+from repro.defense.pmu import pmu_defense_placement, pmu_observability_cover
+from repro.grid.cases import ieee14
+from repro.grid.model import Grid, Line
+
+
+def path_grid(n):
+    return Grid(n, [Line(i, i, i + 1, 2.0) for i in range(1, n)])
+
+
+class TestObservabilityCover:
+    def test_path_of_three_needs_one(self):
+        cover = pmu_observability_cover(path_grid(3))
+        assert cover == [2]
+
+    def test_path_of_six_needs_two(self):
+        cover = pmu_observability_cover(path_grid(6))
+        assert len(cover) == 2
+
+    def test_cover_is_dominating(self):
+        grid = ieee14()
+        cover = pmu_observability_cover(grid)
+        covered = set(cover)
+        for j in cover:
+            covered.update(grid.neighbors(j))
+        assert covered == set(grid.buses)
+
+    def test_ieee14_known_minimum(self):
+        # the minimum PMU dominating set of IEEE 14-bus has 4 buses
+        assert len(pmu_observability_cover(ieee14())) == 4
+
+    def test_budget_too_small_returns_none(self):
+        assert pmu_observability_cover(ieee14(), max_pmus=2) is None
+
+    def test_budget_exactly_minimum(self):
+        cover = pmu_observability_cover(ieee14(), max_pmus=4)
+        assert cover is not None and len(cover) == 4
+
+
+class TestDefensePlacement:
+    def test_placement_blocks_attack_model(self):
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.any())
+        placement = pmu_defense_placement(spec)
+        assert placement is not None
+        check = verify_attack(spec.with_secured_buses(placement))
+        assert not check.attack_exists
+
+    def test_placement_is_minimal_budget(self):
+        from repro.core.synthesis import SynthesisSettings, synthesize_architecture
+
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.any())
+        placement = pmu_defense_placement(spec)
+        below = synthesize_architecture(
+            spec, SynthesisSettings(max_secured_buses=len(placement) - 1)
+        )
+        assert below.architecture is None
+
+    def test_weak_attacker_needs_fewer_pmus(self):
+        strong = AttackSpec.default(ieee14(), goal=AttackGoal.any())
+        weak = strong.with_limits(ResourceLimits(max_measurements=5, max_buses=2))
+        strong_placement = pmu_defense_placement(strong)
+        weak_placement = pmu_defense_placement(weak)
+        assert len(weak_placement) <= len(strong_placement)
+
+    def test_max_pmus_insufficient_returns_none(self):
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.any())
+        assert pmu_defense_placement(spec, max_pmus=1) is None

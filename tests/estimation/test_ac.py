@@ -1,0 +1,131 @@
+"""Tests for the AC power flow / AC state estimation extension."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.attacks.liu import perfect_knowledge_attack
+from repro.estimation.ac import (
+    AcConvergenceError,
+    AcSystem,
+    dc_attack_residual_inflation,
+)
+from repro.estimation.measurement import MeasurementPlan
+from repro.grid.cases import ieee14
+from repro.grid.dcflow import nominal_injections, solve_dc_flow
+
+
+@pytest.fixture(scope="module")
+def system():
+    return AcSystem(ieee14())
+
+
+@pytest.fixture(scope="module")
+def operating_point(system):
+    inj = nominal_injections(system.grid, magnitude=0.5)
+    return system.solve_power_flow(inj, 0.2 * inj)
+
+
+class TestPowerFlow:
+    def test_converges(self, operating_point):
+        assert operating_point.iterations <= 10
+
+    def test_voltages_near_nominal(self, operating_point):
+        assert np.all(operating_point.v > 0.9)
+        assert np.all(operating_point.v < 1.1)
+
+    def test_injections_match_specification(self, system, operating_point):
+        inj = nominal_injections(system.grid, magnitude=0.5)
+        # all non-slack buses hit their specified P
+        assert np.allclose(operating_point.p[1:], inj[1:], atol=1e-8)
+
+    def test_slack_absorbs_losses(self, system, operating_point):
+        # with resistance, total generation exceeds total load
+        assert operating_point.p.sum() > 1e-6
+
+    def test_small_angles_match_dc(self, system):
+        # at light loading the AC angles approach the DC solution
+        inj = nominal_injections(system.grid, magnitude=0.05)
+        ac = system.solve_power_flow(inj, np.zeros_like(inj))
+        dc = solve_dc_flow(system.grid, inj)
+        assert np.allclose(ac.theta, dc.theta, atol=5e-3)
+
+    def test_flow_balance(self, system, operating_point):
+        p, q = system.injections(operating_point.v, operating_point.theta)
+        for j in system.grid.buses:
+            outgoing = sum(
+                system.line_flow(l.index, operating_point.v, operating_point.theta)[0]
+                for l in system.grid.lines_from(j)
+            )
+            incoming_back = sum(
+                system.line_flow(
+                    l.index, operating_point.v, operating_point.theta, backward=True
+                )[0]
+                for l in system.grid.lines_to(j)
+            )
+            assert outgoing + incoming_back == pytest.approx(p[j - 1], abs=1e-8)
+
+
+class TestStateEstimation:
+    def test_perfect_measurements_zero_residual(self, system, operating_point):
+        plan = MeasurementPlan(system.grid)
+        z = system.measurement_vector(plan, operating_point.v, operating_point.theta)
+        est = system.estimate_state(plan, z)
+        assert est.objective < 1e-15
+        assert np.allclose(est.theta, operating_point.theta, atol=1e-8)
+        assert np.allclose(est.v, operating_point.v, atol=1e-8)
+
+    def test_noisy_objective_near_dof(self, system, operating_point):
+        plan = MeasurementPlan(system.grid)
+        noise = 0.005
+        rng = np.random.default_rng(1)
+        z = system.measurement_vector(plan, operating_point.v, operating_point.theta)
+        z = z + rng.normal(0, noise, size=z.shape)
+        w = np.full(len(z), 1 / noise**2)
+        est = system.estimate_state(plan, z, w)
+        dof = len(z) - (13 + 14)
+        assert 0.3 * dof < est.objective < 2.5 * dof
+
+    def test_active_only_estimation(self, system, operating_point):
+        plan = MeasurementPlan(system.grid)
+        z = system.measurement_vector(
+            plan, operating_point.v, operating_point.theta,
+            include_reactive=False, include_voltage=True,
+        )
+        est = system.estimate_state(
+            plan, z, include_reactive=False, include_voltage=True
+        )
+        assert est.objective < 1e-12
+
+
+class TestDcAttackUnderAc:
+    def test_small_attack_approximately_stealthy(self, system, operating_point):
+        plan = MeasurementPlan(system.grid)
+        attack = perfect_knowledge_attack(plan, {10: 0.02})
+        clean, attacked = dc_attack_residual_inflation(
+            system, plan, operating_point, attack
+        )
+        threshold = stats.chi2.ppf(0.99, 122 - 27)
+        assert attacked < threshold  # evades at small magnitude
+
+    def test_inflation_grows_with_magnitude(self, system, operating_point):
+        plan = MeasurementPlan(system.grid)
+        inflations = []
+        for magnitude in (0.02, 0.1, 0.3):
+            attack = perfect_knowledge_attack(plan, {10: magnitude})
+            clean, attacked = dc_attack_residual_inflation(
+                system, plan, operating_point, attack
+            )
+            inflations.append(attacked - clean)
+        assert inflations[0] < inflations[1] < inflations[2]
+
+    def test_large_attack_detected_under_ac(self, system, operating_point):
+        # the DC approximation's limit: a big DC-perfect attack trips
+        # the AC chi-square detector
+        plan = MeasurementPlan(system.grid)
+        attack = perfect_knowledge_attack(plan, {10: 0.2})
+        __, attacked = dc_attack_residual_inflation(
+            system, plan, operating_point, attack
+        )
+        threshold = stats.chi2.ppf(0.99, 122 - 27)
+        assert attacked > threshold

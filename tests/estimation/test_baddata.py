@@ -1,0 +1,146 @@
+"""Tests for bad-data detection and identification."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.baddata import (
+    chi_square_test,
+    chi_square_threshold,
+    identify_bad_data,
+    largest_normalized_residuals,
+    residual_covariance,
+)
+from repro.estimation.measurement import MeasurementPlan, build_h, build_measurements
+from repro.estimation.wls import wls_estimate
+from repro.grid.cases import ieee14
+from repro.grid.dcflow import nominal_injections, solve_dc_flow
+
+NOISE = 0.01
+
+
+def setup_system(seed=0):
+    grid = ieee14()
+    plan = MeasurementPlan(grid)
+    flow = solve_dc_flow(grid, nominal_injections(grid))
+    z = build_measurements(plan, flow, noise_std=NOISE, seed=seed)
+    h = build_h(grid, 1, plan.taken_in_order())
+    w = np.full(len(z), 1 / NOISE**2)
+    return h, z, w
+
+
+class TestThreshold:
+    def test_monotone_in_dof(self):
+        assert chi_square_threshold(10) < chi_square_threshold(20)
+
+    def test_monotone_in_alpha(self):
+        assert chi_square_threshold(10, alpha=0.05) < chi_square_threshold(10, alpha=0.01)
+
+    def test_nonpositive_dof_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_threshold(0)
+
+
+class TestChiSquareTest:
+    def test_clean_data_passes(self):
+        h, z, w = setup_system()
+        result = chi_square_test(wls_estimate(h, z, w))
+        assert not result.bad_data_detected
+
+    def test_gross_error_detected(self):
+        h, z, w = setup_system()
+        z = z.copy()
+        z[10] += 1.0  # 100 sigma
+        result = chi_square_test(wls_estimate(h, z, w))
+        assert result.bad_data_detected
+
+    def test_false_positive_rate_bounded(self):
+        detections = 0
+        for seed in range(30):
+            h, z, w = setup_system(seed=seed)
+            if chi_square_test(wls_estimate(h, z, w), alpha=0.01).bad_data_detected:
+                detections += 1
+        assert detections <= 3  # ~1% expected
+
+
+class TestLnrIdentification:
+    def test_identifies_the_bad_measurement(self):
+        h, z, w = setup_system()
+        z = z.copy()
+        z[17] += 0.5
+        ranked = largest_normalized_residuals(h, z, w, top=3)
+        assert ranked[0][0] == 17
+
+    def test_clean_data_has_small_normalized_residuals(self):
+        h, z, w = setup_system()
+        ranked = largest_normalized_residuals(h, z, w, top=1)
+        assert ranked[0][1] < 4.0
+
+    def test_identify_and_purge(self):
+        h, z, w = setup_system()
+        z = z.copy()
+        z[5] += 1.0
+        z[30] -= 0.8
+        removed, final = identify_bad_data(h, z, w)
+        assert set(removed) == {5, 30}
+        assert not chi_square_test(final).bad_data_detected
+
+    def test_identify_nothing_on_clean_data(self):
+        h, z, w = setup_system()
+        removed, final = identify_bad_data(h, z, w)
+        assert removed == []
+
+    def test_max_removals_respected(self):
+        h, z, w = setup_system()
+        z = z.copy()
+        z[:12] += 5.0
+        removed, __ = identify_bad_data(h, z, w, max_removals=3)
+        assert len(removed) <= 3
+
+
+class TestResidualCovariance:
+    def test_shape_and_symmetry(self):
+        h, z, w = setup_system()
+        omega = residual_covariance(h, w)
+        assert omega.shape == (len(z), len(z))
+        assert np.allclose(omega, omega.T, atol=1e-10)
+
+    def test_diagonal_nonnegative(self):
+        h, z, w = setup_system()
+        omega = residual_covariance(h, w)
+        assert np.all(np.diag(omega) >= -1e-10)
+
+    def test_critical_measurements_skipped_in_lnr(self):
+        # a basic (minimal full-rank) set: every measurement is critical,
+        # so every residual variance is structurally zero and LNR has
+        # nothing to rank
+        from repro.estimation.observability import basic_measurement_set
+
+        grid = ieee14()
+        full = MeasurementPlan(grid)
+        basic = basic_measurement_set(full)
+        plan = MeasurementPlan(grid, taken=set(basic))
+        flow = solve_dc_flow(grid, nominal_injections(grid))
+        z = build_measurements(plan, flow, noise_std=NOISE, seed=1)
+        h = build_h(grid, 1, plan.taken_in_order())
+        ranked = largest_normalized_residuals(h, z, top=20)
+        assert ranked == []
+
+
+class TestUfdiEvasion:
+    """The attack the paper studies: a = Hc sails through both tests."""
+
+    def test_stealthy_attack_evades_chi_square(self):
+        h, z, w = setup_system()
+        c = np.zeros(13)
+        c[7] = 0.2
+        base = chi_square_test(wls_estimate(h, z, w))
+        attacked = chi_square_test(wls_estimate(h, z + h @ c, w))
+        assert not attacked.bad_data_detected
+        assert attacked.objective == pytest.approx(base.objective, abs=1e-6)
+
+    def test_stealthy_attack_evades_lnr(self):
+        h, z, w = setup_system()
+        c = np.zeros(13)
+        c[7] = 0.2
+        removed, __ = identify_bad_data(h, z + h @ c, w)
+        assert removed == []

@@ -1,0 +1,148 @@
+"""Tests for the measurement model: numbering, residency, H construction."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.measurement import MeasurementPlan, build_h, build_measurements
+from repro.grid.cases import ieee14
+from repro.grid.dcflow import nominal_injections, solve_dc_flow
+from repro.grid.model import Grid, Line
+
+
+@pytest.fixture
+def grid():
+    return ieee14()
+
+
+@pytest.fixture
+def plan(grid):
+    return MeasurementPlan(grid)
+
+
+class TestNumbering:
+    """The paper's numbering: i / l+i / 2l+j (validated against the
+    Section III-I case study's bus-residency data)."""
+
+    def test_potential_count(self, plan):
+        assert plan.num_potential == 54  # 2*20 + 14, as in the paper
+
+    def test_forward_backward_bus_indices(self, plan):
+        assert plan.forward_index(8) == 8
+        assert plan.backward_index(8) == 28
+        assert plan.bus_index(6) == 46
+
+    def test_classify_roundtrip(self, plan):
+        assert plan.classify(8) == ("forward", 8)
+        assert plan.classify(28) == ("backward", 8)
+        assert plan.classify(46) == ("bus", 6)
+        with pytest.raises(ValueError):
+            plan.classify(55)
+
+    def test_residency_matches_paper_case_study(self, plan):
+        # Objective 1's published measurement set resides exactly on
+        # buses {4, 7, 9, 10, 11, 13, 14}
+        measurements = [8, 9, 16, 18, 20, 28, 29, 36, 38, 40, 44, 47, 50, 51, 53, 54]
+        buses = {plan.residence_bus(m) for m in measurements}
+        assert buses == {4, 7, 9, 10, 11, 13, 14}
+
+    def test_measurements_at_bus(self, plan):
+        at6 = plan.measurements_at_bus(6)
+        # bus 6: injection 46; lines 10 (to-bus: backward 30),
+        # 11/12/13 (from-bus: forward 11, 12, 13)
+        assert at6 == [11, 12, 13, 30, 46]
+
+    def test_describe(self, plan):
+        assert "line 8" in plan.describe(8)
+        assert "bus 6" in plan.describe(46)
+
+
+class TestPlanValidation:
+    def test_default_takes_everything(self, plan):
+        assert plan.taken == set(range(1, 55))
+
+    def test_out_of_range_rejected(self, grid):
+        with pytest.raises(ValueError, match="out-of-range"):
+            MeasurementPlan(grid, taken={1, 999})
+        with pytest.raises(ValueError, match="out-of-range"):
+            MeasurementPlan(grid, secured={0})
+
+    def test_status_predicates(self, grid):
+        plan = MeasurementPlan(grid, secured={1}, inaccessible={2})
+        assert plan.is_secured(1) and not plan.is_secured(2)
+        assert not plan.is_accessible(2) and plan.is_accessible(3)
+
+    def test_with_secured_buses(self, plan):
+        secured = plan.with_secured_buses([6])
+        assert set(secured.secured) >= {11, 12, 13, 30, 46}
+        assert plan.secured == set()  # original untouched
+
+    def test_with_secured_measurements(self, plan):
+        secured = plan.with_secured_measurements([7, 9])
+        assert secured.secured == {7, 9}
+
+
+class TestBuildH:
+    def test_shape(self, grid, plan):
+        h = build_h(grid, 1, plan.taken_in_order())
+        assert h.shape == (54, 13)
+
+    def test_forward_row_structure(self, grid):
+        h = build_h(grid, 1, taken=[8])  # line 8: 4 -> 7, admittance 4.78
+        row = h[0]
+        # columns: buses 2..14 -> bus 4 is col 2, bus 7 is col 5
+        assert row[2] == pytest.approx(4.78, abs=0.005)
+        assert row[5] == pytest.approx(-4.78, abs=0.005)
+        assert np.count_nonzero(row) == 2
+
+    def test_backward_row_is_negated_forward(self, grid):
+        h = build_h(grid, 1, taken=[8, 28])
+        assert np.allclose(h[0], -h[1])
+
+    def test_reference_column_absent(self, grid):
+        # line 1 is 1-2; with bus 1 as reference only bus 2's column set
+        h = build_h(grid, 1, taken=[1])
+        assert np.count_nonzero(h[0]) == 1
+
+    def test_bus_row_is_flow_balance(self, grid, plan):
+        h = build_h(grid, 1, plan.taken_in_order())
+        # bus row == sum of incoming forward rows minus outgoing
+        for j in grid.buses:
+            expected = np.zeros(13)
+            for line in grid.lines_at(j):
+                sign = 1.0 if line.to_bus == j else -1.0
+                expected += sign * h[line.index - 1]
+            assert np.allclose(h[2 * 20 + j - 1], expected)
+
+    def test_unmapped_line_rows_zero(self, grid):
+        h = build_h(grid, 1, taken=[13, 33], mapped_lines=set(range(1, 21)) - {13})
+        assert np.allclose(h, 0.0)
+
+    def test_unmapped_line_leaves_bus_rows(self, grid):
+        full = build_h(grid, 1, taken=[46])
+        poisoned = build_h(
+            grid, 1, taken=[46], mapped_lines=set(range(1, 21)) - {13}
+        )
+        assert not np.allclose(full, poisoned)
+
+
+class TestBuildMeasurements:
+    def test_values_match_flow(self, grid, plan):
+        flow = solve_dc_flow(grid, nominal_injections(grid))
+        z = build_measurements(plan, flow)
+        assert z[0] == pytest.approx(flow.flow(1))
+        assert z[20] == pytest.approx(-flow.flow(1))
+        assert z[40] == pytest.approx(flow.consumption(1))
+
+    def test_noise_reproducible(self, grid, plan):
+        flow = solve_dc_flow(grid, nominal_injections(grid))
+        z1 = build_measurements(plan, flow, noise_std=0.01, seed=5)
+        z2 = build_measurements(plan, flow, noise_std=0.01, seed=5)
+        assert np.array_equal(z1, z2)
+
+    def test_subset_ordering(self, grid):
+        flow = solve_dc_flow(grid, nominal_injections(grid))
+        plan = MeasurementPlan(grid, taken={3, 41, 7})
+        z = build_measurements(plan, flow)
+        assert z.shape == (3,)
+        assert z[0] == pytest.approx(flow.flow(3))
+        assert z[2] == pytest.approx(flow.consumption(1))

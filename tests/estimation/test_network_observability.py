@@ -1,0 +1,120 @@
+"""Tests for graph-based observability analysis."""
+
+import pytest
+
+from repro.estimation.measurement import MeasurementPlan
+from repro.estimation.network_observability import (
+    topological_observability,
+    unobservable_boundary_lines,
+)
+from repro.estimation.observability import analyze_observability
+from repro.grid.cases import ieee14, ieee30
+from repro.grid.model import Grid, Line
+
+
+def path_grid(n=4):
+    return Grid(n, [Line(i, i, i + 1, 2.0) for i in range(1, n)])
+
+
+class TestFlowMeasurements:
+    def test_full_flow_coverage_is_one_island(self):
+        grid = path_grid(4)
+        plan = MeasurementPlan(grid, taken={1, 2, 3})  # all forward flows
+        result = topological_observability(plan)
+        assert result.observable
+        assert set(result.flow_merged_lines) == {1, 2, 3}
+
+    def test_missing_flow_splits_islands(self):
+        grid = path_grid(4)
+        plan = MeasurementPlan(grid, taken={1, 3})  # line 2 unobserved
+        result = topological_observability(plan)
+        assert not result.observable
+        assert len(result.islands) == 2
+        assert frozenset({1, 2}) in result.islands
+        assert frozenset({3, 4}) in result.islands
+
+    def test_backward_flow_counts_too(self):
+        grid = path_grid(3)
+        plan = MeasurementPlan(grid, taken={1, 4})  # fwd line 1, bwd line 2
+        assert topological_observability(plan).observable
+
+
+class TestInjections:
+    def test_injection_bridges_single_gap(self):
+        grid = path_grid(3)
+        # flow of line 1 taken; injection at bus 2 resolves line 2
+        plan = MeasurementPlan(grid, taken={1, 6})  # 6 = bus 2 injection
+        result = topological_observability(plan)
+        assert result.observable
+        assert result.injection_assignments.get(2) == 2
+
+    def test_injections_only_chain(self):
+        grid = path_grid(4)
+        # injections at buses 1..3 resolve lines left to right
+        plan = MeasurementPlan(grid, taken={7, 8, 9})
+        assert topological_observability(plan).observable
+
+    def test_isolated_bus_stays_island(self):
+        grid = path_grid(3)
+        plan = MeasurementPlan(grid, taken={1})  # only line 1 flow
+        result = topological_observability(plan)
+        assert frozenset({3}) in result.islands
+
+
+class TestAgainstNumericalRank:
+    @pytest.mark.parametrize("case_builder", [ieee14, ieee30])
+    def test_full_plans_agree(self, case_builder):
+        plan = MeasurementPlan(case_builder())
+        assert topological_observability(plan).observable
+        assert analyze_observability(plan).observable
+
+    def test_topological_observable_implies_numerical(self):
+        # forest construction is conservative: when it says observable,
+        # the rank test must agree
+        import random
+
+        grid = ieee14()
+        rng = random.Random(5)
+        for _ in range(20):
+            taken = {m for m in range(1, 55) if rng.random() < 0.5}
+            if not taken:
+                continue
+            plan = MeasurementPlan(grid, taken=taken)
+            topo = topological_observability(plan)
+            if topo.observable:
+                assert analyze_observability(plan).observable
+
+
+class TestBoundaryLines:
+    def test_boundary_lines_cross_islands(self):
+        grid = path_grid(4)
+        plan = MeasurementPlan(grid, taken={1, 3})
+        assert unobservable_boundary_lines(plan) == [2]
+
+    def test_observable_plan_has_no_boundary(self):
+        plan = MeasurementPlan(ieee14())
+        assert unobservable_boundary_lines(plan) == []
+
+    def test_island_shift_attack_lives_on_boundary(self):
+        # the states of one island can shift uniformly by altering only
+        # boundary measurements — here none are taken, so no
+        # measurement at all needs altering: verify with the formal model
+        from repro.core.spec import AttackGoal, AttackSpec
+
+        from repro.core.spec import ResourceLimits
+
+        grid = path_grid(4)
+        plan = MeasurementPlan(grid, taken={1, 3})
+        spec = AttackSpec(
+            grid=grid,
+            plan=plan,
+            goal=AttackGoal.states(4),
+            limits=ResourceLimits(max_measurements=0),
+        )
+        from repro.core.verification import verify_attack
+
+        result = verify_attack(spec)
+        assert result.attack_exists
+        assert result.attack.altered_measurements == []
+        # the whole island {3, 4} shifted together
+        assert set(result.attack.attacked_states) == {3, 4}

@@ -1,0 +1,98 @@
+"""Tests for observability analysis and basic measurement sets."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.measurement import MeasurementPlan, build_h
+from repro.estimation.observability import (
+    analyze_observability,
+    basic_measurement_set,
+    critical_measurements,
+)
+from repro.grid.cases import ieee14, ieee30
+
+
+class TestAnalyze:
+    def test_full_plan_observable(self):
+        plan = MeasurementPlan(ieee14())
+        report = analyze_observability(plan)
+        assert report.observable
+        assert report.rank == 13
+        assert report.redundancy == pytest.approx(54 / 13)
+
+    def test_injections_only_observable(self):
+        grid = ieee14()
+        plan = MeasurementPlan(grid, taken=set(range(41, 55)))
+        assert analyze_observability(plan).observable
+
+    def test_too_few_measurements_unobservable(self):
+        grid = ieee14()
+        plan = MeasurementPlan(grid, taken={1, 2, 3})
+        report = analyze_observability(plan)
+        assert not report.observable
+        assert report.rank < 13
+
+    def test_flow_island_unobservable(self):
+        # flows of lines 1 and 2 only see buses 1, 2, 5
+        grid = ieee14()
+        plan = MeasurementPlan(grid, taken={1, 2, 21, 22})
+        assert not analyze_observability(plan).observable
+
+
+class TestBasicSet:
+    def test_size_is_num_states(self):
+        plan = MeasurementPlan(ieee14())
+        basic = basic_measurement_set(plan)
+        assert len(basic) == 13
+
+    def test_is_full_rank(self):
+        grid = ieee14()
+        plan = MeasurementPlan(grid)
+        basic = basic_measurement_set(plan)
+        h = build_h(grid, 1, taken=basic)
+        assert np.linalg.matrix_rank(h) == 13
+
+    def test_prefer_biases_selection(self):
+        plan = MeasurementPlan(ieee14())
+        preferred = basic_measurement_set(plan, prefer=[41, 42, 43, 44])
+        assert {41, 42, 43, 44} <= set(preferred)
+
+    def test_respects_taken_subset(self):
+        grid = ieee14()
+        plan = MeasurementPlan(grid, taken=set(range(41, 55)))
+        basic = basic_measurement_set(plan)
+        assert set(basic) <= set(range(41, 55))
+
+    def test_ieee30(self):
+        plan = MeasurementPlan(ieee30())
+        assert len(basic_measurement_set(plan)) == 29
+
+
+class TestCritical:
+    def test_redundant_plan_has_none(self):
+        plan = MeasurementPlan(ieee14())
+        assert critical_measurements(plan) == []
+
+    def test_minimal_plan_all_critical(self):
+        grid = ieee14()
+        full = MeasurementPlan(grid)
+        basic = basic_measurement_set(full)
+        plan = MeasurementPlan(grid, taken=set(basic))
+        assert critical_measurements(plan) == sorted(basic)
+
+    def test_unobservable_plan_rejected(self):
+        grid = ieee14()
+        plan = MeasurementPlan(grid, taken={1, 2})
+        with pytest.raises(ValueError, match="not observable"):
+            critical_measurements(plan)
+
+    def test_partially_redundant(self):
+        grid = ieee14()
+        full = MeasurementPlan(grid)
+        basic = basic_measurement_set(full)
+        extra = next(m for m in range(1, 55) if m not in basic)
+        plan = MeasurementPlan(grid, taken=set(basic) | {extra})
+        critical = critical_measurements(plan)
+        # adding one redundant measurement de-criticalizes at most a few
+        assert len(critical) >= len(basic) - 3
+        assert set(critical) <= set(basic) | {extra}

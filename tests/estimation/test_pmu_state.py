@@ -1,0 +1,135 @@
+"""Tests for hybrid SCADA+PMU estimation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.liu import perfect_knowledge_attack
+from repro.estimation.baddata import chi_square_test
+from repro.estimation.measurement import MeasurementPlan
+from repro.estimation.pmu_state import (
+    build_h_with_pmus,
+    build_measurements_with_pmus,
+    hybrid_weights,
+    minimal_pmu_count_for_immunity,
+    pmu_attack_space_dimension,
+)
+from repro.estimation.wls import wls_estimate
+from repro.grid.cases import ieee14
+from repro.grid.dcflow import nominal_injections, solve_dc_flow
+
+SCADA_STD = 0.01
+PMU_STD = 0.001
+
+
+@pytest.fixture
+def setting():
+    grid = ieee14()
+    plan = MeasurementPlan(grid)
+    flow = solve_dc_flow(grid, nominal_injections(grid))
+    return grid, plan, flow
+
+
+class TestHybridEstimation:
+    def test_h_shape(self, setting):
+        grid, plan, flow = setting
+        h = build_h_with_pmus(grid, [4, 9], taken=plan.taken_in_order())
+        assert h.shape == (56, 13)
+        # PMU rows are unit vectors
+        assert np.count_nonzero(h[54]) == 1
+        assert h[54].sum() == 1.0
+
+    def test_reference_pmu_row_is_zero(self, setting):
+        grid, plan, flow = setting
+        h = build_h_with_pmus(grid, [1], taken=plan.taken_in_order())
+        assert np.allclose(h[-1], 0.0)
+
+    def test_clean_estimation(self, setting):
+        grid, plan, flow = setting
+        pmus = [4, 9, 13]
+        h = build_h_with_pmus(grid, pmus, taken=plan.taken_in_order())
+        z = build_measurements_with_pmus(plan, flow, pmus)
+        est = wls_estimate(h, z)
+        assert est.residual_norm < 1e-9
+
+    def test_pmu_accuracy_improves_estimate(self, setting):
+        grid, plan, flow = setting
+        pmus = list(range(2, 15))
+        h = build_h_with_pmus(grid, pmus, taken=plan.taken_in_order())
+        z = build_measurements_with_pmus(
+            plan, flow, pmus, noise_std=SCADA_STD, pmu_noise_std=PMU_STD, seed=2
+        )
+        w = hybrid_weights(plan, len(pmus), SCADA_STD, PMU_STD)
+        hybrid = wls_estimate(h, z, w)
+        scada_only = wls_estimate(h[:54], z[:54], w[:54])
+        truth = np.delete(flow.theta, 0)
+        assert np.linalg.norm(hybrid.x_hat - truth) < np.linalg.norm(
+            scada_only.x_hat - truth
+        )
+
+
+class TestPmuDefense:
+    def test_attack_space_shrinks_per_pmu(self, setting):
+        grid, plan, flow = setting
+        dims = [
+            pmu_attack_space_dimension(plan, list(range(2, 2 + k)))
+            for k in range(0, 5)
+        ]
+        assert dims[0] == 13  # nothing protected
+        for before, after in zip(dims, dims[1:]):
+            assert after == before - 1  # each angle row pins one state
+
+    def test_full_pmu_coverage_immunizes(self, setting):
+        grid, plan, flow = setting
+        assert pmu_attack_space_dimension(plan, range(2, 15)) == 0
+
+    def test_scada_protection_counts_too(self, setting):
+        grid, plan, flow = setting
+        from repro.estimation.observability import basic_measurement_set
+
+        basic = basic_measurement_set(plan)
+        protected = plan.with_secured_measurements(basic)
+        assert pmu_attack_space_dimension(protected, []) == 0
+
+    def test_minimal_count_matches_dimension(self, setting):
+        grid, plan, flow = setting
+        count, buses = minimal_pmu_count_for_immunity(plan)
+        assert count == 13  # no SCADA protection: every state needs pinning
+        assert len(buses) == count
+
+    def test_minimal_count_with_partial_scada_protection(self, setting):
+        grid, plan, flow = setting
+        protected = plan.with_secured_buses([2, 6])
+        count, buses = minimal_pmu_count_for_immunity(protected)
+        open_dim = pmu_attack_space_dimension(protected, [])
+        assert count == open_dim
+        assert pmu_attack_space_dimension(protected, buses) == 0
+
+    def test_attack_on_pmu_pinned_state_is_detected(self, setting):
+        grid, plan, flow = setting
+        pmus = [10]
+        h = build_h_with_pmus(grid, pmus, taken=plan.taken_in_order())
+        z = build_measurements_with_pmus(
+            plan, flow, pmus, noise_std=SCADA_STD, pmu_noise_std=PMU_STD, seed=3
+        )
+        w = hybrid_weights(plan, len(pmus), SCADA_STD, PMU_STD)
+        attack = perfect_knowledge_attack(plan, {10: 0.1})
+        z_attacked = z.copy()
+        z_attacked[:54] = attack.apply_to(z[:54], plan)
+        # the secured PMU row is NOT altered: the attack is inconsistent
+        est = wls_estimate(h, z_attacked, w)
+        assert chi_square_test(est).bad_data_detected
+
+    def test_attack_away_from_pmus_still_stealthy(self, setting):
+        grid, plan, flow = setting
+        pmus = [10]
+        h = build_h_with_pmus(grid, pmus, taken=plan.taken_in_order())
+        z = build_measurements_with_pmus(
+            plan, flow, pmus, noise_std=SCADA_STD, pmu_noise_std=PMU_STD, seed=3
+        )
+        w = hybrid_weights(plan, len(pmus), SCADA_STD, PMU_STD)
+        # bus 8 is electrically far from the PMU at 10: c_10 = 0 holds
+        attack = perfect_knowledge_attack(plan, {8: 0.1})
+        z_attacked = z.copy()
+        z_attacked[:54] = attack.apply_to(z[:54], plan)
+        est = wls_estimate(h, z_attacked, w)
+        assert not chi_square_test(est).bad_data_detected

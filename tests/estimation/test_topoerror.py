@@ -1,0 +1,86 @@
+"""Tests for topology-error detection."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.topology_attack import coordinated_topology_attack
+from repro.estimation.measurement import MeasurementPlan, build_measurements
+from repro.estimation.topoerror import check_topology
+from repro.grid.cases import ieee14
+from repro.grid.dcflow import solve_dc_flow
+from repro.grid.topology import BreakerStatus, TopologyProcessor
+
+NOISE = 0.004
+
+
+def setup_case():
+    grid = ieee14()
+    plan = MeasurementPlan(grid)
+    injections = np.zeros(grid.num_buses)
+    injections[0] = 1.5
+    injections[12] = -1.0
+    injections[13] = -0.5
+    flow = solve_dc_flow(grid, injections)
+    z = build_measurements(plan, flow, noise_std=NOISE, seed=2)
+    weights = np.full(len(z), 1 / NOISE**2)
+    processor = TopologyProcessor(grid)
+    return grid, plan, flow, z, weights, processor
+
+
+class TestHonestTopology:
+    def test_true_topology_passes(self):
+        grid, plan, flow, z, w, proc = setup_case()
+        result = check_topology(plan, proc.true_topology(), z, w)
+        assert not result.topology_suspected
+
+
+class TestUncoordinatedErrors:
+    def test_exclusion_error_detected(self):
+        grid, plan, flow, z, w, proc = setup_case()
+        poisoned = proc.apply_poisoning(exclusions=[13])
+        result = check_topology(plan, poisoned, z, w)
+        assert result.topology_suspected
+
+    def test_heavily_loaded_line_error_is_glaring(self):
+        grid, plan, flow, z, w, proc = setup_case()
+        honest = check_topology(plan, proc.true_topology(), z, w)
+        poisoned = check_topology(plan, proc.apply_poisoning(exclusions=[1]), z, w)
+        assert poisoned.estimate.objective > 100 * honest.estimate.objective
+
+
+class TestCoordinatedAttack:
+    def test_coordinated_exclusion_evades(self):
+        grid, plan, flow, z, w, proc = setup_case()
+        poisoned = proc.apply_poisoning(exclusions=[13])
+        attack = coordinated_topology_attack(plan, flow, poisoned, {12: 0.05})
+        result = check_topology(plan, poisoned, attack.apply_to(z, plan), w)
+        assert not result.topology_suspected
+
+    def test_coordinated_inclusion_evades(self):
+        grid = ieee14()
+        plan = MeasurementPlan(grid)
+        # line 5 open in reality
+        statuses = [
+            BreakerStatus(line.index, closed=line.index != 5)
+            for line in grid.lines
+        ]
+        proc = TopologyProcessor(grid, statuses)
+        injections = np.zeros(grid.num_buses)
+        injections[0] = 1.0
+        injections[8] = -1.0
+        flow = solve_dc_flow(
+            grid, injections, line_indices=[i for i in range(1, 21) if i != 5]
+        )
+        z = build_measurements(plan, flow, noise_std=NOISE, seed=3)
+        w = np.full(len(z), 1 / NOISE**2)
+        poisoned = proc.apply_poisoning(inclusions=[5])
+        attack = coordinated_topology_attack(
+            plan,
+            flow,
+            poisoned,
+            {3: 0.02},
+            true_mapped_lines=proc.true_topology().mapped_lines,
+        )
+        result = check_topology(plan, poisoned, attack.apply_to(z, plan), w)
+        assert not result.topology_suspected
+        assert 5 in attack.included_lines

@@ -1,0 +1,130 @@
+"""Tests for the WLS estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.estimation.measurement import MeasurementPlan, build_h, build_measurements
+from repro.estimation.wls import (
+    StateEstimate,
+    UnobservableSystemError,
+    gain_matrix,
+    hat_matrix,
+    wls_estimate,
+)
+from repro.grid.cases import ieee14
+from repro.grid.dcflow import nominal_injections, solve_dc_flow
+
+
+def setup_system(noise=0.0, seed=0):
+    grid = ieee14()
+    plan = MeasurementPlan(grid)
+    flow = solve_dc_flow(grid, nominal_injections(grid))
+    z = build_measurements(plan, flow, noise_std=noise, seed=seed)
+    h = build_h(grid, 1, plan.taken_in_order())
+    return grid, plan, flow, z, h
+
+
+class TestCleanEstimation:
+    def test_recovers_true_states(self):
+        grid, plan, flow, z, h = setup_system()
+        est = wls_estimate(h, z)
+        assert np.allclose(est.x_hat, np.delete(flow.theta, 0), atol=1e-10)
+
+    def test_zero_residual(self):
+        *_, z, h = setup_system()
+        est = wls_estimate(h, z)
+        assert est.residual_norm < 1e-10
+        assert est.objective < 1e-20
+
+    def test_dof(self):
+        *_, z, h = setup_system()
+        est = wls_estimate(h, z)
+        assert est.dof == 54 - 13
+
+
+class TestNoisyEstimation:
+    def test_objective_near_dof(self):
+        # E[r' W r] = m - n when W matches the noise
+        objectives = []
+        for seed in range(10):
+            *_, z, h = setup_system(noise=0.01, seed=seed)
+            w = [1 / 0.01**2] * len(z)
+            objectives.append(wls_estimate(h, z, w).objective)
+        assert 20 < np.mean(objectives) < 70  # dof = 41
+
+    def test_weights_shift_estimate(self):
+        *_, z, h = setup_system(noise=0.05, seed=1)
+        w1 = np.ones(len(z))
+        w2 = np.ones(len(z))
+        w2[:20] = 100.0
+        e1 = wls_estimate(h, z, w1)
+        e2 = wls_estimate(h, z, w2)
+        assert not np.allclose(e1.x_hat, e2.x_hat)
+
+
+class TestValidation:
+    def test_unobservable_raises(self):
+        grid = ieee14()
+        h = build_h(grid, 1, taken=[1, 2, 21])  # far too few rows
+        with pytest.raises(UnobservableSystemError):
+            wls_estimate(h, np.zeros(3))
+
+    def test_wrong_z_length(self):
+        *_, z, h = setup_system()
+        with pytest.raises(ValueError, match="length"):
+            wls_estimate(h, z[:-1])
+
+    def test_wrong_weights_length(self):
+        *_, z, h = setup_system()
+        with pytest.raises(ValueError, match="length"):
+            wls_estimate(h, z, weights=[1.0])
+
+    def test_nonpositive_weights(self):
+        *_, z, h = setup_system()
+        with pytest.raises(ValueError, match="positive"):
+            wls_estimate(h, z, weights=[0.0] * len(z))
+
+
+class TestMatrices:
+    def test_gain_matrix_is_htwh(self):
+        *_, z, h = setup_system()
+        w = np.full(len(z), 2.0)
+        g = gain_matrix(h, w)
+        assert np.allclose(g, h.T @ np.diag(w) @ h)
+
+    def test_hat_matrix_is_projection(self):
+        *_, z, h = setup_system()
+        k = hat_matrix(h)
+        assert np.allclose(k @ k, k, atol=1e-8)  # idempotent
+        assert np.allclose(k @ h, h, atol=1e-8)  # reproduces range(H)
+
+
+class TestStealthInvariance:
+    """The core UFDI identity: a = Hc leaves the residual unchanged."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_hypothesis_residual_invariant(self, seed):
+        *_, z, h = setup_system(noise=0.01, seed=1)
+        rng = np.random.default_rng(seed)
+        c = rng.normal(size=h.shape[1])
+        base = wls_estimate(h, z)
+        attacked = wls_estimate(h, z + h @ c)
+        assert attacked.objective == pytest.approx(base.objective, abs=1e-6)
+        assert np.allclose(attacked.x_hat - base.x_hat, c, atol=1e-8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_hypothesis_non_range_injection_changes_residual(self, seed):
+        *_, z, h = setup_system(noise=0.01, seed=1)
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=len(z))
+        # remove the component inside range(H): what's left must inflate
+        k = hat_matrix(h)
+        a_perp = a - k @ a
+        if np.linalg.norm(a_perp) < 1e-6:
+            return
+        base = wls_estimate(h, z)
+        attacked = wls_estimate(h, z + a_perp)
+        assert attacked.objective > base.objective

@@ -1,0 +1,76 @@
+"""Tests for the test-case registry, including the paper's Table II data."""
+
+import pytest
+
+from repro.grid.cases import available_cases, ieee14, ieee30, load_case
+
+# the admittance column of the paper's Table II, line by line
+PAPER_TABLE_II_ADMITTANCES = [
+    16.90, 4.48, 5.05, 5.67, 5.75, 5.85, 23.75, 4.78, 1.80, 3.97,
+    5.03, 3.91, 7.68, 5.68, 9.09, 11.83, 3.70, 5.21, 5.00, 2.87,
+]
+PAPER_TABLE_II_ENDPOINTS = [
+    (1, 2), (1, 5), (2, 3), (2, 4), (2, 5), (3, 4), (4, 5), (4, 7),
+    (4, 9), (5, 6), (6, 11), (6, 12), (6, 13), (7, 8), (7, 9), (9, 10),
+    (9, 14), (10, 11), (12, 13), (13, 14),
+]
+
+# published sizes of the real IEEE test systems
+EXPECTED_SIZES = {
+    "ieee14": (14, 20),
+    "ieee30": (30, 41),
+    "ieee57": (57, 80),
+    "ieee118": (118, 186),
+    "ieee300": (300, 411),
+}
+
+
+class TestIeee14MatchesPaper:
+    def test_size(self):
+        g = ieee14()
+        assert (g.num_buses, g.num_lines) == (14, 20)
+
+    def test_endpoints_match_table_ii(self):
+        g = ieee14()
+        for line, (f, t) in zip(g.lines, PAPER_TABLE_II_ENDPOINTS):
+            assert (line.from_bus, line.to_bus) == (f, t)
+
+    def test_admittances_match_table_ii(self):
+        g = ieee14()
+        for line, expected in zip(g.lines, PAPER_TABLE_II_ADMITTANCES):
+            assert line.admittance == pytest.approx(expected, abs=0.005)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", available_cases())
+    def test_sizes_match_published(self, name):
+        grid = load_case(name)
+        assert (grid.num_buses, grid.num_lines) == EXPECTED_SIZES[name]
+
+    @pytest.mark.parametrize("name", available_cases())
+    def test_connected(self, name):
+        assert load_case(name).is_connected()
+
+    @pytest.mark.parametrize("name", available_cases())
+    def test_average_degree_near_3(self, name):
+        # the paper's structural argument [16]: grids have ~3 avg degree
+        avg = load_case(name).average_degree()
+        assert 2.5 <= avg <= 3.5
+
+    def test_numeric_aliases(self):
+        assert load_case("30").num_buses == 30
+
+    def test_unknown_case(self):
+        with pytest.raises(KeyError):
+            load_case("ieee9999")
+
+    def test_deterministic_synthetic_generation(self):
+        a = load_case("ieee118")
+        b = load_case("ieee118")
+        assert [
+            (l.from_bus, l.to_bus, l.admittance) for l in a.lines
+        ] == [(l.from_bus, l.to_bus, l.admittance) for l in b.lines]
+
+    def test_ieee30_size(self):
+        g = ieee30()
+        assert g.num_buses == 30 and g.num_lines == 41

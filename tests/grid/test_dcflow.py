@@ -1,0 +1,120 @@
+"""Tests for the DC power-flow solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.cases import ieee14, load_case
+from repro.grid.dcflow import (
+    nominal_injections,
+    solve_dc_flow,
+    susceptance_matrix,
+)
+from repro.grid.model import Grid, Line
+
+
+def two_bus():
+    return Grid(2, [Line(1, 1, 2, 5.0)])
+
+
+class TestTwoBus:
+    def test_flow_matches_injection(self):
+        g = two_bus()
+        result = solve_dc_flow(g, [1.0, -1.0])
+        assert result.flow(1) == pytest.approx(1.0)
+        assert result.angle(1) == 0.0
+        assert result.angle(2) == pytest.approx(-0.2)  # P = y * (t1 - t2)
+
+    def test_consumption_sign(self):
+        g = two_bus()
+        result = solve_dc_flow(g, [1.0, -1.0])
+        assert result.consumption(2) == pytest.approx(1.0)  # bus 2 is a load
+        assert result.consumption(1) == pytest.approx(-1.0)
+
+
+class TestValidation:
+    def test_unbalanced_injections_rejected(self):
+        with pytest.raises(ValueError, match="balance"):
+            solve_dc_flow(two_bus(), [1.0, 0.0])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            solve_dc_flow(two_bus(), [1.0, -0.5, -0.5])
+
+
+class TestPhysics:
+    def test_power_balance_at_every_bus(self):
+        g = ieee14()
+        inj = nominal_injections(g)
+        result = solve_dc_flow(g, inj)
+        for j in g.buses:
+            net = 0.0
+            for line in g.lines_at(j):
+                sign = 1.0 if line.from_bus == j else -1.0
+                net += sign * result.flow(line.index)
+            assert net == pytest.approx(inj[j - 1], abs=1e-9)
+
+    def test_reference_angle_zero(self):
+        g = ieee14()
+        result = solve_dc_flow(g, nominal_injections(g), reference_bus=5)
+        assert result.angle(5) == 0.0
+
+    def test_flows_scale_linearly(self):
+        g = ieee14()
+        inj = nominal_injections(g)
+        r1 = solve_dc_flow(g, inj)
+        r2 = solve_dc_flow(g, 2 * inj)
+        assert np.allclose(2 * r1.line_flows, r2.line_flows)
+
+    @pytest.mark.parametrize("name", ["ieee30", "ieee57", "ieee118"])
+    def test_larger_cases_solve(self, name):
+        g = load_case(name)
+        result = solve_dc_flow(g, nominal_injections(g))
+        assert np.all(np.isfinite(result.theta))
+
+    def test_restricted_topology_flow(self):
+        g = ieee14()
+        inj = nominal_injections(g)
+        lines = [i for i in range(1, 21) if i != 13]
+        result = solve_dc_flow(g, inj, line_indices=lines)
+        assert result.flow(13) == 0.0  # open line carries nothing
+
+
+class TestSusceptance:
+    def test_symmetric_and_zero_row_sum(self):
+        g = ieee14()
+        b = susceptance_matrix(g)
+        assert np.allclose(b, b.T)
+        assert np.allclose(b.sum(axis=1), 0.0)
+
+
+class TestNominalInjections:
+    def test_balanced(self):
+        g = ieee14()
+        assert nominal_injections(g).sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic(self):
+        g = ieee14()
+        assert np.array_equal(nominal_injections(g), nominal_injections(g))
+
+    def test_magnitude(self):
+        g = ieee14()
+        p = nominal_injections(g, magnitude=2.5)
+        assert np.abs(p).max() == pytest.approx(2.5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_hypothesis_random_injections_balance(seed):
+    """Flows always balance injections for any balanced profile."""
+    g = ieee14()
+    rng = np.random.default_rng(seed)
+    inj = rng.normal(size=g.num_buses)
+    inj -= inj.mean()
+    result = solve_dc_flow(g, inj)
+    for j in g.buses:
+        net = sum(
+            (1.0 if line.from_bus == j else -1.0) * result.flow(line.index)
+            for line in g.lines_at(j)
+        )
+        assert net == pytest.approx(inj[j - 1], abs=1e-8)

@@ -1,0 +1,99 @@
+"""Tests for PTDF/LODF sensitivity factors."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cases import ieee14, ieee30
+from repro.grid.dcflow import nominal_injections, solve_dc_flow
+from repro.grid.model import Grid, Line
+from repro.grid.sensitivities import (
+    lodf_matrix,
+    post_outage_flows,
+    ptdf_matrix,
+)
+
+
+class TestPtdf:
+    def test_reference_column_zero(self):
+        grid = ieee14()
+        ptdf = ptdf_matrix(grid, reference_bus=1)
+        assert np.allclose(ptdf[:, 0], 0.0)
+
+    def test_injection_superposition_matches_power_flow(self):
+        grid = ieee14()
+        inj = nominal_injections(grid)
+        base = solve_dc_flow(grid, inj)
+        ptdf = ptdf_matrix(grid)
+        # shift 0.1 pu from bus 9 to bus 1 (the reference)
+        shifted = inj.copy()
+        shifted[8] += 0.1
+        shifted[0] -= 0.1
+        resolved = solve_dc_flow(grid, shifted)
+        predicted = base.line_flows + 0.1 * ptdf[:, 8]
+        assert np.allclose(predicted, resolved.line_flows, atol=1e-9)
+
+    def test_radial_line_ptdf_is_unit(self):
+        # in a path grid, all power from the end flows over every line
+        grid = Grid(3, [Line(1, 1, 2, 5.0), Line(2, 2, 3, 2.0)])
+        ptdf = ptdf_matrix(grid, reference_bus=1)
+        assert ptdf[0, 2] == pytest.approx(-1.0)  # inject at 3: flows 3->1
+        assert ptdf[1, 2] == pytest.approx(-1.0)
+
+    def test_rows_cover_all_lines(self):
+        grid = ieee30()
+        ptdf = ptdf_matrix(grid)
+        assert ptdf.shape == (41, 30)
+        assert np.all(np.isfinite(ptdf))
+
+
+class TestLodf:
+    def test_diagonal_minus_one(self):
+        grid = ieee14()
+        lodf = lodf_matrix(grid)
+        for k in range(20):
+            if not np.isnan(lodf[k, k]):
+                assert lodf[k, k] == pytest.approx(-1.0)
+
+    def test_bridge_lines_are_nan(self):
+        grid = ieee14()
+        lodf = lodf_matrix(grid)
+        # line 14 (7-8) is bus 8's only connection: a bridge
+        assert np.all(np.isnan(lodf[:, 13]))
+
+    def test_meshed_lines_finite(self):
+        grid = ieee14()
+        lodf = lodf_matrix(grid)
+        # line 1 (1-2) is part of a mesh
+        assert np.all(np.isfinite(lodf[:, 0]))
+
+
+class TestPostOutageFlows:
+    @pytest.mark.parametrize("outage", [1, 5, 7, 13, 16])
+    def test_matches_resolved_power_flow(self, outage):
+        grid = ieee14()
+        inj = nominal_injections(grid)
+        base = solve_dc_flow(grid, inj)
+        predicted = post_outage_flows(grid, base, outage)
+        assert predicted is not None
+        lines = [i for i in range(1, 21) if i != outage]
+        resolved = solve_dc_flow(grid, inj, line_indices=lines)
+        assert np.allclose(predicted, resolved.line_flows, atol=1e-8)
+
+    def test_bridge_outage_returns_none(self):
+        grid = ieee14()
+        inj = nominal_injections(grid)
+        base = solve_dc_flow(grid, inj)
+        assert post_outage_flows(grid, base, 14) is None  # islands bus 8
+
+    def test_flow_conservation_after_outage(self):
+        grid = ieee30()
+        inj = nominal_injections(grid)
+        base = solve_dc_flow(grid, inj)
+        predicted = post_outage_flows(grid, base, 1)
+        assert predicted is not None
+        for j in grid.buses:
+            net = 0.0
+            for line in grid.lines_at(j):
+                sign = 1.0 if line.from_bus == j else -1.0
+                net += sign * predicted[line.index - 1]
+            assert net == pytest.approx(inj[j - 1], abs=1e-7)

@@ -1,0 +1,80 @@
+"""Tests for the deterministic synthetic grid generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.synthetic import generate_grid
+
+
+class TestGenerator:
+    def test_exact_size(self):
+        g = generate_grid(57, 80, seed=1)
+        assert g.num_buses == 57
+        assert g.num_lines == 80
+
+    def test_connected(self):
+        assert generate_grid(100, 140, seed=2).is_connected()
+
+    def test_deterministic_per_seed(self):
+        a = generate_grid(40, 55, seed=9)
+        b = generate_grid(40, 55, seed=9)
+        assert [(l.from_bus, l.to_bus, l.admittance) for l in a.lines] == [
+            (l.from_bus, l.to_bus, l.admittance) for l in b.lines
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_grid(40, 55, seed=1)
+        b = generate_grid(40, 55, seed=2)
+        assert [(l.from_bus, l.to_bus) for l in a.lines] != [
+            (l.from_bus, l.to_bus) for l in b.lines
+        ]
+
+    def test_no_duplicate_edges(self):
+        g = generate_grid(80, 112, seed=3)
+        seen = set()
+        for line in g.lines:
+            key = (min(line.from_bus, line.to_bus), max(line.from_bus, line.to_bus))
+            assert key not in seen
+            seen.add(key)
+
+    def test_reactance_range(self):
+        g = generate_grid(30, 42, seed=4, min_reactance=0.1, max_reactance=0.2)
+        for line in g.lines:
+            assert 0.1 <= line.reactance <= 0.2 + 1e-9
+
+    def test_tree_only(self):
+        g = generate_grid(10, 9, seed=5)
+        assert g.is_connected()
+        assert g.num_lines == 9
+
+    def test_too_few_lines_rejected(self):
+        with pytest.raises(ValueError, match="spanning tree"):
+            generate_grid(10, 8)
+
+    def test_too_many_lines_rejected(self):
+        # 4 buses admit at most C(4,2) = 6 simple edges; asking for more
+        # must fail fast instead of looping (regression test)
+        with pytest.raises(ValueError, match="capacity"):
+            generate_grid(4, 7)
+
+    def test_complete_graph_is_reachable(self):
+        g = generate_grid(4, 6, seed=1)
+        assert g.num_lines == 6
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(5, 80).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.integers(n - 1, min(2 * n, n * (n - 1) // 2)),
+            st.integers(0, 1000),
+        )
+    )
+)
+def test_hypothesis_always_connected_and_sized(params):
+    n, m, seed = params
+    g = generate_grid(n, m, seed=seed)
+    assert g.num_buses == n
+    assert g.num_lines == m
+    assert g.is_connected()

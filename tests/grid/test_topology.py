@@ -1,0 +1,120 @@
+"""Tests for the topology processor and poisoning rules."""
+
+import pytest
+
+from repro.grid.cases import ieee14
+from repro.grid.model import Grid, Line
+from repro.grid.topology import (
+    BreakerStatus,
+    TopologyAttackError,
+    TopologyProcessor,
+)
+
+
+def processor_with(line_overrides):
+    grid = ieee14()
+    statuses = []
+    for line in grid.lines:
+        kwargs = line_overrides.get(line.index, {})
+        statuses.append(BreakerStatus(line.index, **kwargs))
+    return TopologyProcessor(grid, statuses)
+
+
+class TestBreakerStatus:
+    def test_fixed_open_is_invalid(self):
+        with pytest.raises(ValueError, match="must be closed"):
+            BreakerStatus(1, closed=False, fixed=True)
+
+    def test_defaults(self):
+        s = BreakerStatus(3)
+        assert s.closed and not s.fixed and not s.secured
+
+
+class TestTrueTopology:
+    def test_all_closed_by_default(self):
+        proc = TopologyProcessor(ieee14())
+        snap = proc.true_topology()
+        assert snap.mapped_lines == frozenset(range(1, 21))
+        assert not snap.poisoned
+        assert snap.is_connected()
+
+    def test_open_lines_excluded_from_mapping(self):
+        proc = processor_with({5: dict(closed=False)})
+        snap = proc.true_topology()
+        assert 5 not in snap.mapped_lines
+        assert snap.is_mapped(4)
+
+    def test_duplicate_status_rejected(self):
+        grid = ieee14()
+        with pytest.raises(ValueError, match="duplicate"):
+            TopologyProcessor(grid, [BreakerStatus(1), BreakerStatus(1)])
+
+    def test_unknown_line_rejected(self):
+        with pytest.raises(ValueError, match="unknown line"):
+            TopologyProcessor(ieee14(), [BreakerStatus(99)])
+
+
+class TestPoisoningRules:
+    def test_exclusion_of_plain_line(self):
+        proc = processor_with({})
+        snap = proc.apply_poisoning(exclusions=[13])
+        assert 13 not in snap.mapped_lines
+        assert snap.excluded_lines == frozenset({13})
+        assert snap.poisoned
+
+    def test_exclusion_of_fixed_line_rejected(self):
+        proc = processor_with({13: dict(fixed=True)})
+        with pytest.raises(TopologyAttackError, match="fixed"):
+            proc.apply_poisoning(exclusions=[13])
+
+    def test_exclusion_of_secured_status_rejected(self):
+        proc = processor_with({13: dict(secured=True)})
+        with pytest.raises(TopologyAttackError, match="secured"):
+            proc.apply_poisoning(exclusions=[13])
+
+    def test_exclusion_of_open_line_rejected(self):
+        proc = processor_with({13: dict(closed=False)})
+        with pytest.raises(TopologyAttackError, match="open"):
+            proc.apply_poisoning(exclusions=[13])
+
+    def test_inclusion_of_open_line(self):
+        proc = processor_with({5: dict(closed=False)})
+        snap = proc.apply_poisoning(inclusions=[5])
+        assert 5 in snap.mapped_lines
+        assert snap.included_lines == frozenset({5})
+
+    def test_inclusion_of_closed_line_rejected(self):
+        proc = processor_with({})
+        with pytest.raises(TopologyAttackError, match="closed"):
+            proc.apply_poisoning(inclusions=[5])
+
+    def test_inclusion_of_secured_open_line_rejected(self):
+        proc = processor_with({5: dict(closed=False, secured=True)})
+        with pytest.raises(TopologyAttackError, match="secured"):
+            proc.apply_poisoning(inclusions=[5])
+
+    def test_exclude_and_include_same_line_rejected(self):
+        proc = processor_with({})
+        with pytest.raises(TopologyAttackError, match="both"):
+            proc.apply_poisoning(exclusions=[5], inclusions=[5])
+
+
+class TestSnapshot:
+    def test_effective_grid_renumbered(self):
+        proc = processor_with({})
+        snap = proc.apply_poisoning(exclusions=[1])
+        eff = snap.effective_grid()
+        assert eff.num_lines == 19
+        assert eff.num_buses == 14
+
+    def test_islands_after_cut(self):
+        # removing both lines at bus 8's only connection isolates it
+        grid = Grid(
+            3,
+            [Line(1, 1, 2, 1.0), Line(2, 2, 3, 1.0)],
+        )
+        proc = TopologyProcessor(grid)
+        snap = proc.apply_poisoning(exclusions=[2])
+        islands = snap.islands()
+        assert sorted(map(sorted, islands)) == [[1, 2], [3]]
+        assert not snap.is_connected()

@@ -1,0 +1,119 @@
+"""Cross-cutting property tests on the formal models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.io import parse_spec, write_spec
+from repro.core.spec import AttackGoal, AttackSpec, LineAttributes, ResourceLimits
+from repro.core.verification import verify_attack
+from repro.estimation.baddata import chi_square_test
+from repro.estimation.measurement import MeasurementPlan, build_h, build_measurements
+from repro.estimation.wls import wls_estimate
+from repro.grid.cases import ieee14
+from repro.grid.dcflow import nominal_injections, solve_dc_flow
+from repro.grid.synthetic import generate_grid
+
+NOISE = 0.008
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 14), st.floats(0.001, 2.0))
+def test_attack_homogeneity(target, scale):
+    """The UFDI system is homogeneous: any rescaled attack stays stealthy."""
+    spec = AttackSpec.default(ieee14(), goal=AttackGoal.states(target))
+    result = verify_attack(spec)
+    assert result.attack_exists
+    grid, plan = spec.grid, spec.plan
+    flow = solve_dc_flow(grid, nominal_injections(grid))
+    z = build_measurements(plan, flow, noise_std=NOISE, seed=1)
+    h = build_h(grid, 1, plan.taken_in_order())
+    w = np.full(len(z), 1 / NOISE**2)
+    base = wls_estimate(h, z, w)
+    attacked = wls_estimate(h, result.attack.scaled(scale).apply_to(z, plan), w)
+    assert attacked.objective == pytest.approx(base.objective, abs=1e-4)
+    assert not chi_square_test(attacked).bad_data_detected
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 5000))
+def test_io_round_trip_preserves_verdict(seed):
+    """Random specs survive text serialization with identical verdicts."""
+    import random
+
+    rng = random.Random(seed)
+    num_buses = rng.randint(4, 10)
+    max_lines = min(num_buses + 3, num_buses * (num_buses - 1) // 2)
+    grid = generate_grid(num_buses, rng.randint(num_buses - 1, max_lines), seed=seed)
+    num_potential = 2 * grid.num_lines + grid.num_buses
+    taken = {m for m in range(1, num_potential + 1) if rng.random() < 0.8}
+    taken |= {2 * grid.num_lines + j for j in grid.buses}
+    plan = MeasurementPlan(
+        grid,
+        taken=taken,
+        secured={m for m in taken if rng.random() < 0.1},
+        inaccessible={m for m in range(1, num_potential + 1) if rng.random() < 0.05},
+    )
+    spec = AttackSpec(
+        grid=grid,
+        plan=plan,
+        line_attrs={
+            i: LineAttributes(knows_admittance=rng.random() > 0.2)
+            for i in range(1, grid.num_lines + 1)
+        },
+        goal=AttackGoal.states(rng.randint(2, grid.num_buses)),
+        limits=ResourceLimits(
+            max_measurements=rng.choice([None, rng.randint(2, 10)])
+        ),
+    )
+    round_tripped = parse_spec(write_spec(spec))
+    # conflict budget bounds runaway instances; the solver is
+    # deterministic, so identical encodings give identical outcomes
+    # (including UNKNOWN == UNKNOWN on budget exhaustion)
+    original = verify_attack(spec, max_conflicts=3000).outcome
+    replayed = verify_attack(round_tripped, max_conflicts=3000).outcome
+    assert original == replayed
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 3000))
+def test_monotonicity_in_attacker_power(seed):
+    """More resources / knowledge never turn SAT into UNSAT."""
+    import random
+
+    rng = random.Random(seed)
+    num_buses = rng.randint(4, 9)
+    grid = generate_grid(num_buses, num_buses + 1, seed=seed)
+    target = rng.randint(2, num_buses)
+    weak = AttackSpec.default(
+        grid,
+        goal=AttackGoal.states(target),
+        limits=ResourceLimits(max_measurements=rng.randint(2, 6)),
+        line_attrs={1: LineAttributes(knows_admittance=False)},
+    )
+    strong = AttackSpec.default(grid, goal=AttackGoal.states(target))
+    weak_result = verify_attack(weak)
+    strong_result = verify_attack(strong)
+    if weak_result.attack_exists:
+        assert strong_result.attack_exists
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 3000))
+def test_securing_is_monotone(seed):
+    """Securing more measurements never turns UNSAT into SAT."""
+    import random
+
+    rng = random.Random(seed)
+    num_buses = rng.randint(4, 9)
+    grid = generate_grid(num_buses, num_buses + 1, seed=seed)
+    target = rng.randint(2, num_buses)
+    base = AttackSpec.default(grid, goal=AttackGoal.states(target, exclusive=True))
+    secured_some = base.with_secured_buses(
+        [rng.randint(1, num_buses) for _ in range(2)]
+    )
+    secured_more = secured_some.with_secured_buses(
+        [rng.randint(1, num_buses) for _ in range(2)]
+    )
+    if not verify_attack(secured_some).attack_exists:
+        assert not verify_attack(secured_more).attack_exists

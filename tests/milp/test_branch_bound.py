@@ -1,0 +1,135 @@
+"""Tests for the from-scratch branch-and-bound MILP solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import milp as scipy_milp
+from scipy.optimize import Bounds, LinearConstraint
+
+from repro.milp.branch_bound import BnbStatus, branch_and_bound
+
+
+class TestPureLp:
+    def test_no_integers_is_plain_lp(self):
+        # min x + y s.t. x + y >= 2, x,y >= 0
+        result = branch_and_bound(
+            c=[1, 1],
+            a_ub=np.array([[-1, -1]]),
+            b_ub=[-2],
+            bounds=[(0, None), (0, None)],
+        )
+        assert result.status is BnbStatus.OPTIMAL
+        assert result.objective == pytest.approx(2.0)
+
+    def test_infeasible_lp(self):
+        result = branch_and_bound(
+            c=[1],
+            a_ub=np.array([[1], [-1]]),
+            b_ub=[0, -1],  # x <= 0 and x >= 1
+            bounds=[(None, None)],
+        )
+        assert result.status is BnbStatus.INFEASIBLE
+
+
+class TestInteger:
+    def test_knapsack(self):
+        # max 10a + 6b + 4c (i.e. min negative) s.t. a+b+c <= 2, binary
+        result = branch_and_bound(
+            c=[-10, -6, -4],
+            a_ub=np.array([[1, 1, 1]]),
+            b_ub=[2],
+            bounds=[(0, 1)] * 3,
+            integer_mask=[True] * 3,
+        )
+        assert result.status is BnbStatus.OPTIMAL
+        assert result.objective == pytest.approx(-16.0)
+        assert list(result.x) == [1, 1, 0]
+
+    def test_fractional_lp_relaxation_rounds_down(self):
+        # min -x s.t. 2x <= 3, x integer in [0, 5] -> x = 1
+        result = branch_and_bound(
+            c=[-1],
+            a_ub=np.array([[2]]),
+            b_ub=[3],
+            bounds=[(0, 5)],
+            integer_mask=[True],
+        )
+        assert result.objective == pytest.approx(-1.0)
+
+    def test_integer_infeasibility(self):
+        # 0.4 <= x <= 0.6, x integer
+        result = branch_and_bound(
+            c=[0],
+            bounds=[(0.4, 0.6)],
+            integer_mask=[True],
+        )
+        assert result.status is BnbStatus.INFEASIBLE
+
+    def test_equality_constraints(self):
+        # x + y == 3, x,y binary-ish integers in [0,2]
+        result = branch_and_bound(
+            c=[1, 0],
+            a_eq=np.array([[1, 1]]),
+            b_eq=[3],
+            bounds=[(0, 2), (0, 2)],
+            integer_mask=[True, True],
+        )
+        assert result.status is BnbStatus.OPTIMAL
+        assert result.x[0] == pytest.approx(1.0)
+
+    def test_mixed_integer_continuous(self):
+        # min y s.t. y >= x - 0.5, x integer in [0,3], y >= 1.2 -> pick x freely
+        result = branch_and_bound(
+            c=[0, 1],
+            a_ub=np.array([[1, -1]]),
+            b_ub=[0.5],
+            bounds=[(0, 3), (1.2, None)],
+            integer_mask=[True, False],
+        )
+        assert result.status is BnbStatus.OPTIMAL
+        assert result.objective == pytest.approx(1.2)
+
+    def test_node_limit(self):
+        rng = np.random.default_rng(3)
+        n = 14
+        a = rng.integers(1, 10, size=(1, n)).astype(float)
+        result = branch_and_bound(
+            c=list(-a[0]),
+            a_ub=a,
+            b_ub=[a.sum() / 2 + 0.5],
+            bounds=[(0, 1)] * n,
+            integer_mask=[True] * n,
+            max_nodes=2,
+        )
+        assert result.status in (BnbStatus.NODE_LIMIT, BnbStatus.OPTIMAL)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_hypothesis_agrees_with_highs(seed):
+    """Random small binary feasibility/optimization vs scipy's HiGHS."""
+    rng = np.random.default_rng(seed)
+    n = rng.integers(2, 6)
+    m = rng.integers(1, 5)
+    a = rng.integers(-3, 4, size=(m, n)).astype(float)
+    b = rng.integers(-2, 5, size=m).astype(float)
+    c = rng.integers(-5, 6, size=n).astype(float)
+    ours = branch_and_bound(
+        c=list(c),
+        a_ub=a,
+        b_ub=list(b),
+        bounds=[(0, 1)] * int(n),
+        integer_mask=[True] * int(n),
+        max_nodes=5000,
+    )
+    res = scipy_milp(
+        c=c,
+        constraints=LinearConstraint(a, -np.inf, b),
+        integrality=np.ones(n),
+        bounds=Bounds(np.zeros(n), np.ones(n)),
+    )
+    if res.status == 0:
+        assert ours.status is BnbStatus.OPTIMAL
+        assert ours.objective == pytest.approx(res.fun, abs=1e-6)
+    elif res.status == 2:
+        assert ours.status is BnbStatus.INFEASIBLE

@@ -1,0 +1,76 @@
+"""Tests for the sequential-counter cardinality encodings."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.cardinality import encode_at_least, encode_at_most, encode_exactly
+from repro.smt.sat import SatSolver
+
+
+def count_models(n, k, encoder):
+    """Count assignments to the first n vars accepted by the encoding."""
+    solver = SatSolver()
+    solver.ensure_vars(n)
+    aux = {"next": n}
+
+    def new_var():
+        aux["next"] += 1
+        solver.ensure_vars(aux["next"])
+        return aux["next"]
+
+    ok = {"value": True}
+
+    def add_clause(clause):
+        if not solver.add_clause(clause):
+            ok["value"] = False
+
+    encoder(list(range(1, n + 1)), k, new_var, add_clause)
+    models = 0
+    for bits in itertools.product([False, True], repeat=n):
+        if not ok["value"]:
+            break
+        assumptions = [v if bits[v - 1] else -v for v in range(1, n + 1)]
+        if solver.solve(assumptions=assumptions):
+            models += 1
+    return models
+
+
+def comb_sum(n, lo, hi):
+    from math import comb
+
+    return sum(comb(n, i) for i in range(lo, hi + 1))
+
+
+class TestAtMost:
+    @pytest.mark.parametrize("n,k", [(1, 0), (3, 1), (4, 2), (5, 3), (5, 5), (6, 0)])
+    def test_model_count(self, n, k):
+        assert count_models(n, k, encode_at_most) == comb_sum(n, 0, min(k, n))
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            encode_at_most([1], -1, lambda: 2, lambda c: None)
+
+
+class TestAtLeast:
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 3), (5, 5), (4, 0)])
+    def test_model_count(self, n, k):
+        assert count_models(n, k, encode_at_least) == comb_sum(n, k, n)
+
+    def test_k_above_n_is_unsat(self):
+        assert count_models(3, 4, encode_at_least) == 0
+
+
+class TestExactly:
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 0), (5, 5)])
+    def test_model_count(self, n, k):
+        from math import comb
+
+        assert count_models(n, k, encode_exactly) == comb(n, k)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 6), st.integers(0, 6))
+def test_hypothesis_at_most_counts(n, k):
+    assert count_models(n, k, encode_at_most) == comb_sum(n, 0, min(k, n))

@@ -1,0 +1,133 @@
+"""Unit tests for the Tseitin CNF builder."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt.cnf import CnfBuilder, canonicalize_atom
+from repro.smt.terms import (
+    And,
+    Atom,
+    BoolVar,
+    FALSE,
+    LinExpr,
+    Not,
+    Or,
+    RealVar,
+    TRUE,
+    ge,
+    le,
+)
+
+F = Fraction
+
+
+def expr(coeffs):
+    return LinExpr({k: F(v) for k, v in coeffs.items()}, F(0))
+
+
+class TestCanonicalization:
+    def test_scaling_merges_equivalent_atoms(self):
+        a1 = le(expr({0: 2, 1: -2}), 4)
+        a2 = le(expr({0: 1, 1: -1}), 2)
+        assert canonicalize_atom(a1) == canonicalize_atom(a2)
+
+    def test_negative_lead_flips_operator(self):
+        # -x <= -1  is  x >= 1
+        a1 = le(expr({0: -1}), -1)
+        a2 = ge(expr({0: 1}), 1)
+        assert canonicalize_atom(a1) == canonicalize_atom(a2)
+
+    def test_distinct_bounds_stay_distinct(self):
+        a1 = le(expr({0: 1}), 1)
+        a2 = le(expr({0: 1}), 2)
+        assert canonicalize_atom(a1) != canonicalize_atom(a2)
+
+
+class TestBuilder:
+    def test_true_literal_reserved(self):
+        builder = CnfBuilder()
+        assert builder.clauses[0] == [CnfBuilder.TRUE_LIT]
+
+    def test_bool_var_interned(self):
+        builder = CnfBuilder()
+        v = BoolVar("a", 0)
+        assert builder.literal_for(v) == builder.literal_for(v)
+
+    def test_atom_interned_across_syntactic_variants(self):
+        builder = CnfBuilder()
+        a1 = le(expr({0: 2}), 4)
+        a2 = le(expr({0: 1}), 2)
+        assert builder.literal_for(a1) == builder.literal_for(a2)
+
+    def test_negation_is_negative_literal(self):
+        builder = CnfBuilder()
+        v = BoolVar("a", 0)
+        assert builder.literal_for(Not(v)) == -builder.literal_for(v)
+
+    def test_constants(self):
+        builder = CnfBuilder()
+        assert builder.literal_for(TRUE) == CnfBuilder.TRUE_LIT
+        assert builder.literal_for(FALSE) == -CnfBuilder.TRUE_LIT
+
+    def test_and_gate_clauses(self):
+        builder = CnfBuilder()
+        a, b = BoolVar("a", 0), BoolVar("b", 1)
+        before = len(builder.clauses)
+        g = builder.literal_for(And(a, b))
+        # 2 implication clauses + 1 reverse clause
+        assert len(builder.clauses) == before + 3
+        # same gate reused
+        assert builder.literal_for(And(b, a)) == g
+
+    def test_and_with_complement_is_false(self):
+        builder = CnfBuilder()
+        a = BoolVar("a", 0)
+        assert builder.literal_for(And(a, Not(a))) == -CnfBuilder.TRUE_LIT
+
+    def test_or_with_complement_is_true(self):
+        builder = CnfBuilder()
+        a = BoolVar("a", 0)
+        assert builder.literal_for(Or(a, Not(a))) == CnfBuilder.TRUE_LIT
+
+    def test_singleton_gate_collapses(self):
+        builder = CnfBuilder()
+        a = BoolVar("a", 0)
+        assert builder.literal_for(And(a, a)) == builder.literal_for(a)
+
+    def test_assert_top_level_and_splits(self):
+        builder = CnfBuilder()
+        a, b = BoolVar("a", 0), BoolVar("b", 1)
+        before = len(builder.clauses)
+        builder.assert_term(And(a, b))
+        # two unit clauses, no gate variable
+        added = builder.clauses[before:]
+        assert sorted(len(c) for c in added) == [1, 1]
+
+    def test_assert_top_level_or_is_one_clause(self):
+        builder = CnfBuilder()
+        a, b = BoolVar("a", 0), BoolVar("b", 1)
+        before = len(builder.clauses)
+        builder.assert_term(Or(a, b))
+        added = builder.clauses[before:]
+        assert len(added) == 1 and len(added[0]) == 2
+
+    def test_guard_prepended(self):
+        builder = CnfBuilder()
+        a = BoolVar("a", 0)
+        guard = builder.new_var()
+        before = len(builder.clauses)
+        builder.assert_term(a, guard=guard)
+        assert builder.clauses[before][0] == -guard
+
+    def test_atom_registry_exposed(self):
+        builder = CnfBuilder()
+        atom = le(expr({0: 1}), 2)
+        lit = builder.literal_for(atom)
+        assert lit in builder.atom_of_var
+        coeffs, op, bound = builder.atom_of_var[lit]
+        assert op == "<=" and bound == F(2)
+
+    def test_constant_atom_rejected(self):
+        with pytest.raises(ValueError):
+            canonicalize_atom(Atom(LinExpr({}, F(0)), "<=", F(1)))

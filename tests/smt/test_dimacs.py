@@ -1,0 +1,116 @@
+"""Tests for DIMACS import/export."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.smt import Solver, ge, le
+from repro.smt.dimacs import (
+    DimacsError,
+    export_solver_cnf,
+    parse_dimacs,
+    solve_dimacs_file,
+    solver_from_dimacs,
+    write_dimacs,
+)
+
+SAMPLE = """c a tiny satisfiable instance
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+"""
+
+UNSAT = """p cnf 1 2
+1 0
+-1 0
+"""
+
+
+class TestParse:
+    def test_sample(self):
+        num_vars, clauses = parse_dimacs(SAMPLE)
+        assert num_vars == 3
+        assert clauses == [[1, -2], [2, 3], [-1]]
+
+    def test_comments_ignored(self):
+        num_vars, clauses = parse_dimacs("c hi\n" + UNSAT)
+        assert len(clauses) == 2
+
+    def test_multiline_clause(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        __, clauses = parse_dimacs(text)
+        assert clauses == [[1, 2, 3]]
+
+    def test_missing_problem_line(self):
+        with pytest.raises(DimacsError, match="problem line"):
+            parse_dimacs("1 2 0\n")
+
+    def test_bad_problem_line(self):
+        with pytest.raises(DimacsError, match="problem line"):
+            parse_dimacs("p sat 3 1\n1 0\n")
+
+    def test_out_of_range_literal(self):
+        with pytest.raises(DimacsError, match="exceeds"):
+            parse_dimacs("p cnf 2 1\n3 0\n")
+
+    def test_garbage_token(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n1 x 0\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_cnf_round_trip(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 8)
+        clauses = [
+            [rng.choice([1, -1]) * rng.randint(1, n) for _ in range(rng.randint(1, 3))]
+            for _ in range(rng.randint(1, 20))
+        ]
+        text = write_dimacs(n, clauses)
+        num_vars, parsed = parse_dimacs(text)
+        assert num_vars == n
+        assert parsed == clauses
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_solver_verdict_preserved(self, seed):
+        rng = random.Random(100 + seed)
+        n = rng.randint(2, 7)
+        clauses = [
+            [rng.choice([1, -1]) * rng.randint(1, n) for _ in range(rng.randint(1, 3))]
+            for _ in range(rng.randint(1, 25))
+        ]
+        brute = any(
+            all(any((l > 0) == bits[abs(l) - 1] for l in c) for c in clauses)
+            for bits in itertools.product([False, True], repeat=n)
+        )
+        solver = solver_from_dimacs(write_dimacs(n, clauses))
+        assert solver.solve() is brute
+
+
+class TestFileInterface:
+    def test_solve_file(self, tmp_path):
+        path = tmp_path / "sample.cnf"
+        path.write_text(SAMPLE)
+        assert solve_dimacs_file(path) is True
+        path.write_text(UNSAT)
+        assert solve_dimacs_file(path) is False
+
+
+class TestSmtExport:
+    def test_export_is_relaxation(self):
+        # boolean-level UNSAT survives export; theory-level UNSAT does not
+        s = Solver()
+        a = s.bool_var("a")
+        s.add(a, ~a)
+        solver = solver_from_dimacs(export_solver_cnf(s))
+        assert solver.solve() is False
+
+    def test_theory_unsat_relaxes_to_sat(self):
+        s = Solver()
+        x = s.real_var("x")
+        s.add(ge(x, 5), le(x, 1))
+        solver = solver_from_dimacs(export_solver_cnf(s))
+        assert solver.solve() is True  # atoms are free booleans in DIMACS

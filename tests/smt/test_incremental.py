@@ -1,0 +1,134 @@
+"""Property tests for incremental solving: push/pop and assumptions must
+agree with fresh re-encoding."""
+
+import random
+
+import pytest
+
+from repro.smt import Not, Or, Result, Solver, eq, ge, implies, le
+
+
+def random_formula_layers(seed, num_layers=3):
+    """Build layered random constraints over shared variables.
+
+    Returns (variable specs, layers) where each layer is a list of
+    constraint descriptors that can be replayed into any solver.
+    """
+    rng = random.Random(seed)
+    nv, nb = rng.randint(1, 3), rng.randint(1, 3)
+    layers = []
+    for _ in range(num_layers):
+        layer = []
+        for _ in range(rng.randint(1, 4)):
+            coeffs = [rng.randint(-2, 2) for _ in range(nv)]
+            if all(c == 0 for c in coeffs):
+                coeffs[0] = 1
+            layer.append(
+                dict(
+                    bool_index=rng.randrange(nb),
+                    polarity=rng.random() < 0.5,
+                    coeffs=coeffs,
+                    bound=rng.randint(-4, 4),
+                    use_le=rng.random() < 0.5,
+                )
+            )
+        layers.append(layer)
+    return nv, nb, layers
+
+
+def apply_layer(solver, xs, bs, layer):
+    for c in layer:
+        expr = sum(
+            (coef * x for coef, x in zip(c["coeffs"], xs)), start=0 * xs[0]
+        )
+        atom = le(expr, c["bound"]) if c["use_le"] else ge(expr, c["bound"])
+        antecedent = bs[c["bool_index"]]
+        if not c["polarity"]:
+            antecedent = Not(antecedent)
+        solver.add(implies(antecedent, atom))
+
+
+def fresh_verdict(nv, nb, layers):
+    solver = Solver()
+    xs = solver.real_vars("x", nv)
+    bs = solver.bool_vars("b", nb)
+    for layer in layers:
+        apply_layer(solver, xs, bs, layer)
+    return solver.check()
+
+
+class TestPushPopAgainstFresh:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_layered_push_pop(self, seed):
+        nv, nb, layers = random_formula_layers(seed)
+        solver = Solver()
+        xs = solver.real_vars("x", nv)
+        bs = solver.bool_vars("b", nb)
+        apply_layer(solver, xs, bs, layers[0])
+        base = solver.check()
+        assert base == fresh_verdict(nv, nb, layers[:1])
+
+        solver.push()
+        apply_layer(solver, xs, bs, layers[1])
+        assert solver.check() == fresh_verdict(nv, nb, layers[:2])
+
+        solver.push()
+        apply_layer(solver, xs, bs, layers[2])
+        assert solver.check() == fresh_verdict(nv, nb, layers[:3])
+
+        solver.pop()
+        assert solver.check() == fresh_verdict(nv, nb, layers[:2])
+
+        solver.pop()
+        assert solver.check() == base
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_assumptions_match_added_units(self, seed):
+        nv, nb, layers = random_formula_layers(seed, num_layers=1)
+        solver = Solver()
+        xs = solver.real_vars("x", nv)
+        bs = solver.bool_vars("b", nb)
+        apply_layer(solver, xs, bs, layers[0])
+        rng = random.Random(seed + 999)
+        assumption_bits = [rng.random() < 0.5 for _ in range(nb)]
+        assumptions = [
+            b if bit else Not(b) for b, bit in zip(bs, assumption_bits)
+        ]
+        assumed = solver.check(assumptions=assumptions)
+        # same thing with hard unit constraints, fresh solver
+        fresh = Solver()
+        fxs = fresh.real_vars("x", nv)
+        fbs = fresh.bool_vars("b", nb)
+        apply_layer(fresh, fxs, fbs, layers[0])
+        for b, bit in zip(fbs, assumption_bits):
+            fresh.add(b if bit else Not(b))
+        assert assumed == fresh.check()
+        # and the assumption-free formula is unchanged afterwards
+        assert solver.check() == fresh_verdict(nv, nb, layers[:1])
+
+
+class TestModelStability:
+    def test_models_respect_popped_scopes(self):
+        solver = Solver()
+        x = solver.real_var("x")
+        solver.add(ge(x, 0), le(x, 10))
+        solver.push()
+        solver.add(eq(x, 7))
+        assert solver.check() is Result.SAT
+        assert solver.model().real_value(x) == 7
+        solver.pop()
+        solver.add(le(x, 3))
+        assert solver.check() is Result.SAT
+        assert 0 <= solver.model().real_value(x) <= 3
+
+    def test_many_push_pop_cycles(self):
+        solver = Solver()
+        x = solver.real_var("x")
+        solver.add(ge(x, 0))
+        for k in range(20):
+            solver.push()
+            solver.add(eq(x, k))
+            assert solver.check() is Result.SAT
+            assert solver.model().real_value(x) == k
+            solver.pop()
+        assert solver.check() is Result.SAT

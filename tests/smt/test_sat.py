@@ -1,0 +1,149 @@
+"""Unit and property tests for the CDCL SAT core."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.sat import SatSolver, luby
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any((l > 0) == bits[abs(l) - 1] for l in c) for c in clauses):
+            return True
+    return False
+
+
+def make_solver(num_vars, clauses):
+    solver = SatSolver()
+    solver.ensure_vars(num_vars)
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            return solver, False
+    return solver, True
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+
+class TestBasics:
+    def test_empty_instance_is_sat(self):
+        solver = SatSolver()
+        assert solver.solve() is True
+
+    def test_unit_clause(self):
+        solver, ok = make_solver(1, [[1]])
+        assert ok and solver.solve() is True
+        assert solver.assign[1] == 1
+
+    def test_contradictory_units(self):
+        solver, ok = make_solver(1, [[1], [-1]])
+        assert not ok or solver.solve() is False
+
+    def test_simple_implication_chain(self):
+        solver, ok = make_solver(3, [[1], [-1, 2], [-2, 3]])
+        assert ok and solver.solve() is True
+        assert solver.assign[3] == 1
+
+    def test_pigeonhole_2_into_1(self):
+        # two pigeons, one hole: p1 and p2 both in hole, not together
+        solver, ok = make_solver(2, [[1], [2], [-1, -2]])
+        assert solver.solve() is False
+
+    def test_tautology_ignored(self):
+        solver, ok = make_solver(2, [[1, -1], [2]])
+        assert ok and solver.solve() is True
+
+    def test_duplicate_literals_collapsed(self):
+        solver, ok = make_solver(1, [[1, 1, 1]])
+        assert ok and solver.solve() is True
+
+    def test_solver_reusable_after_unsat_assumptions(self):
+        solver, ok = make_solver(2, [[1, 2]])
+        assert solver.solve(assumptions=[-1, -2]) is False
+        assert solver.ok
+        assert solver.solve() is True
+
+    def test_assumption_conflicting_with_units(self):
+        solver, ok = make_solver(1, [[1]])
+        assert solver.solve(assumptions=[-1]) is False
+        assert solver.solve(assumptions=[1]) is True
+
+    def test_pigeonhole_4_into_3_unsat(self):
+        # PHP(4,3): var p_{i,h} = 3*(i-1)+h, pigeons 1..4, holes 1..3
+        clauses = []
+        def var(i, h):
+            return 3 * (i - 1) + h
+        for i in range(1, 5):
+            clauses.append([var(i, h) for h in range(1, 4)])
+        for h in range(1, 4):
+            for i in range(1, 5):
+                for j in range(i + 1, 5):
+                    clauses.append([-var(i, h), -var(j, h)])
+        solver, ok = make_solver(12, clauses)
+        assert solver.solve() is False
+
+    def test_conflict_budget_returns_none(self):
+        clauses = []
+        def var(i, h):
+            return 5 * (i - 1) + h
+        for i in range(1, 7):
+            clauses.append([var(i, h) for h in range(1, 6)])
+        for h in range(1, 6):
+            for i in range(1, 7):
+                for j in range(i + 1, 7):
+                    clauses.append([-var(i, h), -var(j, h)])
+        solver, ok = make_solver(30, clauses)
+        solver.conflict_budget = 3
+        assert solver.solve() is None
+
+
+class TestRandomizedAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_3cnf(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 9)
+        m = rng.randint(3, 40)
+        clauses = [
+            [rng.choice([1, -1]) * rng.randint(1, n) for _ in range(rng.randint(1, 3))]
+            for _ in range(m)
+        ]
+        solver, ok = make_solver(n, clauses)
+        got = solver.solve() if ok else False
+        assert got == brute_force_sat(n, clauses)
+        if got:
+            for clause in clauses:
+                assert any(
+                    solver.assign[abs(l)] == (1 if l > 0 else -1) for l in clause
+                )
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.integers(2, 8).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.lists(
+                    st.integers(1, n).map(lambda v: v)
+                    .flatmap(lambda v: st.sampled_from([v, -v])),
+                    min_size=1,
+                    max_size=4,
+                ),
+                min_size=1,
+                max_size=30,
+            ),
+        )
+    )
+)
+def test_hypothesis_cnf_matches_brute_force(case):
+    n, clauses = case
+    solver, ok = make_solver(n, clauses)
+    got = solver.solve() if ok else False
+    assert got == brute_force_sat(n, clauses)

@@ -1,0 +1,170 @@
+"""Unit tests for the SMT term language."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt.terms import (
+    And,
+    Atom,
+    BoolVar,
+    FALSE,
+    LinExpr,
+    Not,
+    Or,
+    RealVar,
+    TRUE,
+    eq,
+    ge,
+    iff,
+    implies,
+    le,
+    linear_sum,
+    neq_with_eps,
+    to_fraction,
+)
+
+
+class TestToFraction:
+    def test_int(self):
+        assert to_fraction(3) == Fraction(3)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(2, 7)
+        assert to_fraction(f) is f
+
+    def test_float_uses_decimal_repr(self):
+        assert to_fraction(16.90) == Fraction(169, 10)
+        assert to_fraction(0.1) == Fraction(1, 10)
+
+    def test_negative_float(self):
+        assert to_fraction(-2.5) == Fraction(-5, 2)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            to_fraction(True)
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError):
+            to_fraction("1.5")
+
+
+class TestLinExpr:
+    def setup_method(self):
+        self.x = RealVar("x", 0)
+        self.y = RealVar("y", 1)
+
+    def test_var_plus_var(self):
+        e = self.x + self.y
+        assert e.coeffs == {0: Fraction(1), 1: Fraction(1)}
+        assert e.const == 0
+
+    def test_scalar_multiplication(self):
+        e = 3 * self.x
+        assert e.coeffs == {0: Fraction(3)}
+
+    def test_float_coefficient_exact(self):
+        e = self.x * 0.2
+        assert e.coeffs == {0: Fraction(1, 5)}
+
+    def test_subtraction_cancels(self):
+        e = (self.x + self.y) - self.x
+        assert e.coeffs == {1: Fraction(1)}
+
+    def test_full_cancellation_removes_key(self):
+        e = self.x - self.x
+        assert e.coeffs == {}
+        assert e.is_constant()
+
+    def test_constant_folding(self):
+        e = self.x + 2 - 5
+        assert e.const == Fraction(-3)
+
+    def test_negation(self):
+        e = -(self.x + 1)
+        assert e.coeffs == {0: Fraction(-1)}
+        assert e.const == Fraction(-1)
+
+    def test_rsub(self):
+        e = 5 - self.x
+        assert e.coeffs == {0: Fraction(-1)}
+        assert e.const == Fraction(5)
+
+    def test_linear_sum(self):
+        e = linear_sum([self.x, self.y, 2, self.x])
+        assert e.coeffs == {0: Fraction(2), 1: Fraction(1)}
+        assert e.const == Fraction(2)
+
+
+class TestAtoms:
+    def setup_method(self):
+        self.x = RealVar("x", 0)
+
+    def test_le_builds_atom(self):
+        atom = le(self.x + 1, 3)
+        assert isinstance(atom, Atom)
+        assert atom.op == "<="
+        # constant folded into bound: x + 1 <= 3  =>  x <= 2
+        assert atom.bound == Fraction(2)
+
+    def test_ge_builds_atom(self):
+        atom = ge(2 * self.x, 4)
+        assert isinstance(atom, Atom)
+        assert atom.op == ">="
+
+    def test_constant_le_folds_to_bool(self):
+        assert le(LinExpr.constant(1), 2) is TRUE
+        assert le(LinExpr.constant(3), 2) is FALSE
+
+    def test_constant_ge_folds_to_bool(self):
+        assert ge(LinExpr.constant(3), 2) is TRUE
+        assert ge(LinExpr.constant(1), 2) is FALSE
+
+    def test_eq_is_conjunction(self):
+        term = eq(self.x, 1)
+        assert isinstance(term, And)
+        assert len(term.args) == 2
+
+    def test_neq_with_eps_is_disjunction(self):
+        term = neq_with_eps(self.x, 1)
+        assert isinstance(term, Or)
+        assert len(term.args) == 2
+
+    def test_neq_with_nonpositive_eps_rejected(self):
+        with pytest.raises(ValueError):
+            neq_with_eps(self.x, 0)
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Atom(LinExpr.of(self.x), "<", Fraction(0))
+
+
+class TestConnectives:
+    def setup_method(self):
+        self.a = BoolVar("a", 0)
+        self.b = BoolVar("b", 1)
+
+    def test_operator_sugar(self):
+        assert isinstance(self.a & self.b, And)
+        assert isinstance(self.a | self.b, Or)
+        assert isinstance(~self.a, Not)
+
+    def test_implies_shape(self):
+        term = implies(self.a, self.b)
+        assert isinstance(term, Or)
+
+    def test_iff_shape(self):
+        term = iff(self.a, self.b)
+        assert isinstance(term, And)
+
+    def test_nary_flattening_of_lists(self):
+        term = And([self.a, self.b], self.a)
+        assert len(term.args) == 3
+
+    def test_not_rejects_non_boolean(self):
+        with pytest.raises(TypeError):
+            Not(RealVar("x", 0))
+
+    def test_and_rejects_non_boolean(self):
+        with pytest.raises(TypeError):
+            And(self.a, 5)

@@ -1,0 +1,107 @@
+"""Direct tests for the LRA theory adapter."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt.cnf import CnfBuilder
+from repro.smt.terms import RealVar, ge, le
+from repro.smt.theory import LraTheory
+
+F = Fraction
+
+
+def make_atom(builder, term):
+    sat_var = builder.literal_for(term)
+    return sat_var, builder.atom_of_var[sat_var]
+
+
+class TestRegistration:
+    def test_single_variable_atom_binds_directly(self):
+        builder = CnfBuilder()
+        theory = LraTheory()
+        x = RealVar("x", 0)
+        sat_var, atom = make_atom(builder, le(x, 5))
+        theory.register_atom(sat_var, atom)
+        # one simplex variable (the real), no rows
+        assert theory.simplex.num_vars == 1
+        assert theory.simplex.rows == {}
+
+    def test_multi_variable_atom_creates_slack_row(self):
+        builder = CnfBuilder()
+        theory = LraTheory()
+        x, y = RealVar("x", 0), RealVar("y", 1)
+        sat_var, atom = make_atom(builder, le(x + y, 5))
+        theory.register_atom(sat_var, atom)
+        assert theory.simplex.num_vars == 3  # x, y, slack
+        assert len(theory.simplex.rows) == 1
+
+    def test_same_form_shares_slack(self):
+        builder = CnfBuilder()
+        theory = LraTheory()
+        x, y = RealVar("x", 0), RealVar("y", 1)
+        v1, a1 = make_atom(builder, le(x + y, 5))
+        v2, a2 = make_atom(builder, ge(x + y, 1))
+        theory.register_atom(v1, a1)
+        theory.register_atom(v2, a2)
+        assert len(theory.simplex.rows) == 1
+
+    def test_scaled_form_shares_slack(self):
+        builder = CnfBuilder()
+        theory = LraTheory()
+        x, y = RealVar("x", 0), RealVar("y", 1)
+        v1, a1 = make_atom(builder, le(x + y, 5))
+        v2, a2 = make_atom(builder, le(2 * x + 2 * y, 10))
+        assert v1 == v2  # interned at the CNF layer already
+
+
+class TestAssertions:
+    def setup_method(self):
+        self.builder = CnfBuilder()
+        self.theory = LraTheory()
+        x = RealVar("x", 0)
+        self.x = x
+        self.le5_var, atom = make_atom(self.builder, le(x, 5))
+        self.theory.register_atom(self.le5_var, atom)
+        self.ge3_var, atom = make_atom(self.builder, ge(x, 3))
+        self.theory.register_atom(self.ge3_var, atom)
+
+    def test_compatible_bounds(self):
+        assert self.theory.assert_lit(self.le5_var, 0) is None
+        assert self.theory.assert_lit(self.ge3_var, 1) is None
+        assert self.theory.check() is None
+        values = self.theory.real_values()
+        assert F(3) <= values[0] <= F(5)
+
+    def test_conflicting_bounds_explained(self):
+        # x <= 5 and not (x >= 3) is fine; x >= 3 and not (x <= 5)... use
+        # a real conflict: x <= 5 asserted, then x >= 6 via negated le
+        assert self.theory.assert_lit(self.le5_var, 0) is None
+        ge6_var, atom = make_atom(self.builder, ge(self.x, 6))
+        self.theory.register_atom(ge6_var, atom)
+        conflict = self.theory.assert_lit(ge6_var, 1)
+        assert conflict is not None
+        assert set(conflict) == {self.le5_var, ge6_var}
+
+    def test_negated_literal_asserts_strict_opposite(self):
+        # not (x <= 5)  =>  x > 5; with x <= 5 already asserted: conflict
+        assert self.theory.assert_lit(self.le5_var, 0) is None
+        conflict = self.theory.assert_lit(-self.le5_var, 1)
+        assert conflict is not None
+
+    def test_backtracking_releases_bounds(self):
+        assert self.theory.assert_lit(self.le5_var, 0) is None
+        assert self.theory.assert_lit(self.ge3_var, 1) is None
+        self.theory.backtrack_to(1)  # keep only trail index 0
+        ge6_var, atom = make_atom(self.builder, ge(self.x, 6))
+        self.theory.register_atom(ge6_var, atom)
+        # x >= 6 conflicts with x <= 5 (still asserted at index 0)
+        assert self.theory.assert_lit(ge6_var, 2) is not None
+        self.theory.backtrack_to(0)
+        # now nothing is asserted: x >= 6 is fine
+        assert self.theory.assert_lit(ge6_var, 3) is None
+        assert self.theory.check() is None
+
+    def test_is_theory_var(self):
+        assert self.theory.is_theory_var(self.le5_var)
+        assert not self.theory.is_theory_var(99)

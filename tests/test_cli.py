@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.io import save_spec_file, write_spec
+from repro.core.spec import AttackGoal, AttackSpec, ResourceLimits
+from repro.grid.cases import ieee14
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    spec = AttackSpec.default(
+        ieee14(),
+        goal=AttackGoal.states(12, exclusive=True),
+    )
+    path = tmp_path / "grid.spec"
+    save_spec_file(spec, path)
+    return str(path)
+
+
+@pytest.fixture
+def secure_spec_file(tmp_path):
+    # an attacker with no budget: verification is unsat
+    spec = AttackSpec.default(
+        ieee14(),
+        goal=AttackGoal.any(),
+        limits=ResourceLimits(max_measurements=0),
+    )
+    path = tmp_path / "secure.spec"
+    save_spec_file(spec, path)
+    return str(path)
+
+
+class TestCases:
+    def test_lists_all(self, capsys):
+        assert main(["cases"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ieee14", "ieee300"):
+            assert name in out
+
+
+class TestTemplate:
+    def test_emits_parseable_spec(self, capsys):
+        assert main(["template", "ieee14"]) == 0
+        out = capsys.readouterr().out
+        from repro.core.io import parse_spec
+
+        spec = parse_spec(out)
+        assert spec.grid.num_buses == 14
+
+    def test_rejects_unknown_case(self):
+        with pytest.raises(SystemExit):
+            main(["template", "ieee9999"])
+
+
+class TestVerify:
+    def test_sat_exit_code(self, spec_file, capsys):
+        assert main(["verify", spec_file]) == 2
+        assert "sat" in capsys.readouterr().out
+
+    def test_unsat_exit_code(self, secure_spec_file, capsys):
+        assert main(["verify", secure_spec_file]) == 0
+        assert "unsat" in capsys.readouterr().out
+
+    def test_milp_backend(self, spec_file, capsys):
+        assert main(["verify", spec_file, "--backend", "milp"]) == 2
+
+
+class TestSynthesize:
+    def test_feasible(self, spec_file, capsys):
+        assert main(["synthesize", spec_file, "--budget", "3"]) == 0
+        assert "secure buses" in capsys.readouterr().out
+
+    def test_infeasible(self, spec_file, capsys):
+        assert main(["synthesize", spec_file, "--budget", "0"]) == 1
+
+    def test_enumerate(self, spec_file, capsys):
+        assert main(["synthesize", spec_file, "--budget", "3", "--enumerate", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("secure buses") >= 1
+
+    def test_exclude(self, spec_file, capsys):
+        rc = main(
+            ["synthesize", spec_file, "--budget", "4", "--exclude", "6", "12"]
+        )
+        out = capsys.readouterr().out
+        if rc == 0:
+            import re
+
+            buses = [int(tok) for tok in re.findall(r"\d+", out.split("]")[0])]
+            assert 6 not in buses and 12 not in buses
+
+
+class TestMincost:
+    def test_reports_cost(self, spec_file, capsys):
+        assert main(["mincost", spec_file]) == 0
+        assert "minimum measurements budget: 7" in capsys.readouterr().out
+
+    def test_bus_dimension(self, spec_file, capsys):
+        assert main(["mincost", spec_file, "--dimension", "buses"]) == 0
+        assert "buses budget" in capsys.readouterr().out
+
+    def test_goalless_spec_rejected(self, tmp_path, capsys):
+        spec = AttackSpec.default(ieee14())
+        path = tmp_path / "nogoal.spec"
+        save_spec_file(spec, path)
+        assert main(["mincost", str(path)]) == 1
