@@ -1,0 +1,143 @@
+"""Parallel verification runtime: fan-out speedup and cache effectiveness.
+
+Three claims from the runtime subsystem, measured:
+
+* ``verify_many`` with workers produces *identical* outcomes to the
+  serial loop (the solvers are deterministic and workers rebuild specs
+  from canonical payloads);
+* on a multi-core runner the figure-4(a) sweep speeds up ~linearly in
+  workers (the speedup assertion arms only when 4+ cores are present);
+* a repeated sweep against a :class:`repro.runtime.ResultCache` is
+  served entirely from the cache — every result carries the
+  ``cache_hit`` marker and no solver runs.
+
+Run directly (CI smoke for pickling/space regressions)::
+
+    python benchmarks/bench_runtime_parallel.py --jobs 2
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(_ROOT), str(_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.analysis.sweeps import default_targets, spec_for_case  # noqa: E402
+from repro.grid.cases import load_case  # noqa: E402
+from repro.runtime import ResultCache, RuntimeOptions, verify_many  # noqa: E402
+
+CASES = ["ieee14", "ieee30", "ieee57"]
+
+
+def sweep_specs(cases=CASES, targets_per_case=3):
+    specs = []
+    for name in cases:
+        grid = load_case(name)
+        for target in default_targets(grid, targets_per_case):
+            specs.append(spec_for_case(name, target_bus=target))
+    return specs
+
+
+def assert_same_outcomes(serial, parallel):
+    assert len(serial) == len(parallel)
+    for a, b in zip(serial, parallel):
+        assert a.outcome == b.outcome
+        assert a.attack == b.attack
+        assert a.statistics.get("conflicts") == b.statistics.get("conflicts")
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+try:
+    import pytest
+
+    from benchmarks.conftest import run_once
+except ImportError:  # script mode without pytest
+    pytest = None
+
+if pytest is not None:
+
+    def test_parallel_matches_serial(benchmark):
+        specs = sweep_specs(["ieee14", "ieee30"])
+        serial = verify_many(specs, RuntimeOptions(jobs=1))
+        parallel = run_once(
+            benchmark, lambda: verify_many(specs, RuntimeOptions(jobs=2))
+        )
+        assert_same_outcomes(serial, parallel)
+
+    def test_cached_sweep_skips_solver_work(benchmark, tmp_path):
+        specs = sweep_specs(["ieee14", "ieee30"])
+        cache = ResultCache(directory=tmp_path)
+        options = RuntimeOptions(cache=cache)
+        first = verify_many(specs, options)
+        second = run_once(benchmark, lambda: verify_many(specs, options))
+        assert_same_outcomes(first, second)
+        assert all(r.statistics.get("cache_hit") == 1 for r in second)
+        assert cache.stats.hits == len(specs)
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4,
+        reason="speedup assertion needs a 4-core runner",
+    )
+    def test_fig4a_sweep_speedup(benchmark):
+        specs = sweep_specs()
+        serial, serial_s = timed(lambda: verify_many(specs, RuntimeOptions(jobs=1)))
+        parallel = run_once(
+            benchmark, lambda: verify_many(specs, RuntimeOptions(jobs=4))
+        )
+        _, parallel_s = timed(lambda: verify_many(specs, RuntimeOptions(jobs=4)))
+        assert_same_outcomes(serial, parallel)
+        assert serial_s / parallel_s >= 2.0, (
+            f"expected >=2x speedup with 4 workers, got "
+            f"{serial_s:.2f}s serial vs {parallel_s:.2f}s parallel"
+        )
+
+
+# ----------------------------------------------------------------------
+# script mode (CI smoke)
+# ----------------------------------------------------------------------
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=2, help="worker processes")
+    parser.add_argument("--cases", nargs="+", default=["ieee14", "ieee30"])
+    parser.add_argument("--targets-per-case", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    specs = sweep_specs(args.cases, args.targets_per_case)
+    print(f"sweep: {len(specs)} verification instances over {args.cases}")
+
+    serial, serial_s = timed(lambda: verify_many(specs, RuntimeOptions(jobs=1)))
+    parallel, parallel_s = timed(
+        lambda: verify_many(specs, RuntimeOptions(jobs=args.jobs))
+    )
+    assert_same_outcomes(serial, parallel)
+    print(
+        f"serial {serial_s:.2f}s vs {args.jobs} workers {parallel_s:.2f}s "
+        f"({serial_s / parallel_s:.2f}x) — outcomes identical"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = ResultCache(directory=tmp)
+        options = RuntimeOptions(jobs=args.jobs, cache=cache)
+        verify_many(specs, options)
+        cached, cached_s = timed(lambda: verify_many(specs, options))
+        assert all(r.statistics.get("cache_hit") == 1 for r in cached)
+        print(f"cached re-sweep {cached_s:.2f}s, stats {cache.stats.as_dict()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,18 +1,27 @@
 """One-shot reproduction of the paper's evaluation section.
 
-``python -m repro.analysis.reproduce [--full] [--skip-synthesis]``
+``python -m repro.analysis.reproduce [--full] [--skip-synthesis]
+[--jobs N] [--portfolio] [--cache-dir DIR]``
 prints, for every figure and table of Section V plus the case studies,
 the same rows/series the paper reports — timing sweeps, sat/unsat
 verdicts and model sizes — as plain text tables.  The pytest-benchmark
 variants in ``benchmarks/`` measure the same instances with warmup and
 statistics; this module is the quick, human-readable pass.
+
+Every figure driver batches its (independent) instances through the
+parallel runtime (:mod:`repro.runtime`): ``--jobs N`` fans them out
+over N worker processes, ``--portfolio`` races the SMT and MILP
+backends per instance, and ``--cache-dir`` memoizes results on disk so
+repeated sweeps skip solver work entirely.  Per-instance times are
+measured inside the solving process, so the printed series are
+comparable across job counts.
 """
 
 from __future__ import annotations
 
 import argparse
 import time
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import model_metrics
 from repro.analysis.sweeps import default_targets, spec_for_case
@@ -22,8 +31,8 @@ from repro.core.casestudy import (
     synthesis_scenario,
 )
 from repro.core.synthesis import SynthesisSettings, synthesize_architecture
-from repro.core.verification import verify_attack
 from repro.grid.cases import load_case
+from repro.runtime import ResultCache, RuntimeOptions, synthesize_many, verify_many
 
 
 def _timed(fn: Callable):
@@ -36,7 +45,12 @@ def _header(title: str) -> None:
     print(f"\n{'=' * 74}\n{title}\n{'=' * 74}")
 
 
-def case_studies() -> None:
+def _runtime(runtime: Optional[RuntimeOptions]) -> RuntimeOptions:
+    return runtime if runtime is not None else RuntimeOptions()
+
+
+def case_studies(runtime: Optional[RuntimeOptions] = None) -> None:
+    runtime = _runtime(runtime)
     _header("Section III-I case study (exact attack vectors)")
     rows = [
         ("objective 1: 16 meas / 7 buses, distinct", attack_objective_1(16, 7, True)),
@@ -47,28 +61,33 @@ def case_studies() -> None:
         ("objective 2: meas 46 secured", attack_objective_2(True)),
         ("objective 2: + topology attack", attack_objective_2(True, True)),
     ]
-    for label, spec in rows:
-        result, elapsed = _timed(lambda s=spec: verify_attack(s))
+    results = verify_many([spec for _, spec in rows], runtime)
+    for (label, _), result in zip(rows, results):
         verdict = "sat  " if result.attack_exists else "unsat"
         extra = ""
         if result.attack is not None:
             extra = f" meas={result.attack.altered_measurements}"
             if result.attack.excluded_lines:
                 extra += f" excluded={sorted(result.attack.excluded_lines)}"
-        print(f"  {label:<42} {verdict} {elapsed:7.3f}s{extra}")
+        print(f"  {label:<42} {verdict} {result.runtime_seconds:7.3f}s{extra}")
 
 
-def figure_4a(cases: Sequence[str]) -> None:
+def figure_4a(
+    cases: Sequence[str], runtime: Optional[RuntimeOptions] = None
+) -> None:
+    runtime = _runtime(runtime)
     _header("Figure 4(a): verification time vs. system size (3 targets each)")
     print(f"  {'system':<10} {'targets':<22} {'times (s)':<26} avg")
+    instances: List[Tuple[str, List[int]]] = []
+    specs = []
     for name in cases:
         grid = load_case(name)
         targets = default_targets(grid, 3)
-        times = []
-        for target in targets:
-            spec = spec_for_case(name, target_bus=target)
-            __, elapsed = _timed(lambda s=spec: verify_attack(s))
-            times.append(elapsed)
+        instances.append((name, targets))
+        specs.extend(spec_for_case(name, target_bus=t) for t in targets)
+    results = iter(verify_many(specs, runtime))
+    for name, targets in instances:
+        times = [next(results).runtime_seconds for _ in targets]
         joined = " ".join(f"{t:7.3f}" for t in times)
         print(
             f"  {name:<10} {str(targets):<22} {joined:<26} "
@@ -76,108 +95,136 @@ def figure_4a(cases: Sequence[str]) -> None:
         )
 
 
-def figure_4b() -> None:
+def figure_4b(runtime: Optional[RuntimeOptions] = None) -> None:
+    runtime = _runtime(runtime)
     _header("Figure 4(b): verification time vs. % taken measurements")
     densities = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
     print("  " + f"{'system':<10}" + "".join(f"{int(d*100):>8}%" for d in densities))
-    for name in ("ieee30", "ieee57"):
-        times = []
-        for density in densities:
-            spec = spec_for_case(name, measurement_fraction=density, seed=42)
-            __, elapsed = _timed(lambda s=spec: verify_attack(s))
-            times.append(elapsed)
+    cases = ("ieee30", "ieee57")
+    specs = [
+        spec_for_case(name, measurement_fraction=d, seed=42)
+        for name in cases
+        for d in densities
+    ]
+    results = iter(verify_many(specs, runtime))
+    for name in cases:
+        times = [next(results).runtime_seconds for _ in densities]
         print(f"  {name:<10}" + "".join(f"{t:8.3f}" for t in times))
 
 
-def figure_4c() -> None:
+def figure_4c(runtime: Optional[RuntimeOptions] = None) -> None:
+    runtime = _runtime(runtime)
     _header("Figure 4(c): verification time vs. attacker resource limit T_CZ")
     limits = [4, 8, 12, 16, 20, 24, 28]
     print("  " + f"{'system':<10}" + "".join(f"{l:>8}" for l in limits))
-    for name in ("ieee14", "ieee30"):
+    cases = ("ieee14", "ieee30")
+    specs = []
+    for name in cases:
         grid = load_case(name)
         target = default_targets(grid, 1)[0]
-        times = []
-        for limit in limits:
-            spec = spec_for_case(name, target_bus=target, max_measurements=limit)
-            __, elapsed = _timed(lambda s=spec: verify_attack(s))
-            times.append(elapsed)
+        specs.extend(
+            spec_for_case(name, target_bus=target, max_measurements=limit)
+            for limit in limits
+        )
+    results = iter(verify_many(specs, runtime))
+    for name in cases:
+        times = [next(results).runtime_seconds for _ in limits]
         print(f"  {name:<10}" + "".join(f"{t:8.3f}" for t in times))
 
 
-def figure_4d(cases: Sequence[str]) -> None:
+def figure_4d(
+    cases: Sequence[str], runtime: Optional[RuntimeOptions] = None
+) -> None:
+    runtime = _runtime(runtime)
     _header("Figure 4(d): satisfiable vs. unsatisfiable verification time")
     print(f"  {'system':<10} {'sat (s)':>10} {'unsat (s)':>10}")
+    specs = []
     for name in cases:
         grid = load_case(name)
         target = default_targets(grid, 1)[0]
-        sat_spec = spec_for_case(name, target_bus=target)
-        unsat_spec = spec_for_case(name, target_bus=target, max_measurements=2)
-        sat_result, sat_time = _timed(lambda: verify_attack(sat_spec))
-        unsat_result, unsat_time = _timed(lambda: verify_attack(unsat_spec))
+        specs.append(spec_for_case(name, target_bus=target))
+        specs.append(spec_for_case(name, target_bus=target, max_measurements=2))
+    results = verify_many(specs, runtime)
+    for k, name in enumerate(cases):
+        sat_result, unsat_result = results[2 * k], results[2 * k + 1]
         assert sat_result.attack_exists and not unsat_result.attack_exists
-        print(f"  {name:<10} {sat_time:10.3f} {unsat_time:10.3f}")
+        print(
+            f"  {name:<10} {sat_result.runtime_seconds:10.3f} "
+            f"{unsat_result.runtime_seconds:10.3f}"
+        )
 
 
-def figure_5a(full: bool) -> None:
+def figure_5a(full: bool, runtime: Optional[RuntimeOptions] = None) -> None:
+    runtime = _runtime(runtime)
     _header("Figure 5(a): synthesis time vs. system size (90% / 100% meas)")
     budgets = {"ieee14": 5, "ieee30": 12, "ieee57": 25}
     cases = ["ieee14", "ieee30"] + (["ieee57"] if full else [])
+    densities = (0.9, 1.0)
     print(f"  {'system':<10} {'90% (s)':>10} {'100% (s)':>10}")
-    for name in cases:
+    problems = [
+        (
+            spec_for_case(name, measurement_fraction=d, seed=7, any_state=True),
+            SynthesisSettings(max_secured_buses=budgets[name]),
+        )
+        for name in cases
+        for d in densities
+    ]
+    results = synthesize_many(problems, jobs=runtime.jobs)
+    for k, name in enumerate(cases):
         times = []
-        for density in (0.9, 1.0):
-            spec = spec_for_case(
-                name, measurement_fraction=density, seed=7, any_state=True
-            )
-            settings = SynthesisSettings(max_secured_buses=budgets[name])
-            result, elapsed = _timed(
-                lambda s=spec, st=settings: synthesize_architecture(s, st)
-            )
+        for offset in range(len(densities)):
+            result = results[len(densities) * k + offset]
             assert result.architecture is not None
-            times.append(elapsed)
+            times.append(result.runtime_seconds)
         print(f"  {name:<10} {times[0]:10.3f} {times[1]:10.3f}")
 
 
-def figure_5bc(full: bool) -> None:
+def figure_5bc(full: bool, runtime: Optional[RuntimeOptions] = None) -> None:
+    runtime = _runtime(runtime)
     _header("Figure 5(b): synthesis time vs. % taken measurements (ieee30)")
     budgets = {0.6: 14, 0.7: 13, 0.8: 12, 0.9: 12, 1.0: 12}
     print("  " + "".join(f"{int(d*100):>8}%" for d in sorted(budgets)))
-    times = []
-    for density in sorted(budgets):
-        spec = spec_for_case(
-            "ieee30", measurement_fraction=density, seed=7, any_state=True
+    problems = [
+        (
+            spec_for_case("ieee30", measurement_fraction=d, seed=7, any_state=True),
+            SynthesisSettings(max_secured_buses=budgets[d]),
         )
-        settings = SynthesisSettings(max_secured_buses=budgets[density])
-        __, elapsed = _timed(lambda s=spec, st=settings: synthesize_architecture(s, st))
-        times.append(elapsed)
-    print("  " + "".join(f"{t:8.2f}" for t in times))
+        for d in sorted(budgets)
+    ]
+    results = synthesize_many(problems, jobs=runtime.jobs)
+    print("  " + "".join(f"{r.runtime_seconds:8.2f}" for r in results))
 
     _header("Figure 5(c): synthesis time vs. attacker resource limit (ieee14)")
     limits = [8, 12, 16, 20, 24]
     print("  " + "".join(f"{l:>8}" for l in limits))
-    times = []
-    for limit in limits:
-        spec = spec_for_case("ieee14", any_state=True, max_measurements=limit)
-        settings = SynthesisSettings(max_secured_buses=5)
-        __, elapsed = _timed(lambda s=spec, st=settings: synthesize_architecture(s, st))
-        times.append(elapsed)
-    print("  " + "".join(f"{t:8.2f}" for t in times))
+    problems = [
+        (
+            spec_for_case("ieee14", any_state=True, max_measurements=limit),
+            SynthesisSettings(max_secured_buses=5),
+        )
+        for limit in limits
+    ]
+    results = synthesize_many(problems, jobs=runtime.jobs)
+    print("  " + "".join(f"{r.runtime_seconds:8.2f}" for r in results))
 
 
-def figure_5d() -> None:
+def figure_5d(runtime: Optional[RuntimeOptions] = None) -> None:
+    runtime = _runtime(runtime)
     _header("Figure 5(d): unsatisfiable synthesis time vs. operator budget (ieee30)")
     print("  minimum feasible budget is 11 buses; sweeping below it:")
-    print("  " + "".join(f"{b:>8}" for b in (6, 7, 8, 9, 10)))
-    times = []
-    for budget in (6, 7, 8, 9, 10):
-        spec = spec_for_case("ieee30", any_state=True)
-        settings = SynthesisSettings(max_secured_buses=budget)
-        result, elapsed = _timed(
-            lambda s=spec, st=settings: synthesize_architecture(s, st)
+    budgets = (6, 7, 8, 9, 10)
+    print("  " + "".join(f"{b:>8}" for b in budgets))
+    problems = [
+        (
+            spec_for_case("ieee30", any_state=True),
+            SynthesisSettings(max_secured_buses=budget),
         )
+        for budget in budgets
+    ]
+    results = synthesize_many(problems, jobs=runtime.jobs)
+    for result in results:
         assert result.architecture is None
-        times.append(elapsed)
-    print("  " + "".join(f"{t:8.2f}" for t in times))
+    print("  " + "".join(f"{r.runtime_seconds:8.2f}" for r in results))
 
 
 def table_4(cases: Sequence[str]) -> None:
@@ -222,22 +269,48 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--skip-synthesis", action="store_true", help="figures 4 and tables only"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per figure batch (0 = all cores)",
+    )
+    parser.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race SMT and MILP backends per instance",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="memoize verification results on disk under DIR",
+    )
     args = parser.parse_args(argv)
+    cache = ResultCache(directory=args.cache_dir) if args.cache_dir else None
+    runtime = RuntimeOptions(
+        jobs=args.jobs, portfolio=args.portfolio, cache=cache
+    )
     verification_cases = ["ieee14", "ieee30", "ieee57", "ieee118"]
     if args.full:
         verification_cases.append("ieee300")
 
-    case_studies()
-    figure_4a(verification_cases)
-    figure_4b()
-    figure_4c()
-    figure_4d(verification_cases[:4])
+    case_studies(runtime)
+    figure_4a(verification_cases, runtime)
+    figure_4b(runtime)
+    figure_4c(runtime)
+    figure_4d(verification_cases[:4], runtime)
     table_4(verification_cases[:4])
     if not args.skip_synthesis:
         scenarios()
-        figure_5a(args.full)
-        figure_5bc(args.full)
-        figure_5d()
+        figure_5a(args.full, runtime)
+        figure_5bc(args.full, runtime)
+        figure_5d(runtime)
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"\ncache: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.stores} stores, {stats.disk_hits} from disk"
+        )
     print("\ndone.")
     return 0
 

@@ -10,7 +10,11 @@ measures the same instances.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Set
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.core.verification import VerificationResult
+    from repro.runtime import RuntimeOptions
 
 from repro.core.spec import AttackGoal, AttackSpec, ResourceLimits
 from repro.estimation.measurement import MeasurementPlan
@@ -102,3 +106,29 @@ def spec_for_case(
             max_measurements=max_measurements, max_buses=max_buses
         ),
     )
+
+
+def verification_sweep(
+    case_names: Sequence[str],
+    targets_per_case: int = 3,
+    runtime: "Optional[RuntimeOptions]" = None,
+) -> List[Tuple[str, int, "VerificationResult"]]:
+    """The Figure 4(a) instance grid through the parallel runtime.
+
+    Builds the standard per-case/per-target verification instances and
+    batches them through :func:`repro.runtime.verify_many`, so the whole
+    sweep fans out over ``runtime.jobs`` workers (and hits the result
+    cache on repeats).  Returns ``(case_name, target_bus, result)``
+    rows in deterministic sweep order.
+    """
+    from repro.runtime import verify_many
+
+    labels: List[Tuple[str, int]] = []
+    specs: List[AttackSpec] = []
+    for name in case_names:
+        grid = load_case(name)
+        for target in default_targets(grid, targets_per_case):
+            labels.append((name, target))
+            specs.append(spec_for_case(name, target_bus=target))
+    results = verify_many(specs, runtime)
+    return [(name, target, result) for (name, target), result in zip(labels, results)]

@@ -27,10 +27,42 @@ from repro.core.spec import AttackGoal, AttackSpec
 from repro.core.synthesis import (
     SynthesisSettings,
     enumerate_architectures,
+    synthesize_against_all,
     synthesize_architecture,
 )
-from repro.core.verification import verify_attack
 from repro.grid.cases import available_cases, load_case
+from repro.runtime import ResultCache, RuntimeOptions, verify_many
+
+
+def _runtime_options(args: argparse.Namespace) -> RuntimeOptions:
+    cache = None
+    if getattr(args, "cache_dir", None):
+        cache = ResultCache(directory=args.cache_dir)
+    return RuntimeOptions(
+        jobs=getattr(args, "jobs", 1),
+        portfolio=getattr(args, "portfolio", False),
+        backend=getattr(args, "backend", "smt"),
+        cache=cache,
+    )
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for multi-instance runs (0 = all cores)",
+    )
+    parser.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race the SMT and MILP backends, first conclusive answer wins",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="memoize results on disk under DIR (skips repeated solves)",
+    )
 
 
 def _cmd_cases(args: argparse.Namespace) -> int:
@@ -51,14 +83,19 @@ def _cmd_template(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    spec = load_spec_file(args.specfile)
-    result = verify_attack(spec, backend=args.backend)
-    print(format_verification(result, spec))
-    return 0 if not result.attack_exists else 2
+    specs = [load_spec_file(path) for path in args.specfile]
+    results = verify_many(specs, _runtime_options(args))
+    any_attack = False
+    for path, spec, result in zip(args.specfile, specs, results):
+        if len(specs) > 1:
+            print(f"--- {path} ---")
+        print(format_verification(result, spec))
+        any_attack = any_attack or result.attack_exists
+    return 2 if any_attack else 0
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
-    spec = load_spec_file(args.specfile)
+    specs = [load_spec_file(path) for path in args.specfile]
     settings = SynthesisSettings(
         max_secured_buses=args.budget,
         excluded_buses=frozenset(args.exclude or []),
@@ -66,15 +103,25 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         neighbor_pruning=not args.no_pruning,
     )
     if args.enumerate:
-        architectures = enumerate_architectures(spec, settings, limit=args.enumerate)
+        if len(specs) > 1:
+            print("--enumerate supports a single spec file", file=sys.stderr)
+            return 1
+        architectures = enumerate_architectures(specs[0], settings, limit=args.enumerate)
         if not architectures:
             print("no architecture within the budget resists the attack model")
             return 1
         for arch in architectures:
             print(f"secure buses {arch}")
         return 0
-    result = synthesize_architecture(spec, settings)
-    print(format_synthesis(result, spec))
+    if len(specs) > 1:
+        try:
+            result = synthesize_against_all(specs, settings, jobs=args.jobs)
+        except ValueError as exc:  # e.g. specs over different grids
+            print(exc, file=sys.stderr)
+            return 1
+    else:
+        result = synthesize_architecture(specs[0], settings)
+    print(format_synthesis(result, specs[0]))
     return 0 if result.feasible else 1
 
 
@@ -127,13 +174,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_template)
 
     p = sub.add_parser("verify", help="verify UFDI attack feasibility")
-    p.add_argument("specfile")
+    p.add_argument("specfile", nargs="+", help="one or more spec files (batched)")
     p.add_argument("--backend", choices=["smt", "milp"], default="smt")
+    _add_runtime_flags(p)
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("synthesize", help="synthesize a security architecture")
-    p.add_argument("specfile")
+    p.add_argument(
+        "specfile",
+        nargs="+",
+        help="spec file(s); several files synthesize one architecture "
+        "resisting every listed attack model",
+    )
     p.add_argument("--budget", type=int, required=True, help="max secured buses")
+    _add_runtime_flags(p)
     p.add_argument("--exclude", type=int, nargs="*", help="operator-unsecurable buses")
     p.add_argument(
         "--blocking",

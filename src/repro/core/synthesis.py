@@ -205,6 +205,7 @@ def enumerate_architectures(
 def synthesize_against_all(
     specs: Sequence[AttackSpec],
     settings: SynthesisSettings,
+    jobs: int = 1,
 ) -> SynthesisResult:
     """Synthesize one architecture resisting a *list* of attack models.
 
@@ -212,8 +213,14 @@ def synthesize_against_all(
     requirements"; each requirement is an attack spec (they must share
     the same grid and measurement plan — they may differ in goals,
     limits, knowledge and topology capability).  A candidate passes
-    only when *every* verification model is UNSAT; any SAT model
-    contributes its counterexample clause.
+    only when *every* verification model is UNSAT; the lowest-indexed
+    SAT model contributes its counterexample clause.
+
+    With ``jobs > 1`` the per-candidate verifications fan out over a
+    persistent worker pool (:class:`repro.runtime.executor
+    .SpecVerifierPool`); every spec is evaluated on every iteration in
+    both modes, so the incremental solver state — and therefore the
+    result — is bit-identical to the ``jobs=1`` run.
     """
     if not specs:
         raise ValueError("need at least one attack spec")
@@ -223,34 +230,69 @@ def synthesize_against_all(
             raise ValueError("all specs must share the grid and measurement plan")
     start = time.perf_counter()
     selector, sb = _candidate_model(base, settings)
-    verifiers = [UfdiEncoder(spec, symbolic_security=True) for spec in specs]
-    counterexamples: List[AttackVector] = []
-    iterations = 0
-    while iterations < settings.max_iterations:
-        iterations += 1
-        if selector.check() is not Result.SAT:
-            return SynthesisResult(
-                None, iterations, time.perf_counter() - start, counterexamples
+
+    pool = None
+    if jobs > 1 and len(specs) > 1:
+        from repro.runtime.executor import SpecVerifierPool
+
+        try:
+            pool = SpecVerifierPool(specs, jobs)
+        except (ImportError, OSError, ValueError):
+            pool = None  # no process support: serial fallback
+
+    try:
+        if pool is not None:
+            from repro.runtime.serialize import attack_from_payload
+
+            def evaluate(candidate: Sequence[int]):
+                return [
+                    (index, outcome, attack_from_payload(attack))
+                    for index, outcome, attack in pool.check(candidate)
+                ]
+
+        else:
+            verifiers = [UfdiEncoder(spec, symbolic_security=True) for spec in specs]
+
+            def evaluate(candidate: Sequence[int]):
+                verdicts = []
+                for index, verifier in enumerate(verifiers):
+                    outcome = verifier.check(secured_buses=candidate)
+                    attack = (
+                        verifier.extract_attack() if outcome is Result.SAT else None
+                    )
+                    verdicts.append((index, outcome.value, attack))
+                return verdicts
+
+        counterexamples: List[AttackVector] = []
+        iterations = 0
+        while iterations < settings.max_iterations:
+            iterations += 1
+            if selector.check() is not Result.SAT:
+                return SynthesisResult(
+                    None, iterations, time.perf_counter() - start, counterexamples
+                )
+            model = selector.model()
+            candidate = sorted(j for j, var in sb.items() if model.value(var))
+            verdicts = evaluate(candidate)
+            failed = next(
+                ((i, attack) for i, outcome, attack in verdicts if outcome == "sat"),
+                None,
             )
-        model = selector.model()
-        candidate = sorted(j for j, var in sb.items() if model.value(var))
-        failed = None
-        for spec, verifier in zip(specs, verifiers):
-            outcome = verifier.check(secured_buses=candidate)
-            if outcome is Result.SAT:
-                failed = (spec, verifier)
-                break
-            if outcome is not Result.UNSAT:
-                raise SynthesisError("verification returned UNKNOWN")
-        if failed is None:
-            return SynthesisResult(
-                candidate, iterations, time.perf_counter() - start, counterexamples
-            )
-        spec, verifier = failed
-        attack = verifier.extract_attack()
-        counterexamples.append(attack)
-        _block_candidate(selector, sb, spec, settings, candidate, attack)
-    raise SynthesisError(f"no conclusion after {settings.max_iterations} iterations")
+            if failed is None:
+                if any(outcome != "unsat" for _, outcome, _ in verdicts):
+                    raise SynthesisError("verification returned UNKNOWN")
+                return SynthesisResult(
+                    candidate, iterations, time.perf_counter() - start, counterexamples
+                )
+            index, attack = failed
+            counterexamples.append(attack)
+            _block_candidate(selector, sb, specs[index], settings, candidate, attack)
+        raise SynthesisError(
+            f"no conclusion after {settings.max_iterations} iterations"
+        )
+    finally:
+        if pool is not None:
+            pool.close()
 
 
 def synthesize_measurement_architecture(

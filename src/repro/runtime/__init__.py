@@ -1,0 +1,56 @@
+"""The parallel verification runtime.
+
+Makes every multi-instance workload in the reproduction parallel and
+memoized:
+
+* :mod:`repro.runtime.executor` — process-pool fan-out for batches of
+  independent verification/synthesis instances, with per-task timeouts
+  and an in-process fallback at ``jobs=1``;
+* :mod:`repro.runtime.portfolio` — SMT/MILP portfolio racing on a
+  single instance (first conclusive answer wins, loser is cancelled);
+* :mod:`repro.runtime.cache` — a memoizing result cache (in-memory LRU
+  plus optional on-disk JSON store) keyed by canonical spec
+  fingerprints;
+* :mod:`repro.runtime.serialize` — compact, canonical, picklable
+  payloads for specs, attack vectors and results.
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir
+from repro.runtime.executor import (
+    RuntimeOptions,
+    SpecVerifierPool,
+    synthesize_many,
+    verify_many,
+    verify_one,
+)
+from repro.runtime.portfolio import race_backends
+from repro.runtime.serialize import (
+    attack_from_payload,
+    attack_to_payload,
+    canonical_json,
+    payload_to_spec,
+    result_from_payload,
+    result_to_payload,
+    spec_fingerprint,
+    spec_to_payload,
+)
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "RuntimeOptions",
+    "SpecVerifierPool",
+    "attack_from_payload",
+    "attack_to_payload",
+    "canonical_json",
+    "default_cache_dir",
+    "payload_to_spec",
+    "race_backends",
+    "result_from_payload",
+    "result_to_payload",
+    "spec_fingerprint",
+    "spec_to_payload",
+    "synthesize_many",
+    "verify_many",
+    "verify_one",
+]

@@ -1,0 +1,147 @@
+"""Memoizing verification-result cache.
+
+Two layers behind one interface:
+
+* an **in-memory LRU** (bounded ``OrderedDict``) that makes repeated
+  sweeps within a process near-free, and
+* an optional **on-disk JSON store** (one file per fingerprint under
+  ``~/.cache/repro-ufdi/`` or a caller-supplied directory) that
+  survives across processes and runs — the re-verification steps of the
+  synthesis benchmarks hit it instead of the solver.
+
+Keys are :func:`repro.runtime.serialize.spec_fingerprint` strings, so
+the cache is safe across backends and epsilon settings.  Results coming
+out of the cache are marked with ``statistics["cache_hit"] = 1`` so
+callers (and the acceptance tests) can observe that no solver ran.
+Corrupt or unreadable disk entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.verification import VerificationResult
+from repro.runtime.serialize import result_from_payload, result_to_payload
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-ufdi``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    base = os.environ.get("XDG_CACHE_HOME") or "~/.cache"
+    return Path(base).expanduser() / "repro-ufdi"
+
+
+@dataclass
+class CacheStats:
+    """Observable cache effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+        }
+
+
+class ResultCache:
+    """LRU + optional disk store for :class:`VerificationResult`."""
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        max_memory_entries: int = 4096,
+    ) -> None:
+        if max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be positive")
+        self.directory = Path(directory).expanduser() if directory else None
+        self.max_memory_entries = max_memory_entries
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.json"
+
+    def _remember(self, key: str, payload: Dict[str, Any]) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[VerificationResult]:
+        """Look ``key`` up; None on miss.  Hits are marked in statistics."""
+        payload = self._memory.get(key)
+        if payload is not None:
+            self._memory.move_to_end(key)
+        else:
+            path = self._disk_path(key)
+            if path is not None:
+                try:
+                    payload = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    payload = None
+                if payload is not None:
+                    self.stats.disk_hits += 1
+                    self._remember(key, payload)
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        try:
+            result = result_from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            # stale/foreign entry: drop it and report a miss
+            self._memory.pop(key, None)
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            return None
+        result.statistics = dict(result.statistics)
+        result.statistics["cache_hit"] = 1
+        return result
+
+    def put(self, key: str, result: VerificationResult) -> None:
+        """Store a *solver-produced* result under ``key``."""
+        payload = result_to_payload(result)
+        payload["statistics"].pop("cache_hit", None)
+        self._remember(key, payload)
+        self.stats.stores += 1
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)  # atomic on POSIX: readers never see partial JSON
+        except OSError:
+            pass  # a cache must never fail the computation
+
+    # ------------------------------------------------------------------
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)

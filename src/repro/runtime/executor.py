@@ -1,0 +1,410 @@
+"""Process-pool batch executor for verification and synthesis workloads.
+
+The paper's whole evaluation grid — per test case, per measurement
+density, per resource limit, per target state — is embarrassingly
+parallel: every instance is an independent exact-rational constraint
+problem.  This module fans those instances out:
+
+* :func:`verify_many` / :func:`verify_one` — batch UFDI verification
+  with optional per-task wall-clock timeouts, SMT/MILP portfolio racing
+  (:mod:`repro.runtime.portfolio`) and result memoization
+  (:mod:`repro.runtime.cache`).  Identical specs inside one batch are
+  solved once.
+* :func:`synthesize_many` — batch independent synthesis problems.
+* :class:`SpecVerifierPool` — persistent workers, each owning the
+  *incremental* symbolic-security encoders for a slice of a spec list;
+  ``synthesize_against_all`` broadcasts each candidate architecture and
+  collects all verdicts in parallel while preserving the exact solver
+  state evolution of the serial loop (bit-identical results).
+
+With ``jobs=1`` everything degrades gracefully to in-process execution
+— no worker processes, no pickling — which is also the fallback on
+platforms without process support.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.spec import AttackSpec
+from repro.core.verification import (
+    VerificationOutcome,
+    VerificationResult,
+    verify_attack,
+)
+from repro.runtime.cache import ResultCache
+from repro.runtime.portfolio import race_backends
+from repro.runtime.serialize import (
+    attack_to_payload,
+    canonical_json,
+    payload_to_spec,
+    result_from_payload,
+    result_to_payload,
+    spec_fingerprint,
+    spec_to_payload,
+)
+
+Epsilon = Optional[Union[int, float, Fraction]]
+
+
+@dataclass
+class RuntimeOptions:
+    """Knobs for the parallel verification runtime.
+
+    ``jobs``          — worker processes; 1 = in-process, 0/None = all cores
+    ``backend``       — ``"smt"`` or ``"milp"`` (ignored under portfolio)
+    ``portfolio``     — race both backends per instance, first answer wins
+    ``cache``         — optional :class:`ResultCache` for memoization
+    ``task_timeout``  — per-instance wall-clock budget in seconds
+    ``epsilon``       — forwarded to :func:`verify_attack`
+    ``max_conflicts`` — forwarded to :func:`verify_attack` (smt backend)
+    """
+
+    jobs: int = 1
+    backend: str = "smt"
+    portfolio: bool = False
+    cache: Optional[ResultCache] = None
+    task_timeout: Optional[float] = None
+    epsilon: Epsilon = None
+    max_conflicts: Optional[int] = None
+
+    def effective_jobs(self, num_tasks: int) -> int:
+        jobs = self.jobs if self.jobs and self.jobs > 0 else (os.cpu_count() or 1)
+        return max(1, min(jobs, num_tasks))
+
+    def backend_label(self) -> str:
+        return "portfolio" if self.portfolio else self.backend
+
+
+class _TaskTimeout(Exception):
+    pass
+
+
+@contextmanager
+def _alarm(seconds: Optional[float]):
+    """Raise :class:`_TaskTimeout` after ``seconds`` of wall clock.
+
+    Uses ``SIGALRM``, so it only engages on the main thread of a
+    process (which is where both pool workers and the in-process
+    fallback run); elsewhere it is a no-op.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise _TaskTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _handler)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _timeout_result(backend: str, elapsed: float) -> VerificationResult:
+    return VerificationResult(
+        VerificationOutcome.UNKNOWN,
+        None,
+        backend,
+        elapsed,
+        {"task_timeout": 1},
+    )
+
+
+def _solve_spec(
+    spec: AttackSpec,
+    backend: str,
+    portfolio: bool,
+    epsilon: Epsilon,
+    max_conflicts: Optional[int],
+    task_timeout: Optional[float],
+) -> VerificationResult:
+    start = time.perf_counter()
+    try:
+        with _alarm(task_timeout):
+            if portfolio:
+                return race_backends(spec, epsilon=epsilon, timeout=task_timeout)
+            return verify_attack(
+                spec, backend=backend, epsilon=epsilon, max_conflicts=max_conflicts
+            )
+    except _TaskTimeout:
+        return _timeout_result(
+            "portfolio" if portfolio else backend, time.perf_counter() - start
+        )
+
+
+def _verify_remote(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool worker body: rebuild the spec, solve, return the encoded result."""
+    spec = payload_to_spec(json.loads(task["payload"]))
+    epsilon = None if task["epsilon"] is None else Fraction(task["epsilon"])
+    result = _solve_spec(
+        spec,
+        backend=task["backend"],
+        portfolio=task["portfolio"],
+        epsilon=epsilon,
+        max_conflicts=task["max_conflicts"],
+        task_timeout=task["timeout"],
+    )
+    return result_to_payload(result)
+
+
+def verify_many(
+    specs: Sequence[AttackSpec],
+    options: Optional[RuntimeOptions] = None,
+) -> List[VerificationResult]:
+    """Verify a batch of independent specs, preserving input order.
+
+    Results are bit-identical to running :func:`verify_attack` serially
+    on each spec (workers rebuild the exact spec from its canonical
+    payload and the solvers are deterministic).  Cache hits carry
+    ``statistics["cache_hit"] == 1`` and skip all solver work.
+    """
+    options = options or RuntimeOptions()
+    n = len(specs)
+    results: List[Optional[VerificationResult]] = [None] * n
+
+    fingerprints: List[Optional[str]] = [None] * n
+    pending: Dict[str, List[int]] = {}  # fingerprint -> indices to fill
+    order: List[int] = []  # first index per unique pending fingerprint
+    for i, spec in enumerate(specs):
+        key = spec_fingerprint(
+            spec,
+            backend=options.backend_label(),
+            epsilon=None if options.epsilon is None else Fraction(options.epsilon),
+        )
+        fingerprints[i] = key
+        if options.cache is not None:
+            hit = options.cache.get(key)
+            if hit is not None:
+                results[i] = hit
+                continue
+        bucket = pending.setdefault(key, [])
+        if not bucket:
+            order.append(i)
+        bucket.append(i)
+
+    jobs = options.effective_jobs(len(order))
+    solved: List[VerificationResult] = []
+    if order:
+        if jobs <= 1:
+            for i in order:
+                solved.append(
+                    _solve_spec(
+                        specs[i],
+                        backend=options.backend,
+                        portfolio=options.portfolio,
+                        epsilon=options.epsilon,
+                        max_conflicts=options.max_conflicts,
+                        task_timeout=options.task_timeout,
+                    )
+                )
+        else:
+            tasks = [
+                {
+                    "payload": canonical_json(spec_to_payload(specs[i])),
+                    "backend": options.backend,
+                    "portfolio": options.portfolio,
+                    "epsilon": (
+                        None
+                        if options.epsilon is None
+                        else str(Fraction(options.epsilon))
+                    ),
+                    "max_conflicts": options.max_conflicts,
+                    "timeout": options.task_timeout,
+                }
+                for i in order
+            ]
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                solved = [
+                    result_from_payload(payload)
+                    for payload in pool.map(_verify_remote, tasks, chunksize=1)
+                ]
+
+    for i, result in zip(order, solved):
+        key = fingerprints[i]
+        assert key is not None
+        if (
+            options.cache is not None
+            and result.outcome is not VerificationOutcome.UNKNOWN
+        ):
+            options.cache.put(key, result)
+        for index in pending[key]:
+            results[index] = (
+                result
+                if index == i
+                else replace(result, statistics=dict(result.statistics))
+            )
+
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
+def verify_one(
+    spec: AttackSpec, options: Optional[RuntimeOptions] = None
+) -> VerificationResult:
+    """Single-instance convenience wrapper over :func:`verify_many`."""
+    return verify_many([spec], options)[0]
+
+
+# ----------------------------------------------------------------------
+# batch synthesis
+# ----------------------------------------------------------------------
+def _synthesize_remote(task: Tuple[str, Any]):
+    from repro.core.synthesis import synthesize_architecture
+
+    payload_json, settings = task
+    spec = payload_to_spec(json.loads(payload_json))
+    return synthesize_architecture(spec, settings)
+
+
+def synthesize_many(
+    problems: Sequence[Tuple[AttackSpec, Any]],
+    jobs: int = 1,
+) -> List[Any]:
+    """Run independent ``(spec, SynthesisSettings)`` problems, in order.
+
+    Each problem runs :func:`repro.core.synthesis.synthesize_architecture`
+    in its own worker (``SynthesisSettings`` and ``SynthesisResult`` are
+    plain picklable dataclasses); ``jobs<=1`` runs in-process.
+    """
+    from repro.core.synthesis import synthesize_architecture
+
+    if not problems:
+        return []
+    workers = RuntimeOptions(jobs=jobs).effective_jobs(len(problems))
+    if workers <= 1:
+        return [synthesize_architecture(spec, settings) for spec, settings in problems]
+    tasks = [
+        (canonical_json(spec_to_payload(spec)), settings)
+        for spec, settings in problems
+    ]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_synthesize_remote, tasks, chunksize=1))
+
+
+# ----------------------------------------------------------------------
+# persistent verifier pool for multi-requirement synthesis
+# ----------------------------------------------------------------------
+def _synth_verify_worker(conn, assigned: List[Tuple[int, str]]) -> None:
+    """Own the incremental encoders for a slice of the spec list.
+
+    Protocol: receive a candidate bus list, reply with
+    ``[(spec_index, outcome_value, attack_payload_or_None), ...]`` for
+    every owned spec; ``None`` shuts the worker down.  Encoders persist
+    across candidates, so learned clauses accumulate exactly as in the
+    serial loop.
+    """
+    from repro.core.verification import UfdiEncoder
+    from repro.smt import Result
+
+    try:
+        encoders = [
+            (index, UfdiEncoder(payload_to_spec(json.loads(payload)), symbolic_security=True))
+            for index, payload in assigned
+        ]
+        while True:
+            candidate = conn.recv()
+            if candidate is None:
+                break
+            replies = []
+            for index, encoder in encoders:
+                outcome = encoder.check(secured_buses=candidate)
+                attack = (
+                    attack_to_payload(encoder.extract_attack())
+                    if outcome is Result.SAT
+                    else None
+                )
+                replies.append((index, outcome.value, attack))
+            conn.send(replies)
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+class SpecVerifierPool:
+    """Persistent workers for ``synthesize_against_all``'s inner loop.
+
+    Spec indices are dealt round-robin across ``jobs`` workers; each
+    worker builds its encoders once (in parallel with the others) and
+    re-checks them under assumptions for every broadcast candidate.
+    """
+
+    def __init__(self, specs: Sequence[AttackSpec], jobs: int) -> None:
+        import multiprocessing
+
+        workers = max(1, min(jobs, len(specs)))
+        payloads = [canonical_json(spec_to_payload(spec)) for spec in specs]
+        ctx = multiprocessing.get_context()
+        self._connections = []
+        self._processes = []
+        slices: List[List[Tuple[int, str]]] = [[] for _ in range(workers)]
+        for index, payload in enumerate(payloads):
+            slices[index % workers].append((index, payload))
+        for assigned in slices:
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_synth_verify_worker,
+                args=(child_conn, assigned),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+
+    def check(self, candidate: Sequence[int]) -> List[Tuple[int, str, Optional[dict]]]:
+        """Broadcast a candidate; gather every spec's verdict, by index."""
+        candidate = list(candidate)
+        for conn in self._connections:
+            conn.send(candidate)
+        verdicts: List[Tuple[int, str, Optional[dict]]] = []
+        for conn, process in zip(self._connections, self._processes):
+            try:
+                verdicts.extend(conn.recv())
+            except EOFError as exc:
+                raise RuntimeError(
+                    f"verifier worker pid={process.pid} died mid-candidate"
+                ) from exc
+        verdicts.sort(key=lambda item: item[0])
+        return verdicts
+
+    def close(self) -> None:
+        for conn in self._connections:
+            try:
+                conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for conn in self._connections:
+            conn.close()
+        self._connections = []
+        self._processes = []
+
+    def __enter__(self) -> "SpecVerifierPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

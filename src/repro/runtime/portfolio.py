@@ -1,0 +1,159 @@
+"""SMT/MILP portfolio racing for a single verification instance.
+
+The two bundled backends have complementary strengths: the DPLL(T)
+engine is exact and fast on UNSAT instances (lattice lemmas prune the
+space), while the MILP mirror's LP relaxations often find SAT witnesses
+on large systems quickly.  Figure 4(d)'s SAT-vs-UNSAT asymmetry means
+neither dominates — so :func:`race_backends` runs both concurrently on
+the same spec, returns the first *conclusive* answer (SAT or UNSAT) and
+cancels the loser.
+
+When process spawning is unavailable the race degrades to a sequential
+portfolio: backends run in order and the first conclusive answer wins.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from fractions import Fraction
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.core.spec import AttackSpec
+from repro.core.verification import (
+    VerificationOutcome,
+    VerificationResult,
+    verify_attack,
+)
+from repro.runtime.serialize import (
+    canonical_json,
+    payload_to_spec,
+    result_from_payload,
+    result_to_payload,
+    spec_to_payload,
+)
+
+DEFAULT_BACKENDS: Tuple[str, ...] = ("smt", "milp")
+
+Epsilon = Optional[Union[int, float, Fraction]]
+
+
+def _encode_epsilon(epsilon: Epsilon) -> Optional[str]:
+    return None if epsilon is None else str(Fraction(epsilon))
+
+
+def _decode_epsilon(text: Optional[str]) -> Optional[Fraction]:
+    return None if text is None else Fraction(text)
+
+
+def _race_child(payload_json: str, backend: str, epsilon: Optional[str], out) -> None:
+    """Child process body: solve with one backend, report via queue."""
+    import json
+
+    try:
+        spec = payload_to_spec(json.loads(payload_json))
+        result = verify_attack(spec, backend=backend, epsilon=_decode_epsilon(epsilon))
+        out.put((backend, result_to_payload(result), None))
+    except BaseException as exc:  # noqa: BLE001 — report, parent decides
+        out.put((backend, None, f"{type(exc).__name__}: {exc}"))
+
+
+def _sequential_race(
+    spec: AttackSpec, backends: Sequence[str], epsilon: Epsilon
+) -> VerificationResult:
+    last: Optional[VerificationResult] = None
+    for backend in backends:
+        result = verify_attack(spec, backend=backend, epsilon=epsilon)
+        if result.outcome is not VerificationOutcome.UNKNOWN:
+            result.statistics["portfolio"] = 1
+            return result
+        last = result
+    assert last is not None
+    last.statistics["portfolio"] = 1
+    return last
+
+
+def race_backends(
+    spec: AttackSpec,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    epsilon: Epsilon = None,
+    timeout: Optional[float] = None,
+) -> VerificationResult:
+    """Race ``backends`` on ``spec``; first conclusive answer wins.
+
+    UNKNOWN answers (conflict budgets, MILP numerical bailouts) and
+    crashed contenders keep the race open; the loser processes are
+    terminated as soon as a winner reports.  If every contender is
+    inconclusive — or ``timeout`` elapses — the result is UNKNOWN with
+    backend ``"portfolio"``.
+    """
+    if not backends:
+        raise ValueError("need at least one backend to race")
+    if len(backends) == 1:
+        result = verify_attack(spec, backend=backends[0], epsilon=epsilon)
+        result.statistics["portfolio"] = 1
+        return result
+
+    start = time.perf_counter()
+    payload_json = canonical_json(spec_to_payload(spec))
+    epsilon_str = _encode_epsilon(epsilon)
+    try:
+        ctx = multiprocessing.get_context()
+        results_queue = ctx.Queue()
+        children = [
+            ctx.Process(
+                target=_race_child,
+                args=(payload_json, backend, epsilon_str, results_queue),
+                daemon=True,
+            )
+            for backend in backends
+        ]
+        for child in children:
+            child.start()
+    except (OSError, ValueError):
+        # no process/semaphore support on this platform: sequential race
+        return _sequential_race(spec, backends, epsilon)
+
+    winner: Optional[VerificationResult] = None
+    reported = 0
+    try:
+        while reported < len(children):
+            remaining = None
+            if timeout is not None:
+                remaining = timeout - (time.perf_counter() - start)
+                if remaining <= 0:
+                    break
+            try:
+                backend, payload, error = results_queue.get(timeout=remaining)
+            except queue_module.Empty:
+                break
+            reported += 1
+            if error is not None or payload is None:
+                continue
+            result = result_from_payload(payload)
+            if result.outcome is not VerificationOutcome.UNKNOWN:
+                winner = result
+                break
+    finally:
+        for child in children:
+            if child.is_alive():
+                child.terminate()
+        for child in children:
+            child.join(timeout=5.0)
+        results_queue.close()
+        results_queue.cancel_join_thread()
+
+    elapsed = time.perf_counter() - start
+    if winner is None:
+        return VerificationResult(
+            VerificationOutcome.UNKNOWN,
+            None,
+            "portfolio",
+            elapsed,
+            {"portfolio": 1, "portfolio_inconclusive": 1},
+        )
+    winner.runtime_seconds = elapsed
+    winner.statistics = dict(winner.statistics)
+    winner.statistics["portfolio"] = 1
+    return winner

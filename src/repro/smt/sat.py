@@ -58,7 +58,10 @@ class SatSolver:
         self.num_vars = 0
         self.clauses: List[List[int]] = []
         self.learnts: List[List[int]] = []
-        self.watches: dict[int, List[List[int]]] = {}
+        # watch lists in a flat array indexed by 2*var + (literal < 0):
+        # _bcp is the hot path and literal-keyed dict lookups cost a
+        # hash per visit; entries 0/1 pad for the unused variable 0
+        self.watches: List[List[List[int]]] = [[], []]
         # per-variable state (index 0 unused)
         self.assign: List[int] = [0]  # 0 unassigned, +1 true, -1 false
         self.level: List[int] = [0]
@@ -91,6 +94,8 @@ class SatSolver:
     # ------------------------------------------------------------------
     def new_var(self) -> int:
         self.num_vars += 1
+        self.watches.append([])
+        self.watches.append([])
         self.assign.append(0)
         self.level.append(0)
         self.reason.append(None)
@@ -144,9 +149,12 @@ class SatSolver:
         self._watch(out)
         return True
 
+    def _watch_index(self, lit: int) -> int:
+        return ((lit << 1) if lit > 0 else (-lit << 1)) | (lit < 0)
+
     def _watch(self, clause: List[int]) -> None:
-        self.watches.setdefault(-clause[0], []).append(clause)
-        self.watches.setdefault(-clause[1], []).append(clause)
+        self.watches[self._watch_index(-clause[0])].append(clause)
+        self.watches[self._watch_index(-clause[1])].append(clause)
 
     # ------------------------------------------------------------------
     # trail operations
@@ -214,7 +222,9 @@ class SatSolver:
             lit = self.trail[self.qhead]
             self.qhead += 1
             self.stats["propagations"] += 1
-            watchlist = self.watches.get(lit)
+            watchlist = self.watches[
+                ((lit << 1) if lit > 0 else (-lit << 1)) | (lit < 0)
+            ]
             if not watchlist:
                 continue
             i = 0
@@ -236,7 +246,10 @@ class SatSolver:
                     other = clause[k]
                     if self.value(other) != -1:
                         clause[1], clause[k] = other, neg
-                        self.watches.setdefault(-other, []).append(clause)
+                        # watch index of -other, inlined
+                        self.watches[
+                            ((-other << 1) if other < 0 else (other << 1)) | (other > 0)
+                        ].append(clause)
                         found = True
                         break
                 if found:
@@ -381,7 +394,7 @@ class SatSolver:
             return
         dead = {id(c) for c in removed}
         self.learnts = kept
-        for watchlist in self.watches.values():
+        for watchlist in self.watches:
             watchlist[:] = [c for c in watchlist if id(c) not in dead]
 
     # ------------------------------------------------------------------

@@ -65,7 +65,7 @@ class Solver:
         self._sat = SatSolver()
         self._theory = LraTheory()
         self._sat.theory = self._theory
-        self._cnf: Optional[CnfBuilder] = None
+        self._lattice_lemmas = 0
         self._cnf = CnfBuilder(add_clause=self._install_clause)
         self._next_bool = 0
         self._next_real = 0
@@ -110,7 +110,9 @@ class Solver:
         self._sat.add_clause(lits)
 
     def _register_new_atoms(self, lits: Iterable[int]) -> None:
-        if self._cnf is None:  # during CnfBuilder construction
+        # CnfBuilder.__init__ emits the TRUE-literal unit clause before
+        # the attribute assignment completes; that clause has no atoms.
+        if getattr(self, "_cnf", None) is None:
             return
         for lit in lits:
             var = abs(lit)
@@ -135,6 +137,7 @@ class Solver:
         for other_op, other_bound, other_var in siblings:
             if other_var == sat_var:
                 continue
+            self._lattice_lemmas += 1
             if op == "<=" and other_op == "<=":
                 if bound <= other_bound:
                     self._install_clause([-sat_var, other_var])
@@ -281,5 +284,6 @@ class Solver:
             theory_atoms=len(self._theory._atom_map),
             simplex_variables=self._theory.simplex.num_vars,
             simplex_rows=len(self._theory.simplex.rows),
+            lattice_lemmas=self._lattice_lemmas,
         )
         return stats

@@ -93,12 +93,6 @@ class TestMultiRequirement:
         with pytest.raises(ValueError, match="at least one"):
             synthesize_against_all([], SynthesisSettings(max_secured_buses=1))
 
-    def test_mismatched_grids_rejected(self):
-        a = AttackSpec.default(ieee14(), goal=AttackGoal.any())
-        b = AttackSpec.default(path_grid(4), goal=AttackGoal.any())
-        with pytest.raises(ValueError, match="share"):
-            synthesize_against_all([a, b], SynthesisSettings(max_secured_buses=2))
-
     def test_infeasible_joint_requirement(self):
         grid = path_grid(4)
         base = AttackSpec.default(grid)
@@ -107,3 +101,63 @@ class TestMultiRequirement:
             specs, SynthesisSettings(max_secured_buses=0)
         )
         assert result.architecture is None
+
+
+class TestInputValidation:
+    def test_mismatched_grids_rejected(self):
+        a = AttackSpec.default(ieee14(), goal=AttackGoal.any())
+        b = AttackSpec.default(path_grid(4), goal=AttackGoal.any())
+        with pytest.raises(ValueError, match="share"):
+            synthesize_against_all([a, b], SynthesisSettings(max_secured_buses=2))
+
+    def test_mismatched_measurement_plans_rejected(self):
+        grid = ieee14()
+        full = AttackSpec.default(grid, goal=AttackGoal.any())
+        thinned = full.with_plan(paper_plan(grid, secured=set(), inaccessible=set()))
+        assert full.plan.taken != thinned.plan.taken
+        with pytest.raises(ValueError, match="share"):
+            synthesize_against_all(
+                [full, thinned], SynthesisSettings(max_secured_buses=2)
+            )
+
+    def test_mismatched_line_admittances_rejected(self):
+        grid = ieee14()
+        lines = [
+            Line(l.index, l.from_bus, l.to_bus, l.admittance * (2.0 if l.index == 1 else 1.0))
+            for l in grid.lines
+        ]
+        retuned = Grid(grid.num_buses, lines, name=grid.name)
+        a = AttackSpec.default(grid, goal=AttackGoal.any())
+        b = AttackSpec.default(retuned, goal=AttackGoal.any())
+        with pytest.raises(ValueError, match="share"):
+            synthesize_against_all([a, b], SynthesisSettings(max_secured_buses=2))
+
+
+class TestParallelParity:
+    """jobs=2 must reproduce the serial CEGIS run bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def requirements(self):
+        grid = ieee14()
+        base = AttackSpec.default(grid)
+        return [
+            base.with_goal(AttackGoal.states(10)),
+            base.with_goal(AttackGoal.states(12, exclusive=True)),
+            base.with_goal(AttackGoal.states(8)),
+        ]
+
+    def test_parallel_bit_identical_to_serial(self, requirements):
+        settings = SynthesisSettings(max_secured_buses=5)
+        serial = synthesize_against_all(requirements, settings, jobs=1)
+        parallel = synthesize_against_all(requirements, settings, jobs=2)
+        assert parallel.architecture == serial.architecture
+        assert parallel.iterations == serial.iterations
+        assert parallel.counterexamples == serial.counterexamples
+
+    def test_parallel_infeasible_matches_serial(self, requirements):
+        settings = SynthesisSettings(max_secured_buses=0)
+        serial = synthesize_against_all(requirements, settings, jobs=1)
+        parallel = synthesize_against_all(requirements, settings, jobs=2)
+        assert serial.architecture is None
+        assert parallel.architecture is None
+        assert parallel.iterations == serial.iterations

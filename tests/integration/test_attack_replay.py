@@ -135,4 +135,11 @@ def test_hypothesis_random_targets_replay(target, seed):
     assert result.attack_exists
     clean, attacked, __ = replay(spec, result.attack, scale=0.04, seed=seed)
     assert attacked.objective == pytest.approx(clean.objective, abs=1e-5)
-    assert not chi_square_test(attacked).bad_data_detected
+    # stealthiness means the attack does not change the detector's
+    # verdict; an unlucky noise draw may trip chi-square even with no
+    # attack (e.g. seed=699), and that false positive is not the
+    # attack's doing
+    assert (
+        chi_square_test(attacked).bad_data_detected
+        == chi_square_test(clean).bad_data_detected
+    )

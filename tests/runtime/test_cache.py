@@ -1,0 +1,118 @@
+"""Memoizing result cache: LRU memory tier, disk tier, stats."""
+
+import json
+
+from repro.core.spec import AttackGoal, AttackSpec
+from repro.core.verification import verify_attack
+from repro.grid.cases import ieee14
+from repro.runtime import ResultCache, default_cache_dir, spec_fingerprint
+
+
+def make_result(bus=9):
+    spec = AttackSpec.default(ieee14(), goal=AttackGoal.states(bus))
+    return spec_fingerprint(spec), verify_attack(spec)
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        key, result = make_result()
+        assert cache.get(key) is None
+        cache.put(key, result)
+        hit = cache.get(key)
+        assert hit is not None
+        assert hit.outcome == result.outcome
+        assert hit.statistics.get("cache_hit") == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_original_result_not_mutated_by_hit_marking(self):
+        cache = ResultCache()
+        key, result = make_result()
+        cache.put(key, result)
+        cache.get(key)
+        assert "cache_hit" not in result.statistics
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_memory_entries=2)
+        key, result = make_result()
+        for i in range(3):
+            cache.put(f"{key}-{i}", result)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.get(f"{key}-0") is None  # oldest entry evicted
+        assert cache.get(f"{key}-2") is not None
+
+    def test_lru_get_refreshes_recency(self):
+        cache = ResultCache(max_memory_entries=2)
+        key, result = make_result()
+        cache.put("a", result)
+        cache.put("b", result)
+        cache.get("a")  # "a" is now most recent
+        cache.put("c", result)  # evicts "b"
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+
+class TestDiskTier:
+    def test_persists_across_instances(self, tmp_path):
+        key, result = make_result()
+        first = ResultCache(directory=tmp_path)
+        first.put(key, result)
+
+        second = ResultCache(directory=tmp_path)
+        hit = second.get(key)
+        assert hit is not None
+        assert hit.outcome == result.outcome
+        assert hit.attack == result.attack
+        assert second.stats.disk_hits == 1
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        key, result = make_result()
+        ResultCache(directory=tmp_path).put(key, result)
+        cache = ResultCache(directory=tmp_path)
+        cache.get(key)
+        cache.get(key)
+        assert cache.stats.disk_hits == 1  # second hit served from memory
+        assert cache.stats.hits == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        key, result = make_result()
+        cache = ResultCache(directory=tmp_path)
+        cache.put(key, result)
+        (entry,) = list(tmp_path.glob("*.json"))
+        entry.write_text("{not json")
+        cache.clear_memory()
+        assert cache.get(key) is None
+
+    def test_stale_entry_is_a_miss(self, tmp_path):
+        key, result = make_result()
+        cache = ResultCache(directory=tmp_path)
+        cache.put(key, result)
+        (entry,) = list(tmp_path.glob("*.json"))
+        data = json.loads(entry.read_text())
+        del data["outcome"]  # an entry written by an older schema
+        entry.write_text(json.dumps(data))
+        cache.clear_memory()
+        assert cache.get(key) is None
+
+    def test_stats_as_dict(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        key, result = make_result()
+        cache.get(key)
+        cache.put(key, result)
+        cache.get(key)
+        d = cache.stats.as_dict()
+        assert d["hits"] == 1 and d["misses"] == 1 and d["stores"] == 1
+
+
+class TestDefaultDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "repro-ufdi"

@@ -1,0 +1,76 @@
+"""Portfolio racing: conclusive winners, fallbacks, inconclusive runs."""
+
+import pytest
+
+from repro.core.spec import AttackGoal, AttackSpec
+from repro.core.verification import VerificationOutcome, verify_attack
+from repro.grid.cases import ieee14
+from repro.runtime import race_backends
+from repro.runtime.portfolio import _sequential_race
+
+
+def sat_spec():
+    return AttackSpec.default(ieee14(), goal=AttackGoal.states(9))
+
+
+class TestRace:
+    def test_winner_is_conclusive_and_marked(self):
+        result = race_backends(sat_spec())
+        assert result.outcome is VerificationOutcome.ATTACK_EXISTS
+        assert result.backend in ("smt", "milp")
+        assert result.statistics.get("portfolio") == 1
+        assert result.runtime_seconds >= 0
+
+    def test_winner_agrees_with_direct_verification(self):
+        spec = sat_spec()
+        raced = race_backends(spec)
+        direct = verify_attack(spec, backend=raced.backend)
+        assert raced.outcome == direct.outcome
+
+    def test_single_backend_degenerates_to_direct_call(self):
+        spec = sat_spec()
+        result = race_backends(spec, backends=("smt",))
+        direct = verify_attack(spec, backend="smt")
+        assert result.outcome == direct.outcome
+        assert result.attack == direct.attack
+        assert result.statistics["portfolio"] == 1
+
+    def test_no_backends_rejected(self):
+        with pytest.raises(ValueError):
+            race_backends(sat_spec(), backends=())
+
+    def test_timeout_returns_unknown(self):
+        result = race_backends(sat_spec(), timeout=1e-6)
+        assert result.outcome.value == "unknown"
+        assert result.backend == "portfolio"
+        assert result.statistics.get("portfolio_inconclusive") == 1
+
+
+class TestSequentialFallback:
+    def test_first_conclusive_answer_wins(self):
+        spec = sat_spec()
+        result = _sequential_race(spec, ("smt", "milp"), epsilon=None)
+        assert result.backend == "smt"
+        assert result.outcome is VerificationOutcome.ATTACK_EXISTS
+        assert result.statistics["portfolio"] == 1
+
+    def test_skips_inconclusive_backend(self):
+        spec = sat_spec()
+        # a 1-conflict budget makes the SMT engine return UNKNOWN; the
+        # race must move on to MILP and return its conclusive answer
+        import repro.runtime.portfolio as portfolio_module
+
+        real = portfolio_module.verify_attack
+
+        def budgeted(spec, backend="smt", **kwargs):
+            if backend == "smt":
+                kwargs["max_conflicts"] = 1
+            return real(spec, backend=backend, **kwargs)
+
+        portfolio_module.verify_attack = budgeted
+        try:
+            result = _sequential_race(spec, ("smt", "milp"), epsilon=None)
+        finally:
+            portfolio_module.verify_attack = real
+        assert result.backend == "milp"
+        assert result.outcome is VerificationOutcome.ATTACK_EXISTS

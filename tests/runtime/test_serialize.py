@@ -1,0 +1,123 @@
+"""Canonical payload round-trips and fingerprint stability."""
+
+import json
+
+import pytest
+
+from repro.core.casestudy import attack_objective_2, paper_line_attrs, paper_plan
+from repro.core.spec import AttackGoal, AttackSpec, ResourceLimits
+from repro.core.verification import verify_attack
+from repro.grid.cases import ieee14
+from repro.grid.dcflow import nominal_injections, solve_dc_flow
+from repro.runtime import (
+    attack_from_payload,
+    attack_to_payload,
+    canonical_json,
+    payload_to_spec,
+    result_from_payload,
+    result_to_payload,
+    spec_fingerprint,
+    spec_to_payload,
+)
+
+
+def topology_spec():
+    return attack_objective_2(secure_measurement_46=True, allow_topology_attack=True)
+
+
+class TestSpecRoundTrip:
+    def test_default_spec(self):
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.states(9, 10))
+        again = payload_to_spec(json.loads(canonical_json(spec_to_payload(spec))))
+        assert again.grid.num_buses == 14
+        assert again.goal == spec.goal
+        assert again.plan.taken == spec.plan.taken
+        assert [l.admittance for l in again.grid.lines] == [
+            l.admittance for l in spec.grid.lines
+        ]
+
+    def test_rich_spec_roundtrip_preserves_fingerprint(self):
+        spec = AttackSpec(
+            grid=ieee14(),
+            plan=paper_plan(ieee14()),
+            line_attrs=paper_line_attrs(),
+            goal=AttackGoal.states(9, 10, exclusive=True).with_distinct((9, 10)),
+            limits=ResourceLimits(max_measurements=16, max_buses=7),
+            allow_topology_attack=True,
+            strict_knowledge=True,
+        )
+        again = payload_to_spec(spec_to_payload(spec))
+        assert spec_fingerprint(again) == spec_fingerprint(spec)
+        assert again.strict_knowledge and again.allow_topology_attack
+        assert again.limits == spec.limits
+
+    def test_operating_point_mode_roundtrips(self):
+        grid = ieee14()
+        flow = solve_dc_flow(grid, nominal_injections(grid))
+        spec = AttackSpec.default(
+            grid, goal=AttackGoal.states(9), allow_topology_attack=True
+        ).with_operating_point(flow)
+        again = payload_to_spec(spec_to_payload(spec))
+        assert again.base_flows == dict(spec.base_flows)
+        assert again.base_angles == dict(spec.base_angles)
+        assert spec_fingerprint(again) == spec_fingerprint(spec)
+
+    def test_reconstructed_spec_verifies_identically(self):
+        spec = topology_spec()
+        again = payload_to_spec(spec_to_payload(spec))
+        a = verify_attack(spec)
+        b = verify_attack(again)
+        assert a.outcome == b.outcome
+        assert a.attack == b.attack
+        assert a.statistics["conflicts"] == b.statistics["conflicts"]
+
+    def test_unsupported_format_rejected(self):
+        payload = spec_to_payload(AttackSpec.default(ieee14()))
+        payload["format"] = 99
+        with pytest.raises(ValueError, match="format"):
+            payload_to_spec(payload)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.any())
+        assert spec_fingerprint(spec) == spec_fingerprint(spec)
+
+    def test_name_does_not_matter(self):
+        grid = ieee14()
+        renamed = type(grid)(grid.num_buses, grid.lines, name="other-name")
+        a = AttackSpec.default(grid, goal=AttackGoal.any())
+        b = AttackSpec.default(renamed, goal=AttackGoal.any())
+        assert spec_fingerprint(a) == spec_fingerprint(b)
+
+    def test_problem_changes_change_the_key(self):
+        base = AttackSpec.default(ieee14(), goal=AttackGoal.any())
+        assert spec_fingerprint(base) != spec_fingerprint(
+            base.with_limits(ResourceLimits(max_measurements=5))
+        )
+        assert spec_fingerprint(base) != spec_fingerprint(
+            base.with_goal(AttackGoal.states(9))
+        )
+        assert spec_fingerprint(base) != spec_fingerprint(
+            base.with_secured_buses([2])
+        )
+        assert spec_fingerprint(base, backend="smt") != spec_fingerprint(
+            base, backend="milp"
+        )
+
+
+class TestResultPayloads:
+    def test_result_roundtrip(self):
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.states(9))
+        result = verify_attack(spec)
+        again = result_from_payload(
+            json.loads(json.dumps(result_to_payload(result)))
+        )
+        assert again.outcome == result.outcome
+        assert again.backend == result.backend
+        assert again.attack == result.attack
+        assert again.statistics == result.statistics
+
+    def test_attack_roundtrip_none(self):
+        assert attack_to_payload(None) is None
+        assert attack_from_payload(None) is None

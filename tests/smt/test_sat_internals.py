@@ -93,7 +93,9 @@ class TestClauseDatabase:
         solver.solve()
         # force an explicit reduction and ensure watch lists stay sane
         solver._reduce_db()
-        for lit, watchlist in solver.watches.items():
+        for index, watchlist in enumerate(solver.watches):
+            var, negated = index >> 1, index & 1
+            lit = -var if negated else var
             for clause in watchlist:
                 assert lit in (-clause[0], -clause[1])
 

@@ -1,0 +1,113 @@
+"""Guards for the flat watch-list layout, Luby restarts and DB reduction.
+
+The watch lists moved from a dict keyed by signed literal to a flat list
+indexed by ``2*var + (lit < 0)``.  The refactor must not change the
+search at all, so the golden statistics below — captured on the
+dict-keyed implementation — pin the full before/after behaviour:
+identical conflicts, decisions, propagations and learned literals on
+fixed hard instances.
+"""
+
+import pytest
+
+from repro.smt.sat import SatSolver, luby
+
+from tests.smt.test_sat_internals import hard_random_instance
+
+# (seed, expected) with expected =
+#   (sat?, conflicts, decisions, propagations, learned_literals)
+GOLDEN_SEARCH_STATS = [
+    (1, (True, 10, 19, 143, 40)),
+    (2, (False, 43, 45, 474, 140)),
+    (3, (False, 36, 39, 376, 108)),
+]
+
+
+def assert_watch_invariant(solver):
+    """Every 2+-literal clause is watched exactly on -clause[0], -clause[1]."""
+    locations = {}
+    for index, watchlist in enumerate(solver.watches):
+        for clause in watchlist:
+            locations.setdefault(id(clause), []).append(index)
+    for clause in solver.clauses + solver.learnts:
+        if len(clause) < 2:
+            continue
+        expected = [
+            solver._watch_index(-clause[0]),
+            solver._watch_index(-clause[1]),
+        ]
+        assert sorted(locations.get(id(clause), [])) == sorted(expected)
+
+
+class TestLuby:
+    def test_first_fifteen_values(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_powers_at_complete_subsequences(self):
+        # luby(2^k - 1) == 2^(k-1)
+        for k in range(1, 10):
+            assert luby((1 << k) - 1) == 1 << (k - 1)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+
+class TestFlatWatchLayout:
+    def test_index_mapping(self):
+        solver = SatSolver()
+        solver.ensure_vars(3)
+        assert solver._watch_index(1) == 2
+        assert solver._watch_index(-1) == 3
+        assert solver._watch_index(3) == 6
+        assert solver._watch_index(-3) == 7
+        assert len(solver.watches) == 2 * 3 + 2  # padding for var 0
+
+    def test_new_var_extends_watches(self):
+        solver = SatSolver()
+        before = len(solver.watches)
+        solver.new_var()
+        assert len(solver.watches) == before + 2
+
+    def test_invariant_after_solving(self):
+        solver = hard_random_instance(1)
+        assert solver.solve() is True
+        assert_watch_invariant(solver)
+
+    @pytest.mark.parametrize("seed,expected", GOLDEN_SEARCH_STATS)
+    def test_search_statistics_unchanged_by_refactor(self, seed, expected):
+        sat, conflicts, decisions, propagations, learned = expected
+        solver = hard_random_instance(seed)
+        assert solver.solve() is sat
+        assert solver.stats["conflicts"] == conflicts
+        assert solver.stats["decisions"] == decisions
+        assert solver.stats["propagations"] == propagations
+        assert solver.stats["learned_literals"] == learned
+
+
+class TestReduceDb:
+    def test_solve_reduce_resolve_still_finds_model(self):
+        solver = hard_random_instance(6, n=60)
+        assert solver.solve() is True
+        solver.cancel_until(0)
+        solver._reduce_db()
+        assert_watch_invariant(solver)
+        assert solver.solve() is True
+        for clause in solver.clauses:
+            assert any(
+                solver.assign[abs(l)] == (1 if l > 0 else -1) for l in clause
+            )
+
+    def test_reduction_drops_only_unlocked_long_learnts(self):
+        solver = hard_random_instance(3, n=80)
+        solver.solve()
+        solver.cancel_until(0)
+        before = list(solver.learnts)
+        solver._reduce_db()
+        kept = {id(c) for c in solver.learnts}
+        for clause in before:
+            if len(clause) <= 2:
+                assert id(clause) in kept  # binary clauses are never dropped
+        assert_watch_invariant(solver)
