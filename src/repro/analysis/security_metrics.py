@@ -14,10 +14,13 @@ work by, all derived from the formal models:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.mincost import minimum_attack_cost, state_attack_costs
 from repro.core.spec import AttackGoal, AttackSpec
+
+if TYPE_CHECKING:
+    from repro.runtime import RuntimeOptions
 
 
 @dataclass(frozen=True)
@@ -36,15 +39,24 @@ class SecurityMetricsReport:
     grid_attack_cost: Optional[int]
 
 
-def security_metrics(spec: AttackSpec, backend: str = "smt") -> SecurityMetricsReport:
-    """Compute the full metrics report for a grid configuration."""
-    costs = state_attack_costs(spec, backend=backend)
+def security_metrics(
+    spec: AttackSpec,
+    backend: str = "smt",
+    runtime: "Optional[RuntimeOptions]" = None,
+) -> SecurityMetricsReport:
+    """Compute the full metrics report for a grid configuration.
+
+    ``runtime`` routes every probe through the parallel runtime
+    (:func:`repro.runtime.verify_one`): with a cache attached, the
+    exposure pass re-uses the cost pass's probes instead of re-solving.
+    """
+    costs = state_attack_costs(spec, backend=backend, runtime=runtime)
     exposure: Dict[int, int] = {}
     for bus in spec.grid.buses:
         if bus == spec.reference_bus or costs.get(bus) is None:
             continue
         result = minimum_attack_cost(
-            spec.with_goal(AttackGoal.states(bus)), backend=backend
+            spec.with_goal(AttackGoal.states(bus)), backend=backend, runtime=runtime
         )
         if result.attack is not None:
             for meas in result.attack.altered_measurements:
@@ -69,6 +81,7 @@ def bus_criticality(
     spec: AttackSpec,
     buses: Optional[List[int]] = None,
     backend: str = "smt",
+    runtime: "Optional[RuntimeOptions]" = None,
 ) -> Dict[int, Optional[int]]:
     """How much securing one bus raises the grid's minimum attack cost.
 
@@ -81,6 +94,6 @@ def bus_criticality(
     out: Dict[int, Optional[int]] = {}
     for bus in targets:
         secured = spec.with_secured_buses([bus]).with_goal(base_goal)
-        result = minimum_attack_cost(secured, backend=backend)
+        result = minimum_attack_cost(secured, backend=backend, runtime=runtime)
         out[bus] = result.cost
     return out

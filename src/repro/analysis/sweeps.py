@@ -112,16 +112,21 @@ def verification_sweep(
     case_names: Sequence[str],
     targets_per_case: int = 3,
     runtime: "Optional[RuntimeOptions]" = None,
+    max_batch: Optional[int] = None,
 ) -> List[Tuple[str, int, "VerificationResult"]]:
     """The Figure 4(a) instance grid through the parallel runtime.
 
     Builds the standard per-case/per-target verification instances and
-    batches them through :func:`repro.runtime.verify_many`, so the whole
-    sweep fans out over ``runtime.jobs`` workers (and hits the result
-    cache on repeats).  Returns ``(case_name, target_bus, result)``
-    rows in deterministic sweep order.
+    executes them through the service's micro-batching path
+    (:func:`repro.service.batching.verify_specs_batched`, the same code
+    the HTTP API runs), so the whole sweep fans out over
+    ``runtime.jobs`` workers, dedups identical instances and hits the
+    result cache on repeats.  ``max_batch`` chunks the sweep the way
+    the online scheduler would; None solves it as one batch.  Returns
+    ``(case_name, target_bus, result)`` rows in deterministic sweep
+    order.
     """
-    from repro.runtime import verify_many
+    from repro.service.batching import verify_specs_batched
 
     labels: List[Tuple[str, int]] = []
     specs: List[AttackSpec] = []
@@ -130,5 +135,5 @@ def verification_sweep(
         for target in default_targets(grid, targets_per_case):
             labels.append((name, target))
             specs.append(spec_for_case(name, target_bus=target))
-    results = verify_many(specs, runtime)
+    results = verify_specs_batched(specs, runtime, max_batch=max_batch)
     return [(name, target, result) for (name, target), result in zip(labels, results)]

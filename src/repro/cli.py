@@ -11,6 +11,7 @@ Drives the full pipeline from spec files in the text format of
     $ python -m repro.cli synthesize grid.spec --budget 4
     $ python -m repro.cli mincost grid.spec --dimension measurements
     $ python -m repro.cli metrics grid.spec
+    $ python -m repro.cli serve --port 8321 --jobs 4 --portfolio
 """
 
 from __future__ import annotations
@@ -130,7 +131,12 @@ def _cmd_mincost(args: argparse.Namespace) -> int:
     if not (spec.goal.target_states or spec.goal.any_state):
         print("spec has no attack goal; add a 'target' line", file=sys.stderr)
         return 1
-    result = minimum_attack_cost(spec, dimension=args.dimension, backend=args.backend)
+    result = minimum_attack_cost(
+        spec,
+        dimension=args.dimension,
+        backend=args.backend,
+        runtime=_runtime_options(args),
+    )
     if result.cost is None:
         print("goal is infeasible at any budget (no attack exists)")
         return 0
@@ -142,7 +148,7 @@ def _cmd_mincost(args: argparse.Namespace) -> int:
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     spec = load_spec_file(args.specfile)
-    report = security_metrics(spec, backend=args.backend)
+    report = security_metrics(spec, backend=args.backend, runtime=_runtime_options(args))
     print("state attack costs (smaller = weaker):")
     for bus in sorted(report.state_costs):
         cost = report.state_costs[bus]
@@ -155,6 +161,20 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     print("most exposed measurements (top 10):")
     for meas, count in exposed:
         print(f"  {spec.plan.describe(meas):<40s} in {count} minimal attacks")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.http import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        options=_runtime_options(args),
+        window=args.batch_window,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+    )
     return 0
 
 
@@ -204,12 +224,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("specfile")
     p.add_argument("--dimension", choices=["measurements", "buses"], default="measurements")
     p.add_argument("--backend", choices=["smt", "milp"], default="smt")
+    _add_runtime_flags(p)
     p.set_defaults(func=_cmd_mincost)
 
     p = sub.add_parser("metrics", help="per-state / per-measurement security metrics")
     p.add_argument("specfile")
     p.add_argument("--backend", choices=["smt", "milp"], default="smt")
+    _add_runtime_flags(p)
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "serve", help="run the long-lived verification service (HTTP JSON API)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321, help="0 picks a free port")
+    p.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="micro-batching window: how long to hold the first pending "
+        "request while coalescing more (default 0.05)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="max verify requests coalesced into one solver batch",
+    )
+    p.add_argument(
+        "--max-queue", type=int, default=10_000, help="queue depth before 503s"
+    )
+    _add_runtime_flags(p)
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -16,11 +16,14 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.attacks.vector import AttackVector
 from repro.core.spec import AttackGoal, AttackSpec, ResourceLimits
 from repro.core.verification import verify_attack
+
+if TYPE_CHECKING:
+    from repro.runtime import RuntimeOptions
 
 
 @dataclass(frozen=True)
@@ -36,13 +39,26 @@ class MinCostResult:
     probes: int  # number of verification calls spent
 
 
-def _probe(spec: AttackSpec, budget: Optional[int], dimension: str, backend: str):
+def _probe(
+    spec: AttackSpec,
+    budget: Optional[int],
+    dimension: str,
+    backend: str,
+    runtime: "Optional[RuntimeOptions]" = None,
+):
     limits = spec.limits
     if dimension == "measurements":
         limits = dataclasses.replace(limits, max_measurements=budget)
     else:
         limits = dataclasses.replace(limits, max_buses=budget)
-    return verify_attack(spec.with_limits(limits), backend=backend)
+    probe_spec = spec.with_limits(limits)
+    if runtime is not None:
+        # route through the parallel runtime: portfolio racing and the
+        # memoizing cache make repeated binary-search probes near-free
+        from repro.runtime import verify_one
+
+        return verify_one(probe_spec, dataclasses.replace(runtime, backend=backend))
+    return verify_attack(probe_spec, backend=backend)
 
 
 def minimum_attack_cost(
@@ -50,19 +66,22 @@ def minimum_attack_cost(
     dimension: str = "measurements",
     upper_bound: Optional[int] = None,
     backend: str = "smt",
+    runtime: "Optional[RuntimeOptions]" = None,
 ) -> MinCostResult:
     """Binary-search the smallest budget at which the goal stays feasible.
 
     ``dimension`` is ``"measurements"`` (T_CZ) or ``"buses"`` (T_CB).
     Any limit the spec already carries in the *other* dimension is kept,
     so joint questions ("cheapest attack touching at most 3 substations")
-    compose naturally.
+    compose naturally.  With ``runtime`` set, every probe goes through
+    :func:`repro.runtime.verify_one` (portfolio racing, result cache);
+    ``runtime.backend`` is overridden by ``backend``.
     """
     if dimension not in ("measurements", "buses"):
         raise ValueError("dimension must be 'measurements' or 'buses'")
     probes = 0
 
-    unconstrained = _probe(spec, None, dimension, backend)
+    unconstrained = _probe(spec, None, dimension, backend, runtime)
     probes += 1
     if not unconstrained.attack_exists:
         return MinCostResult(None, None, probes)
@@ -82,7 +101,7 @@ def minimum_attack_cost(
         return MinCostResult(0, attack, probes)
     while low + 1 < high:
         mid = (low + high) // 2
-        result = _probe(spec, mid, dimension, backend)
+        result = _probe(spec, mid, dimension, backend, runtime)
         probes += 1
         if result.attack_exists:
             high = mid
@@ -96,6 +115,7 @@ def state_attack_costs(
     spec: AttackSpec,
     dimension: str = "measurements",
     backend: str = "smt",
+    runtime: "Optional[RuntimeOptions]" = None,
 ) -> Dict[int, Optional[int]]:
     """The cheapest-attack cost for every individual state.
 
@@ -108,6 +128,8 @@ def state_attack_costs(
         if bus == spec.reference_bus:
             continue
         goal_spec = spec.with_goal(AttackGoal.states(bus))
-        result = minimum_attack_cost(goal_spec, dimension=dimension, backend=backend)
+        result = minimum_attack_cost(
+            goal_spec, dimension=dimension, backend=backend, runtime=runtime
+        )
         costs[bus] = result.cost
     return costs

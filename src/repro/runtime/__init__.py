@@ -17,6 +17,7 @@ memoized:
 
 from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir
 from repro.runtime.executor import (
+    HAS_TASK_TIMEOUTS,
     RuntimeOptions,
     SpecVerifierPool,
     synthesize_many,
@@ -37,6 +38,7 @@ from repro.runtime.serialize import (
 
 __all__ = [
     "CacheStats",
+    "HAS_TASK_TIMEOUTS",
     "ResultCache",
     "RuntimeOptions",
     "SpecVerifierPool",

@@ -48,14 +48,22 @@ class CacheStats:
     stores: int = 0
     disk_hits: int = 0
     evictions: int = 0
+    disk_evictions: int = 0
 
-    def as_dict(self) -> Dict[str, int]:
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 with no lookups)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
             "disk_hits": self.disk_hits,
             "evictions": self.evictions,
+            "disk_evictions": self.disk_evictions,
+            "hit_rate": self.hit_rate(),
         }
 
 
@@ -66,11 +74,15 @@ class ResultCache:
         self,
         directory: Optional[Union[str, Path]] = None,
         max_memory_entries: int = 4096,
+        max_disk_entries: Optional[int] = None,
     ) -> None:
         if max_memory_entries < 1:
             raise ValueError("max_memory_entries must be positive")
+        if max_disk_entries is not None and max_disk_entries < 1:
+            raise ValueError("max_disk_entries must be positive (or None)")
         self.directory = Path(directory).expanduser() if directory else None
         self.max_memory_entries = max_memory_entries
+        self.max_disk_entries = max_disk_entries
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self.stats = CacheStats()
 
@@ -136,10 +148,55 @@ class ResultCache:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
             os.replace(tmp, path)  # atomic on POSIX: readers never see partial JSON
+            self._prune_disk()
         except OSError:
             pass  # a cache must never fail the computation
 
+    def _disk_entries(self) -> list:
+        if self.directory is None or not self.directory.is_dir():
+            return []
+        return [p for p in self.directory.glob("*.json") if not p.name.startswith(".")]
+
+    def _prune_disk(self) -> None:
+        """Drop oldest-mtime entries beyond ``max_disk_entries``.
+
+        Keeps ``--cache-dir`` stores bounded across long-running services
+        and repeated sweeps.  Best-effort: races with concurrent writers
+        (or already-deleted files) are silently tolerated.
+        """
+        if self.max_disk_entries is None:
+            return
+        entries = self._disk_entries()
+        excess = len(entries) - self.max_disk_entries
+        if excess <= 0:
+            return
+
+        def _mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+
+        entries.sort(key=_mtime)
+        for path in entries[:excess]:
+            try:
+                path.unlink()
+                self.stats.disk_evictions += 1
+            except OSError:
+                pass
+
     # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able live view: counters plus current store sizes."""
+        out = self.stats.as_dict()
+        out["memory_entries"] = len(self._memory)
+        out["max_memory_entries"] = self.max_memory_entries
+        out["directory"] = None if self.directory is None else str(self.directory)
+        if self.directory is not None:
+            out["disk_entries"] = len(self._disk_entries())
+            out["max_disk_entries"] = self.max_disk_entries
+        return out
+
     def clear_memory(self) -> None:
         self._memory.clear()
 

@@ -55,6 +55,14 @@ from repro.runtime.serialize import (
 
 Epsilon = Optional[Union[int, float, Fraction]]
 
+#: Whether this platform can enforce per-task wall-clock timeouts.
+#: ``SIGALRM``/``setitimer`` are POSIX-only (absent on Windows); without
+#: them the runtime still imports and runs, but ``task_timeout`` silently
+#: degrades to *no timeout* — every task runs to completion.  Callers
+#: that must know (e.g. the service ``/statsz`` endpoint) can inspect
+#: this flag instead of probing :mod:`signal` themselves.
+HAS_TASK_TIMEOUTS = hasattr(signal, "SIGALRM") and hasattr(signal, "setitimer")
+
 
 @dataclass
 class RuntimeOptions:
@@ -84,6 +92,18 @@ class RuntimeOptions:
     def backend_label(self) -> str:
         return "portfolio" if self.portfolio else self.backend
 
+    def describe(self) -> Dict[str, Any]:
+        """JSON-able snapshot of the knobs (for ``/statsz`` and logs)."""
+        return {
+            "jobs": self.jobs,
+            "backend": self.backend_label(),
+            "task_timeout": self.task_timeout,
+            "task_timeouts_enforced": HAS_TASK_TIMEOUTS,
+            "epsilon": None if self.epsilon is None else str(self.epsilon),
+            "max_conflicts": self.max_conflicts,
+            "cache": self.cache is not None,
+        }
+
 
 class _TaskTimeout(Exception):
     pass
@@ -95,12 +115,14 @@ def _alarm(seconds: Optional[float]):
 
     Uses ``SIGALRM``, so it only engages on the main thread of a
     process (which is where both pool workers and the in-process
-    fallback run); elsewhere it is a no-op.
+    fallback run); elsewhere — worker threads, or platforms without
+    ``SIGALRM``/``setitimer`` (:data:`HAS_TASK_TIMEOUTS` false) — it is
+    a documented no-op: the task simply runs without a timeout.
     """
     usable = (
         seconds is not None
         and seconds > 0
-        and hasattr(signal, "SIGALRM")
+        and HAS_TASK_TIMEOUTS
         and threading.current_thread() is threading.main_thread()
     )
     if not usable:

@@ -1,0 +1,37 @@
+"""Verification-as-a-service over the parallel runtime.
+
+A long-lived process amortises what the one-shot CLI pays on every
+invocation — process-pool spin-up, encoder construction, cold caches —
+across an arbitrary stream of requests.  The subsystem is stdlib-only
+and splits into four layers:
+
+* :mod:`repro.service.jobs` — an asyncio job queue: IDs, states
+  (queued/running/done/failed/cancelled/timeout), priorities, per-job
+  deadlines and bounded retry on worker failure;
+* :mod:`repro.service.batching` — a micro-batching scheduler that
+  coalesces pending verify requests within a window into single
+  :func:`repro.runtime.verify_many` batches, deduplicating identical
+  specs via their canonical fingerprints;
+* :mod:`repro.service.http` — the JSON HTTP API (``POST /v1/verify``,
+  ``POST /v1/synthesize``, ``GET /v1/jobs/<id>``, ``GET /healthz``,
+  ``GET /statsz``) with request validation and graceful drain;
+* :mod:`repro.service.client` — a small blocking client for tests,
+  examples and scripts.
+
+``python -m repro.cli serve`` starts the service; offline sweeps
+(:func:`repro.analysis.sweeps.verification_sweep`) execute through the
+same batching code path, so both entry points exercise one engine.
+"""
+
+from repro.service.batching import BatchingScheduler, BatchStats, verify_specs_batched
+from repro.service.jobs import Job, JobQueue, JobState, QueueFull
+
+__all__ = [
+    "BatchStats",
+    "BatchingScheduler",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "QueueFull",
+    "verify_specs_batched",
+]

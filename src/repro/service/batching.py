@@ -1,0 +1,313 @@
+"""Micro-batching scheduler: coalesce requests into ``verify_many`` batches.
+
+Individually-submitted verification requests are tiny; the runtime's
+batch executor is happiest with many instances at once (one pool
+spin-up, in-batch dedup, one cache sweep).  The scheduler bridges the
+two shapes: it waits for the first pending job, keeps collecting for a
+``window`` (or until ``max_batch``), and executes the whole batch as a
+single :func:`repro.runtime.verify_many` call in a worker thread, so
+the event loop keeps serving HTTP while solvers run.
+
+Identical concurrent requests cost one solver invocation: in-batch
+duplicates collapse via the canonical spec fingerprint inside
+``verify_many``, and stragglers that land in a later batch hit the
+shared :class:`~repro.runtime.cache.ResultCache`.
+
+:func:`verify_specs_batched` is the same execution path exposed as a
+plain function — the offline sweeps
+(:func:`repro.analysis.sweeps.verification_sweep`) run through it, so
+the service and the benchmarks exercise one engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import functools
+import time
+from collections import deque
+from fractions import Fraction
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.spec import AttackSpec
+from repro.core.synthesis import SynthesisSettings, synthesize_architecture
+from repro.core.verification import VerificationResult
+from repro.runtime import RuntimeOptions, spec_fingerprint, verify_many
+from repro.runtime.serialize import (
+    attack_to_payload,
+    payload_to_spec,
+    result_to_payload,
+)
+from repro.service.jobs import Job, JobQueue, JobState
+
+
+class BatchStats:
+    """Counters the scheduler exposes through ``GET /statsz``.
+
+    ``dedup_hits``   — jobs answered by another identical job in the
+                       same batch (no extra solver work);
+    ``cache_hits``   — unique specs answered by the result cache;
+    ``solver_calls`` — unique specs that actually reached a solver.
+    Latencies are submit-to-finish seconds over a sliding window.
+    """
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self.batches = 0
+        self.jobs = 0
+        self.dedup_hits = 0
+        self.cache_hits = 0
+        self.solver_calls = 0
+        self.retries = 0
+        self.failures = 0
+        self.size_histogram: Dict[int, int] = {}
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+
+    def observe_batch(self, size: int) -> None:
+        self.batches += 1
+        self.jobs += size
+        self.size_histogram[size] = self.size_histogram.get(size, 0) + 1
+
+    def observe_specs(
+        self,
+        specs: Sequence[AttackSpec],
+        results: Sequence[VerificationResult],
+        options: RuntimeOptions,
+    ) -> None:
+        """Attribute a finished ``verify_many`` call to dedup/cache/solver."""
+        epsilon = None if options.epsilon is None else Fraction(options.epsilon)
+        first_index: Dict[str, int] = {}
+        for i, spec in enumerate(specs):
+            key = spec_fingerprint(
+                spec, backend=options.backend_label(), epsilon=epsilon
+            )
+            if key in first_index:
+                self.dedup_hits += 1
+                continue
+            first_index[key] = i
+            if results[i].statistics.get("cache_hit"):
+                self.cache_hits += 1
+            else:
+                self.solver_calls += 1
+
+    def observe_latency(self, seconds: float) -> None:
+        self._latencies.append(seconds)
+
+    @staticmethod
+    def _percentile(ordered: List[float], q: float) -> float:
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def snapshot(self) -> Dict[str, Any]:
+        ordered = sorted(self._latencies)
+        return {
+            "batches": self.batches,
+            "jobs": self.jobs,
+            "dedup_hits": self.dedup_hits,
+            "cache_hits": self.cache_hits,
+            "solver_calls": self.solver_calls,
+            "retries": self.retries,
+            "failures": self.failures,
+            "batch_size_histogram": {
+                str(size): count for size, count in sorted(self.size_histogram.items())
+            },
+            "latency_p50": self._percentile(ordered, 0.50) if ordered else None,
+            "latency_p95": self._percentile(ordered, 0.95) if ordered else None,
+            "latency_samples": len(ordered),
+        }
+
+
+def verify_specs_batched(
+    specs: Sequence[AttackSpec],
+    options: Optional[RuntimeOptions] = None,
+    max_batch: Optional[int] = None,
+    stats: Optional[BatchStats] = None,
+) -> List[VerificationResult]:
+    """Verify ``specs`` in micro-batches of ``max_batch`` (None: one batch).
+
+    The single shared execution path for the online scheduler and the
+    offline sweeps: each chunk goes through :func:`verify_many` (dedup,
+    cache, process-pool fan-out per ``options``), results return in
+    input order, and ``stats`` — when provided — is credited exactly as
+    the service's ``/statsz`` endpoint reports it.
+    """
+    options = options or RuntimeOptions()
+    specs = list(specs)
+    step = len(specs) if not max_batch or max_batch <= 0 else max_batch
+    results: List[VerificationResult] = []
+    for start in range(0, len(specs), max(1, step)):
+        chunk = specs[start : start + step]
+        chunk_results = verify_many(chunk, options)
+        if stats is not None:
+            stats.observe_specs(chunk, chunk_results, options)
+        results.extend(chunk_results)
+    return results
+
+
+def _verify_job_options(base: RuntimeOptions, payload: Dict[str, Any]) -> RuntimeOptions:
+    """Per-job overrides on top of the service's base options.
+
+    The cache object is shared deliberately: it is what turns repeated
+    requests across batches into hits.
+    """
+    epsilon = payload.get("epsilon")
+    return dataclasses.replace(
+        base,
+        backend=payload.get("backend") or base.backend,
+        portfolio=bool(payload.get("portfolio", base.portfolio)),
+        epsilon=base.epsilon if epsilon is None else Fraction(str(epsilon)),
+    )
+
+
+def _options_key(options: RuntimeOptions) -> Tuple[str, str]:
+    epsilon = "" if options.epsilon is None else str(Fraction(options.epsilon))
+    return (options.backend_label(), epsilon)
+
+
+def _run_synthesis(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-thread body for one synthesis job."""
+    spec = payload_to_spec(payload["spec"])
+    settings_kwargs = dict(payload["settings"])
+    settings_kwargs["excluded_buses"] = frozenset(
+        settings_kwargs.get("excluded_buses", ())
+    )
+    settings = SynthesisSettings(**settings_kwargs)
+    result = synthesize_architecture(spec, settings)
+    return {
+        "feasible": result.feasible,
+        "architecture": result.architecture,
+        "iterations": result.iterations,
+        "runtime_seconds": result.runtime_seconds,
+        "counterexamples": [
+            attack_to_payload(attack) for attack in result.counterexamples
+        ],
+    }
+
+
+class BatchingScheduler:
+    """Pull jobs from a :class:`JobQueue`, execute them in micro-batches.
+
+    One batch at a time: the collect phase blocks until a first job
+    arrives, then keeps the window open; the execute phase runs solver
+    work in the event loop's default thread pool executor so HTTP
+    handling never blocks.  Failed attempts (a raising backend, a dead
+    worker pool) are retried up to each job's ``max_retries`` before
+    the job goes to ``failed``.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        options: Optional[RuntimeOptions] = None,
+        window: float = 0.05,
+        max_batch: int = 64,
+        stats: Optional[BatchStats] = None,
+    ) -> None:
+        if window < 0:
+            raise ValueError("window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.queue = queue
+        self.options = options or RuntimeOptions()
+        self.window = window
+        self.max_batch = max_batch
+        self.stats = stats or BatchStats()
+
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        """Serve forever; cancel the task to stop."""
+        while True:
+            batch = await self._collect()
+            if batch:
+                await self._execute(batch)
+
+    async def _collect(self) -> List[Job]:
+        first = await self.queue.take()
+        batch = [first]
+        closes_at = time.monotonic() + self.window
+        while len(batch) < self.max_batch:
+            remaining = closes_at - time.monotonic()
+            if remaining <= 0:
+                break
+            job = await self.queue.take(timeout=remaining)
+            if job is None:
+                break
+            batch.append(job)
+        return batch
+
+    # ------------------------------------------------------------------
+    async def _execute(self, batch: List[Job]) -> None:
+        self.stats.observe_batch(len(batch))
+        verify_groups: Dict[Tuple[str, str], List[Job]] = {}
+        for job in batch:
+            if job.kind == "verify":
+                options = _verify_job_options(self.options, job.payload)
+                verify_groups.setdefault(_options_key(options), []).append(job)
+            elif job.kind == "synthesize":
+                await self._execute_synthesis(job)
+            else:
+                self.queue.finish(
+                    job, JobState.FAILED, error=f"unknown job kind {job.kind!r}"
+                )
+        for group in verify_groups.values():
+            await self._execute_verify_group(group)
+
+    async def _execute_verify_group(self, group: List[Job]) -> None:
+        options = _verify_job_options(self.options, group[0].payload)
+        specs = [payload_to_spec(job.payload["spec"]) for job in group]
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                None,
+                functools.partial(
+                    verify_specs_batched, specs, options, stats=self.stats
+                ),
+            )
+        except Exception as exc:  # worker failure: retry each job, bounded
+            for job in group:
+                await self._retry_or_fail(job, exc)
+            return
+        for job, result in zip(group, results):
+            self._finish_verify(job, result_to_payload(result))
+
+    def _finish_verify(self, job: Job, result_payload: Dict[str, Any]) -> None:
+        if job.expired():
+            self.queue.finish(
+                job, JobState.TIMEOUT, error="deadline expired while running"
+            )
+        else:
+            self.queue.finish(job, JobState.DONE, result=result_payload)
+        self._observe_finish(job)
+
+    async def _execute_synthesis(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                None, functools.partial(_run_synthesis, job.payload)
+            )
+        except Exception as exc:
+            await self._retry_or_fail(job, exc)
+            return
+        if job.expired():
+            self.queue.finish(
+                job, JobState.TIMEOUT, error="deadline expired while running"
+            )
+        else:
+            self.queue.finish(job, JobState.DONE, result=result)
+        self._observe_finish(job)
+
+    async def _retry_or_fail(self, job: Job, exc: Exception) -> None:
+        if job.attempts <= job.max_retries and not job.expired():
+            self.stats.retries += 1
+            await self.queue.requeue(job)
+        else:
+            self.stats.failures += 1
+            self.queue.finish(
+                job,
+                JobState.FAILED,
+                error=f"{type(exc).__name__}: {exc} (attempt {job.attempts})",
+            )
+            self._observe_finish(job)
+
+    def _observe_finish(self, job: Job) -> None:
+        if job.finished_at is not None:
+            self.stats.observe_latency(job.finished_at - job.submitted_at)

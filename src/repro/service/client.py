@@ -1,0 +1,182 @@
+"""Small blocking HTTP client for the verification service.
+
+Used by the tests, the CI smoke script and examples; depends only on
+:mod:`http.client` from the stdlib.  Specs can be passed as
+:class:`~repro.core.spec.AttackSpec` objects (serialized client-side),
+as canonical payload dicts, or as the paper's text format via
+``spec_text``.
+
+.. code-block:: python
+
+    client = ServiceClient(port=8321)
+    client.wait_until_ready()
+    job = client.verify(spec, timeout=60)
+    assert job["result"]["outcome"] in ("sat", "unsat")
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional, Union
+
+from repro.core.spec import AttackSpec
+from repro.runtime.serialize import spec_to_payload
+
+SpecLike = Union[AttackSpec, Dict[str, Any]]
+
+#: job states after which a job will never change again
+TERMINAL_STATES = ("done", "failed", "cancelled", "timeout")
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx answer from the service."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+def _spec_field(spec: Optional[SpecLike], spec_text: Optional[str]) -> Dict[str, Any]:
+    if (spec is None) == (spec_text is None):
+        raise ValueError("provide exactly one of spec= or spec_text=")
+    if spec_text is not None:
+        return {"spec_text": spec_text}
+    if isinstance(spec, AttackSpec):
+        return {"spec": spec_to_payload(spec)}
+    return {"spec": spec}
+
+
+class ServiceClient:
+    """One service endpoint; every call opens a short-lived connection."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8321, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                method,
+                path,
+                body=None if body is None else json.dumps(body),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        finally:
+            connection.close()
+        try:
+            payload = json.loads(raw) if raw else {}
+        except ValueError as exc:
+            raise ServiceError(status, {"error": f"non-JSON response: {exc}"})
+        if status >= 400:
+            raise ServiceError(status, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/statsz")
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def wait_until_ready(self, timeout: float = 15.0, poll: float = 0.05) -> None:
+        """Poll ``/healthz`` until the service answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.health()
+                return
+            except (ServiceError, OSError):
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"service at {self.host}:{self.port} not ready in {timeout}s"
+                    )
+                time.sleep(poll)
+
+    # ------------------------------------------------------------------
+    def submit_verify(
+        self,
+        spec: Optional[SpecLike] = None,
+        spec_text: Optional[str] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """``POST /v1/verify``; returns the job description (state queued).
+
+        ``fields`` forwards API knobs verbatim: ``backend``,
+        ``portfolio``, ``epsilon``, ``priority``, ``deadline``,
+        ``max_retries``, ``wait``, ``wait_timeout``.
+        """
+        body = {**_spec_field(spec, spec_text), **fields}
+        return self._request("POST", "/v1/verify", body)
+
+    def submit_synthesize(
+        self,
+        spec: Optional[SpecLike] = None,
+        spec_text: Optional[str] = None,
+        budget: int = 0,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        settings = {"budget": budget, **fields.pop("settings", {})}
+        body = {**_spec_field(spec, spec_text), "settings": settings, **fields}
+        return self._request("POST", "/v1/synthesize", body)
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; raise ``TimeoutError`` otherwise."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {job['state']} after {timeout}s")
+            time.sleep(poll)
+
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        spec: Optional[SpecLike] = None,
+        spec_text: Optional[str] = None,
+        timeout: float = 60.0,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """Submit + wait; returns the terminal job (raises if ``failed``)."""
+        job = self.submit_verify(spec=spec, spec_text=spec_text, **fields)
+        job = self.wait(job["id"], timeout=timeout)
+        if job["state"] == "failed":
+            raise ServiceError(500, {"error": job.get("error", "job failed")})
+        return job
+
+    def synthesize(
+        self,
+        spec: Optional[SpecLike] = None,
+        spec_text: Optional[str] = None,
+        budget: int = 0,
+        timeout: float = 120.0,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        job = self.submit_synthesize(
+            spec=spec, spec_text=spec_text, budget=budget, **fields
+        )
+        job = self.wait(job["id"], timeout=timeout)
+        if job["state"] == "failed":
+            raise ServiceError(500, {"error": job.get("error", "job failed")})
+        return job

@@ -1,0 +1,499 @@
+"""JSON HTTP API for the verification service (stdlib asyncio only).
+
+Endpoints::
+
+    POST /v1/verify       submit a verification job
+    POST /v1/synthesize   submit a countermeasure-synthesis job
+    GET  /v1/jobs/<id>    job state (+ result once terminal)
+    GET  /healthz         liveness ("ok" / "draining")
+    GET  /statsz          queue depth, batch-size histogram, cache
+                          hit-rate, p50/p95 latency, job counters
+
+Verify bodies carry either ``"spec"`` (the canonical payload of
+:func:`repro.runtime.serialize.spec_to_payload`) or ``"spec_text"``
+(the paper's text format, :mod:`repro.core.io`), plus optional
+``backend``/``portfolio``/``epsilon``/``priority``/``deadline``/
+``max_retries``; ``"wait": true`` holds the request open until the job
+is terminal (bounded by ``wait_timeout``).  Synthesize bodies add a
+``"settings"`` object (``budget`` required).
+
+On SIGTERM/SIGINT the server **drains**: new submissions get 503,
+``GET`` stays available for polling, in-flight and queued jobs run to
+completion, then the process exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.io import SpecParseError, parse_spec
+from repro.core.spec import AttackSpec
+from repro.core.synthesis import SynthesisSettings
+from repro.runtime import ResultCache, RuntimeOptions
+from repro.runtime.serialize import payload_to_spec, spec_to_payload
+from repro.service.batching import BatchingScheduler, BatchStats
+from repro.service.jobs import JobQueue, JobState, QueueFull
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_BACKENDS = ("smt", "milp")
+
+
+class RequestError(ValueError):
+    """A client error; carries the HTTP status to answer with."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _require(condition: bool, message: str, status: int = 400) -> None:
+    if not condition:
+        raise RequestError(message, status)
+
+
+def _parse_spec_field(body: Dict[str, Any]) -> AttackSpec:
+    """``spec`` (canonical payload) XOR ``spec_text`` (paper text format)."""
+    spec_payload = body.get("spec")
+    spec_text = body.get("spec_text")
+    _require(
+        (spec_payload is None) != (spec_text is None),
+        "provide exactly one of 'spec' (canonical payload) or 'spec_text'",
+    )
+    try:
+        if spec_payload is not None:
+            _require(isinstance(spec_payload, dict), "'spec' must be an object")
+            return payload_to_spec(spec_payload)
+        _require(isinstance(spec_text, str), "'spec_text' must be a string")
+        return parse_spec(spec_text)
+    except RequestError:
+        raise
+    except (SpecParseError, ValueError, KeyError, TypeError) as exc:
+        raise RequestError(f"invalid spec: {exc}") from exc
+
+
+def _parse_common(body: Dict[str, Any]) -> Dict[str, Any]:
+    """priority / deadline / max_retries / wait knobs, validated."""
+    out: Dict[str, Any] = {}
+    priority = body.get("priority", 0)
+    _require(isinstance(priority, int), "'priority' must be an integer")
+    out["priority"] = priority
+    deadline = body.get("deadline")
+    if deadline is not None:
+        _require(
+            isinstance(deadline, (int, float)) and deadline >= 0,
+            "'deadline' must be a nonnegative number of seconds",
+        )
+    out["deadline"] = deadline
+    max_retries = body.get("max_retries", 1)
+    _require(
+        isinstance(max_retries, int) and 0 <= max_retries <= 5,
+        "'max_retries' must be an integer in [0, 5]",
+    )
+    out["max_retries"] = max_retries
+    out["wait"] = bool(body.get("wait", False))
+    wait_timeout = body.get("wait_timeout", 30.0)
+    _require(
+        isinstance(wait_timeout, (int, float)) and wait_timeout > 0,
+        "'wait_timeout' must be a positive number of seconds",
+    )
+    out["wait_timeout"] = float(wait_timeout)
+    return out
+
+
+class ServiceApp:
+    """Routing + validation over one queue/scheduler/cache triple."""
+
+    def __init__(
+        self,
+        options: Optional[RuntimeOptions] = None,
+        window: float = 0.05,
+        max_batch: int = 64,
+        max_queue: int = 10_000,
+    ) -> None:
+        options = options or RuntimeOptions()
+        if options.cache is None:
+            # memoization is the point of a long-lived service: always
+            # carry at least an in-memory cache
+            options = dataclasses.replace(options, cache=ResultCache())
+        self.options = options
+        self.queue = JobQueue(max_depth=max_queue)
+        self.stats = BatchStats()
+        self.scheduler = BatchingScheduler(
+            self.queue, options, window=window, max_batch=max_batch, stats=self.stats
+        )
+        self.draining = False
+        self.started_wall = time.time()
+        self.started_mono = time.monotonic()
+        self._scheduler_task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._scheduler_task = asyncio.create_task(self.scheduler.run())
+
+    async def drain(self) -> None:
+        """Stop taking work, finish what's queued/running, stop scheduling."""
+        self.draining = True
+        await self.queue.join()
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except asyncio.CancelledError:
+                pass
+            self._scheduler_task = None
+
+    # ------------------------------------------------------------------
+    async def handle(
+        self, method: str, path: str, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            return await self._route(method, path, body)
+        except RequestError as exc:
+            return exc.status, {"error": str(exc)}
+        except QueueFull as exc:
+            return 503, {"error": str(exc)}
+
+    async def _route(
+        self, method: str, path: str, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        if path == "/healthz":
+            _require(method == "GET", "use GET", 405)
+            return 200, {
+                "status": "draining" if self.draining else "ok",
+                "uptime_seconds": time.monotonic() - self.started_mono,
+            }
+        if path == "/statsz":
+            _require(method == "GET", "use GET", 405)
+            return 200, self.statsz()
+        if path.startswith("/v1/jobs/"):
+            _require(method == "GET", "use GET", 405)
+            job = self.queue.get(path[len("/v1/jobs/") :])
+            _require(job is not None, "unknown job id", 404)
+            return 200, job.describe()
+        if path == "/v1/verify":
+            _require(method == "POST", "use POST", 405)
+            return await self._submit_verify(body)
+        if path == "/v1/synthesize":
+            _require(method == "POST", "use POST", 405)
+            return await self._submit_synthesize(body)
+        raise RequestError(f"no such endpoint: {path}", 404)
+
+    # ------------------------------------------------------------------
+    def _check_accepting(self, body: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        _require(not self.draining, "service is draining; not accepting jobs", 503)
+        _require(isinstance(body, dict), "request body must be a JSON object")
+        return body  # type: ignore[return-value]
+
+    async def _submit_verify(
+        self, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        body = self._check_accepting(body)
+        spec = _parse_spec_field(body)
+        common = _parse_common(body)
+        backend = body.get("backend")
+        if backend is not None:
+            _require(backend in _BACKENDS, f"'backend' must be one of {_BACKENDS}")
+        epsilon = body.get("epsilon")
+        if epsilon is not None:
+            try:
+                epsilon = str(Fraction(str(epsilon)))
+            except (ValueError, ZeroDivisionError) as exc:
+                raise RequestError(f"invalid 'epsilon': {exc}") from exc
+        payload = {
+            "spec": spec_to_payload(spec),
+            "backend": backend,
+            "portfolio": bool(body.get("portfolio", False)),
+            "epsilon": epsilon,
+        }
+        job = await self.queue.submit(
+            "verify",
+            payload,
+            priority=common["priority"],
+            deadline=common["deadline"],
+            max_retries=common["max_retries"],
+        )
+        return await self._answer_submission(job.id, common)
+
+    async def _submit_synthesize(
+        self, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        body = self._check_accepting(body)
+        spec = _parse_spec_field(body)
+        common = _parse_common(body)
+        settings = body.get("settings")
+        _require(isinstance(settings, dict), "'settings' object is required")
+        _require("budget" in settings, "'settings.budget' is required")
+        kwargs = {
+            "max_secured_buses": settings["budget"],
+            "excluded_buses": settings.get("exclude", []),
+            "blocking": settings.get("blocking", "counterexample"),
+            "neighbor_pruning": bool(settings.get("neighbor_pruning", True)),
+        }
+        if "max_iterations" in settings:
+            kwargs["max_iterations"] = settings["max_iterations"]
+        try:
+            SynthesisSettings(
+                **{**kwargs, "excluded_buses": frozenset(kwargs["excluded_buses"])}
+            )
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"invalid settings: {exc}") from exc
+        payload = {"spec": spec_to_payload(spec), "settings": kwargs}
+        job = await self.queue.submit(
+            "synthesize",
+            payload,
+            priority=common["priority"],
+            deadline=common["deadline"],
+            max_retries=common["max_retries"],
+        )
+        return await self._answer_submission(job.id, common)
+
+    async def _answer_submission(
+        self, job_id: str, common: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        if common["wait"]:
+            job = await self.queue.wait(job_id, timeout=common["wait_timeout"])
+            if job is not None and job.state.terminal:
+                return 200, job.describe()
+        job = self.queue.get(job_id)
+        assert job is not None
+        return 202, job.describe()
+
+    # ------------------------------------------------------------------
+    def statsz(self) -> Dict[str, Any]:
+        cache = self.options.cache
+        return {
+            "uptime_seconds": time.monotonic() - self.started_mono,
+            "started_at": self.started_wall,
+            "draining": self.draining,
+            "queue": self.queue.snapshot(),
+            "batching": {
+                **self.stats.snapshot(),
+                "window_seconds": self.scheduler.window,
+                "max_batch": self.scheduler.max_batch,
+            },
+            "cache": None if cache is None else cache.snapshot(),
+            "runtime": self.options.describe(),
+        }
+
+
+# ----------------------------------------------------------------------
+# wire protocol
+# ----------------------------------------------------------------------
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, bytes]]:
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        return None
+    method, target = parts[0].upper(), parts[1]
+    length = 0
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                length = 0
+    body = await reader.readexactly(length) if length > 0 else b""
+    return method, target.split("?", 1)[0], body
+
+
+def _encode_response(status: int, payload: Dict[str, Any]) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def _handle_connection(
+    app: ServiceApp, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        try:
+            request = await asyncio.wait_for(_read_request(reader), timeout=30.0)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError):
+            request = None
+        if request is None:
+            return
+        method, path, raw_body = request
+        body: Optional[Dict[str, Any]]
+        if raw_body:
+            try:
+                body = json.loads(raw_body)
+            except ValueError:
+                writer.write(
+                    _encode_response(400, {"error": "request body is not valid JSON"})
+                )
+                await writer.drain()
+                return
+        else:
+            body = None
+        try:
+            status, payload = await app.handle(method, path, body)
+        except Exception as exc:  # never leak a traceback as a hung socket
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        writer.write(_encode_response(status, payload))
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+@dataclass
+class ServerHandle:
+    """Cross-thread control surface returned by :func:`start_in_thread`."""
+
+    loop: asyncio.AbstractEventLoop
+    app: ServiceApp
+    host: str
+    port: int
+    thread: Optional[threading.Thread] = None
+    _stop: Optional[asyncio.Event] = None
+
+    def request_shutdown(self) -> None:
+        """Trigger the same graceful-drain path as SIGTERM (idempotent)."""
+        if self._stop is None:
+            return
+        try:
+            self.loop.call_soon_threadsafe(self._stop.set)
+        except RuntimeError:
+            pass  # loop already closed: the server is down
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self.thread is not None:
+            self.thread.join(timeout)
+
+
+async def serve_async(
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    options: Optional[RuntimeOptions] = None,
+    window: float = 0.05,
+    max_batch: int = 64,
+    max_queue: int = 10_000,
+    ready: Optional[Callable[[ServerHandle], None]] = None,
+    install_signal_handlers: bool = True,
+    log: Callable[[str], None] = print,
+) -> None:
+    """Run the service until SIGTERM/SIGINT, then drain gracefully."""
+    app = ServiceApp(
+        options=options, window=window, max_batch=max_batch, max_queue=max_queue
+    )
+    await app.start()
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(app, r, w), host, port
+    )
+    bound_port = server.sockets[0].getsockname()[1]
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    if install_signal_handlers:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # e.g. Windows event loops: Ctrl-C still raises
+    handle = ServerHandle(loop=loop, app=app, host=host, port=bound_port, _stop=stop)
+    if ready is not None:
+        ready(handle)
+    log(f"repro service listening on http://{host}:{bound_port}")
+    try:
+        await stop.wait()
+    finally:
+        log("repro service draining ...")
+        # refuse new jobs but keep answering polls while work completes
+        await app.drain()
+        server.close()
+        await server.wait_closed()
+        log("repro service stopped")
+
+
+def serve(**kwargs: Any) -> None:
+    """Blocking entry point used by ``python -m repro.cli serve``."""
+    try:
+        asyncio.run(serve_async(**kwargs))
+    except KeyboardInterrupt:
+        pass
+
+
+def start_in_thread(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    log: Callable[[str], None] = lambda message: None,
+    **kwargs: Any,
+) -> ServerHandle:
+    """Run the service on a daemon thread; block until it is accepting.
+
+    The returned handle exposes the bound port (``port=0`` picks a free
+    one), the app (for white-box assertions in tests) and
+    ``request_shutdown()``, which triggers the same graceful drain as
+    SIGTERM.  Signal handlers are not installed — the host thread owns
+    signals.
+    """
+    box: Dict[str, Any] = {}
+    started = threading.Event()
+
+    def _ready(handle: ServerHandle) -> None:
+        box["handle"] = handle
+        started.set()
+
+    def _run() -> None:
+        try:
+            asyncio.run(
+                serve_async(
+                    host=host,
+                    port=port,
+                    ready=_ready,
+                    install_signal_handlers=False,
+                    log=log,
+                    **kwargs,
+                )
+            )
+        except Exception as exc:  # surface startup failures to the caller
+            box["error"] = exc
+            started.set()
+
+    thread = threading.Thread(target=_run, name="repro-service", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30.0):
+        raise RuntimeError("service failed to start within 30 s")
+    if "error" in box:
+        raise RuntimeError(f"service failed to start: {box['error']}")
+    handle: ServerHandle = box["handle"]
+    handle.thread = thread
+    return handle

@@ -1,0 +1,282 @@
+"""Asyncio job queue for the verification service.
+
+Every request the HTTP layer accepts becomes a :class:`Job`: a kind
+(``"verify"`` or ``"synthesize"``), a JSON-able payload, a priority, an
+optional deadline and a bounded retry budget.  The queue hands jobs to
+the batching scheduler in ``(priority, arrival)`` order and tracks the
+full lifecycle::
+
+    queued -> running -> done
+                      -> failed      (exhausted retries)
+             queued   -> cancelled   (client cancelled before dispatch)
+             queued   -> timeout     (deadline expired before dispatch)
+             running  -> timeout     (result arrived after the deadline)
+
+States are deliberately terminal-or-not: a terminal job never changes
+again, and its ``done`` event is set exactly once, so HTTP handlers can
+``await`` completion without polling.  Deadlines use ``time.monotonic``
+— wall-clock jumps never expire a job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+
+    @property
+    def terminal(self) -> bool:
+        return self in _TERMINAL
+
+
+_TERMINAL = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED, JobState.TIMEOUT}
+)
+
+
+class QueueFull(RuntimeError):
+    """The queue is at ``max_depth``; the caller should shed load (503)."""
+
+
+@dataclass
+class Job:
+    """One unit of service work and its observable lifecycle."""
+
+    id: str
+    kind: str
+    payload: Dict[str, Any]
+    priority: int = 0  # smaller runs sooner
+    deadline: Optional[float] = None  # absolute time.monotonic()
+    max_retries: int = 1
+    state: JobState = JobState.QUEUED
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) > self.deadline
+
+    def describe(self) -> Dict[str, Any]:
+        """The JSON view served by ``GET /v1/jobs/<id>``."""
+        out: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state.value,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobQueue:
+    """Priority FIFO with lifecycle bookkeeping and completion events.
+
+    ``submit``/``take``/``requeue``/``finish`` must all run on one event
+    loop (the service's); cross-thread callers go through the HTTP API
+    or ``loop.call_soon_threadsafe``.  Terminal jobs stay queryable
+    until ``max_finished`` later completions push them out.
+    """
+
+    def __init__(self, max_depth: int = 10_000, max_finished: int = 4096) -> None:
+        self.max_depth = max_depth
+        self.max_finished = max_finished
+        self._jobs: Dict[str, Job] = {}
+        self._heap: List[Tuple[int, int, str]] = []
+        self._seq = itertools.count()
+        self._cond = asyncio.Condition()
+        self._finished_order: Deque[str] = deque()
+        self._unfinished = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.counters: Dict[str, int] = {
+            "submitted": 0,
+            "retried": 0,
+            **{state.value: 0 for state in _TERMINAL},
+        }
+
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Jobs waiting for dispatch (cancelled/expired not yet reaped count)."""
+        return sum(1 for job in self._jobs.values() if job.state is JobState.QUEUED)
+
+    def running(self) -> int:
+        return sum(1 for job in self._jobs.values() if job.state is JobState.RUNNING)
+
+    def unfinished(self) -> int:
+        return self._unfinished
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """Look a job up, lazily expiring it if its deadline has passed."""
+        job = self._jobs.get(job_id)
+        if job is not None and job.state is JobState.QUEUED and job.expired():
+            self._finish(job, JobState.TIMEOUT, error="deadline expired in queue")
+        return job
+
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        kind: str,
+        payload: Dict[str, Any],
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        max_retries: int = 1,
+    ) -> Job:
+        """Enqueue a job; ``deadline`` is seconds from now (monotonic)."""
+        if self.depth() >= self.max_depth:
+            raise QueueFull(f"queue depth at max_depth={self.max_depth}")
+        job = Job(
+            id=uuid.uuid4().hex[:12],
+            kind=kind,
+            payload=payload,
+            priority=priority,
+            deadline=None if deadline is None else time.monotonic() + deadline,
+            max_retries=max_retries,
+        )
+        self._jobs[job.id] = job
+        self._unfinished += 1
+        self._idle.clear()
+        self.counters["submitted"] += 1
+        async with self._cond:
+            heapq.heappush(self._heap, (job.priority, next(self._seq), job.id))
+            self._cond.notify()
+        return job
+
+    async def take(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the next runnable job; ``None`` after ``timeout`` seconds.
+
+        Cancelled entries are skipped; queued jobs past their deadline
+        transition to ``timeout`` here instead of running.
+        """
+        try:
+            return await asyncio.wait_for(self._take(), timeout)
+        except asyncio.TimeoutError:
+            return None
+
+    async def _take(self) -> Job:
+        async with self._cond:
+            while True:
+                job = self._pop_runnable()
+                if job is not None:
+                    return job
+                await self._cond.wait()
+
+    def _pop_runnable(self) -> Optional[Job]:
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self._jobs.get(job_id)
+            if job is None or job.state is not JobState.QUEUED:
+                continue  # cancelled (or already reaped) while waiting
+            if job.expired():
+                self._finish(job, JobState.TIMEOUT, error="deadline expired in queue")
+                continue
+            job.state = JobState.RUNNING
+            job.started_at = time.time()
+            job.attempts += 1
+            return job
+        return None
+
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-queued job; running jobs are past cancelling."""
+        job = self._jobs.get(job_id)
+        if job is None or job.state is not JobState.QUEUED:
+            return False
+        self._finish(job, JobState.CANCELLED)
+        return True
+
+    async def requeue(self, job: Job) -> None:
+        """Put a failed-attempt job back in line (retry path)."""
+        job.state = JobState.QUEUED
+        self.counters["retried"] += 1
+        async with self._cond:
+            heapq.heappush(self._heap, (job.priority, next(self._seq), job.id))
+            self._cond.notify()
+
+    def finish(
+        self,
+        job: Job,
+        state: JobState,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Move a job to a terminal state and wake every waiter."""
+        if not state.terminal:
+            raise ValueError(f"finish() requires a terminal state, got {state}")
+        self._finish(job, state, result=result, error=error)
+
+    def _finish(
+        self,
+        job: Job,
+        state: JobState,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        if job.state.terminal:
+            return
+        job.state = state
+        job.result = result
+        job.error = error
+        job.finished_at = time.time()
+        job.done.set()
+        self.counters[state.value] += 1
+        self._unfinished -= 1
+        if self._unfinished == 0:
+            self._idle.set()
+        self._finished_order.append(job.id)
+        while len(self._finished_order) > self.max_finished:
+            stale = self._finished_order.popleft()
+            self._jobs.pop(stale, None)
+
+    # ------------------------------------------------------------------
+    async def wait(self, job_id: str, timeout: Optional[float] = None) -> Optional[Job]:
+        """Await a job's terminal state; ``None`` if still running at timeout."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        try:
+            await asyncio.wait_for(job.done.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass
+        return job
+
+    async def join(self) -> None:
+        """Block until no job is queued or running (graceful drain)."""
+        await self._idle.wait()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters + live depth for ``/statsz``."""
+        return {
+            "depth": self.depth(),
+            "running": self.running(),
+            "unfinished": self._unfinished,
+            "tracked": len(self._jobs),
+            **self.counters,
+        }

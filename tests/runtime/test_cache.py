@@ -116,3 +116,64 @@ class TestDefaultDir:
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
         assert default_cache_dir() == tmp_path / "repro-ufdi"
+
+
+class TestDiskPruning:
+    def _fill(self, cache, key, result, count):
+        import os
+
+        for i in range(count):
+            cache.put(f"{key}-{i}", result)
+            # force strictly increasing mtimes so "oldest" is unambiguous
+            path = cache._disk_path(f"{key}-{i}")
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+
+    def test_oldest_mtime_entries_pruned(self, tmp_path):
+        key, result = make_result()
+        cache = ResultCache(directory=tmp_path, max_disk_entries=2)
+        self._fill(cache, key, result, 4)
+        cache._prune_disk()  # utime above reordered ages after the last put
+        remaining = sorted(p.stem for p in tmp_path.glob("*.json"))
+        assert remaining == [f"{key}-2", f"{key}-3"]
+        assert cache.stats.disk_evictions >= 2
+
+    def test_unbounded_without_max_disk_entries(self, tmp_path):
+        key, result = make_result()
+        cache = ResultCache(directory=tmp_path)
+        for i in range(5):
+            cache.put(f"{key}-{i}", result)
+        assert len(list(tmp_path.glob("*.json"))) == 5
+        assert cache.stats.disk_evictions == 0
+
+    def test_disk_evictions_in_as_dict(self, tmp_path):
+        key, result = make_result()
+        cache = ResultCache(directory=tmp_path, max_disk_entries=1)
+        self._fill(cache, key, result, 3)
+        cache._prune_disk()
+        d = cache.stats.as_dict()
+        assert d["disk_evictions"] >= 1
+        assert 0.0 <= d["hit_rate"] <= 1.0
+
+    def test_rejects_nonpositive_limit(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ResultCache(max_disk_entries=0)
+
+    def test_snapshot_reports_store_sizes(self, tmp_path):
+        key, result = make_result()
+        cache = ResultCache(directory=tmp_path, max_disk_entries=8)
+        cache.put(key, result)
+        cache.get(key)
+        snap = cache.snapshot()
+        assert snap["memory_entries"] == 1
+        assert snap["disk_entries"] == 1
+        assert snap["max_disk_entries"] == 8
+        assert snap["directory"] == str(tmp_path)
+        assert snap["hit_rate"] == 1.0
+
+    def test_memory_only_snapshot_has_no_disk_fields(self):
+        cache = ResultCache()
+        snap = cache.snapshot()
+        assert snap["directory"] is None
+        assert "disk_entries" not in snap

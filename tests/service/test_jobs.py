@@ -1,0 +1,226 @@
+"""Job queue: ordering, lifecycle, deadlines, cancellation, retry bookkeeping."""
+
+import asyncio
+
+import pytest
+
+from repro.service.jobs import JobQueue, JobState, QueueFull
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestOrdering:
+    def test_fifo_within_priority(self):
+        async def body():
+            queue = JobQueue()
+            a = await queue.submit("verify", {"n": 1})
+            b = await queue.submit("verify", {"n": 2})
+            assert (await queue.take()) is a
+            assert (await queue.take()) is b
+
+        run(body())
+
+    def test_lower_priority_number_runs_first(self):
+        async def body():
+            queue = JobQueue()
+            late = await queue.submit("verify", {}, priority=5)
+            urgent = await queue.submit("verify", {}, priority=-1)
+            normal = await queue.submit("verify", {}, priority=0)
+            order = [await queue.take() for _ in range(3)]
+            assert order == [urgent, normal, late]
+
+        run(body())
+
+    def test_take_timeout_on_empty_queue(self):
+        async def body():
+            queue = JobQueue()
+            assert await queue.take(timeout=0.01) is None
+
+        run(body())
+
+
+class TestLifecycle:
+    def test_queued_running_done(self):
+        async def body():
+            queue = JobQueue()
+            job = await queue.submit("verify", {})
+            assert job.state is JobState.QUEUED
+            assert queue.depth() == 1
+
+            taken = await queue.take()
+            assert taken is job
+            assert job.state is JobState.RUNNING
+            assert job.attempts == 1
+            assert queue.depth() == 0 and queue.running() == 1
+
+            queue.finish(job, JobState.DONE, result={"outcome": "sat"})
+            assert job.state is JobState.DONE
+            assert job.done.is_set()
+            assert job.finished_at is not None
+            assert queue.unfinished() == 0
+            assert queue.counters["done"] == 1
+
+        run(body())
+
+    def test_finish_requires_terminal_state(self):
+        async def body():
+            queue = JobQueue()
+            job = await queue.submit("verify", {})
+            with pytest.raises(ValueError):
+                queue.finish(job, JobState.RUNNING)
+
+        run(body())
+
+    def test_finish_is_idempotent(self):
+        async def body():
+            queue = JobQueue()
+            job = await queue.submit("verify", {})
+            await queue.take()
+            queue.finish(job, JobState.DONE, result={})
+            queue.finish(job, JobState.FAILED, error="late failure ignored")
+            assert job.state is JobState.DONE
+            assert queue.counters["failed"] == 0
+
+        run(body())
+
+    def test_wait_returns_terminal_job(self):
+        async def body():
+            queue = JobQueue()
+            job = await queue.submit("verify", {})
+
+            async def finisher():
+                taken = await queue.take()
+                await asyncio.sleep(0.01)
+                queue.finish(taken, JobState.DONE, result={})
+
+            task = asyncio.create_task(finisher())
+            waited = await queue.wait(job.id, timeout=5.0)
+            await task
+            assert waited is job and waited.state is JobState.DONE
+
+        run(body())
+
+    def test_describe_is_json_view(self):
+        async def body():
+            queue = JobQueue()
+            job = await queue.submit("verify", {}, priority=2)
+            view = job.describe()
+            assert view["state"] == "queued"
+            assert view["priority"] == 2
+            assert "result" not in view
+
+        run(body())
+
+
+class TestDeadlines:
+    def test_expired_job_times_out_at_dispatch(self):
+        async def body():
+            queue = JobQueue()
+            job = await queue.submit("verify", {}, deadline=0.0)
+            await asyncio.sleep(0.005)
+            assert await queue.take(timeout=0.05) is None  # never dispatched
+            assert job.state is JobState.TIMEOUT
+            assert "deadline" in job.error
+            assert queue.counters["timeout"] == 1
+
+        run(body())
+
+    def test_expired_job_times_out_on_get(self):
+        async def body():
+            queue = JobQueue()
+            job = await queue.submit("verify", {}, deadline=0.0)
+            await asyncio.sleep(0.005)
+            seen = queue.get(job.id)
+            assert seen is job and seen.state is JobState.TIMEOUT
+
+        run(body())
+
+    def test_future_deadline_does_not_expire(self):
+        async def body():
+            queue = JobQueue()
+            job = await queue.submit("verify", {}, deadline=60.0)
+            assert (await queue.take()) is job
+
+        run(body())
+
+
+class TestCancelAndLimits:
+    def test_cancelled_job_is_skipped(self):
+        async def body():
+            queue = JobQueue()
+            victim = await queue.submit("verify", {"n": 1})
+            survivor = await queue.submit("verify", {"n": 2})
+            assert queue.cancel(victim.id)
+            assert victim.state is JobState.CANCELLED
+            assert (await queue.take()) is survivor
+
+        run(body())
+
+    def test_cannot_cancel_running_job(self):
+        async def body():
+            queue = JobQueue()
+            job = await queue.submit("verify", {})
+            await queue.take()
+            assert not queue.cancel(job.id)
+            assert job.state is JobState.RUNNING
+
+        run(body())
+
+    def test_queue_full(self):
+        async def body():
+            queue = JobQueue(max_depth=2)
+            await queue.submit("verify", {})
+            await queue.submit("verify", {})
+            with pytest.raises(QueueFull):
+                await queue.submit("verify", {})
+
+        run(body())
+
+    def test_finished_jobs_pruned_beyond_max_finished(self):
+        async def body():
+            queue = JobQueue(max_finished=2)
+            ids = []
+            for _ in range(4):
+                job = await queue.submit("verify", {})
+                await queue.take()
+                queue.finish(job, JobState.DONE, result={})
+                ids.append(job.id)
+            assert queue.get(ids[0]) is None
+            assert queue.get(ids[-1]) is not None
+
+        run(body())
+
+
+class TestRequeue:
+    def test_requeue_preserves_attempts(self):
+        async def body():
+            queue = JobQueue()
+            job = await queue.submit("verify", {}, max_retries=2)
+            first = await queue.take()
+            assert first.attempts == 1
+            await queue.requeue(first)
+            assert job.state is JobState.QUEUED
+            again = await queue.take()
+            assert again is job and again.attempts == 2
+            assert queue.counters["retried"] == 1
+
+        run(body())
+
+    def test_join_waits_for_idle(self):
+        async def body():
+            queue = JobQueue()
+            job = await queue.submit("verify", {})
+            await queue.take()
+
+            async def finisher():
+                await asyncio.sleep(0.01)
+                queue.finish(job, JobState.DONE, result={})
+
+            task = asyncio.create_task(finisher())
+            await asyncio.wait_for(queue.join(), timeout=5.0)
+            await task
+            assert queue.unfinished() == 0
+
+        run(body())

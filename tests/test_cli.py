@@ -106,3 +106,53 @@ class TestMincost:
         path = tmp_path / "nogoal.spec"
         save_spec_file(spec, path)
         assert main(["mincost", str(path)]) == 1
+
+
+class TestRuntimeFlagWiring:
+    def test_mincost_accepts_runtime_flags(self, spec_file, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert (
+            main(["mincost", spec_file, "--cache-dir", str(cache_dir)]) == 0
+        )
+        assert "minimum measurements budget: 7" in capsys.readouterr().out
+        # probes were memoized through the runtime cache
+        assert list(cache_dir.glob("*.json"))
+
+    def test_mincost_cached_rerun_matches(self, spec_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["mincost", spec_file, "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert main(["mincost", spec_file, "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[0] == second.splitlines()[0]
+
+    def test_mincost_portfolio(self, spec_file, capsys):
+        assert main(["mincost", spec_file, "--portfolio"]) == 0
+        assert "minimum measurements budget: 7" in capsys.readouterr().out
+
+    def test_metrics_accepts_runtime_flags(self, spec_file, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "metrics",
+                    spec_file,
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                ]
+            )
+            == 0
+        )
+        assert "state attack costs" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_parser_exposes_serve(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--batch-window", "0.1", "--jobs", "2"]
+        )
+        assert args.func.__name__ == "_cmd_serve"
+        assert args.port == 0
+        assert args.batch_window == 0.1
+        assert args.jobs == 2
