@@ -7,17 +7,21 @@ quantifies what an attack does to the operator's estimated loads.
 """
 
 from repro.analysis.sweeps import (
+    budget_sweep,
     default_targets,
     measurement_subset,
     spec_for_case,
+    verification_sweep,
 )
 from repro.analysis.metrics import model_metrics
 from repro.analysis.impact import attack_impact
 
 __all__ = [
     "attack_impact",
+    "budget_sweep",
     "default_targets",
     "measurement_subset",
     "model_metrics",
     "spec_for_case",
+    "verification_sweep",
 ]

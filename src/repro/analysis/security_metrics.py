@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.mincost import minimum_attack_cost, state_attack_costs
 from repro.core.spec import AttackGoal, AttackSpec
+from repro.core.verification import VerificationSession
 
 if TYPE_CHECKING:
     from repro.runtime import RuntimeOptions
@@ -46,17 +47,30 @@ def security_metrics(
 ) -> SecurityMetricsReport:
     """Compute the full metrics report for a grid configuration.
 
-    ``runtime`` routes every probe through the parallel runtime
-    (:func:`repro.runtime.verify_one`): with a cache attached, the
-    exposure pass re-uses the cost pass's probes instead of re-solving.
+    On the default SMT path one :class:`VerificationSession` carries
+    both the cost pass and the exposure pass — a single grid encoding
+    for the whole report.  ``runtime`` instead routes every probe
+    through the parallel runtime (:func:`repro.runtime.verify_one`):
+    with a cache attached, the exposure pass re-uses the cost pass's
+    probes instead of re-solving.
     """
-    costs = state_attack_costs(spec, backend=backend, runtime=runtime)
+    session = (
+        VerificationSession(spec)
+        if backend == "smt" and runtime is None
+        else None
+    )
+    costs = state_attack_costs(
+        spec, backend=backend, runtime=runtime, session=session
+    )
     exposure: Dict[int, int] = {}
     for bus in spec.grid.buses:
         if bus == spec.reference_bus or costs.get(bus) is None:
             continue
         result = minimum_attack_cost(
-            spec.with_goal(AttackGoal.states(bus)), backend=backend, runtime=runtime
+            spec.with_goal(AttackGoal.states(bus)),
+            backend=backend,
+            runtime=runtime,
+            session=session,
         )
         if result.attack is not None:
             for meas in result.attack.altered_measurements:
@@ -88,10 +102,24 @@ def bus_criticality(
     Returns bus -> the new grid attack cost with that single bus
     secured (None meaning all attacks blocked).  Bigger is better; the
     ranking approximates the first pick of the synthesis loop.
+
+    On the default SMT path the per-bus protection is expressed as a
+    securing *assumption* on one ``symbolic_security`` session instead
+    of re-encoding a modified measurement plan per bus: one encoding
+    answers the whole ranking.
     """
     targets = buses if buses is not None else list(spec.grid.buses)
     base_goal = AttackGoal.any()
     out: Dict[int, Optional[int]] = {}
+    if backend == "smt" and runtime is None:
+        base_spec = spec.with_goal(base_goal)
+        session = VerificationSession(base_spec, symbolic_security=True)
+        for bus in targets:
+            result = minimum_attack_cost(
+                base_spec, session=session, secured_buses=[bus]
+            )
+            out[bus] = result.cost
+        return out
     for bus in targets:
         secured = spec.with_secured_buses([bus]).with_goal(base_goal)
         result = minimum_attack_cost(secured, backend=backend, runtime=runtime)

@@ -13,7 +13,7 @@ import random
 from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Tuple
 
 if TYPE_CHECKING:
-    from repro.core.verification import VerificationResult
+    from repro.core.verification import VerificationResult, VerificationSession
     from repro.runtime import RuntimeOptions
 
 from repro.core.spec import AttackGoal, AttackSpec, ResourceLimits
@@ -108,26 +108,62 @@ def spec_for_case(
     )
 
 
+def budget_sweep(
+    spec: AttackSpec,
+    budgets: Sequence[Optional[int]],
+    dimension: str = "measurements",
+    session: "Optional[VerificationSession]" = None,
+) -> List[Tuple[Optional[int], "VerificationResult"]]:
+    """Feasibility of one instance across a range of resource budgets.
+
+    The Figure 4(c) x-axis: the same grid/plan/goal probed at each
+    attacker budget (``None`` = unlimited).  Every point is an
+    assumption flip on one :class:`VerificationSession` — the grid is
+    encoded once for the whole sweep, and the solver's learned clauses
+    carry from budget to budget.  Pass ``session`` to share the warm
+    encoding with other sweeps or searches of the same spec family.
+    """
+    from repro.core.verification import VerificationSession
+
+    if dimension not in ("measurements", "buses"):
+        raise ValueError("dimension must be 'measurements' or 'buses'")
+    if session is None:
+        session = VerificationSession(spec)
+    elif not session.compatible(spec):
+        raise ValueError("session is not compatible with spec")
+    rows: List[Tuple[Optional[int], "VerificationResult"]] = []
+    for budget in budgets:
+        if dimension == "measurements":
+            mm, mb = budget, spec.limits.max_buses
+        else:
+            mm, mb = spec.limits.max_measurements, budget
+        rows.append(
+            (budget, session.probe(max_measurements=mm, max_buses=mb, goal=spec.goal))
+        )
+    return rows
+
+
 def verification_sweep(
     case_names: Sequence[str],
     targets_per_case: int = 3,
     runtime: "Optional[RuntimeOptions]" = None,
     max_batch: Optional[int] = None,
 ) -> List[Tuple[str, int, "VerificationResult"]]:
-    """The Figure 4(a) instance grid through the parallel runtime.
+    """The Figure 4(a) instance grid.
 
-    Builds the standard per-case/per-target verification instances and
-    executes them through the service's micro-batching path
-    (:func:`repro.service.batching.verify_specs_batched`, the same code
-    the HTTP API runs), so the whole sweep fans out over
-    ``runtime.jobs`` workers, dedups identical instances and hits the
-    result cache on repeats.  ``max_batch`` chunks the sweep the way
-    the online scheduler would; None solves it as one batch.  Returns
+    Builds the standard per-case/per-target verification instances.
+    Serially (``runtime=None``, ``max_batch=None``) each test case gets
+    one :class:`VerificationSession`: the case is encoded once and the
+    per-target instances are goal-assumption probes on the same warm
+    solver.  Otherwise the sweep executes through the service's
+    micro-batching path (:func:`repro.service.batching
+    .verify_specs_batched`, the same code the HTTP API runs), fanning
+    out over ``runtime.jobs`` workers, deduping identical instances and
+    hitting the result cache on repeats; ``max_batch`` chunks the sweep
+    the way the online scheduler would.  Returns
     ``(case_name, target_bus, result)`` rows in deterministic sweep
     order.
     """
-    from repro.service.batching import verify_specs_batched
-
     labels: List[Tuple[str, int]] = []
     specs: List[AttackSpec] = []
     for name in case_names:
@@ -135,5 +171,19 @@ def verification_sweep(
         for target in default_targets(grid, targets_per_case):
             labels.append((name, target))
             specs.append(spec_for_case(name, target_bus=target))
-    results = verify_specs_batched(specs, runtime, max_batch=max_batch)
+
+    if runtime is None and max_batch is None:
+        from repro.core.verification import VerificationSession
+
+        sessions: dict = {}
+        results: List["VerificationResult"] = []
+        for (name, _target), spec in zip(labels, specs):
+            session = sessions.get(name)
+            if session is None:
+                session = sessions[name] = VerificationSession(spec)
+            results.append(session.probe_spec(spec))
+    else:
+        from repro.service.batching import verify_specs_batched
+
+        results = verify_specs_batched(specs, runtime, max_batch=max_batch)
     return [(name, target, result) for (name, target), result in zip(labels, results)]

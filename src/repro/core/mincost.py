@@ -7,20 +7,24 @@ achieves a goal.  That boundary is exactly where the paper's Figure 4(c)
 curves flatten, and it doubles as a per-state security metric: states
 with expensive cheapest-attacks are well protected.
 
-Implemented as a binary search over the budget, each probe being one
-verification run under the (incremental) SMT solver — the optimization
-loop Z3 users would write with ``push``/``pop``.
+Implemented as a binary search over the budget.  On the default SMT
+path every probe is an assumption flip on one warm
+:class:`repro.core.verification.VerificationSession` — the grid is
+encoded exactly once for the whole search and learned clauses carry
+across probes, the optimization loop Z3 users would write with
+``push``/``pop``.  The MILP backend and the parallel runtime fall back
+to one verification run per probe.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.attacks.vector import AttackVector
 from repro.core.spec import AttackGoal, AttackSpec, ResourceLimits
-from repro.core.verification import verify_attack
+from repro.core.verification import VerificationSession, verify_attack
 
 if TYPE_CHECKING:
     from repro.runtime import RuntimeOptions
@@ -30,13 +34,15 @@ if TYPE_CHECKING:
 class MinCostResult:
     """The cheapest attack satisfying a spec's goal.
 
-    ``cost`` is None when no attack exists at any budget (the goal is
-    infeasible even unconstrained).
+    ``cost`` is None when no attack exists within the allowed budget
+    (the goal is infeasible even unconstrained, or it needs more than
+    the caller's ``upper_bound``).
     """
 
     cost: Optional[int]
     attack: Optional[AttackVector]
     probes: int  # number of verification calls spent
+    encodes: Optional[int] = None  # grid encodings (session path only)
 
 
 def _probe(
@@ -67,48 +73,94 @@ def minimum_attack_cost(
     upper_bound: Optional[int] = None,
     backend: str = "smt",
     runtime: "Optional[RuntimeOptions]" = None,
+    session: Optional[VerificationSession] = None,
+    secured_buses: Sequence[int] = (),
 ) -> MinCostResult:
     """Binary-search the smallest budget at which the goal stays feasible.
 
     ``dimension`` is ``"measurements"`` (T_CZ) or ``"buses"`` (T_CB).
     Any limit the spec already carries in the *other* dimension is kept,
     so joint questions ("cheapest attack touching at most 3 substations")
-    compose naturally.  With ``runtime`` set, every probe goes through
+    compose naturally.
+
+    The default SMT path (no ``runtime``) runs every probe on one
+    :class:`VerificationSession` — exactly one grid encoding for the
+    whole search.  Pass ``session`` to amortize that encoding across
+    *multiple* searches of the same spec family (it must be
+    :meth:`VerificationSession.compatible` with ``spec``).  With
+    ``runtime`` set, every probe instead goes through
     :func:`repro.runtime.verify_one` (portfolio racing, result cache);
     ``runtime.backend`` is overridden by ``backend``.
+
+    ``secured_buses`` asks for the cheapest attack that evades extra
+    protection on those buses; it requires a session built with
+    ``symbolic_security=True``.
     """
     if dimension not in ("measurements", "buses"):
         raise ValueError("dimension must be 'measurements' or 'buses'")
+    if session is not None and not session.compatible(spec):
+        raise ValueError("session is not compatible with spec")
+    if session is None and backend == "smt" and runtime is None:
+        session = VerificationSession(
+            spec, symbolic_security=bool(secured_buses)
+        )
+    if secured_buses and session is None:
+        raise ValueError("secured_buses requires the SMT session path")
     probes = 0
 
-    unconstrained = _probe(spec, None, dimension, backend, runtime)
-    probes += 1
+    def probe(budget: Optional[int]):
+        nonlocal probes
+        probes += 1
+        if session is not None:
+            if dimension == "measurements":
+                mm, mb = budget, spec.limits.max_buses
+            else:
+                mm, mb = spec.limits.max_measurements, budget
+            return session.probe(
+                max_measurements=mm,
+                max_buses=mb,
+                goal=spec.goal,
+                secured_buses=secured_buses,
+            )
+        return _probe(spec, budget, dimension, backend, runtime)
+
+    encodes = session.encodes if session is not None else None
+    unconstrained = probe(None)
     if not unconstrained.attack_exists:
-        return MinCostResult(None, None, probes)
+        return MinCostResult(None, None, probes, encodes)
     attack = unconstrained.attack
     if dimension == "measurements":
         high = len(attack.altered_measurements)
     else:
         high = len(attack.compromised_buses(spec.plan))
-    if upper_bound is not None:
-        high = min(high, upper_bound)
+    best_attack = attack
+    if upper_bound is not None and upper_bound < high:
+        # The unconstrained witness overshoots the cap; feasibility at
+        # the cap is genuinely open and must be probed, not assumed.
+        capped = probe(upper_bound)
+        if not capped.attack_exists:
+            return MinCostResult(None, None, probes, encodes)
+        best_attack = capped.attack
+        if dimension == "measurements":
+            witness = len(best_attack.altered_measurements)
+        else:
+            witness = len(best_attack.compromised_buses(spec.plan))
+        high = min(upper_bound, witness)
 
     low = 0
-    best_attack = attack
     # invariant: a budget of `high` is feasible, a budget of `low` is not
     # (budget 0 is infeasible unless the unconstrained attack is empty)
     if high == 0:
-        return MinCostResult(0, attack, probes)
+        return MinCostResult(0, best_attack, probes, encodes)
     while low + 1 < high:
         mid = (low + high) // 2
-        result = _probe(spec, mid, dimension, backend, runtime)
-        probes += 1
+        result = probe(mid)
         if result.attack_exists:
             high = mid
             best_attack = result.attack
         else:
             low = mid
-    return MinCostResult(high, best_attack, probes)
+    return MinCostResult(high, best_attack, probes, encodes)
 
 
 def state_attack_costs(
@@ -116,20 +168,31 @@ def state_attack_costs(
     dimension: str = "measurements",
     backend: str = "smt",
     runtime: "Optional[RuntimeOptions]" = None,
+    session: Optional[VerificationSession] = None,
 ) -> Dict[int, Optional[int]]:
     """The cheapest-attack cost for every individual state.
 
     A per-bus security metric in the spirit of Vukovic et al. [10]:
     buses whose state can be corrupted with few injections are the
     grid's weak points and the natural first targets for securing.
+
+    On the SMT path one verification session carries every per-state
+    binary search: the grid is encoded once, each state's probes are
+    goal-assumption flips on the same warm solver.
     """
+    if session is None and backend == "smt" and runtime is None:
+        session = VerificationSession(spec)
     costs: Dict[int, Optional[int]] = {}
     for bus in spec.grid.buses:
         if bus == spec.reference_bus:
             continue
         goal_spec = spec.with_goal(AttackGoal.states(bus))
         result = minimum_attack_cost(
-            goal_spec, dimension=dimension, backend=backend, runtime=runtime
+            goal_spec,
+            dimension=dimension,
+            backend=backend,
+            runtime=runtime,
+            session=session,
         )
         costs[bus] = result.cost
     return costs

@@ -21,6 +21,13 @@ blocking is available as ``blocking="exact"``, and subset blocking
 The verification model is built once with symbolic security variables
 (Eq. 28 wired inside) and re-checked under assumptions, mirroring the
 push/pop usage of the paper's Z3 implementation.
+
+A successful candidate is additionally *core-minimized* (on by
+default): the UNSAT proof's failed-assumption core names the secured
+buses the proof actually used, and — because assumption-based UNSAT is
+monotone in the assumption set — that subset is itself a valid
+architecture.  The minimized set is re-verified before being returned,
+and in the enumeration loop it sharpens the superset-blocking clause.
 """
 
 from __future__ import annotations
@@ -48,6 +55,8 @@ class SynthesisSettings:
     ``neighbor_pruning``     — apply the analytic constraint (Eq. 30)
     ``blocking``             — ``"counterexample"`` (default), ``"subset"``
                                or ``"exact"`` (the paper's Algorithm 1 verbatim)
+    ``core_minimize``        — shrink winning candidates to the secured
+                               buses their UNSAT proof actually used
     ``max_iterations``       — safety bound on loop length
     """
 
@@ -55,6 +64,7 @@ class SynthesisSettings:
     excluded_buses: frozenset = frozenset()
     neighbor_pruning: bool = True
     blocking: str = "counterexample"
+    core_minimize: bool = True
     max_iterations: int = 100_000
 
     def __post_init__(self) -> None:
@@ -66,12 +76,18 @@ class SynthesisSettings:
 
 @dataclass
 class SynthesisResult:
-    """Outcome of a synthesis run."""
+    """Outcome of a synthesis run.
+
+    When core minimization ran, ``uncored_architecture`` holds the raw
+    candidate the selection model produced; ``architecture`` is then its
+    (never larger, re-verified) core-minimized subset.
+    """
 
     architecture: Optional[List[int]]  # secured buses (or measurements)
     iterations: int
     runtime_seconds: float
     counterexamples: List[AttackVector] = field(default_factory=list)
+    uncored_architecture: Optional[List[int]] = None
 
     @property
     def feasible(self) -> bool:
@@ -99,6 +115,34 @@ def _candidate_model(
     return solver, sb
 
 
+def _core_minimize(
+    verifier: UfdiEncoder, candidate: Sequence[int], measurements: bool = False
+) -> List[int]:
+    """Shrink an UNSAT candidate to the items its proof actually used.
+
+    The failed-assumption core is a subset of the candidate, and UNSAT
+    under assumptions is monotone (adding assumptions back cannot make
+    the formula satisfiable), so the core is itself a blocking
+    architecture.  The shrunken set is re-verified before being trusted;
+    on the (theoretically impossible) chance the re-check does not come
+    back UNSAT, the full candidate is returned unchanged.
+    """
+    core = (
+        verifier.core_secured_measurements()
+        if measurements
+        else verifier.core_secured_buses()
+    )
+    if len(core) >= len(candidate):
+        return sorted(candidate)
+    if measurements:
+        recheck = verifier.check(secured_measurements=core)
+    else:
+        recheck = verifier.check(secured_buses=core)
+    if recheck is Result.UNSAT:
+        return core
+    return sorted(candidate)
+
+
 def synthesize_architecture(
     spec: AttackSpec,
     settings: SynthesisSettings,
@@ -124,8 +168,17 @@ def synthesize_architecture(
         candidate = sorted(j for j, var in sb.items() if model.value(var))
         outcome = verifier.check(secured_buses=candidate)
         if outcome is Result.UNSAT:
+            architecture = candidate
+            uncored = None
+            if settings.core_minimize:
+                architecture = _core_minimize(verifier, candidate)
+                uncored = candidate
             return SynthesisResult(
-                candidate, iterations, time.perf_counter() - start, counterexamples
+                architecture,
+                iterations,
+                time.perf_counter() - start,
+                counterexamples,
+                uncored_architecture=uncored,
             )
         if outcome is not Result.SAT:
             raise SynthesisError("verification returned UNKNOWN")
@@ -176,6 +229,9 @@ def enumerate_architectures(
     After each solution S, the clause ``OR_{j in S} not sb_j`` blocks S
     and all its supersets (a superset of a working architecture always
     works and is uninteresting), so the enumeration walks an antichain.
+    With ``core_minimize`` (the default) each solution is first shrunk
+    to its UNSAT core, which makes the blocking clause shorter and the
+    pruning strictly stronger.
     """
     start_settings = settings
     results: List[List[int]] = []
@@ -190,6 +246,8 @@ def enumerate_architectures(
         candidate = sorted(j for j, var in sb.items() if model.value(var))
         outcome = verifier.check(secured_buses=candidate)
         if outcome is Result.UNSAT:
+            if settings.core_minimize:
+                candidate = _core_minimize(verifier, candidate)
             results.append(candidate)
             if not candidate:
                 break  # the empty architecture works; nothing else is minimal
@@ -246,8 +304,8 @@ def synthesize_against_all(
 
             def evaluate(candidate: Sequence[int]):
                 return [
-                    (index, outcome, attack_from_payload(attack))
-                    for index, outcome, attack in pool.check(candidate)
+                    (index, outcome, attack_from_payload(attack), core)
+                    for index, outcome, attack, core in pool.check(candidate)
                 ]
 
         else:
@@ -260,7 +318,12 @@ def synthesize_against_all(
                     attack = (
                         verifier.extract_attack() if outcome is Result.SAT else None
                     )
-                    verdicts.append((index, outcome.value, attack))
+                    core = (
+                        verifier.core_secured_buses()
+                        if outcome is Result.UNSAT
+                        else None
+                    )
+                    verdicts.append((index, outcome.value, attack, core))
                 return verdicts
 
         counterexamples: List[AttackVector] = []
@@ -275,14 +338,37 @@ def synthesize_against_all(
             candidate = sorted(j for j, var in sb.items() if model.value(var))
             verdicts = evaluate(candidate)
             failed = next(
-                ((i, attack) for i, outcome, attack in verdicts if outcome == "sat"),
+                (
+                    (i, attack)
+                    for i, outcome, attack, _ in verdicts
+                    if outcome == "sat"
+                ),
                 None,
             )
             if failed is None:
-                if any(outcome != "unsat" for _, outcome, _ in verdicts):
+                if any(outcome != "unsat" for _, outcome, _, _ in verdicts):
                     raise SynthesisError("verification returned UNKNOWN")
+                architecture = candidate
+                uncored = None
+                if settings.core_minimize:
+                    # Every spec's proof used only its own core; the
+                    # union of cores therefore blocks every spec, and
+                    # (monotonicity) so does any superset of it.  One
+                    # confirming broadcast re-verifies the union.
+                    union = sorted(
+                        {bus for _, _, _, core in verdicts for bus in (core or ())}
+                    )
+                    uncored = candidate
+                    if len(union) < len(candidate):
+                        confirm = evaluate(union)
+                        if all(o == "unsat" for _, o, _, _ in confirm):
+                            architecture = union
                 return SynthesisResult(
-                    candidate, iterations, time.perf_counter() - start, counterexamples
+                    architecture,
+                    iterations,
+                    time.perf_counter() - start,
+                    counterexamples,
+                    uncored_architecture=uncored,
                 )
             index, attack = failed
             counterexamples.append(attack)
@@ -299,11 +385,13 @@ def synthesize_measurement_architecture(
     spec: AttackSpec,
     max_secured_measurements: int,
     max_iterations: int = 100_000,
+    core_minimize: bool = True,
 ) -> SynthesisResult:
     """The measurement-level synthesis variant (paper Section IV-A).
 
     Selects individual measurements to data-integrity-protect instead of
-    whole substations; same counterexample-guided loop.
+    whole substations; same counterexample-guided loop, same
+    core-minimization of the winning candidate.
     """
     start = time.perf_counter()
     verifier = UfdiEncoder(spec, symbolic_security=True)
@@ -324,8 +412,17 @@ def synthesize_measurement_architecture(
         candidate = sorted(i for i, var in sm.items() if model.value(var))
         outcome = verifier.check(secured_measurements=candidate)
         if outcome is Result.UNSAT:
+            architecture = candidate
+            uncored = None
+            if core_minimize:
+                architecture = _core_minimize(verifier, candidate, measurements=True)
+                uncored = candidate
             return SynthesisResult(
-                candidate, iterations, time.perf_counter() - start, counterexamples
+                architecture,
+                iterations,
+                time.perf_counter() - start,
+                counterexamples,
+                uncored_architecture=uncored,
             )
         if outcome is not Result.SAT:
             raise SynthesisError("verification returned UNKNOWN")

@@ -56,7 +56,7 @@ from fractions import Fraction
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.attacks.vector import AttackVector
-from repro.core.spec import AttackSpec
+from repro.core.spec import AttackGoal, AttackSpec
 from repro.smt import (
     And,
     BoolVar,
@@ -107,6 +107,11 @@ class _LineEncoding:
     il: Optional[BoolVar] = None
 
 
+#: Sentinel distinguishing "argument not given" from an explicit None
+#: (None is a meaningful budget: unlimited).
+_UNSET = object()
+
+
 class UfdiEncoder:
     """Builds (and re-checks) the verification model for one spec.
 
@@ -115,6 +120,18 @@ class UfdiEncoder:
     synthesis loop (Algorithm 1) can evaluate candidate architectures
     as solver *assumptions* without re-encoding — the incremental
     push/pop usage of the paper's Z3 implementation.
+
+    With ``symbolic_budgets=True`` the resource limits (Eqs. 22, 24)
+    are *not* hard-encoded; instead assumption-selectable totalizer
+    counters over ``cz``/``cb`` are built, and :meth:`check` enforces
+    the spec's limits — or per-call overrides — as assumption literals.
+    A budget change is then an assumption flip on a warm solver rather
+    than a re-encode.
+
+    With ``symbolic_goal=True`` the goal (Eqs. 25) is likewise left
+    out of the static encoding (pairwise-distinct requirements, Eq. 26,
+    stay static) and applied per :meth:`check` call, so one encoding
+    serves every target-state probe of the same grid/plan family.
     """
 
     def __init__(
@@ -122,9 +139,13 @@ class UfdiEncoder:
         spec: AttackSpec,
         epsilon: Optional[Union[int, float, Fraction]] = None,
         symbolic_security: bool = False,
+        symbolic_budgets: bool = False,
+        symbolic_goal: bool = False,
     ) -> None:
         self.spec = spec
         self.symbolic_security = symbolic_security
+        self.symbolic_budgets = symbolic_budgets
+        self.symbolic_goal = symbolic_goal
         self.epsilon = to_fraction(
             epsilon if epsilon is not None else self._default_epsilon()
         )
@@ -139,6 +160,10 @@ class UfdiEncoder:
         self.sz: Dict[int, BoolVar] = {}
         self.lines: Dict[int, _LineEncoding] = {}
         self.bus_delta: Dict[int, LinExpr] = {}
+        self.cz_budget = None  # IncrementalAtMost over cz (symbolic mode)
+        self.cb_budget = None  # IncrementalAtMost over cb (symbolic mode)
+        self.any_goal: Optional[BoolVar] = None  # gate for "any state moves"
+        self.encodes = 1  # grid re-encodings this encoder performed
         self._encode()
 
     # ------------------------------------------------------------------
@@ -222,20 +247,33 @@ class UfdiEncoder:
             s.add(implies(cz, cb))
 
         # -- resource limits (Eqs. 22, 24) ------------------------------
-        if spec.limits.max_measurements is not None and self.cz:
-            s.add_at_most(list(self.cz.values()), spec.limits.max_measurements)
-        if spec.limits.max_buses is not None and self.cb:
-            s.add_at_most(list(self.cb.values()), spec.limits.max_buses)
+        if self.symbolic_budgets:
+            # assumption-selectable counters: any budget, no re-encode
+            if self.cz:
+                self.cz_budget = s.at_most_selector(list(self.cz.values()))
+            if self.cb:
+                self.cb_budget = s.at_most_selector(list(self.cb.values()))
+        else:
+            if spec.limits.max_measurements is not None and self.cz:
+                s.add_at_most(list(self.cz.values()), spec.limits.max_measurements)
+            if spec.limits.max_buses is not None and self.cb:
+                s.add_at_most(list(self.cb.values()), spec.limits.max_buses)
 
         # -- goal (Eqs. 25-26) ------------------------------------------
-        if spec.goal.any_state and self.cx:
-            s.add(Or(*self.cx.values()))
-        for j in sorted(spec.goal.target_states):
-            s.add(self.cx[j])
-        if spec.goal.exclusive:
-            for j, cx in self.cx.items():
-                if j not in spec.goal.target_states:
-                    s.add(Not(cx))
+        if self.symbolic_goal:
+            # targets/any/exclusive become per-check assumptions; only
+            # the "some state moves" disjunction needs a gate variable
+            self.any_goal = s.bool_var("any_goal")
+            s.add(implies(self.any_goal, Or(*self.cx.values())))
+        else:
+            if spec.goal.any_state and self.cx:
+                s.add(Or(*self.cx.values()))
+            for j in sorted(spec.goal.target_states):
+                s.add(self.cx[j])
+            if spec.goal.exclusive:
+                for j, cx in self.cx.items():
+                    if j not in spec.goal.target_states:
+                        s.add(Not(cx))
         for a, b in spec.goal.distinct_pairs:
             expr = self._theta_delta(a) - self._theta_delta(b)
             s.add(self._nonzero(expr))
@@ -337,20 +375,108 @@ class UfdiEncoder:
         secured_buses: Sequence[int] = (),
         secured_measurements: Sequence[int] = (),
         max_conflicts: Optional[int] = None,
+        max_measurements=_UNSET,
+        max_buses=_UNSET,
+        goal: Optional[AttackGoal] = None,
     ) -> Result:
         """Decide attack feasibility, optionally under extra security.
 
         ``secured_buses``/``secured_measurements`` require
         ``symbolic_security=True`` and are applied as assumptions.
+        ``max_measurements``/``max_buses`` override the spec's resource
+        limits (``symbolic_budgets=True`` only; ``None`` = unlimited),
+        and ``goal`` overrides the spec's goal (``symbolic_goal=True``
+        only) — both as assumption flips on the warm solver.
         """
-        assumptions: List[BoolVar] = []
+        assumptions: List[Union[BoolVar, BoolTerm, int]] = []
         for bus in secured_buses:
             assumptions.append(self.sb[bus])
         for meas in secured_measurements:
             sz = self.sz.get(meas)
             if sz is not None:
                 assumptions.append(sz)
+
+        if self.symbolic_budgets:
+            mm = self.spec.limits.max_measurements if max_measurements is _UNSET \
+                else max_measurements
+            mb = self.spec.limits.max_buses if max_buses is _UNSET else max_buses
+            if mm is not None and self.cz_budget is not None:
+                lit = self.cz_budget.at_most(mm)
+                if lit is not None:
+                    assumptions.append(lit)
+            if mb is not None and self.cb_budget is not None:
+                lit = self.cb_budget.at_most(mb)
+                if lit is not None:
+                    assumptions.append(lit)
+        elif max_measurements is not _UNSET or max_buses is not _UNSET:
+            raise RuntimeError("budget overrides require symbolic_budgets=True")
+
+        if goal is not None and not self.symbolic_goal:
+            raise RuntimeError("goal overrides require symbolic_goal=True")
+        if self.symbolic_goal:
+            active = self.spec.goal if goal is None else goal
+            if active.distinct_pairs != self.spec.goal.distinct_pairs:
+                raise ValueError(
+                    "distinct_pairs are encoded statically; probe goals "
+                    "must carry the same pairs as the session's base spec"
+                )
+            if active.any_state:
+                assumptions.append(self.any_goal)
+            for j in sorted(active.target_states):
+                assumptions.append(self.cx[j])
+            if active.exclusive:
+                for j, cx in self.cx.items():
+                    if j not in active.target_states:
+                        assumptions.append(Not(cx))
         return self.solver.check(assumptions, max_conflicts=max_conflicts)
+
+    # ------------------------------------------------------------------
+    # UNSAT-core introspection
+    # ------------------------------------------------------------------
+    def core_secured_buses(self) -> List[int]:
+        """Buses whose ``sb`` assumption the last UNSAT proof used.
+
+        A candidate architecture that verified UNSAT remains UNSAT when
+        restricted to these buses (assumption cores are sound), so this
+        is the core-minimized architecture implied by the proof.
+        """
+        by_index = {var.index: bus for bus, var in self.sb.items()}
+        out = []
+        for item in self.solver.unsat_core():
+            if isinstance(item, BoolVar) and item.index in by_index:
+                out.append(by_index[item.index])
+        return sorted(out)
+
+    def core_secured_measurements(self) -> List[int]:
+        """Measurements whose ``sz`` assumption the last UNSAT proof used."""
+        by_index = {var.index: meas for meas, var in self.sz.items()}
+        out = []
+        for item in self.solver.unsat_core():
+            if isinstance(item, BoolVar) and item.index in by_index:
+                out.append(by_index[item.index])
+        return sorted(out)
+
+    def core_uses_budget(self) -> bool:
+        """Whether the last UNSAT proof leaned on a resource budget.
+
+        True when a budget-selector literal appears in the failed
+        assumptions — i.e. the infeasibility would lift with a looser
+        budget, as opposed to being structural.
+        """
+        selector_lits = set()
+        for budget in (self.cz_budget, self.cb_budget):
+            if budget is not None:
+                selector_lits.update(-lit for lit in budget.outputs)
+        return any(
+            isinstance(item, int) and item in selector_lits
+            for item in self.solver.unsat_core()
+        )
+
+    def statistics(self) -> Dict[str, int]:
+        """Solver statistics plus the encoder's own counters."""
+        stats = self.solver.statistics()
+        stats["encodes"] = self.encodes
+        return stats
 
     def extract_attack(self, model=None) -> AttackVector:
         """Read the attack vector out of a model (default: last SAT model)."""
@@ -388,6 +514,132 @@ class UfdiEncoder:
         return AttackVector(deltas, states, excluded, included)
 
 
+class VerificationSession:
+    """Encode-once, probe-many verification for one spec *family*.
+
+    A family is everything in a spec except its resource limits and its
+    goal's target/any/exclusive fields: the grid, measurement plan,
+    line attributes, knowledge and topology capabilities, and any
+    pairwise-distinct goal requirements.  The session builds a single
+    :class:`UfdiEncoder` with symbolic budgets and a symbolic goal (and
+    optionally symbolic security), then answers every probe — a budget
+    point of a sweep, a step of a min-cost binary search, a candidate
+    architecture of the synthesis loop — as an incremental
+    solve-under-assumptions on that one warm solver.  Learned clauses
+    accumulate across probes, so later probes typically get *faster*,
+    and an UNSAT probe exposes its failed-assumption core
+    (:meth:`core_secured_buses` / :meth:`core_uses_budget`).
+    """
+
+    def __init__(
+        self,
+        spec: AttackSpec,
+        epsilon: Optional[Union[int, float, Fraction]] = None,
+        symbolic_security: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.symbolic_security = symbolic_security
+        self.encoder = UfdiEncoder(
+            spec,
+            epsilon=epsilon,
+            symbolic_security=symbolic_security,
+            symbolic_budgets=True,
+            symbolic_goal=True,
+        )
+        self.probes = 0
+        self.unsat_probes = 0
+
+    @property
+    def encodes(self) -> int:
+        """Grid encodings performed (1 for the session's whole lifetime)."""
+        return self.encoder.encodes
+
+    def compatible(self, spec: AttackSpec) -> bool:
+        """Whether ``spec`` belongs to this session's family.
+
+        Cheap structural test: everything except limits and the goal's
+        target/any/exclusive fields must match the base spec.
+        """
+        base = self.spec
+        return (
+            spec.grid.num_buses == base.grid.num_buses
+            and spec.grid.lines == base.grid.lines
+            and spec.plan.taken == base.plan.taken
+            and spec.plan.secured == base.plan.secured
+            and spec.plan.inaccessible == base.plan.inaccessible
+            and dict(spec.line_attrs) == dict(base.line_attrs)
+            and spec.goal.distinct_pairs == base.goal.distinct_pairs
+            and spec.reference_bus == base.reference_bus
+            and spec.allow_topology_attack == base.allow_topology_attack
+            and spec.strict_knowledge == base.strict_knowledge
+            and spec.base_flows == base.base_flows
+            and spec.base_angles == base.base_angles
+        )
+
+    def probe(
+        self,
+        max_measurements=_UNSET,
+        max_buses=_UNSET,
+        goal: Optional[AttackGoal] = None,
+        secured_buses: Sequence[int] = (),
+        secured_measurements: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> VerificationResult:
+        """One incremental feasibility probe; semantics of
+        :func:`verify_attack` on the matching concrete spec."""
+        start = time.perf_counter()
+        result = self.encoder.check(
+            secured_buses=secured_buses,
+            secured_measurements=secured_measurements,
+            max_conflicts=max_conflicts,
+            max_measurements=max_measurements,
+            max_buses=max_buses,
+            goal=goal,
+        )
+        runtime = time.perf_counter() - start
+        self.probes += 1
+        if result is Result.UNSAT:
+            self.unsat_probes += 1
+        attack = self.encoder.extract_attack() if result is Result.SAT else None
+        if result is Result.SAT:
+            outcome = VerificationOutcome.ATTACK_EXISTS
+        elif result is Result.UNSAT:
+            outcome = VerificationOutcome.SECURE
+        else:
+            outcome = VerificationOutcome.UNKNOWN
+        stats = self.encoder.statistics()
+        stats["session_probes"] = self.probes
+        return VerificationResult(outcome, attack, "smt", runtime, stats)
+
+    def probe_spec(self, spec: AttackSpec, **kwargs) -> VerificationResult:
+        """Probe a concrete same-family spec: its limits and goal become
+        the assumptions of one incremental check."""
+        if not self.compatible(spec):
+            raise ValueError("spec is not in this session's family")
+        return self.probe(
+            max_measurements=spec.limits.max_measurements,
+            max_buses=spec.limits.max_buses,
+            goal=spec.goal,
+            **kwargs,
+        )
+
+    # pass-throughs so analytics layers need not reach into the encoder
+    def core_secured_buses(self) -> List[int]:
+        return self.encoder.core_secured_buses()
+
+    def core_secured_measurements(self) -> List[int]:
+        return self.encoder.core_secured_measurements()
+
+    def core_uses_budget(self) -> bool:
+        return self.encoder.core_uses_budget()
+
+    def statistics(self) -> Dict[str, int]:
+        stats = self.encoder.statistics()
+        stats["session_probes"] = self.probes
+        stats["session_unsat_probes"] = self.unsat_probes
+        return stats
+
+
 def verify_attack(
     spec: AttackSpec,
     backend: str = "smt",
@@ -411,7 +663,7 @@ def verify_attack(
                 encoder.extract_attack(),
                 "smt",
                 runtime,
-                encoder.solver.statistics(),
+                encoder.statistics(),
             )
         outcome = (
             VerificationOutcome.SECURE
@@ -419,7 +671,7 @@ def verify_attack(
             else VerificationOutcome.UNKNOWN
         )
         return VerificationResult(
-            outcome, None, "smt", runtime, encoder.solver.statistics()
+            outcome, None, "smt", runtime, encoder.statistics()
         )
     if backend == "milp":
         from repro.milp.backend import solve_encoder_milp

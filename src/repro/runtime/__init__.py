@@ -20,6 +20,8 @@ from repro.runtime.executor import (
     HAS_TASK_TIMEOUTS,
     RuntimeOptions,
     SpecVerifierPool,
+    clear_session_registry,
+    session_registry_stats,
     synthesize_many,
     verify_many,
     verify_one,
@@ -29,6 +31,8 @@ from repro.runtime.serialize import (
     attack_from_payload,
     attack_to_payload,
     canonical_json,
+    family_fingerprint,
+    family_spec,
     payload_to_spec,
     result_from_payload,
     result_to_payload,
@@ -45,11 +49,15 @@ __all__ = [
     "attack_from_payload",
     "attack_to_payload",
     "canonical_json",
+    "clear_session_registry",
     "default_cache_dir",
+    "family_fingerprint",
+    "family_spec",
     "payload_to_spec",
     "race_backends",
     "result_from_payload",
     "result_to_payload",
+    "session_registry_stats",
     "spec_fingerprint",
     "spec_to_payload",
     "synthesize_many",

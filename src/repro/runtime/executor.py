@@ -39,6 +39,7 @@ from repro.core.spec import AttackSpec
 from repro.core.verification import (
     VerificationOutcome,
     VerificationResult,
+    VerificationSession,
     verify_attack,
 )
 from repro.runtime.cache import ResultCache
@@ -46,6 +47,7 @@ from repro.runtime.portfolio import race_backends
 from repro.runtime.serialize import (
     attack_to_payload,
     canonical_json,
+    family_fingerprint,
     payload_to_spec,
     result_from_payload,
     result_to_payload,
@@ -75,6 +77,12 @@ class RuntimeOptions:
     ``task_timeout``  — per-instance wall-clock budget in seconds
     ``epsilon``       — forwarded to :func:`verify_attack`
     ``max_conflicts`` — forwarded to :func:`verify_attack` (smt backend)
+    ``sessions``      — solve SMT instances on warm per-family
+                        :class:`VerificationSession` objects (kept in a
+                        small per-process LRU registry keyed by family
+                        fingerprint).  Same outcomes and attacks, but
+                        solver statistics reflect the warm solver, so
+                        this is opt-in rather than the default.
     """
 
     jobs: int = 1
@@ -84,6 +92,7 @@ class RuntimeOptions:
     task_timeout: Optional[float] = None
     epsilon: Epsilon = None
     max_conflicts: Optional[int] = None
+    sessions: bool = False
 
     def effective_jobs(self, num_tasks: int) -> int:
         jobs = self.jobs if self.jobs and self.jobs > 0 else (os.cpu_count() or 1)
@@ -102,11 +111,90 @@ class RuntimeOptions:
             "epsilon": None if self.epsilon is None else str(self.epsilon),
             "max_conflicts": self.max_conflicts,
             "cache": self.cache is not None,
+            "sessions": self.sessions,
         }
 
 
 class _TaskTimeout(Exception):
     pass
+
+
+# ----------------------------------------------------------------------
+# warm verification sessions (per-process registry)
+# ----------------------------------------------------------------------
+#: Most warm sessions kept alive per process; least-recently-used
+#: families are evicted beyond this.  Each session holds one encoded
+#: grid, so the registry bounds memory, not correctness.
+SESSION_REGISTRY_LIMIT = 8
+
+_sessions: "OrderedDict[str, VerificationSession]" = None  # type: ignore[assignment]
+_session_lock = threading.Lock()
+_session_stats = {"opened": 0, "reused": 0, "probes": 0, "evicted": 0}
+
+
+def _session_registry() -> "OrderedDict[str, VerificationSession]":
+    global _sessions
+    if _sessions is None:
+        from collections import OrderedDict
+
+        _sessions = OrderedDict()
+    return _sessions
+
+
+def session_registry_stats() -> Dict[str, Any]:
+    """Counters for this process's warm-session registry (``/statsz``)."""
+    with _session_lock:
+        registry = _session_registry()
+        stats = dict(_session_stats)
+        stats["open"] = len(registry)
+        stats["limit"] = SESSION_REGISTRY_LIMIT
+        return stats
+
+
+def clear_session_registry() -> None:
+    """Drop every warm session and zero the counters (test isolation)."""
+    with _session_lock:
+        _session_registry().clear()
+        for key in _session_stats:
+            _session_stats[key] = 0
+
+
+def _solve_on_session(
+    spec: AttackSpec, epsilon: Epsilon, max_conflicts: Optional[int]
+) -> VerificationResult:
+    """Answer one spec as a probe on its family's warm session.
+
+    The registry key is the family fingerprint (grid/plan/etc. minus
+    limits and goal targets), so a binary search, budget sweep or
+    repeated service request over one family re-uses a single encoding.
+    The lock serializes probes — sessions are single warm solvers, not
+    thread-safe objects.
+    """
+    eps = None if epsilon is None else Fraction(epsilon)
+    key = family_fingerprint(spec, epsilon=eps)
+    with _session_lock:
+        registry = _session_registry()
+        session = registry.get(key)
+        if session is not None and session.compatible(spec):
+            registry.move_to_end(key)
+            _session_stats["reused"] += 1
+        else:
+            session = VerificationSession(spec, epsilon=epsilon)
+            registry[key] = session
+            registry.move_to_end(key)
+            _session_stats["opened"] += 1
+            while len(registry) > SESSION_REGISTRY_LIMIT:
+                registry.popitem(last=False)
+                _session_stats["evicted"] += 1
+        _session_stats["probes"] += 1
+        try:
+            return session.probe_spec(spec, max_conflicts=max_conflicts)
+        except BaseException:
+            # an interrupted probe (e.g. a task timeout) can leave the
+            # warm solver mid-search; drop the session rather than risk
+            # probing a corrupted one later
+            registry.pop(key, None)
+            raise
 
 
 @contextmanager
@@ -158,12 +246,15 @@ def _solve_spec(
     epsilon: Epsilon,
     max_conflicts: Optional[int],
     task_timeout: Optional[float],
+    sessions: bool = False,
 ) -> VerificationResult:
     start = time.perf_counter()
     try:
         with _alarm(task_timeout):
             if portfolio:
                 return race_backends(spec, epsilon=epsilon, timeout=task_timeout)
+            if sessions and backend == "smt":
+                return _solve_on_session(spec, epsilon, max_conflicts)
             return verify_attack(
                 spec, backend=backend, epsilon=epsilon, max_conflicts=max_conflicts
             )
@@ -184,6 +275,7 @@ def _verify_remote(task: Dict[str, Any]) -> Dict[str, Any]:
         epsilon=epsilon,
         max_conflicts=task["max_conflicts"],
         task_timeout=task["timeout"],
+        sessions=task.get("sessions", False),
     )
     return result_to_payload(result)
 
@@ -207,10 +299,13 @@ def verify_many(
     pending: Dict[str, List[int]] = {}  # fingerprint -> indices to fill
     order: List[int] = []  # first index per unique pending fingerprint
     for i, spec in enumerate(specs):
+        # session solves may return a different (equally valid) attack
+        # witness than a cold solve, so they get their own cache keyspace
         key = spec_fingerprint(
             spec,
             backend=options.backend_label(),
             epsilon=None if options.epsilon is None else Fraction(options.epsilon),
+            extra=("sessions",) if options.sessions else (),
         )
         fingerprints[i] = key
         if options.cache is not None:
@@ -236,6 +331,7 @@ def verify_many(
                         epsilon=options.epsilon,
                         max_conflicts=options.max_conflicts,
                         task_timeout=options.task_timeout,
+                        sessions=options.sessions,
                     )
                 )
         else:
@@ -251,6 +347,7 @@ def verify_many(
                     ),
                     "max_conflicts": options.max_conflicts,
                     "timeout": options.task_timeout,
+                    "sessions": options.sessions,
                 }
                 for i in order
             ]
@@ -329,10 +426,12 @@ def _synth_verify_worker(conn, assigned: List[Tuple[int, str]]) -> None:
     """Own the incremental encoders for a slice of the spec list.
 
     Protocol: receive a candidate bus list, reply with
-    ``[(spec_index, outcome_value, attack_payload_or_None), ...]`` for
-    every owned spec; ``None`` shuts the worker down.  Encoders persist
-    across candidates, so learned clauses accumulate exactly as in the
-    serial loop.
+    ``[(spec_index, outcome_value, attack_payload_or_None,
+    core_buses_or_None), ...]`` for every owned spec — the core entry
+    is the UNSAT proof's failed-assumption bus set, used by the caller
+    for core minimization; ``None`` shuts the worker down.  Encoders
+    persist across candidates, so learned clauses accumulate exactly as
+    in the serial loop.
     """
     from repro.core.verification import UfdiEncoder
     from repro.smt import Result
@@ -354,7 +453,12 @@ def _synth_verify_worker(conn, assigned: List[Tuple[int, str]]) -> None:
                     if outcome is Result.SAT
                     else None
                 )
-                replies.append((index, outcome.value, attack))
+                core = (
+                    encoder.core_secured_buses()
+                    if outcome is Result.UNSAT
+                    else None
+                )
+                replies.append((index, outcome.value, attack, core))
             conn.send(replies)
     except (EOFError, KeyboardInterrupt):
         pass
@@ -393,12 +497,14 @@ class SpecVerifierPool:
             self._connections.append(parent_conn)
             self._processes.append(process)
 
-    def check(self, candidate: Sequence[int]) -> List[Tuple[int, str, Optional[dict]]]:
+    def check(
+        self, candidate: Sequence[int]
+    ) -> List[Tuple[int, str, Optional[dict], Optional[List[int]]]]:
         """Broadcast a candidate; gather every spec's verdict, by index."""
         candidate = list(candidate)
         for conn in self._connections:
             conn.send(candidate)
-        verdicts: List[Tuple[int, str, Optional[dict]]] = []
+        verdicts: List[Tuple[int, str, Optional[dict], Optional[List[int]]]] = []
         for conn, process in zip(self._connections, self._processes):
             try:
                 verdicts.extend(conn.recv())

@@ -161,6 +161,25 @@ def spec_fingerprint(
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
+def family_spec(spec: AttackSpec) -> AttackSpec:
+    """The representative of a spec's *session family*.
+
+    A :class:`~repro.core.verification.VerificationSession` answers any
+    spec that differs from its base only in resource limits and in the
+    goal's target/any/exclusive fields, so the family representative is
+    the spec with limits cleared and the goal reduced to its (statically
+    encoded) pairwise-distinct requirements.
+    """
+    return spec.with_limits(ResourceLimits()).with_goal(
+        AttackGoal(distinct_pairs=spec.goal.distinct_pairs)
+    )
+
+
+def family_fingerprint(spec: AttackSpec, epsilon: Optional[Fraction] = None) -> str:
+    """Stable hash of a spec's session family (the warm-session key)."""
+    return spec_fingerprint(family_spec(spec), backend="session", epsilon=epsilon)
+
+
 # ----------------------------------------------------------------------
 # results and attack vectors
 # ----------------------------------------------------------------------

@@ -7,7 +7,8 @@ Endpoints::
     GET  /v1/jobs/<id>    job state (+ result once terminal)
     GET  /healthz         liveness ("ok" / "draining")
     GET  /statsz          queue depth, batch-size histogram, cache
-                          hit-rate, p50/p95 latency, job counters
+                          hit-rate, p50/p95 latency, job counters,
+                          warm-session registry counters
 
 Verify bodies carry either ``"spec"`` (the canonical payload of
 :func:`repro.runtime.serialize.spec_to_payload`) or ``"spec_text"``
@@ -277,6 +278,8 @@ class ServiceApp:
 
     # ------------------------------------------------------------------
     def statsz(self) -> Dict[str, Any]:
+        from repro.runtime import session_registry_stats
+
         cache = self.options.cache
         return {
             "uptime_seconds": time.monotonic() - self.started_mono,
@@ -290,6 +293,7 @@ class ServiceApp:
             },
             "cache": None if cache is None else cache.snapshot(),
             "runtime": self.options.describe(),
+            "sessions": session_registry_stats(),
         }
 
 

@@ -13,12 +13,14 @@ countermeasure-synthesis models need:
   de Moura (:mod:`repro.smt.simplex`),
 * the DPLL(T) glue binding the two together (:mod:`repro.smt.theory`,
   :mod:`repro.smt.solver`),
-* CNF cardinality constraints via sequential-counter encodings
+* CNF cardinality constraints via sequential-counter encodings plus an
+  assumption-selectable totalizer for incremental budget probing
   (:mod:`repro.smt.cardinality`).
 
 The public entry point is :class:`repro.smt.solver.Solver`.
 """
 
+from repro.smt.cardinality import IncrementalAtMost, encode_totalizer
 from repro.smt.terms import (
     And,
     Atom,
@@ -46,6 +48,7 @@ __all__ = [
     "BoolConst",
     "BoolVar",
     "FALSE",
+    "IncrementalAtMost",
     "LinExpr",
     "Model",
     "Not",
@@ -54,6 +57,7 @@ __all__ = [
     "Result",
     "Solver",
     "TRUE",
+    "encode_totalizer",
     "eq",
     "ge",
     "iff",

@@ -1,15 +1,24 @@
-"""CNF cardinality constraints (sequential-counter / Sinz encoding).
+"""CNF cardinality constraints.
 
-These operate directly on SAT literals through a ``new_var``/``add_clause``
-interface so they can target either the SMT solver's CNF or a standalone
-SAT instance.  The sequential counter for ``sum(lits) <= k`` introduces
-``n*k`` auxiliary variables and O(n*k) clauses and is arc-consistent
-under unit propagation.
+Two families, both operating directly on SAT literals through a
+``new_var``/``add_clause`` interface so they can target either the SMT
+solver's CNF or a standalone SAT instance:
+
+* **Fixed-threshold** sequential-counter (Sinz) encodings
+  (:func:`encode_at_most` and friends): the sequential counter for
+  ``sum(lits) <= k`` introduces ``n*k`` auxiliary variables and O(n*k)
+  clauses and is arc-consistent under unit propagation.  A budget
+  change requires a re-encode.
+* **Assumption-selectable** totalizer (:class:`IncrementalAtMost`):
+  encodes the full unary count once (O(n^2) clauses); every threshold
+  ``sum(lits) <= k`` is then a single *assumption literal*, so a budget
+  sweep or binary search re-uses one encoding — and one incremental
+  solver with all its learned clauses — across every probe.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 
 def encode_at_most(
@@ -76,3 +85,86 @@ def encode_exactly(
     """Encode ``sum(lits) == k``."""
     encode_at_most(lits, k, new_var, add_clause)
     encode_at_least(lits, k, new_var, add_clause)
+
+
+# ----------------------------------------------------------------------
+# assumption-selectable thresholds (totalizer)
+# ----------------------------------------------------------------------
+def _merge_counts(
+    left: List[int],
+    right: List[int],
+    new_var: Callable[[], int],
+    add_clause: Callable[[List[int]], None],
+) -> List[int]:
+    """Totalizer merge: unary counts of two child nodes into their union.
+
+    ``left[i-1]`` / ``right[j-1]`` mean "at least i / j inputs of that
+    child are true"; the output ``out[m-1]`` means "at least m inputs of
+    the union are true".  Only the upward direction (inputs force
+    outputs) is emitted, which is exactly what ``<= k`` selection via
+    the negated output needs.
+    """
+    p, q = len(left), len(right)
+    out = [new_var() for _ in range(p + q)]
+    for i in range(1, p + 1):
+        add_clause([-left[i - 1], out[i - 1]])
+    for j in range(1, q + 1):
+        add_clause([-right[j - 1], out[j - 1]])
+    for i in range(1, p + 1):
+        for j in range(1, q + 1):
+            add_clause([-left[i - 1], -right[j - 1], out[i + j - 1]])
+    return out
+
+
+def encode_totalizer(
+    lits: Sequence[int],
+    new_var: Callable[[], int],
+    add_clause: Callable[[List[int]], None],
+) -> List[int]:
+    """Encode the unary count of ``lits``; return the count outputs.
+
+    The returned list ``outputs`` has one literal per input;
+    ``outputs[j-1]`` is forced true whenever at least ``j`` of ``lits``
+    are true.  Assuming ``-outputs[k]`` therefore enforces
+    ``sum(lits) <= k``.  A balanced merge tree keeps the auxiliary
+    variable count at O(n log n) and the clause count at O(n^2).
+    """
+    nodes: List[List[int]] = [[lit] for lit in lits]
+    while len(nodes) > 1:
+        merged: List[List[int]] = []
+        for i in range(0, len(nodes) - 1, 2):
+            merged.append(_merge_counts(nodes[i], nodes[i + 1], new_var, add_clause))
+        if len(nodes) % 2:
+            merged.append(nodes[-1])
+        nodes = merged
+    return nodes[0] if nodes else []
+
+
+class IncrementalAtMost:
+    """``sum(lits) <= k`` for *any* ``k``, selected by assumption.
+
+    Encodes the totalizer count once; :meth:`at_most` maps a budget to
+    the assumption literal that enforces it (or None when the budget
+    does not bind).  Because thresholds are assumptions rather than
+    clauses, a solver can answer a whole budget sweep on one encoding,
+    and an UNSAT answer's failed-assumption core tells the caller
+    whether the budget — as opposed to the rest of the formula — caused
+    the infeasibility.
+    """
+
+    def __init__(
+        self,
+        lits: Sequence[int],
+        new_var: Callable[[], int],
+        add_clause: Callable[[List[int]], None],
+    ) -> None:
+        self.size = len(lits)
+        self.outputs = encode_totalizer(lits, new_var, add_clause)
+
+    def at_most(self, k: int) -> Optional[int]:
+        """The assumption literal for ``sum <= k`` (None: trivially true)."""
+        if k < 0:
+            raise ValueError("k must be nonnegative")
+        if k >= self.size:
+            return None
+        return -self.outputs[k]

@@ -86,8 +86,14 @@ class SatSolver:
             "restarts": 0,
             "theory_conflicts": 0,
             "learned_literals": 0,
+            "solves": 0,
         }
         self.conflict_budget: Optional[int] = None
+        #: After an UNSAT :meth:`solve` under assumptions: the subset of
+        #: assumption literals the refutation actually used (the *failed
+        #: assumption core*).  None after SAT/UNKNOWN; [] when the
+        #: formula is UNSAT independently of any assumption.
+        self.core: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # variables and clauses
@@ -397,6 +403,35 @@ class SatSolver:
         for watchlist in self.watches:
             watchlist[:] = [c for c in watchlist if id(c) not in dead]
 
+    def _final_core(self, failing_lit: int) -> List[int]:
+        """Final-conflict analysis (MiniSat's ``analyzeFinal``).
+
+        ``failing_lit`` is an assumption found false on the current
+        trail.  Walking the implication graph backwards from it collects
+        every *decision* literal the refutation rests on; because this
+        is only called while the trail holds assumption pseudo-decisions
+        (no search decisions yet at that depth), those are exactly the
+        failed assumptions.  The returned literals are a subset ``A'``
+        of the assumptions with ``formula /\\ A'`` UNSAT.
+        """
+        core = [failing_lit]
+        seen = {abs(failing_lit)}
+        for i in range(len(self.trail) - 1, -1, -1):
+            lit = self.trail[i]
+            var = abs(lit)
+            if var not in seen:
+                continue
+            seen.discard(var)
+            reason = self.reason[var]
+            if reason is None:
+                if self.level[var] > 0:
+                    core.append(lit)
+            else:
+                for q in reason[1:]:
+                    if self.level[abs(q)] > 0:
+                        seen.add(abs(q))
+        return core
+
     # ------------------------------------------------------------------
     # main search
     # ------------------------------------------------------------------
@@ -407,9 +442,15 @@ class SatSolver:
         (UNSAT under these assumptions), or None if the conflict budget
         was exhausted.  The trail is left intact on SAT so that callers
         can read the model and theory state; call :meth:`cancel_until`
-        (or solve again) afterwards.
+        (or solve again) afterwards.  After an UNSAT answer,
+        :attr:`core` holds the failed-assumption core.  Learned clauses
+        persist across calls, so repeated solves over the same formula
+        under different assumptions start warm.
         """
+        self.stats["solves"] += 1
+        self.core = None
         if not self.ok:
+            self.core = []
             return False
         self.cancel_until(0)
         assumptions = list(assumptions)
@@ -429,10 +470,12 @@ class SatSolver:
                 conflicts_in_round += 1
                 if self.decision_level() == 0:
                     self.ok = False
+                    self.core = []
                     return False
                 learnt, backjump = self._analyze(conflict)
                 if learnt is None:
                     self.ok = False
+                    self.core = []
                     return False
                 self.cancel_until(backjump)
                 self._record_learnt(learnt)
@@ -465,7 +508,10 @@ class SatSolver:
                     self.trail_lim.append(len(self.trail))
                     continue
                 if val == -1:
-                    # conflicting assumption: UNSAT under assumptions
+                    # conflicting assumption: UNSAT under assumptions;
+                    # trace the implication of ``-lit`` back to the
+                    # assumptions responsible before unwinding the trail
+                    self.core = self._final_core(lit)
                     self.cancel_until(0)
                     return False
                 self.trail_lim.append(len(self.trail))

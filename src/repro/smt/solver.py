@@ -19,7 +19,12 @@ import enum
 from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.smt.cardinality import encode_at_least, encode_at_most, encode_exactly
+from repro.smt.cardinality import (
+    IncrementalAtMost,
+    encode_at_least,
+    encode_at_most,
+    encode_exactly,
+)
 from repro.smt.cnf import CnfBuilder
 from repro.smt.sat import SatSolver
 from repro.smt.terms import BoolTerm, BoolVar, LinExpr, RealVar, to_fraction
@@ -74,6 +79,10 @@ class Solver:
         self._guards: List[int] = []  # active scope guard literals
         self._result: Optional[Result] = None
         self._model: Optional[Model] = None
+        self._checks = 0
+        self._learned_kept = 0
+        # last UNSAT check's failed assumptions, as passed by the caller
+        self._core: List[Union[BoolTerm, int]] = []
         # atoms grouped by canonical linear form, for lattice lemmas:
         # form -> list of (op, bound, sat var)
         self._atoms_by_form: Dict[tuple, List[tuple]] = {}
@@ -201,6 +210,22 @@ class Solver:
         )
         self._invalidate()
 
+    def at_most_selector(self, variables: Sequence[BoolVar]) -> IncrementalAtMost:
+        """Encode an assumption-selectable ``sum(variables) <= k`` once.
+
+        The returned selector's :meth:`~IncrementalAtMost.at_most` maps
+        any budget ``k`` to a raw assumption literal accepted by
+        :meth:`check` — changing a budget is an assumption flip, not a
+        re-encode, so one incremental solver answers a whole budget
+        sweep with its learned clauses intact.
+        """
+        lits = [self._cnf.literal_for(v) for v in variables]
+        selector = IncrementalAtMost(
+            lits, self._new_sat_var, lambda c: self._cnf.add_clause(self._guarded(c))
+        )
+        self._invalidate()
+        return selector
+
     # ------------------------------------------------------------------
     # scopes
     # ------------------------------------------------------------------
@@ -223,22 +248,35 @@ class Solver:
     # ------------------------------------------------------------------
     def check(
         self,
-        assumptions: Sequence[BoolTerm] = (),
+        assumptions: Sequence[Union[BoolTerm, int]] = (),
         max_conflicts: Optional[int] = None,
     ) -> Result:
         """Decide satisfiability of the asserted formulas.
 
-        ``assumptions`` are extra literals assumed for this call only.
-        ``max_conflicts`` bounds the search (returns UNKNOWN on timeout).
+        ``assumptions`` are extra literals assumed for this call only —
+        boolean terms, or raw DIMACS literals as produced by
+        :meth:`at_most_selector`.  ``max_conflicts`` bounds the search
+        (returns UNKNOWN on timeout).  After an UNSAT answer,
+        :meth:`unsat_core` names the assumptions the refutation used.
         """
         self._sat.cancel_until(0)  # atoms must register on a clean simplex
         assumption_lits = list(self._guards)
+        sources: Dict[int, Union[BoolTerm, int]] = {}
         for term in assumptions:
-            lit = self._cnf.literal_for(term)
-            self._register_new_atoms([lit])
+            if isinstance(term, int):
+                if term == 0 or abs(term) > self._cnf.num_vars:
+                    raise ValueError(f"unknown raw assumption literal {term}")
+                lit = term
+            else:
+                lit = self._cnf.literal_for(term)
+                self._register_new_atoms([lit])
+            sources.setdefault(lit, term)
             assumption_lits.append(lit)
         self._sat.conflict_budget = max_conflicts
+        self._checks += 1
+        self._learned_kept = len(self._sat.learnts)
         outcome = self._sat.solve(assumption_lits)
+        self._core = []
         if outcome is None:
             self._result = Result.UNKNOWN
             self._model = None
@@ -248,7 +286,23 @@ class Solver:
         else:
             self._result = Result.UNSAT
             self._model = None
+            # scope guards are implementation detail, not caller assumptions
+            self._core = [
+                sources[lit] for lit in (self._sat.core or []) if lit in sources
+            ]
         return self._result
+
+    def unsat_core(self) -> List[Union[BoolTerm, int]]:
+        """Failed assumptions from the last UNSAT :meth:`check`.
+
+        A subset of the assumptions passed to :meth:`check` whose
+        conjunction with the asserted formulas is already unsatisfiable.
+        An empty list means the formula is UNSAT regardless of the
+        assumptions.
+        """
+        if self._result is not Result.UNSAT:
+            raise RuntimeError("unsat_core() requires a preceding UNSAT check()")
+        return list(self._core)
 
     def _extract_model(self) -> None:
         bools: Dict[int, bool] = {}
@@ -285,5 +339,9 @@ class Solver:
             simplex_variables=self._theory.simplex.num_vars,
             simplex_rows=len(self._theory.simplex.rows),
             lattice_lemmas=self._lattice_lemmas,
+            checks=self._checks,
+            incremental_checks=max(0, self._checks - 1),
+            learned_kept=self._learned_kept,
+            core_size=len(self._core),
         )
         return stats

@@ -69,3 +69,15 @@ class TestBusCriticality:
         # grid cost rises above 4 either way
         for new_cost in crit.values():
             assert new_cost is None or new_cost > 4
+
+    def test_symbolic_path_matches_plan_modification(self):
+        # the default path secures buses by assumption on one symbolic
+        # session; it must agree with re-encoding a modified plan
+        from repro.core.mincost import minimum_attack_cost
+
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.any())
+        buses = [2, 5, 8]
+        symbolic = bus_criticality(spec, buses=buses)
+        for bus in buses:
+            modified = spec.with_secured_buses([bus])
+            assert symbolic[bus] == minimum_attack_cost(modified).cost

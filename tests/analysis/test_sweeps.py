@@ -79,3 +79,52 @@ class TestSpecForCase:
     def test_sweep_instances_are_verifiable(self):
         spec = spec_for_case("ieee14", measurement_fraction=0.7)
         assert verify_attack(spec).attack_exists
+
+
+class TestBudgetSweep:
+    def test_matches_cold_solves_with_one_encode(self):
+        from repro.analysis.sweeps import budget_sweep
+        from repro.core.spec import AttackGoal, AttackSpec, ResourceLimits
+
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.states(8))
+        budgets = [None, 1, 2, 3, 4, 6]
+        rows = budget_sweep(spec, budgets)
+        assert [b for b, _ in rows] == budgets
+        for budget, result in rows:
+            cold = verify_attack(
+                spec.with_limits(ResourceLimits(max_measurements=budget))
+            )
+            assert result.outcome == cold.outcome
+            assert result.statistics["encodes"] == 1
+
+    def test_bus_dimension_and_shared_session(self):
+        from repro.analysis.sweeps import budget_sweep
+        from repro.core.spec import AttackGoal, AttackSpec
+        from repro.core.verification import VerificationSession
+
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.states(8))
+        session = VerificationSession(spec)
+        budget_sweep(spec, [1, 2, 3], dimension="buses", session=session)
+        budget_sweep(spec, [None, 4], session=session)
+        assert session.encodes == 1
+        assert session.probes == 5
+
+    def test_invalid_dimension(self):
+        from repro.analysis.sweeps import budget_sweep
+        from repro.core.spec import AttackGoal, AttackSpec
+
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.states(8))
+        with pytest.raises(ValueError, match="dimension"):
+            budget_sweep(spec, [1], dimension="watts")
+
+
+class TestVerificationSweepSessions:
+    def test_serial_sweep_encodes_each_case_once(self):
+        from repro.analysis.sweeps import verification_sweep
+
+        rows = verification_sweep(["ieee14"], targets_per_case=3)
+        assert len(rows) == 3
+        for _name, _target, result in rows:
+            assert result.statistics["encodes"] == 1
+        # all three targets were probed on the same session
+        assert rows[-1][2].statistics["session_probes"] == 3

@@ -63,9 +63,51 @@ class TestMinimumCost:
         result = minimum_attack_cost(path_spec(4), upper_bound=10)
         assert result.cost == 4
 
+    def test_upper_bound_below_minimum_is_infeasible(self):
+        # regression: the cheapest attack on the path end costs 4; a cap
+        # of 3 must come back infeasible rather than reporting cost 3
+        result = minimum_attack_cost(path_spec(4), upper_bound=3)
+        assert result.cost is None
+        assert result.attack is None
+
+    def test_upper_bound_exactly_at_minimum(self):
+        result = minimum_attack_cost(path_spec(4), upper_bound=4)
+        assert result.cost == 4
+        assert len(result.attack.altered_measurements) == 4
+
+    def test_upper_bound_below_minimum_bus_dimension(self):
+        result = minimum_attack_cost(path_spec(4), dimension="buses", upper_bound=1)
+        assert result.cost is None
+
     def test_probe_count_is_logarithmic(self):
         result = minimum_attack_cost(path_spec(6))
         assert result.probes <= 6
+
+    def test_single_encode_for_whole_search(self):
+        # the whole binary search must run on one warm session encoding
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.states(8))
+        result = minimum_attack_cost(spec)
+        assert result.cost == 4
+        assert result.encodes == 1
+        assert result.probes >= 3
+
+    def test_shared_session_across_searches(self):
+        from repro.core.verification import VerificationSession
+
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.states(8))
+        session = VerificationSession(spec)
+        first = minimum_attack_cost(spec, session=session)
+        second = minimum_attack_cost(spec.with_goal(AttackGoal.states(10)), session=session)
+        assert first.cost == 4
+        assert second.cost is not None
+        assert session.encodes == 1
+
+    def test_incompatible_session_rejected(self):
+        from repro.core.verification import VerificationSession
+
+        session = VerificationSession(path_spec(5))
+        with pytest.raises(ValueError, match="session"):
+            minimum_attack_cost(path_spec(4), session=session)
 
     def test_invalid_dimension(self):
         with pytest.raises(ValueError, match="dimension"):
@@ -96,3 +138,13 @@ class TestStateCosts:
         assert all(isinstance(c, int) for c in costs.values())
         # the far leaf (4) is cheapest (smallest footprint)
         assert costs[4] == min(costs.values())
+
+    def test_one_session_for_all_states(self):
+        from repro.core.verification import VerificationSession
+
+        spec = path_spec(4).with_goal(AttackGoal())
+        session = VerificationSession(spec)
+        costs = state_attack_costs(spec, session=session)
+        assert set(costs) == {2, 3, 4}
+        assert session.encodes == 1
+        assert session.probes >= len(costs)

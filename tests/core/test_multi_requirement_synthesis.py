@@ -161,3 +161,46 @@ class TestParallelParity:
         assert serial.architecture is None
         assert parallel.architecture is None
         assert parallel.iterations == serial.iterations
+
+
+class TestUnionOfCores:
+    def test_union_core_blocks_every_spec(self):
+        base = AttackSpec.default(ieee14())
+        requirements = [
+            base.with_goal(AttackGoal.states(5)),
+            base.with_goal(AttackGoal.states(8)),
+            base.with_goal(AttackGoal.states(10)),
+        ]
+        result = synthesize_against_all(
+            requirements, SynthesisSettings(max_secured_buses=6)
+        )
+        assert result.feasible
+        assert result.uncored_architecture is not None
+        assert set(result.architecture) <= set(result.uncored_architecture)
+        for spec in requirements:
+            check = verify_attack(spec.with_secured_buses(result.architecture))
+            assert not check.attack_exists
+
+    def test_pool_and_serial_agree_on_minimization(self):
+        base = AttackSpec.default(ieee14())
+        requirements = [
+            base.with_goal(AttackGoal.states(5)),
+            base.with_goal(AttackGoal.states(8)),
+            base.with_goal(AttackGoal.states(10)),
+        ]
+        settings = SynthesisSettings(max_secured_buses=6)
+        serial = synthesize_against_all(requirements, settings, jobs=1)
+        pooled = synthesize_against_all(requirements, settings, jobs=2)
+        assert serial.architecture == pooled.architecture
+        assert serial.uncored_architecture == pooled.uncored_architecture
+        assert serial.iterations == pooled.iterations
+
+    def test_core_minimize_off_keeps_raw_candidate(self):
+        base = AttackSpec.default(ieee14())
+        requirements = [base.with_goal(AttackGoal.states(8))]
+        raw = synthesize_against_all(
+            requirements,
+            SynthesisSettings(max_secured_buses=6, core_minimize=False),
+        )
+        assert raw.feasible
+        assert raw.uncored_architecture is None

@@ -184,3 +184,62 @@ class TestMeasurementLevelSynthesis:
         result = synthesize_measurement_architecture(spec, max_secured_measurements=13)
         assert result.architecture is not None
         assert len(result.architecture) <= 13
+
+
+class TestCoreMinimization:
+    def test_minimized_never_larger_and_still_blocks(self):
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.states(8))
+        result = synthesize_architecture(spec, SynthesisSettings(max_secured_buses=6))
+        assert result.feasible
+        assert result.uncored_architecture is not None
+        assert len(result.architecture) <= len(result.uncored_architecture)
+        assert set(result.architecture) <= set(result.uncored_architecture)
+        check = verify_attack(spec.with_secured_buses(result.architecture))
+        assert not check.attack_exists
+
+    def test_strictly_smaller_on_ieee14(self):
+        # with a generous budget the selector over-provisions; the UNSAT
+        # core must strip at least one unused bus on this instance
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.states(8))
+        result = synthesize_architecture(spec, SynthesisSettings(max_secured_buses=4))
+        assert result.feasible
+        assert len(result.architecture) < len(result.uncored_architecture)
+
+    def test_disabled_flag_returns_raw_candidate(self):
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.states(8))
+        cored = synthesize_architecture(spec, SynthesisSettings(max_secured_buses=6))
+        raw = synthesize_architecture(
+            spec, SynthesisSettings(max_secured_buses=6, core_minimize=False)
+        )
+        assert raw.uncored_architecture is None
+        # the selection loop is unchanged: the raw candidate is the same
+        assert raw.architecture == cored.uncored_architecture
+
+    def test_enumeration_results_stay_valid_with_cores(self):
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.any())
+        cored = enumerate_architectures(
+            spec, SynthesisSettings(max_secured_buses=5), limit=3
+        )
+        assert cored
+        for arch in cored:
+            assert not verify_attack(spec.with_secured_buses(arch)).attack_exists
+        # still an antichain after core-sharpened blocking
+        for i, a in enumerate(cored):
+            for j, b in enumerate(cored):
+                if i != j:
+                    assert not set(a) <= set(b)
+
+    def test_measurement_synthesis_minimized_still_blocks(self):
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.any())
+        result = synthesize_measurement_architecture(spec, max_secured_measurements=13)
+        assert result.feasible
+        assert result.uncored_architecture is not None
+        assert len(result.architecture) <= len(result.uncored_architecture)
+        check = verify_attack(spec.with_secured_measurements(result.architecture))
+        assert not check.attack_exists
+
+    def test_infeasible_has_no_uncored(self):
+        spec = path_spec(4)
+        result = synthesize_architecture(spec, SynthesisSettings(max_secured_buses=0))
+        assert result.architecture is None
+        assert result.uncored_architecture is None

@@ -222,6 +222,13 @@ class TestAcceptanceDedup:
         assert batching["latency_p50"] is not None
         assert batching["latency_p95"] >= batching["latency_p50"]
 
+        # warm-session registry counters are always published (zeros
+        # here: sessions are opt-in and this server runs without them)
+        sessions = stats["sessions"]
+        assert sessions["limit"] >= 1
+        assert {"opened", "reused", "probes", "evicted", "open"} <= set(sessions)
+        assert stats["runtime"]["sessions"] is False
+
 
 class TestDeadline:
     def test_deadline_expiry_returns_timeout_state(self, server):

@@ -1,0 +1,222 @@
+"""Tests for solve-under-assumptions UNSAT cores.
+
+Covers both layers: the CDCL core's final-conflict analysis
+(:meth:`repro.smt.sat.SatSolver.solve` setting ``core``) and the DPLL(T)
+facade's :meth:`repro.smt.solver.Solver.unsat_core`, including the
+interaction of assumption cores with push/pop scopes and the
+assumption-selectable budget counters.
+"""
+
+import pytest
+
+from repro.smt import Not, Or, Result, Solver, ge, implies, le
+from repro.smt.sat import SatSolver
+
+
+class TestSatCore:
+    def test_core_is_subset_and_sufficient(self):
+        solver = SatSolver()
+        solver.ensure_vars(4)
+        solver.add_clause([-1, -2])  # not both 1 and 2
+        # assumptions: 1, 2 conflict; 3, 4 are irrelevant
+        assert solver.solve(assumptions=[3, 1, 4, 2]) is False
+        core = solver.core
+        assert core is not None
+        assert set(map(abs, core)) <= {1, 2}
+        # the core alone must still be UNSAT
+        assert solver.solve(assumptions=core) is False
+
+    def test_core_excludes_irrelevant_assumptions(self):
+        solver = SatSolver()
+        solver.ensure_vars(5)
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        solver.add_clause([-3, -4])
+        assert solver.solve(assumptions=[5, 1, 4]) is False
+        assert 5 not in {abs(lit) for lit in solver.core}
+
+    def test_core_follows_implication_chains(self):
+        # 1 -> 2 -> 3 and assumption -3: the conflict reaches back to 1
+        solver = SatSolver()
+        solver.ensure_vars(3)
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        assert solver.solve(assumptions=[1, -3]) is False
+        assert {abs(lit) for lit in solver.core} == {1, 3}
+
+    def test_directly_contradicting_assumptions(self):
+        solver = SatSolver()
+        solver.ensure_vars(2)
+        assert solver.solve(assumptions=[1, -1]) is False
+        assert {abs(lit) for lit in solver.core} == {1}
+
+    def test_sat_leaves_core_none(self):
+        solver = SatSolver()
+        solver.ensure_vars(2)
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[1]) is True
+        assert solver.core is None
+
+    def test_formula_level_unsat_has_empty_core(self):
+        solver = SatSolver()
+        solver.ensure_vars(1)
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve(assumptions=[1]) is False
+        assert solver.core == []
+
+    def test_learned_clauses_survive_assumption_solves(self):
+        solver = SatSolver()
+        solver.ensure_vars(6)
+        solver.add_clause([-1, 2])
+        solver.add_clause([-1, -2])
+        assert solver.solve(assumptions=[1]) is False
+        assert solver.solve(assumptions=[-1]) is True
+        # the solver is still usable and consistent afterwards
+        assert solver.solve() is True
+
+
+class TestSolverCore:
+    def test_core_names_original_terms(self):
+        solver = Solver()
+        a, b, c = solver.bool_vars("p", 3)
+        solver.add(implies(a, b))
+        solver.add(implies(b, Not(c)))
+        assert solver.check(assumptions=[a, c]) is Result.UNSAT
+        core = solver.unsat_core()
+        assert set(core) <= {a, c}
+        assert solver.check(assumptions=core) is Result.UNSAT
+
+    def test_core_with_theory_conflict(self):
+        solver = Solver()
+        x = solver.real_var("x")
+        p, q = solver.bool_vars("g", 2)
+        solver.add(implies(p, ge(x, 5)))
+        solver.add(implies(q, le(x, 3)))
+        r = solver.bool_var("r")  # irrelevant
+        assert solver.check(assumptions=[r, p, q]) is Result.UNSAT
+        core = solver.unsat_core()
+        assert r not in core
+        assert solver.check(assumptions=core) is Result.UNSAT
+
+    def test_unsat_core_requires_unsat(self):
+        solver = Solver()
+        a = solver.bool_var("a")
+        solver.add(Or(a, Not(a)))
+        assert solver.check() is Result.SAT
+        with pytest.raises(RuntimeError):
+            solver.unsat_core()
+
+    def test_negated_assumptions_in_core(self):
+        solver = Solver()
+        a, b = solver.bool_vars("n", 2)
+        solver.add(Or(a, b))
+        assert solver.check(assumptions=[Not(a), Not(b)]) is Result.UNSAT
+        core = solver.unsat_core()
+        assert len(core) == 2
+        assert solver.check(assumptions=core) is Result.UNSAT
+
+    def test_statistics_counters(self):
+        solver = Solver()
+        a, b = solver.bool_vars("s", 2)
+        solver.add(implies(a, b))
+        solver.add(implies(a, Not(b)))
+        assert solver.check() is Result.SAT
+        stats = solver.statistics()
+        assert stats["checks"] == 1
+        assert stats["incremental_checks"] == 0
+        assert stats["core_size"] == 0
+        assert solver.check(assumptions=[a]) is Result.UNSAT
+        stats = solver.statistics()
+        assert stats["checks"] == 2
+        assert stats["incremental_checks"] == 1
+        assert stats["core_size"] == len(solver.unsat_core()) >= 1
+        assert stats["learned_kept"] >= 0
+
+
+class TestCoreWithPushPop:
+    def test_assumptions_inside_pushed_scope(self):
+        solver = Solver()
+        a, b = solver.bool_vars("q", 2)
+        solver.add(Or(a, b))
+        solver.push()
+        solver.add(Not(b))
+        not_a = Not(a)
+        assert solver.check(assumptions=[not_a]) is Result.UNSAT
+        assert solver.unsat_core() == [not_a]
+        solver.pop()
+        # after popping the scope the same assumption is satisfiable
+        assert solver.check(assumptions=[Not(a)]) is Result.SAT
+
+    def test_core_from_scoped_constraint_lists_only_assumptions(self):
+        solver = Solver()
+        x = solver.real_var("x")
+        p = solver.bool_var("p")
+        solver.add(implies(p, ge(x, 10)))
+        solver.push()
+        solver.add(le(x, 1))
+        assert solver.check(assumptions=[p]) is Result.UNSAT
+        # the scope's guard literal must not leak into the core
+        assert solver.unsat_core() == [p]
+        solver.pop()
+        assert solver.check(assumptions=[p]) is Result.SAT
+
+    def test_interleaved_scopes_and_assumption_sweeps(self):
+        solver = Solver()
+        x = solver.real_var("x")
+        gates = solver.bool_vars("g", 3)
+        for i, gate in enumerate(gates):
+            solver.add(implies(gate, ge(x, 10 * (i + 1))))
+        for bound, expected in ((5, Result.UNSAT), (35, Result.SAT)):
+            solver.push()
+            solver.add(le(x, bound))
+            for gate in gates:
+                verdict = solver.check(assumptions=[gate])
+                want = expected if bound == 35 else Result.UNSAT
+                assert verdict is want
+                if verdict is Result.UNSAT:
+                    assert solver.unsat_core() == [gate]
+            solver.pop()
+        assert solver.check() is Result.SAT
+
+
+class TestSelectorCores:
+    def test_budget_selector_sweep_and_core(self):
+        solver = Solver()
+        xs = solver.bool_vars("x", 4)
+        solver.add(Or(*xs))
+        # force at least 2 true: x1 -> x2, x3 -> x4, and one of each pair
+        solver.add(Or(xs[0], xs[1]))
+        solver.add(Or(xs[2], xs[3]))
+        counter = solver.at_most_selector(xs)
+        results = {}
+        for k in range(5):
+            lit = counter.at_most(k)
+            assumptions = [] if lit is None else [lit]
+            results[k] = solver.check(assumptions=assumptions)
+        assert results[0] is Result.UNSAT
+        assert results[1] is Result.UNSAT
+        assert all(results[k] is Result.SAT for k in (2, 3, 4))
+        # re-derive the UNSAT case; its core is the selector literal
+        lit = counter.at_most(1)
+        assert solver.check(assumptions=[lit]) is Result.UNSAT
+        assert solver.unsat_core() == [lit]
+
+    def test_raw_literal_validation(self):
+        solver = Solver()
+        solver.bool_var("a")
+        with pytest.raises(ValueError):
+            solver.check(assumptions=[0])
+        with pytest.raises(ValueError):
+            solver.check(assumptions=[10_000])
+
+    def test_selector_mixes_with_term_assumptions(self):
+        solver = Solver()
+        xs = solver.bool_vars("y", 3)
+        counter = solver.at_most_selector(xs)
+        lit = counter.at_most(1)
+        assert solver.check(assumptions=[lit, xs[0], xs[1]]) is Result.UNSAT
+        core = solver.unsat_core()
+        # all three assumptions genuinely participate
+        assert set(core) == {lit, xs[0], xs[1]}
+        assert solver.check(assumptions=[lit, xs[0]]) is Result.SAT

@@ -1,11 +1,17 @@
-"""Tests for the sequential-counter cardinality encodings."""
+"""Tests for the sequential-counter and totalizer cardinality encodings."""
 
 import itertools
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.smt.cardinality import encode_at_least, encode_at_most, encode_exactly
+from repro.smt.cardinality import (
+    IncrementalAtMost,
+    encode_at_least,
+    encode_at_most,
+    encode_exactly,
+    encode_totalizer,
+)
 from repro.smt.sat import SatSolver
 
 
@@ -74,3 +80,83 @@ class TestExactly:
 @given(st.integers(1, 6), st.integers(0, 6))
 def test_hypothesis_at_most_counts(n, k):
     assert count_models(n, k, encode_at_most) == comb_sum(n, 0, min(k, n))
+
+
+# ----------------------------------------------------------------------
+# assumption-selectable totalizer
+# ----------------------------------------------------------------------
+def totalizer_instance(n):
+    """A solver holding the totalizer over vars 1..n; returns (solver, counter)."""
+    solver = SatSolver()
+    solver.ensure_vars(n)
+    aux = {"next": n}
+
+    def new_var():
+        aux["next"] += 1
+        solver.ensure_vars(aux["next"])
+        return aux["next"]
+
+    counter = IncrementalAtMost(list(range(1, n + 1)), new_var, solver.add_clause)
+    return solver, counter
+
+
+def count_models_under_threshold(solver, counter, n, k):
+    selector = counter.at_most(k)
+    models = 0
+    for bits in itertools.product([False, True], repeat=n):
+        assumptions = [v if bits[v - 1] else -v for v in range(1, n + 1)]
+        if selector is not None:
+            assumptions.append(selector)
+        if solver.solve(assumptions=assumptions):
+            models += 1
+    return models
+
+
+class TestTotalizer:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+    def test_one_encoding_answers_every_threshold(self, n):
+        # a single totalizer instance must agree with a fresh
+        # sequential-counter encoding at every k
+        solver, counter = totalizer_instance(n)
+        for k in range(n + 1):
+            expected = comb_sum(n, 0, min(k, n))
+            assert count_models_under_threshold(solver, counter, n, k) == expected
+
+    def test_outputs_count_upward(self):
+        n = 5
+        solver, counter = totalizer_instance(n)
+        assert len(counter.outputs) == n
+        for true_count in range(n + 1):
+            assumptions = [
+                v if v <= true_count else -v for v in range(1, n + 1)
+            ]
+            assert solver.solve(assumptions=assumptions)
+            # outputs[j-1] forced true for every j <= true_count
+            for j in range(1, true_count + 1):
+                assert solver.value(counter.outputs[j - 1]) == 1
+
+    def test_trivial_threshold_is_none(self):
+        _, counter = totalizer_instance(3)
+        assert counter.at_most(3) is None
+        assert counter.at_most(7) is None
+
+    def test_negative_threshold_rejected(self):
+        _, counter = totalizer_instance(3)
+        with pytest.raises(ValueError):
+            counter.at_most(-1)
+
+    def test_empty_input(self):
+        solver = SatSolver()
+        counter = IncrementalAtMost([], lambda: 1, solver.add_clause)
+        assert counter.size == 0
+        assert counter.outputs == []
+        assert counter.at_most(0) is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 6), st.integers(0, 6))
+def test_hypothesis_totalizer_matches_sequential_counter(n, k):
+    solver, counter = totalizer_instance(n)
+    assert count_models_under_threshold(solver, counter, n, k) == count_models(
+        n, k, encode_at_most
+    )
