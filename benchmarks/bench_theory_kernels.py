@@ -1,0 +1,289 @@
+"""Theory-kernel overhaul: integer simplex vs. the Fraction reference.
+
+The perf claims of the theory-core hot-path overhaul, measured on the
+IEEE 14-bus verification workload (the Figure 4(a) sweep shape — three
+representative target states — extended with the resource-limited
+probes of Figures 4-5, whose UNSAT searches are simplex-dominated):
+
+* the integer-triple kernel (``REPRO_THEORY_KERNEL=int``, the default)
+  produces **bit-identical** outcomes and witnesses to the retained
+  Fraction reference engine, at a fraction of the time;
+* row-implied bound propagation (``REPRO_THEORY_PROPAGATION=1``)
+  preserves every outcome and fires (``theory_props > 0``) on the
+  paper's case-study specs;
+* the end-to-end speedup of the full new engine (integer kernel with
+  propagation on) over the pre-overhaul Fraction engine meets the gate
+  (default 2x full mode, 1.3x ``--smoke``).
+
+The UNSAT probes sit just below each target's minimum attack cost
+(``cost - offset``): those boundary searches are simplex-dominated,
+whereas budgets far below the cost are refuted almost for free.
+
+Results land in ``BENCH_pr4.json`` (``--out`` to relocate).  Run::
+
+    python benchmarks/bench_theory_kernels.py            # full, 2x gate
+    python benchmarks/bench_theory_kernels.py --smoke    # CI perf-smoke
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(_ROOT), str(_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.analysis.sweeps import default_targets, spec_for_case  # noqa: E402
+from repro.core.casestudy import attack_objective_1, attack_objective_2  # noqa: E402
+from repro.core.mincost import minimum_attack_cost  # noqa: E402
+from repro.core.verification import verify_attack  # noqa: E402
+from repro.grid.cases import ieee14  # noqa: E402
+
+#: engine configurations compared, as environment overrides picked up
+#: by every Solver() the verification layer constructs
+ENGINES = {
+    "reference": {"REPRO_THEORY_KERNEL": "reference", "REPRO_THEORY_PROPAGATION": "0"},
+    "int": {"REPRO_THEORY_KERNEL": "int", "REPRO_THEORY_PROPAGATION": "0"},
+    "int+prop": {"REPRO_THEORY_KERNEL": "int", "REPRO_THEORY_PROPAGATION": "1"},
+}
+
+#: per-target measurement budgets are taken at ``cost - offset`` for
+#: these offsets, where ``cost`` is the target's minimum attack cost:
+#: probes just below the feasibility boundary are the simplex-heavy
+#: UNSAT searches (budgets far below cost refute almost for free)
+BUDGET_OFFSETS = (2, 1)
+
+
+@contextmanager
+def engine_env(overrides):
+    saved = {key: os.environ.get(key) for key in overrides}
+    os.environ.update(overrides)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def target_budgets(targets, offsets=BUDGET_OFFSETS):
+    """Minimum attack cost per target and the probe budgets near it.
+
+    Cost search runs once at setup (outside all timings) on the default
+    engine; verdicts are engine-independent, so the resulting workload
+    is identical for every engine under test.
+    """
+    out = {}
+    for target in targets:
+        cost = minimum_attack_cost(spec_for_case("ieee14", target_bus=target)).cost
+        out[target] = [cost - off for off in offsets if cost - off >= 1]
+    return out
+
+
+def workload_specs(budgets_by_target):
+    """Fig. 4(a)-style instances: per target, one unconstrained verify
+    plus one boundary UNSAT probe per measurement budget."""
+    specs = []
+    for target, budgets in budgets_by_target.items():
+        specs.append((f"state{target}", spec_for_case("ieee14", target_bus=target)))
+        for k in budgets:
+            specs.append(
+                (
+                    f"state{target}-m{k}",
+                    spec_for_case("ieee14", target_bus=target, max_measurements=k),
+                )
+            )
+    return specs
+
+
+def run_workload(specs):
+    """Verify every instance; returns (rows, summed solver stats)."""
+    rows = []
+    totals = {"pivots": 0, "theory_props": 0, "implied_bounds": 0, "conflicts": 0}
+    for name, spec in specs:
+        result = verify_attack(spec, backend="smt")
+        witness = (
+            None
+            if result.attack is None
+            else sorted(result.attack.altered_measurements)
+        )
+        rows.append((name, result.outcome.value, witness))
+        for key in totals:
+            totals[key] += result.statistics.get(key, 0)
+    return rows, totals
+
+
+def time_engine(engine, specs, repeats):
+    """Best-of-``repeats`` wall time for the workload under ``engine``."""
+    with engine_env(ENGINES[engine]):
+        best = None
+        rows = totals = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            rows, totals = run_workload(specs)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+    return best, rows, totals
+
+
+def casestudy_propagation_stats():
+    """theory_props on the paper's case-study specs (propagation on)."""
+    out = {}
+    with engine_env(ENGINES["int+prop"]):
+        for name, spec_fn in (
+            ("objective1", attack_objective_1),
+            ("objective2", attack_objective_2),
+        ):
+            result = verify_attack(spec_fn())
+            out[name] = {
+                "outcome": result.outcome.value,
+                "theory_props": result.statistics.get("theory_props", 0),
+                "implied_bounds": result.statistics.get("implied_bounds", 0),
+            }
+    return out
+
+
+def assert_rows_equal(reference, other, engine, witnesses=True):
+    assert len(reference) == len(other)
+    for (rn, ro, rw), (on, oo, ow) in zip(reference, other):
+        assert rn == on
+        assert ro == oo, f"{engine}: outcome diverged on {rn}: {ro} != {oo}"
+        if witnesses:
+            assert rw == ow, f"{engine}: witness diverged on {rn}"
+
+
+def run_bench(targets, offsets, repeats, gate):
+    budgets_by_target = target_budgets(targets, offsets)
+    specs = workload_specs(budgets_by_target)
+    report = {
+        "benchmark": "theory_kernels",
+        "system": "ieee14",
+        "targets": list(targets),
+        "budgets": {str(t): b for t, b in budgets_by_target.items()},
+        "instances": len(specs),
+        "repeats": repeats,
+        "gate": gate,
+        "engines": {},
+    }
+    ref_s, ref_rows, ref_totals = time_engine("reference", specs, repeats)
+    report["engines"]["reference"] = {"seconds": round(ref_s, 4), **ref_totals}
+    for engine in ("int", "int+prop"):
+        seconds, rows, totals = time_engine(engine, specs, repeats)
+        # the plain integer kernel must be bit-identical to the
+        # reference (same outcomes AND witnesses); propagation keeps
+        # outcomes but may legitimately find different witnesses
+        assert_rows_equal(ref_rows, rows, engine, witnesses=(engine == "int"))
+        report["engines"][engine] = {
+            "seconds": round(seconds, 4),
+            "speedup": round(ref_s / seconds, 2),
+            **totals,
+        }
+    report["casestudy"] = casestudy_propagation_stats()
+    for name, stats in report["casestudy"].items():
+        assert stats["theory_props"] > 0, f"no theory propagations on {name}"
+    # the gate applies to the full overhauled engine (integer kernel +
+    # theory propagation); the bit-identical contract was asserted on
+    # the plain integer kernel above
+    speedup = report["engines"]["int+prop"]["speedup"]
+    report["passed"] = bool(speedup >= gate)
+    return report, speedup
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+try:
+    import pytest
+
+    from benchmarks.conftest import run_once
+except ImportError:  # script mode without pytest
+    pytest = None
+
+if pytest is not None:
+
+    def test_kernel_bit_identical_and_faster(benchmark):
+        targets = default_targets(ieee14(), 3)[-1:]
+        specs = workload_specs(target_budgets(targets, offsets=(1,)))
+        ref_s, ref_rows, _ = time_engine("reference", specs, repeats=1)
+        with engine_env(ENGINES["int"]):
+            start = time.perf_counter()
+            rows, _ = run_once(benchmark, lambda: run_workload(specs))
+            int_s = time.perf_counter() - start
+        assert_rows_equal(ref_rows, rows, "int", witnesses=True)
+        assert ref_s / int_s >= 1.2
+
+    def test_propagation_fires_on_casestudy(benchmark):
+        stats = run_once(benchmark, casestudy_propagation_stats)
+        assert all(s["theory_props"] > 0 for s in stats.values())
+
+
+# ----------------------------------------------------------------------
+# script mode (CI perf-smoke + BENCH_pr4.json)
+# ----------------------------------------------------------------------
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced workload (1 target, 1 boundary probe) with a 1.3x gate",
+    )
+    parser.add_argument(
+        "--gate",
+        type=float,
+        default=None,
+        help="minimum required int-kernel speedup (default: 2.0, smoke 1.3)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats (best-of)"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(_ROOT / "BENCH_pr4.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    grid = ieee14()
+    if args.smoke:
+        # the last default target has the heaviest boundary probe; the
+        # lighter ones are encode-dominated and too noisy for a gate
+        targets = default_targets(grid, 3)[-1:]
+        offsets = (1,)
+        gate = 1.3 if args.gate is None else args.gate
+        repeats = 1 if args.repeats is None else args.repeats
+    else:
+        targets = default_targets(grid, 3)
+        offsets = BUDGET_OFFSETS
+        gate = 2.0 if args.gate is None else args.gate
+        repeats = 3 if args.repeats is None else args.repeats
+
+    report, speedup = run_bench(targets, offsets, repeats, gate)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    engines = report["engines"]
+    print(
+        f"theory kernels on ieee14 ({report['instances']} instances, "
+        f"best of {repeats}):"
+    )
+    for engine, row in engines.items():
+        extra = f" ({row['speedup']:.2f}x)" if "speedup" in row else ""
+        print(f"  {engine:<10} {row['seconds']:.3f}s{extra}")
+    for name, stats in report["casestudy"].items():
+        print(f"  casestudy {name}: theory_props={stats['theory_props']}")
+    print(f"report written to {args.out}")
+    assert speedup >= gate, (
+        f"new-engine speedup {speedup:.2f}x below the {gate:.1f}x gate"
+    )
+    print(f"gate passed: {speedup:.2f}x >= {gate:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

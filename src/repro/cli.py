@@ -11,6 +11,7 @@ Drives the full pipeline from spec files in the text format of
     $ python -m repro.cli synthesize grid.spec --budget 4
     $ python -m repro.cli mincost grid.spec --dimension measurements
     $ python -m repro.cli metrics grid.spec
+    $ python -m repro.cli profile grid.spec --repeat 5 --out report.json
     $ python -m repro.cli serve --port 8321 --jobs 4 --portfolio
 """
 
@@ -164,6 +165,71 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Verify a spec under cProfile and emit a JSON hot-path report.
+
+    Combines the solver's own per-phase wall-time attribution (BCP vs
+    theory check vs decide vs analyze, via ``REPRO_SMT_PROFILE``) with
+    the interpreter-level cProfile hotspots, so kernel regressions show
+    up both as phase shifts and as concrete hot functions.
+    """
+    import cProfile
+    import json
+    import os
+    import pstats
+    import time
+    from pathlib import Path
+
+    from repro.core.verification import verify_attack
+    from repro.smt.solver import engine_signature
+
+    spec = load_spec_file(args.specfile)
+    previous = os.environ.get("REPRO_SMT_PROFILE")
+    os.environ["REPRO_SMT_PROFILE"] = "1"
+    try:
+        profiler = cProfile.Profile()
+        start = time.perf_counter()
+        profiler.enable()
+        for _ in range(args.repeat):
+            result = verify_attack(spec, backend=args.backend)
+        profiler.disable()
+        wall = time.perf_counter() - start
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SMT_PROFILE", None)
+        else:
+            os.environ["REPRO_SMT_PROFILE"] = previous
+    rows = []
+    for (filename, line, funcname), entry in pstats.Stats(profiler).stats.items():
+        _, ncalls, tottime, cumtime, _ = entry
+        rows.append(
+            {
+                "function": f"{Path(filename).name}:{line}:{funcname}",
+                "calls": ncalls,
+                "tottime": round(tottime, 6),
+                "cumtime": round(cumtime, 6),
+            }
+        )
+    rows.sort(key=lambda r: (-r["tottime"], r["function"]))
+    report = {
+        "spec": args.specfile,
+        "backend": args.backend,
+        "engine": engine_signature(),
+        "repeat": args.repeat,
+        "outcome": result.outcome.value,
+        "wall_seconds": round(wall, 6),
+        "solver_statistics": result.statistics,
+        "hotspots": rows[: args.top],
+    }
+    text = json.dumps(report, indent=2, default=str)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"profile report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.http import serve
 
@@ -232,6 +298,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=["smt", "milp"], default="smt")
     _add_runtime_flags(p)
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "profile",
+        help="verify a spec under cProfile and emit a JSON hot-path report",
+    )
+    p.add_argument("specfile")
+    p.add_argument("--backend", choices=["smt", "milp"], default="smt")
+    p.add_argument(
+        "--repeat", type=int, default=1, help="verification repetitions to profile"
+    )
+    p.add_argument("--top", type=int, default=15, help="hot functions to report")
+    p.add_argument("--out", metavar="FILE", help="write the JSON report to FILE")
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser(
         "serve", help="run the long-lived verification service (HTTP JSON API)"

@@ -10,10 +10,16 @@ Two layers behind one interface:
   synthesis benchmarks hit it instead of the solver.
 
 Keys are :func:`repro.runtime.serialize.spec_fingerprint` strings, so
-the cache is safe across backends and epsilon settings.  Results coming
-out of the cache are marked with ``statistics["cache_hit"] = 1`` so
-callers (and the acceptance tests) can observe that no solver ran.
-Corrupt or unreadable disk entries are treated as misses.
+the cache is safe across backends and epsilon settings.  Fingerprints
+include the solver's :func:`~repro.smt.solver.engine_signature`, and
+every stored payload is additionally stamped with the signature that
+produced it: entries written by an older kernel (whose models or stats
+schema may differ) are invalidated — reported as misses and recomputed
+— rather than silently reused, even when a cache directory is carried
+across versions.  Results coming out of the cache are marked with
+``statistics["cache_hit"] = 1`` so callers (and the acceptance tests)
+can observe that no solver ran.  Corrupt or unreadable disk entries are
+treated as misses.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from typing import Any, Dict, Optional, Union
 
 from repro.core.verification import VerificationResult
 from repro.runtime.serialize import result_from_payload, result_to_payload
+from repro.smt.solver import engine_signature
 
 
 def default_cache_dir() -> Path:
@@ -118,6 +125,12 @@ class ResultCache:
         if payload is None:
             self.stats.misses += 1
             return None
+        if payload.get("engine") != engine_signature():
+            # written by a different solver engine: models and stats
+            # schemas are not comparable — recompute instead of reusing
+            self._memory.pop(key, None)
+            self.stats.misses += 1
+            return None
         self.stats.hits += 1
         try:
             result = result_from_payload(payload)
@@ -134,6 +147,7 @@ class ResultCache:
     def put(self, key: str, result: VerificationResult) -> None:
         """Store a *solver-produced* result under ``key``."""
         payload = result_to_payload(result)
+        payload["engine"] = engine_signature()
         payload["statistics"].pop("cache_hit", None)
         self._remember(key, payload)
         self.stats.stores += 1

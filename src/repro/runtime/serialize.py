@@ -33,6 +33,7 @@ from repro.core.verification import (
 )
 from repro.estimation.measurement import MeasurementPlan
 from repro.grid.model import Grid, Line
+from repro.smt.solver import engine_signature
 
 PAYLOAD_FORMAT = 1
 
@@ -149,11 +150,16 @@ def spec_fingerprint(
 
     The grid's display name is excluded — renaming a system does not
     change the problem — while everything the solver sees (including the
-    backend and any non-default epsilon) is included.
+    backend and any non-default epsilon) is included.  The solver's
+    :func:`~repro.smt.solver.engine_signature` is part of the material:
+    models and stats schemas may legitimately change across kernel
+    versions, so disk-cache entries written by an older engine miss
+    instead of being silently reused.
     """
     payload = spec_to_payload(spec)
     payload.pop("name", None)
     material = canonical_json(payload) + "\x00" + backend
+    material += "\x00engine=" + engine_signature()
     if epsilon is not None:
         material += "\x00eps=" + str(epsilon)
     for item in extra:

@@ -44,6 +44,11 @@ def canonicalize_atom(atom: Atom) -> CanonicalAtom:
     if not items:
         raise ValueError("constant atoms must be folded before CNF conversion")
     lead = items[0][1]
+    if lead == 1:
+        # already monic — the common case for the verification encodings
+        # (delta/state variables enter with unit coefficients); skip the
+        # per-coefficient Fraction divisions
+        return (tuple(items), atom.op, atom.bound)
     op = atom.op
     if lead < 0:
         op = ">=" if op == "<=" else "<="

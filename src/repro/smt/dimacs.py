@@ -39,10 +39,14 @@ def parse_dimacs(text: str) -> Tuple[int, List[List[int]]]:
             continue
         if line == "0":  # some benchmark files end with a bare 0
             continue
-        try:
-            tokens = [int(tok) for tok in line.split()]
-        except ValueError as exc:
-            raise DimacsError(f"line {lineno}: {line!r}") from exc
+        tokens: List[int] = []
+        for tok in line.split():
+            if tok[0] in "c%":  # inline comment: ignore the rest of the line
+                break
+            try:
+                tokens.append(int(tok))
+            except ValueError as exc:
+                raise DimacsError(f"line {lineno}: {line!r}") from exc
         for token in tokens:
             if token == 0:
                 clauses.append(current)

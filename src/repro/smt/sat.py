@@ -12,6 +12,7 @@ Literals are DIMACS integers (``+v`` / ``-v``); variables are 1-based.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Iterable, List, Optional, Protocol, Sequence
 
 
@@ -34,6 +35,15 @@ class TheoryListener(Protocol):
 
     def backtrack_to(self, trail_size: int) -> None:
         """Retract every assertion made at trail index >= ``trail_size``."""
+
+    # Listeners may additionally provide
+    #   propagate(value) -> (implied, conflict)
+    # returning theory-entailed literals after a feasible check();
+    # ``implied`` is [(lit, explanation_lits)] and ``conflict`` a
+    # ready-made falsified clause (or None).  The core enqueues each
+    # implied literal with reason clause [lit, -e1, -e2, ...] and counts
+    # it in stats["theory_props"].  The hook is looked up dynamically,
+    # so plain listeners without it keep working.
 
 
 def luby(i: int) -> int:
@@ -85,9 +95,15 @@ class SatSolver:
             "propagations": 0,
             "restarts": 0,
             "theory_conflicts": 0,
+            "theory_props": 0,
             "learned_literals": 0,
             "solves": 0,
         }
+        #: when True, wall time is attributed per search phase into
+        #: :attr:`phase_time` (off by default: perf_counter per phase
+        #: call is measurable on the hot path)
+        self.profile = False
+        self.phase_time = {"bcp": 0.0, "theory": 0.0, "decide": 0.0, "analyze": 0.0}
         self.conflict_budget: Optional[int] = None
         #: After an UNSAT :meth:`solve` under assumptions: the subset of
         #: assumption literals the refutation actually used (the *failed
@@ -278,6 +294,10 @@ class SatSolver:
     def _theory_propagate(self) -> Optional[List[int]]:
         """Feed newly assigned theory literals to the theory and check.
 
+        After a feasible check, asks the theory for entailed literals
+        (see the ``propagate`` hook on :class:`TheoryListener`) and
+        enqueues them with their explanations as reasons.
+
         Returns a *conflict clause* (list of literals, all currently
         false) or None.
         """
@@ -297,13 +317,58 @@ class SatSolver:
         if conflict is not None:
             self.stats["theory_conflicts"] += 1
             return [-l for l in conflict]
+        propagate = getattr(theory, "propagate", None)
+        if propagate is not None:
+            implied, confl = propagate(self.value)
+            if confl is not None:
+                self.stats["theory_conflicts"] += 1
+                return confl
+            for lit, expl in implied:
+                val = self.value(lit)
+                if val == 1:
+                    continue
+                reason = [lit]
+                reason.extend(-e for e in expl)
+                if val == -1:
+                    self.stats["theory_conflicts"] += 1
+                    return reason
+                self._enqueue(lit, reason)
+                self.stats["theory_props"] += 1
         return None
 
     def _propagate_all(self) -> Optional[List[int]]:
-        confl = self._bcp()
-        if confl is not None:
-            return confl
-        return self._theory_propagate()
+        """BCP and theory propagation to fixpoint.
+
+        Theory-entailed literals land on the trail, so BCP and the
+        theory alternate until neither adds anything (or one conflicts).
+        """
+        if self.profile:
+            return self._propagate_all_profiled()
+        while True:
+            confl = self._bcp()
+            if confl is not None:
+                return confl
+            confl = self._theory_propagate()
+            if confl is not None:
+                return confl
+            if self.qhead >= len(self.trail):
+                return None
+
+    def _propagate_all_profiled(self) -> Optional[List[int]]:
+        phase_time = self.phase_time
+        while True:
+            start = perf_counter()
+            confl = self._bcp()
+            phase_time["bcp"] += perf_counter() - start
+            if confl is not None:
+                return confl
+            start = perf_counter()
+            confl = self._theory_propagate()
+            phase_time["theory"] += perf_counter() - start
+            if confl is not None:
+                return confl
+            if self.qhead >= len(self.trail):
+                return None
 
     # ------------------------------------------------------------------
     # conflict analysis (first UIP)
@@ -472,7 +537,12 @@ class SatSolver:
                     self.ok = False
                     self.core = []
                     return False
-                learnt, backjump = self._analyze(conflict)
+                if self.profile:
+                    start = perf_counter()
+                    learnt, backjump = self._analyze(conflict)
+                    self.phase_time["analyze"] += perf_counter() - start
+                else:
+                    learnt, backjump = self._analyze(conflict)
                 if learnt is None:
                     self.ok = False
                     self.core = []
@@ -518,7 +588,12 @@ class SatSolver:
                 self._enqueue(lit, None)
                 continue
 
-            var = self._pick_branch_var()
+            if self.profile:
+                start = perf_counter()
+                var = self._pick_branch_var()
+                self.phase_time["decide"] += perf_counter() - start
+            else:
+                var = self._pick_branch_var()
             if var is None:
                 return True  # full assignment, theory-consistent
             self.stats["decisions"] += 1

@@ -2,20 +2,43 @@
 
 The solver maintains a tableau of *basic* variables expressed as linear
 combinations of *nonbasic* variables, an assignment mapping every
-variable to a :class:`DeltaRational`, and per-variable lower/upper bounds
-tagged with the SAT literal that introduced them.  Bounds are asserted
-and retracted incrementally as the SAT core walks its trail; ``check``
+variable to a delta-rational, and per-variable lower/upper bounds tagged
+with the SAT literal that introduced them.  Bounds are asserted and
+retracted incrementally as the SAT core walks its trail; ``check``
 restores the invariant that every basic variable lies within its bounds
 or reports a minimal conflicting set of bound literals.
 
-All arithmetic is exact (:class:`fractions.Fraction`), so SAT/UNSAT
-answers carry no floating-point risk.  Strict inequalities are handled
-symbolically through the infinitesimal component of delta-rationals.
+Two engines share this interface:
+
+* :class:`Simplex` (the default) keeps every tableau row as integer
+  numerators over one per-row denominator and every assignment/bound as
+  an integer triple ``(rn, kn, d)`` denoting ``(rn + kn*delta)/d`` with
+  ``d > 0``.  Additions and comparisons are integer multiply/adds;
+  GCD normalization runs lazily, only when a denominator outgrows
+  ``_NORM_LIMIT`` — instead of on every operation as
+  :class:`fractions.Fraction` does.  Pivot selection (Bland's smallest
+  index rule) and the concretization of delta are unchanged, so verdicts
+  and models are bit-identical to the reference engine.
+* :class:`ReferenceSimplex` is the original per-operation ``Fraction``
+  implementation, retained as the property-test oracle
+  (``tests/smt/test_kernel_equivalence.py``) and selectable via
+  ``Solver(kernel="reference")``.
+
+All arithmetic is exact in both engines, so SAT/UNSAT answers carry no
+floating-point risk.  Strict inequalities are handled symbolically
+through the infinitesimal component of delta-rationals.
+
+The integer engine additionally exposes the hooks the theory-propagation
+layer needs: a ``bound_dirty`` set of variables whose bounds changed
+since it was last drained, and :meth:`Simplex.row_implied_bounds`, which
+derives the bound a row implies on its basic variable from the bounds of
+the nonbasic variables it mentions (unate propagation, D&M section 6).
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
+from math import gcd
 from typing import Dict, List, Optional, Tuple
 
 ZERO = Fraction(0)
@@ -73,13 +96,591 @@ class DeltaRational:
 DR_ZERO = DeltaRational(ZERO, ZERO)
 
 
+# ----------------------------------------------------------------------
+# integer-triple arithmetic
+# ----------------------------------------------------------------------
+#: delta-rational as integers: (rn, kn, d) denotes (rn + kn*delta)/d, d > 0
+Triple = Tuple[int, int, int]
+
+T_ZERO: Triple = (0, 0, 1)
+
+#: denominators are only GCD-normalized once they exceed this, keeping
+#: the common case at machine-word width without a gcd per operation
+_NORM_LIMIT = 1 << 64
+
+
+def _triple_of(value: DeltaRational) -> Triple:
+    """Exact conversion ``DeltaRational -> (rn, kn, d)``."""
+    rd = value.r.denominator
+    kd = value.k.denominator
+    d = rd * kd // gcd(rd, kd)
+    return (value.r.numerator * (d // rd), value.k.numerator * (d // kd), d)
+
+
+def _delta_of(t: Triple) -> DeltaRational:
+    """Exact conversion ``(rn, kn, d) -> DeltaRational``."""
+    return DeltaRational(Fraction(t[0], t[2]), Fraction(t[1], t[2]))
+
+
+def _tnorm(rn: int, kn: int, d: int) -> Triple:
+    if d > _NORM_LIMIT:
+        g = gcd(gcd(rn, kn), d)
+        if g > 1:
+            return (rn // g, kn // g, d // g)
+    return (rn, kn, d)
+
+
+def _tadd(a: Triple, b: Triple) -> Triple:
+    ad = a[2]
+    bd = b[2]
+    if ad == bd:
+        return _tnorm(a[0] + b[0], a[1] + b[1], ad)
+    return _tnorm(a[0] * bd + b[0] * ad, a[1] * bd + b[1] * ad, ad * bd)
+
+
+def _tsub(a: Triple, b: Triple) -> Triple:
+    ad = a[2]
+    bd = b[2]
+    if ad == bd:
+        return _tnorm(a[0] - b[0], a[1] - b[1], ad)
+    return _tnorm(a[0] * bd - b[0] * ad, a[1] * bd - b[1] * ad, ad * bd)
+
+
+def _tscale(t: Triple, num: int, den: int) -> Triple:
+    """``t * num / den`` with ``den > 0``."""
+    return _tnorm(t[0] * num, t[1] * num, t[2] * den)
+
+
+def _tlt(a: Triple, b: Triple) -> bool:
+    x = a[0] * b[2]
+    y = b[0] * a[2]
+    if x != y:
+        return x < y
+    return a[1] * b[2] < b[1] * a[2]
+
+
+def _tle(a: Triple, b: Triple) -> bool:
+    x = a[0] * b[2]
+    y = b[0] * a[2]
+    if x != y:
+        return x < y
+    return a[1] * b[2] <= b[1] * a[2]
+
+
+def _teq(a: Triple, b: Triple) -> bool:
+    return a[0] * b[2] == b[0] * a[2] and a[1] * b[2] == b[1] * a[2]
+
+
+class _TripleView:
+    """Read-only DeltaRational view over a list of internal triples.
+
+    Keeps the public surface of the Fraction engine (``simplex.assign[x]
+    == DeltaRational(...)``, ``simplex.lower[x] is None``) while the hot
+    path works on raw triples.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: List) -> None:
+        self._items = items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, var: int) -> Optional[DeltaRational]:
+        t = self._items[var]
+        return None if t is None else _delta_of(t)
+
+
 class Simplex:
-    """The incremental simplex engine.
+    """The incremental simplex engine (integer-kernel implementation).
 
     Variables are dense integer indices allocated via :meth:`new_var`.
     Definitional rows (slack variables for linear forms) are installed
     with :meth:`add_row` before the search starts; bound assertions and
     retractions then drive the search.
+
+    Internally each row ``basic -> {var: numerator}`` is scaled by
+    ``row_den[basic] > 0`` and every assignment/bound is a
+    ``(rn, kn, d)`` triple; :attr:`assign`, :attr:`lower` and
+    :attr:`upper` are read-only views converting back to
+    :class:`DeltaRational` for callers and tests.
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        # tableau: basic var -> {nonbasic var: integer numerator}
+        self.rows: Dict[int, Dict[int, int]] = {}
+        # per-row positive denominator shared by all numerators in a row
+        self.row_den: Dict[int, int] = {}
+        # column index: var -> set of basic vars whose row mentions it
+        self.cols: Dict[int, set] = {}
+        self._val: List[Triple] = []
+        self._lb: List[Optional[Triple]] = []
+        self._ub: List[Optional[Triple]] = []
+        self.lower_reason: List[Optional[int]] = []
+        self.upper_reason: List[Optional[int]] = []
+        # undo trail: (var, 'L'|'U', old_bound_triple, old_reason)
+        self.trail: List[Tuple[int, str, Optional[Triple], Optional[int]]] = []
+        #: vars whose bounds tightened since the propagation layer last
+        #: drained this set (consumed by LraTheory.propagate)
+        self.bound_dirty: set = set()
+        #: total pivot operations (perf counter, surfaced in Solver.stats)
+        self.pivots = 0
+        #: when True, check() self-validates with check_invariants()
+        self.debug_invariants = False
+
+    # read-only DeltaRational views over the internal triples
+    @property
+    def assign(self) -> _TripleView:
+        return _TripleView(self._val)
+
+    @property
+    def lower(self) -> _TripleView:
+        return _TripleView(self._lb)
+
+    @property
+    def upper(self) -> _TripleView:
+        return _TripleView(self._ub)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        var = self.num_vars
+        self.num_vars += 1
+        self._val.append(T_ZERO)
+        self._lb.append(None)
+        self._ub.append(None)
+        self.lower_reason.append(None)
+        self.upper_reason.append(None)
+        self.cols.setdefault(var, set())
+        return var
+
+    def add_row(self, slack: int, coeffs: Dict[int, Fraction]) -> None:
+        """Install the definition ``slack == sum(coeff * var)``.
+
+        Must be called before any bounds are asserted; ``slack`` becomes
+        a basic variable.  Accepts ``Fraction`` (or int) coefficients —
+        this is the cold path; the row is stored as integer numerators
+        over one common denominator.
+        """
+        assert slack not in self.rows, "slack already defined"
+        assert not self.trail, "rows must be installed before bound assertions"
+        frac_row: Dict[int, Fraction] = {}
+        for var, coeff in coeffs.items():
+            if coeff == 0:
+                continue
+            if var in self.rows:
+                # substitute the definition of a basic variable
+                bden = self.row_den[var]
+                for v2, c2 in self.rows[var].items():
+                    frac_row[v2] = frac_row.get(v2, ZERO) + coeff * Fraction(c2, bden)
+                    if frac_row[v2] == 0:
+                        del frac_row[v2]
+            else:
+                frac_row[var] = frac_row.get(var, ZERO) + coeff
+                if frac_row[var] == 0:
+                    del frac_row[var]
+        den = 1
+        for coeff in frac_row.values():
+            den = den * coeff.denominator // gcd(den, coeff.denominator)
+        row = {var: int(coeff * den) for var, coeff in frac_row.items()}
+        value = T_ZERO
+        for var, num in row.items():
+            value = _tadd(value, _tscale(self._val[var], num, 1))
+            self.cols[var].add(slack)
+        self.rows[slack] = row
+        self.row_den[slack] = den
+        self._val[slack] = _tscale(value, 1, den)
+
+    # ------------------------------------------------------------------
+    # assignment maintenance
+    # ------------------------------------------------------------------
+    def _update_nonbasic(self, var: int, value: Triple) -> None:
+        old = self._val[var]
+        od = old[2]
+        vd = value[2]
+        delta = (value[0] * od - old[0] * vd, value[1] * od - old[1] * vd, vd * od)
+        rows = self.rows
+        dens = self.row_den
+        vals = self._val
+        for basic in self.cols[var]:
+            vals[basic] = _tadd(vals[basic], _tscale(delta, rows[basic][var], dens[basic]))
+        vals[var] = value
+
+    def _pivot_and_update(self, basic: int, nonbasic: int, value: Triple) -> None:
+        num = self.rows[basic][nonbasic]
+        den = self.row_den[basic]
+        old = self._val[basic]
+        od = old[2]
+        vd = value[2]
+        dr = value[0] * od - old[0] * vd
+        dk = value[1] * od - old[1] * vd
+        dd = vd * od
+        # theta = (value - assign[basic]) * den / num, with positive denom
+        if num > 0:
+            theta = _tnorm(dr * den, dk * den, dd * num)
+        else:
+            theta = _tnorm(-dr * den, -dk * den, dd * -num)
+        vals = self._val
+        vals[basic] = value
+        vals[nonbasic] = _tadd(vals[nonbasic], theta)
+        rows = self.rows
+        dens = self.row_den
+        for other in self.cols[nonbasic]:
+            if other != basic:
+                vals[other] = _tadd(
+                    vals[other], _tscale(theta, rows[other][nonbasic], dens[other])
+                )
+        self._pivot(basic, nonbasic)
+
+    def _pivot(self, basic: int, nonbasic: int) -> None:
+        """Swap roles: ``nonbasic`` enters the basis, ``basic`` leaves."""
+        self.pivots += 1
+        row = self.rows.pop(basic)
+        den = self.row_den.pop(basic)
+        p = row.pop(nonbasic)
+        # basic == (p*nonbasic + rest)/den  =>  nonbasic == (den*basic - rest)/p
+        if p > 0:
+            new_den = p
+            new_row = {basic: den}
+            for var, c in row.items():
+                new_row[var] = -c
+                self.cols[var].discard(basic)
+        else:
+            new_den = -p
+            new_row = {basic: -den}
+            for var, c in row.items():
+                new_row[var] = c
+                self.cols[var].discard(basic)
+        self.cols[nonbasic].discard(basic)
+        self.cols[basic].add(nonbasic)
+        for var in new_row:
+            if var != basic:
+                self.cols[var].add(nonbasic)
+        self.rows[nonbasic] = new_row
+        self.row_den[nonbasic] = new_den
+        # substitute into every other row that mentions `nonbasic`
+        cols = self.cols
+        for other in list(cols[nonbasic]):
+            if other == nonbasic:
+                continue
+            orow = self.rows[other]
+            factor = orow.pop(nonbasic)
+            if new_den != 1:
+                for var in orow:
+                    orow[var] *= new_den
+                d = self.row_den[other] * new_den
+            else:
+                d = self.row_den[other]
+            for var, c in new_row.items():
+                newc = orow.get(var, 0) + factor * c
+                if newc == 0:
+                    if var in orow:
+                        del orow[var]
+                    cols[var].discard(other)
+                else:
+                    orow[var] = newc
+                    cols[var].add(other)
+            if d > _NORM_LIMIT:
+                g = d
+                for c in orow.values():
+                    g = gcd(g, c)
+                    if g == 1:
+                        break
+                if g > 1:
+                    for var in orow:
+                        orow[var] //= g
+                    d //= g
+            self.row_den[other] = d
+        # after substitution no row mentions the (now basic) variable
+        cols[nonbasic] = set()
+
+    # ------------------------------------------------------------------
+    # bounds
+    # ------------------------------------------------------------------
+    def assert_lower(self, var: int, value, reason: int) -> Optional[List[int]]:
+        """Assert ``var >= value``; returns conflicting reasons or None.
+
+        ``value`` may be a :class:`DeltaRational` (public surface) or an
+        internal triple (the theory layer's precomputed hot path).
+        """
+        if type(value) is not tuple:
+            value = _triple_of(value)
+        lo = self._lb[var]
+        if lo is not None and _tle(value, lo):
+            return None
+        hi = self._ub[var]
+        if hi is not None and _tlt(hi, value):
+            return [reason, self.upper_reason[var]]
+        self.trail.append((var, "L", lo, self.lower_reason[var]))
+        self._lb[var] = value
+        self.lower_reason[var] = reason
+        self.bound_dirty.add(var)
+        if var not in self.rows and _tlt(self._val[var], value):
+            self._update_nonbasic(var, value)
+        return None
+
+    def assert_upper(self, var: int, value, reason: int) -> Optional[List[int]]:
+        """Assert ``var <= value``; returns conflicting reasons or None."""
+        if type(value) is not tuple:
+            value = _triple_of(value)
+        hi = self._ub[var]
+        if hi is not None and _tle(hi, value):
+            return None
+        lo = self._lb[var]
+        if lo is not None and _tlt(value, lo):
+            return [reason, self.lower_reason[var]]
+        self.trail.append((var, "U", hi, self.upper_reason[var]))
+        self._ub[var] = value
+        self.upper_reason[var] = reason
+        self.bound_dirty.add(var)
+        if var not in self.rows and _tlt(value, self._val[var]):
+            self._update_nonbasic(var, value)
+        return None
+
+    def mark(self) -> int:
+        """Current undo-trail position, for later :meth:`backtrack`."""
+        return len(self.trail)
+
+    def backtrack(self, mark: int) -> None:
+        """Retract all bound assertions made after ``mark``."""
+        while len(self.trail) > mark:
+            var, which, old_value, old_reason = self.trail.pop()
+            if which == "L":
+                self._lb[var] = old_value
+                self.lower_reason[var] = old_reason
+            else:
+                self._ub[var] = old_value
+                self.upper_reason[var] = old_reason
+
+    # ------------------------------------------------------------------
+    # the check procedure
+    # ------------------------------------------------------------------
+    def check(self) -> Optional[List[int]]:
+        """Restore feasibility; returns a conflicting reason set or None.
+
+        Nonbasic variables are always within their bounds; this pivots
+        until every basic variable is too (SAT) or some row proves a
+        bound conflict (UNSAT, with the reasons of all involved bounds).
+
+        Pivot selection follows Bland's smallest-index rule throughout,
+        which guarantees termination (no cycling) and measures fastest
+        on the verification workloads.
+        """
+        rows = self.rows
+        vals = self._val
+        lbs = self._lb
+        ubs = self._ub
+        while True:
+            violating = -1
+            increase = False
+            for basic in rows:
+                val = vals[basic]
+                lo = lbs[basic]
+                if lo is not None:
+                    # val < lo, inlined _tlt
+                    x = val[0] * lo[2]
+                    y = lo[0] * val[2]
+                    if x < y or (x == y and val[1] * lo[2] < lo[1] * val[2]):
+                        if violating == -1 or basic < violating:
+                            violating, increase = basic, True
+                        continue
+                hi = ubs[basic]
+                if hi is not None:
+                    # val > hi, inlined _tlt
+                    x = val[0] * hi[2]
+                    y = hi[0] * val[2]
+                    if x > y or (x == y and val[1] * hi[2] > hi[1] * val[2]):
+                        if violating == -1 or basic < violating:
+                            violating, increase = basic, False
+            if violating == -1:
+                if self.debug_invariants:
+                    self.check_invariants()
+                return None
+            row = rows[violating]
+            pivot_var = -1
+            for var in row:
+                coeff = row[var]
+                if increase:
+                    movable = (
+                        coeff > 0
+                        and (ubs[var] is None or _tlt(vals[var], ubs[var]))
+                    ) or (
+                        coeff < 0
+                        and (lbs[var] is None or _tlt(lbs[var], vals[var]))
+                    )
+                else:
+                    movable = (
+                        coeff > 0
+                        and (lbs[var] is None or _tlt(lbs[var], vals[var]))
+                    ) or (
+                        coeff < 0
+                        and (ubs[var] is None or _tlt(vals[var], ubs[var]))
+                    )
+                if movable and (pivot_var == -1 or var < pivot_var):
+                    pivot_var = var
+            if pivot_var == -1:
+                # conflict: the row pins `violating` strictly outside its bound
+                reasons = []
+                if increase:
+                    reasons.append(self.lower_reason[violating])
+                    for var, coeff in row.items():
+                        reasons.append(
+                            self.upper_reason[var] if coeff > 0 else self.lower_reason[var]
+                        )
+                else:
+                    reasons.append(self.upper_reason[violating])
+                    for var, coeff in row.items():
+                        reasons.append(
+                            self.lower_reason[var] if coeff > 0 else self.upper_reason[var]
+                        )
+                if self.debug_invariants:
+                    self.check_invariants()
+                return sorted({r for r in reasons if r is not None})
+            target = lbs[violating] if increase else ubs[violating]
+            assert target is not None
+            self._pivot_and_update(violating, pivot_var, target)
+
+    # ------------------------------------------------------------------
+    # theory-aware bound propagation support
+    # ------------------------------------------------------------------
+    def row_implied_bounds(self, basic: int):
+        """Bounds on ``basic`` implied by its row and the nonbasic bounds.
+
+        With ``basic == sum(num_i * x_i) / den``, a finite lower bound
+        follows when every positively-signed ``x_i`` has a lower bound
+        and every negatively-signed one an upper bound (dually for the
+        upper bound).  Returns ``(lo, lo_expl, hi, hi_expl)`` where the
+        bounds are triples (or None) and the explanations are the lists
+        of bound-reason literals each derived bound rests on.
+        """
+        row = self.rows[basic]
+        den = self.row_den[basic]
+        lbs = self._lb
+        ubs = self._ub
+        lo_r = lo_k = 0
+        lo_d = 1
+        hi_r = hi_k = 0
+        hi_d = 1
+        lo_expl: List[int] = []
+        hi_expl: List[int] = []
+        have_lo = have_hi = True
+        for var, num in row.items():
+            if num > 0:
+                blo, bhi = lbs[var], ubs[var]
+                lo_reason = self.lower_reason[var]
+                hi_reason = self.upper_reason[var]
+            else:
+                blo, bhi = ubs[var], lbs[var]
+                lo_reason = self.upper_reason[var]
+                hi_reason = self.lower_reason[var]
+            if have_lo:
+                if blo is None or lo_reason is None:
+                    have_lo = False
+                else:
+                    br, bk, bd = blo
+                    lo_r = lo_r * bd + br * num * lo_d
+                    lo_k = lo_k * bd + bk * num * lo_d
+                    lo_d *= bd
+                    lo_expl.append(lo_reason)
+            if have_hi:
+                if bhi is None or hi_reason is None:
+                    have_hi = False
+                else:
+                    br, bk, bd = bhi
+                    hi_r = hi_r * bd + br * num * hi_d
+                    hi_k = hi_k * bd + bk * num * hi_d
+                    hi_d *= bd
+                    hi_expl.append(hi_reason)
+            if not (have_lo or have_hi):
+                return None, None, None, None
+        lo = _tnorm(lo_r, lo_k, lo_d * den) if have_lo else None
+        hi = _tnorm(hi_r, hi_k, hi_d * den) if have_hi else None
+        return (
+            lo,
+            lo_expl if have_lo else None,
+            hi,
+            hi_expl if have_hi else None,
+        )
+
+    # ------------------------------------------------------------------
+    # debugging
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> bool:
+        """Validate tableau / column-index / assignment / bound coherence.
+
+        Raises ``AssertionError`` on the first violation; returns True
+        when everything holds.  Intended for the randomized tests and
+        the ``debug_invariants`` flag — quadratic, never on by default.
+        """
+        basics = set(self.rows)
+        for basic, row in self.rows.items():
+            den = self.row_den[basic]
+            assert den > 0, f"row {basic}: non-positive denominator {den}"
+            assert basic not in row, f"row {basic} mentions itself"
+            value = T_ZERO
+            for var, num in row.items():
+                assert num != 0, f"row {basic} stores a zero coefficient for {var}"
+                assert var not in basics, f"row {basic} mentions basic var {var}"
+                assert basic in self.cols[var], f"cols[{var}] misses row {basic}"
+                value = _tadd(value, _tscale(self._val[var], num, 1))
+            value = _tscale(value, 1, den)
+            assert _teq(self._val[basic], value), (
+                f"assignment of basic {basic} out of sync with its row"
+            )
+        for var, col in self.cols.items():
+            expect = {b for b, row in self.rows.items() if var in row}
+            assert col == expect, f"cols[{var}] stale: {col} != {expect}"
+        for var in range(self.num_vars):
+            lo = self._lb[var]
+            hi = self._ub[var]
+            if lo is not None and hi is not None:
+                assert _tle(lo, hi), f"var {var}: bounds cross"
+            if var not in self.rows:
+                val = self._val[var]
+                assert lo is None or _tle(lo, val), f"nonbasic {var} below lower bound"
+                assert hi is None or _tle(val, hi), f"nonbasic {var} above upper bound"
+        return True
+
+    # ------------------------------------------------------------------
+    # model extraction
+    # ------------------------------------------------------------------
+    def concrete_values(self) -> List[Fraction]:
+        """Concretize delta-rationals into plain rationals.
+
+        Chooses a positive rational value for delta small enough that
+        all asserted bounds remain satisfied.  Runs over exact Fractions
+        (cold path) with the same delta-selection rule as the reference
+        engine, so models are bit-identical.
+        """
+        delta = Fraction(1)
+        vals = [_delta_of(t) for t in self._val]
+        lows = [None if t is None else _delta_of(t) for t in self._lb]
+        highs = [None if t is None else _delta_of(t) for t in self._ub]
+        for var in range(self.num_vars):
+            val = vals[var]
+            for bound, is_lower in ((lows[var], True), (highs[var], False)):
+                if bound is None:
+                    continue
+                diff_r = val.r - bound.r if is_lower else bound.r - val.r
+                diff_k = val.k - bound.k if is_lower else bound.k - val.k
+                # need diff_r + diff_k * delta >= 0
+                if diff_k < 0:
+                    assert diff_r >= 0, "bound violated at concretization"
+                    if diff_r > 0:
+                        delta = min(delta, Fraction(diff_r, -diff_k) / 2)
+        return [vals[var].concretize(delta) for var in range(self.num_vars)]
+
+
+class ReferenceSimplex:
+    """The original per-operation ``Fraction`` engine (property oracle).
+
+    Byte-for-byte the pre-overhaul implementation, kept as the reference
+    against which :class:`Simplex` must stay bit-identical (same pivot
+    sequence, same verdicts, same models).  Selected with
+    ``Solver(kernel="reference")`` / ``REPRO_THEORY_KERNEL=reference``.
     """
 
     def __init__(self) -> None:
@@ -95,6 +696,9 @@ class Simplex:
         self.upper_reason: List[Optional[int]] = []
         # undo trail: (var, 'L'|'U', old_bound, old_reason)
         self.trail: List[Tuple[int, str, Optional[DeltaRational], Optional[int]]] = []
+        self.bound_dirty: set = set()
+        self.pivots = 0
+        self.debug_invariants = False
 
     # ------------------------------------------------------------------
     # construction
@@ -111,11 +715,7 @@ class Simplex:
         return var
 
     def add_row(self, slack: int, coeffs: Dict[int, Fraction]) -> None:
-        """Install the definition ``slack == sum(coeff * var)``.
-
-        Must be called before any bounds are asserted; ``slack`` becomes
-        a basic variable.
-        """
+        """Install the definition ``slack == sum(coeff * var)``."""
         assert slack not in self.rows, "slack already defined"
         assert not self.trail, "rows must be installed before bound assertions"
         row: Dict[int, Fraction] = {}
@@ -162,6 +762,7 @@ class Simplex:
 
     def _pivot(self, basic: int, nonbasic: int) -> None:
         """Swap roles: ``nonbasic`` enters the basis, ``basic`` leaves."""
+        self.pivots += 1
         row = self.rows.pop(basic)
         coeff = row.pop(nonbasic)
         inv = Fraction(1) / coeff
@@ -207,6 +808,7 @@ class Simplex:
         self.trail.append((var, "L", self.lower[var], self.lower_reason[var]))
         self.lower[var] = value
         self.lower_reason[var] = reason
+        self.bound_dirty.add(var)
         if var not in self.rows and self.assign[var] < value:
             self._update_nonbasic(var, value)
         return None
@@ -221,6 +823,7 @@ class Simplex:
         self.trail.append((var, "U", self.upper[var], self.upper_reason[var]))
         self.upper[var] = value
         self.upper_reason[var] = reason
+        self.bound_dirty.add(var)
         if var not in self.rows and self.assign[var] > value:
             self._update_nonbasic(var, value)
         return None
@@ -244,16 +847,7 @@ class Simplex:
     # the check procedure
     # ------------------------------------------------------------------
     def check(self) -> Optional[List[int]]:
-        """Restore feasibility; returns a conflicting reason set or None.
-
-        Nonbasic variables are always within their bounds; this pivots
-        until every basic variable is too (SAT) or some row proves a
-        bound conflict (UNSAT, with the reasons of all involved bounds).
-
-        Pivot selection follows Bland's smallest-index rule throughout,
-        which guarantees termination (no cycling) and measures fastest
-        on the verification workloads.
-        """
+        """Restore feasibility; returns a conflicting reason set or None."""
         while True:
             violating = -1
             increase = False
@@ -269,6 +863,8 @@ class Simplex:
                     if violating == -1 or basic < violating:
                         violating, increase = basic, False
             if violating == -1:
+                if self.debug_invariants:
+                    self.check_invariants()
                 return None
             row = self.rows[violating]
             pivot_var = -1
@@ -307,20 +903,49 @@ class Simplex:
                         reasons.append(
                             self.lower_reason[var] if coeff > 0 else self.upper_reason[var]
                         )
+                if self.debug_invariants:
+                    self.check_invariants()
                 return sorted({r for r in reasons if r is not None})
             target = self.lower[violating] if increase else self.upper[violating]
             assert target is not None
             self._pivot_and_update(violating, pivot_var, target)
 
     # ------------------------------------------------------------------
+    # debugging
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> bool:
+        """Fraction-engine twin of :meth:`Simplex.check_invariants`."""
+        basics = set(self.rows)
+        for basic, row in self.rows.items():
+            assert basic not in row, f"row {basic} mentions itself"
+            value = DR_ZERO
+            for var, coeff in row.items():
+                assert coeff != 0, f"row {basic} stores a zero coefficient for {var}"
+                assert var not in basics, f"row {basic} mentions basic var {var}"
+                assert basic in self.cols[var], f"cols[{var}] misses row {basic}"
+                value = value + self.assign[var].scale(coeff)
+            assert self.assign[basic] == value, (
+                f"assignment of basic {basic} out of sync with its row"
+            )
+        for var, col in self.cols.items():
+            expect = {b for b, row in self.rows.items() if var in row}
+            assert col == expect, f"cols[{var}] stale: {col} != {expect}"
+        for var in range(self.num_vars):
+            lo = self.lower[var]
+            hi = self.upper[var]
+            if lo is not None and hi is not None:
+                assert lo <= hi, f"var {var}: bounds cross"
+            if var not in self.rows:
+                val = self.assign[var]
+                assert lo is None or lo <= val, f"nonbasic {var} below lower bound"
+                assert hi is None or val <= hi, f"nonbasic {var} above upper bound"
+        return True
+
+    # ------------------------------------------------------------------
     # model extraction
     # ------------------------------------------------------------------
     def concrete_values(self) -> List[Fraction]:
-        """Concretize delta-rationals into plain rationals.
-
-        Chooses a positive rational value for delta small enough that all
-        asserted bounds remain satisfied.
-        """
+        """Concretize delta-rationals into plain rationals."""
         delta = Fraction(1)
         for var in range(self.num_vars):
             val = self.assign[var]

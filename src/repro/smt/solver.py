@@ -16,8 +16,9 @@ solvers behave.
 from __future__ import annotations
 
 import enum
+import os
 from fractions import Fraction
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.smt.cardinality import (
     IncrementalAtMost,
@@ -35,6 +36,48 @@ class Result(enum.Enum):
     SAT = "sat"
     UNSAT = "unsat"
     UNKNOWN = "unknown"
+
+
+#: bumped whenever solver internals change in a way that can alter
+#: models, cores or the statistics schema; baked into cache
+#: fingerprints so stale disk entries are recomputed, not reused
+ENGINE_VERSION = 4
+
+DEFAULT_KERNEL = "int"
+
+
+def _resolve_kernel(kernel: Optional[str]) -> str:
+    if kernel is None:
+        kernel = os.environ.get("REPRO_THEORY_KERNEL", DEFAULT_KERNEL)
+    return kernel
+
+
+def _resolve_propagation(flag: Optional[bool]) -> bool:
+    # default OFF: propagation changes the search path, so models (while
+    # still correct) can differ from the reference engine's; the default
+    # configuration stays bit-identical with the pre-overhaul solver
+    if flag is None:
+        return os.environ.get("REPRO_THEORY_PROPAGATION", "0") not in ("", "0")
+    return bool(flag)
+
+
+def _resolve_profile(flag: Optional[bool]) -> bool:
+    if flag is None:
+        return os.environ.get("REPRO_SMT_PROFILE", "0") not in ("", "0")
+    return bool(flag)
+
+
+def engine_signature() -> str:
+    """Identity of the solver configuration results depend on.
+
+    Combines :data:`ENGINE_VERSION` with the environment-resolved kernel
+    and propagation switches — everything that can change a model or a
+    core for the same input.  Included in cache fingerprints
+    (:func:`repro.runtime.serialize.spec_fingerprint`).
+    """
+    kernel = _resolve_kernel(None)
+    prop = "1" if _resolve_propagation(None) else "0"
+    return f"v{ENGINE_VERSION}/kernel={kernel}/prop={prop}"
 
 
 class Model:
@@ -64,11 +107,30 @@ class Model:
 
 
 class Solver:
-    """An incremental QF_LRA solver (drop-in for the paper's use of Z3)."""
+    """An incremental QF_LRA solver (drop-in for the paper's use of Z3).
 
-    def __init__(self) -> None:
+    ``kernel`` selects the simplex engine — ``"int"`` (integer-triple
+    hot path, the default) or ``"reference"`` (the retained Fraction
+    oracle); ``theory_propagation`` toggles row-implied bound
+    propagation (integer kernel only); ``profile`` enables per-phase
+    wall-time attribution in :meth:`statistics`.  Each defaults to the
+    ``REPRO_THEORY_KERNEL`` / ``REPRO_THEORY_PROPAGATION`` /
+    ``REPRO_SMT_PROFILE`` environment variable so existing ``Solver()``
+    call sites pick up a configuration without plumbing.
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[str] = None,
+        theory_propagation: Optional[bool] = None,
+        profile: Optional[bool] = None,
+    ) -> None:
         self._sat = SatSolver()
-        self._theory = LraTheory()
+        self._sat.profile = _resolve_profile(profile)
+        self._theory = LraTheory(
+            kernel=_resolve_kernel(kernel),
+            propagate=_resolve_propagation(theory_propagation),
+        )
         self._sat.theory = self._theory
         self._lattice_lemmas = 0
         self._cnf = CnfBuilder(add_clause=self._install_clause)
@@ -326,9 +388,10 @@ class Solver:
     # ------------------------------------------------------------------
     # introspection (Table IV support)
     # ------------------------------------------------------------------
-    def statistics(self) -> Dict[str, int]:
+    def statistics(self) -> Dict[str, Any]:
         """Model-size and search statistics."""
         stats = dict(self._sat.stats)
+        theory_checks = self._theory.stats["theory_checks"]
         stats.update(
             sat_variables=self._sat.num_vars,
             clauses=len(self._sat.clauses),
@@ -343,5 +406,22 @@ class Solver:
             incremental_checks=max(0, self._checks - 1),
             learned_kept=self._learned_kept,
             core_size=len(self._core),
+            kernel=self._theory.kernel,
+            pivots=self._theory.simplex.pivots,
+            implied_bounds=self._theory.stats["implied_bounds"],
+            theory_checks=theory_checks,
+            props_per_check=round(
+                self._sat.stats["theory_props"] / theory_checks, 4
+            )
+            if theory_checks
+            else 0.0,
         )
+        if self._sat.profile:
+            for phase, seconds in self._sat.phase_time.items():
+                stats[f"time_{phase}"] = round(seconds, 6)
         return stats
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        """Alias for :meth:`statistics` (profiling-layer surface)."""
+        return self.statistics()

@@ -59,6 +59,21 @@ class TestParse:
         with pytest.raises(DimacsError):
             parse_dimacs("p cnf 2 1\n1 x 0\n")
 
+    def test_inline_comment_ends_the_line(self):
+        # the clause continues on the next line: comments don't close it
+        __, clauses = parse_dimacs("p cnf 3 1\n1 2 c trailing note\n3 0\n")
+        assert clauses == [[1, 2, 3]]
+
+    def test_percent_inline_comment(self):
+        __, clauses = parse_dimacs("p cnf 2 1\n1 % eof marker\n-2 0\n")
+        assert clauses == [[1, -2]]
+
+    def test_comments_and_blanks_between_clause_fragments(self):
+        text = "c header\np cnf 3 2\n1 2\n\nc interlude\n3 0\n\n-1 0\nc coda\n"
+        num_vars, clauses = parse_dimacs(text)
+        assert num_vars == 3
+        assert clauses == [[1, 2, 3], [-1]]
+
 
 class TestRoundTrip:
     @pytest.mark.parametrize("seed", range(10))
@@ -71,6 +86,25 @@ class TestRoundTrip:
         ]
         text = write_dimacs(n, clauses)
         num_vars, parsed = parse_dimacs(text)
+        assert num_vars == n
+        assert parsed == clauses
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_round_trip_survives_comment_injection(self, seed):
+        rng = random.Random(50 + seed)
+        n = rng.randint(2, 8)
+        clauses = [
+            [rng.choice([1, -1]) * rng.randint(1, n) for _ in range(rng.randint(1, 3))]
+            for _ in range(rng.randint(1, 15))
+        ]
+        lines = write_dimacs(n, clauses).splitlines()
+        noisy = []
+        for line in lines:
+            if rng.random() < 0.4:
+                noisy.append(rng.choice(["c noise", "", "% noise"]))
+            tail = " c tail" if rng.random() < 0.3 and not line.startswith("p") else ""
+            noisy.append(line + tail)
+        num_vars, parsed = parse_dimacs("\n".join(noisy) + "\n")
         assert num_vars == n
         assert parsed == clauses
 

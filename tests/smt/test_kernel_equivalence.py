@@ -1,0 +1,235 @@
+"""Property tests pinning the integer kernel to the Fraction reference.
+
+The integer-triple simplex (the default engine) must be **bit-identical**
+to the retained :class:`~repro.smt.simplex.ReferenceSimplex`: same
+verdicts, same models, same search trace.  These tests exercise the
+contract two ways — random mixed formulas through the full
+:class:`~repro.smt.Solver` under both kernels, and random bound/pivot
+scripts replayed directly on both simplex engines with invariant
+checking enabled.
+"""
+
+import random
+from fractions import Fraction
+from functools import reduce
+
+import pytest
+
+from repro.smt import Not, Or, Result, Solver, ge, le
+from repro.smt.simplex import DeltaRational, ReferenceSimplex, Simplex
+
+F = Fraction
+
+
+# ----------------------------------------------------------------------
+# solver-level equivalence on random mixed formulas
+# ----------------------------------------------------------------------
+def build_formula(solver, seed, nreal=3, nbool=2, natoms=6, nclauses=8):
+    """Assert a seed-determined random formula; returns its skeleton.
+
+    Calling this with the same seed on two solvers asserts literally
+    identical formulas, so any divergence is the kernel's fault.
+    """
+    rng = random.Random(seed)
+    xs = [solver.real_var(f"x{i}") for i in range(nreal)]
+    bs = [solver.bool_var(f"b{i}") for i in range(nbool)]
+    atoms = []  # (term, coeffs, op, bound)
+    for _ in range(natoms):
+        coeffs = [rng.randint(-3, 3) for _ in range(nreal)]
+        if all(c == 0 for c in coeffs):
+            coeffs[rng.randrange(nreal)] = 1
+        expr = reduce(
+            lambda acc, cx: acc + cx[0] * cx[1] if cx[0] else acc,
+            zip(coeffs, xs),
+            0 * xs[0],
+        )
+        bound = rng.randint(-6, 6)
+        op = rng.choice(("<=", ">="))
+        term = le(expr, bound) if op == "<=" else ge(expr, bound)
+        atoms.append((term, coeffs, op, bound))
+    clauses = []
+    skeleton = []  # per clause: (positive, kind, payload-index) literals
+    for _ in range(nclauses):
+        lits = []
+        shape = []
+        for _ in range(rng.randint(1, 3)):
+            if rng.random() < 0.7:
+                kind, idx = "atom", rng.randrange(natoms)
+                term = atoms[idx][0]
+            else:
+                kind, idx = "bool", rng.randrange(nbool)
+                term = bs[idx]
+            positive = rng.random() >= 0.5
+            lits.append(term if positive else Not(term))
+            shape.append((positive, kind, idx))
+        clauses.append(Or(*lits))
+        skeleton.append(shape)
+    solver.add(*clauses)
+    return xs, bs, atoms, skeleton
+
+
+def solve_with(kernel, seed, propagation=False):
+    solver = Solver(kernel=kernel, theory_propagation=propagation)
+    xs, bs, atoms, skeleton = build_formula(solver, seed)
+    result = solver.check()
+    model = solver.model() if result is Result.SAT else None
+    return solver, xs, bs, atoms, skeleton, result, model
+
+
+class TestSolverEquivalence:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_bit_identical_verdict_model_and_trace(self, seed):
+        ref = solve_with("reference", seed)
+        fast = solve_with("int", seed)
+        _, xs, bs, _, _, ref_result, ref_model = ref
+        _, _, _, _, _, int_result, int_model = fast
+        assert int_result is ref_result
+        if ref_result is Result.SAT:
+            for x in xs:
+                assert int_model.real_value(x) == ref_model.real_value(x)
+            for b in bs:
+                assert int_model.value(b) == ref_model.value(b)
+        # the search itself must be identical, not just the answer
+        ref_stats = ref[0].statistics()
+        int_stats = fast[0].statistics()
+        for key in ("conflicts", "decisions", "propagations", "pivots"):
+            assert int_stats[key] == ref_stats[key], key
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_models_satisfy_asserted_clauses(self, seed):
+        solver, xs, bs, atoms, skeleton, result, model = solve_with("int", seed)
+        if result is not Result.SAT:
+            return
+        values = [model.real_value(x) for x in xs]
+
+        def atom_holds(idx):
+            _, coeffs, op, bound = atoms[idx]
+            total = sum(F(c) * v for c, v in zip(coeffs, values))
+            return total <= bound if op == "<=" else total >= bound
+
+        for shape in skeleton:
+            satisfied = any(
+                (atom_holds(idx) if kind == "atom" else model.value(bs[idx]))
+                == positive
+                for positive, kind, idx in shape
+            )
+            assert satisfied, f"model falsifies an asserted clause: {shape}"
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_propagation_preserves_verdicts(self, seed):
+        ref_result = solve_with("reference", seed)[5]
+        prop_result = solve_with("int", seed, propagation=True)[5]
+        assert prop_result is ref_result
+
+
+class TestUnsatCores:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_cores_agree_and_are_unsat(self, seed):
+        rng = random.Random(1000 + seed)
+        # a batch of unit bound assumptions over few vars forces overlap
+        bounds = []
+        for _ in range(10):
+            var = rng.randrange(2)
+            op = rng.choice(("<=", ">="))
+            bounds.append((var, op, rng.randint(-3, 3)))
+        cores = {}
+        for kernel in ("reference", "int"):
+            solver = Solver(kernel=kernel)
+            xs = [solver.real_var(f"x{i}") for i in range(2)]
+            terms = [
+                le(xs[v], b) if op == "<=" else ge(xs[v], b)
+                for v, op, b in bounds
+            ]
+            result = solver.check(assumptions=terms)
+            cores[kernel] = (
+                None
+                if result is not Result.UNSAT
+                else [terms.index(t) for t in solver.unsat_core()]
+            )
+        assert cores["int"] == cores["reference"]
+        if cores["int"] is None:
+            return
+        # the named subset must itself be UNSAT
+        solver = Solver()
+        xs = [solver.real_var(f"x{i}") for i in range(2)]
+        for idx in cores["int"]:
+            var, op, b = bounds[idx]
+            solver.add(le(xs[var], b) if op == "<=" else ge(xs[var], b))
+        assert solver.check() is Result.UNSAT
+
+
+# ----------------------------------------------------------------------
+# direct engine-vs-engine script replay with invariants on
+# ----------------------------------------------------------------------
+def random_script(rng, nv=4, nrows=3, nops=25):
+    """A seed-determined sequence of simplex operations."""
+    rows = []
+    for _ in range(nrows):
+        coeffs = {
+            i: F(rng.randint(-3, 3), rng.randint(1, 3)) for i in range(nv)
+        }
+        rows.append({i: c for i, c in coeffs.items() if c})
+    ops = []
+    total = nv + nrows
+    for tag in range(nops):
+        kind = rng.random()
+        if kind < 0.35:
+            ops.append(("lower", rng.randrange(total), rng.randint(-5, 5),
+                        rng.choice((-1, 0, 1)), tag))
+        elif kind < 0.7:
+            ops.append(("upper", rng.randrange(total), rng.randint(-5, 5),
+                        rng.choice((-1, 0, 1)), tag))
+        elif kind < 0.85:
+            ops.append(("check",))
+        elif kind < 0.95:
+            ops.append(("mark",))
+        else:
+            ops.append(("backtrack",))
+    ops.append(("check",))
+    return rows, ops
+
+
+def replay(engine_cls, rows, ops, nv):
+    engine = engine_cls()
+    engine.debug_invariants = True
+    for _ in range(nv):
+        engine.new_var()
+    for body in rows:
+        engine.add_row(engine.new_var(), dict(body))
+    marks = []
+    trace = []
+    dead = False
+    for op in ops:
+        if op[0] in ("lower", "upper"):
+            _, var, r, k, tag = op
+            value = DeltaRational(F(r), F(k))
+            assert_fn = (
+                engine.assert_lower if op[0] == "lower" else engine.assert_upper
+            )
+            conflict = None if dead else assert_fn(var, value, tag)
+            trace.append(("bound", None if conflict is None else list(conflict)))
+            dead = dead or conflict is not None
+        elif op[0] == "check":
+            conflict = None if dead else engine.check()
+            trace.append(("check", None if conflict is None else list(conflict)))
+            dead = dead or conflict is not None
+            if not dead:
+                trace.append(("model", list(engine.concrete_values())))
+        elif op[0] == "mark":
+            marks.append(engine.mark())
+        elif op[0] == "backtrack" and marks:
+            engine.backtrack(marks.pop())
+            dead = False
+    engine.check_invariants()
+    return trace
+
+
+class TestScriptReplay:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_scripts_bit_identical(self, seed):
+        rng = random.Random(seed)
+        nv = rng.randint(2, 4)
+        rows, ops = random_script(rng, nv=nv)
+        ref_trace = replay(ReferenceSimplex, rows, ops, nv)
+        int_trace = replay(Simplex, rows, ops, nv)
+        assert int_trace == ref_trace

@@ -138,6 +138,7 @@ class TestAgainstLinprog:
         nv = rng.randint(2, 5)
         nc = rng.randint(2, 10)
         s = Simplex()
+        s.debug_invariants = True  # tableau checked at every check() exit
         problem_vars = [s.new_var() for _ in range(nv)]
         rows = []
         # build constraint rows: coeffs . x <= / >= bound
@@ -173,6 +174,7 @@ class TestAgainstLinprog:
         )
         assert (conflict is None) == (res.status == 0)
         if conflict is None:
+            s.check_invariants()
             values = s.concrete_values()
             for coeffs, bound in zip(a_ub, b_ub):
                 total = sum(F(c) * values[v] for c, v in zip(coeffs, problem_vars))

@@ -105,3 +105,87 @@ class TestAssertions:
     def test_is_theory_var(self):
         assert self.theory.is_theory_var(self.le5_var)
         assert not self.theory.is_theory_var(99)
+
+
+class TestPropagation:
+    """Row-implied bound propagation (integer kernel only)."""
+
+    def setup_method(self):
+        self.builder = CnfBuilder()
+        self.theory = LraTheory(propagate=True)
+        x, y = RealVar("x", 0), RealVar("y", 1)
+        self.a_var, atom = make_atom(self.builder, ge(x, 1))
+        self.theory.register_atom(self.a_var, atom)
+        self.b_var, atom = make_atom(self.builder, ge(y, 1))
+        self.theory.register_atom(self.b_var, atom)
+        # two atoms over the shared slack row  s = x + y
+        self.c_var, atom = make_atom(self.builder, ge(x + y, 2))
+        self.theory.register_atom(self.c_var, atom)
+        self.d_var, atom = make_atom(self.builder, le(x + y, 1))
+        self.theory.register_atom(self.d_var, atom)
+
+    def _value_fn(self, assigned):
+        return lambda lit: assigned.get(abs(lit), 0) * (1 if lit > 0 else -1)
+
+    def _assert_bounds(self):
+        assert self.theory.assert_lit(self.a_var, 0) is None
+        assert self.theory.assert_lit(self.b_var, 1) is None
+        assert self.theory.check() is None
+
+    def test_entailed_atoms_with_explanations(self):
+        # x >= 1 and y >= 1 imply x + y >= 2 and refute x + y <= 1
+        self._assert_bounds()
+        implied, conflict = self.theory.propagate(
+            self._value_fn({self.a_var: 1, self.b_var: 1})
+        )
+        assert conflict is None
+        by_lit = {lit: expl for lit, expl in implied}
+        assert set(by_lit) == {self.c_var, -self.d_var}
+        for expl in by_lit.values():
+            assert set(expl) == {self.a_var, self.b_var}
+        assert self.theory.stats["implied_bounds"] == 2
+        assert self.theory.stats["prop_calls"] == 1
+
+    def test_false_entailed_literal_becomes_conflict(self):
+        self._assert_bounds()
+        implied, conflict = self.theory.propagate(
+            self._value_fn({self.a_var: 1, self.b_var: 1, self.c_var: -1})
+        )
+        assert implied == []
+        assert conflict is not None
+        assert conflict[0] == self.c_var  # reason[0] is the implied lit
+        assert set(conflict[1:]) == {-self.a_var, -self.b_var}
+
+    def test_already_true_literals_are_skipped(self):
+        self._assert_bounds()
+        implied, __ = self.theory.propagate(
+            self._value_fn({self.a_var: 1, self.b_var: 1, self.c_var: 1})
+        )
+        assert {lit for lit, _ in implied} == {-self.d_var}
+
+    def test_budget_requeues_rows_for_the_next_call(self):
+        self._assert_bounds()
+        self.theory.propagation_budget = 0
+        value = self._value_fn({self.a_var: 1, self.b_var: 1})
+        assert self.theory.propagate(value) == ([], None)
+        # the starved row stays dirty and is picked up once budget allows
+        self.theory.propagation_budget = 8
+        implied, __ = self.theory.propagate(value)
+        assert {lit for lit, _ in implied} == {self.c_var, -self.d_var}
+
+    def test_clean_state_propagates_nothing(self):
+        self._assert_bounds()
+        value = self._value_fn({self.a_var: 1, self.b_var: 1})
+        self.theory.propagate(value)
+        assert self.theory.propagate(value) == ([], None)
+
+    def test_reference_kernel_never_propagates(self):
+        theory = LraTheory(kernel="reference", propagate=True)
+        assert not theory.propagation
+        x = RealVar("x", 0)
+        builder = CnfBuilder()
+        a_var, atom = make_atom(builder, ge(x, 1))
+        theory.register_atom(a_var, atom)
+        assert theory.assert_lit(a_var, 0) is None
+        assert theory.check() is None
+        assert theory.propagate(lambda lit: 0) == ([], None)

@@ -145,6 +145,35 @@ class TestRuntimeFlagWiring:
         assert "state attack costs" in capsys.readouterr().out
 
 
+class TestProfile:
+    def test_writes_json_report(self, spec_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "profile.json"
+        assert main(["profile", spec_file, "--out", str(out), "--top", "5"]) == 0
+        assert "written to" in capsys.readouterr().out
+        report = json.loads(out.read_text())
+        assert report["spec"] == spec_file
+        assert report["repeat"] == 1
+        assert report["outcome"] in ("sat", "unsat", "unknown")
+        assert 0 < len(report["hotspots"]) <= 5
+        for row in report["hotspots"]:
+            assert set(row) == {"function", "calls", "tottime", "cumtime"}
+        stats = report["solver_statistics"]
+        assert stats["kernel"] == report["engine"].split("kernel=")[1].split("/")[0]
+        # REPRO_SMT_PROFILE was in force: per-phase times are attributed
+        for phase in ("bcp", "theory", "decide", "analyze"):
+            assert f"time_{phase}" in stats
+
+    def test_stdout_report(self, spec_file, capsys):
+        import json
+
+        assert main(["profile", spec_file]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["engine"].startswith("v")
+        assert len(report["hotspots"]) <= 15
+
+
 class TestServe:
     def test_parser_exposes_serve(self):
         from repro.cli import build_parser
