@@ -12,7 +12,10 @@ Drives the full pipeline from spec files in the text format of
     $ python -m repro.cli mincost grid.spec --dimension measurements
     $ python -m repro.cli metrics grid.spec
     $ python -m repro.cli profile grid.spec --repeat 5 --out report.json
-    $ python -m repro.cli serve --port 8321 --jobs 4 --portfolio
+    $ python -m repro.cli serve --port 8321 --jobs 4 --portfolio \
+          --trace-file spans.jsonl
+    $ python -m repro.cli metrics --scrape http://127.0.0.1:8321
+    $ python -m repro.cli trace show spans.jsonl --limit 3
 """
 
 from __future__ import annotations
@@ -148,6 +151,8 @@ def _cmd_mincost(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.specfile is None:
+        return _cmd_metrics_registry(args)
     spec = load_spec_file(args.specfile)
     report = security_metrics(spec, backend=args.backend, runtime=_runtime_options(args))
     print("state attack costs (smaller = weaker):")
@@ -162,6 +167,46 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     print("most exposed measurements (top 10):")
     for meas, count in exposed:
         print(f"  {spec.plan.describe(meas):<40s} in {count} minimal attacks")
+    return 0
+
+
+def _cmd_metrics_registry(args: argparse.Namespace) -> int:
+    """Without a spec file: dump observability metrics instead.
+
+    ``--scrape URL`` fetches ``GET /metricsz`` from a running service;
+    otherwise the local process registry is rendered — useful after an
+    in-process sweep, or to list the full metric catalog (families
+    render their HELP/TYPE headers even before the first sample).
+    """
+    if args.scrape:
+        import urllib.error
+        import urllib.request
+
+        url = args.scrape.rstrip("/")
+        if not url.endswith("/metricsz"):
+            url += "/metricsz"
+        try:
+            with urllib.request.urlopen(url, timeout=10.0) as response:
+                sys.stdout.write(response.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"scrape failed: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    from repro.obs import metrics as obs_metrics
+
+    sys.stdout.write(obs_metrics.get_registry().render_prometheus())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render a JSONL span sink as per-trace waterfalls."""
+    from repro.obs.render import render_file
+
+    try:
+        print(render_file(args.file, trace_id=args.trace_id, limit=args.limit))
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -240,6 +285,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         window=args.batch_window,
         max_batch=args.max_batch,
         max_queue=args.max_queue,
+        trace_file=args.trace_file,
     )
     return 0
 
@@ -293,11 +339,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime_flags(p)
     p.set_defaults(func=_cmd_mincost)
 
-    p = sub.add_parser("metrics", help="per-state / per-measurement security metrics")
-    p.add_argument("specfile")
+    p = sub.add_parser(
+        "metrics",
+        help="security metrics for a spec; without one, dump the "
+        "observability metrics registry (Prometheus text)",
+    )
+    p.add_argument(
+        "specfile",
+        nargs="?",
+        default=None,
+        help="spec file for security metrics; omit for the registry dump",
+    )
     p.add_argument("--backend", choices=["smt", "milp"], default="smt")
+    p.add_argument(
+        "--scrape",
+        metavar="URL",
+        help="fetch /metricsz from a running service instead of the "
+        "local registry (e.g. http://127.0.0.1:8321)",
+    )
     _add_runtime_flags(p)
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "trace", help="inspect span traces (see docs/OBSERVABILITY.md)"
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    p = trace_sub.add_parser(
+        "show", help="render a JSONL span sink as per-trace waterfalls"
+    )
+    p.add_argument("file", help="JSONL sink (REPRO_TRACE_FILE / serve --trace-file)")
+    p.add_argument(
+        "--trace-id", help="only this trace (prefix match accepted)"
+    )
+    p.add_argument(
+        "--limit", type=int, help="only the last N traces in the file"
+    )
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "profile",
@@ -333,6 +410,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--max-queue", type=int, default=10_000, help="queue depth before 503s"
+    )
+    p.add_argument(
+        "--trace-file",
+        metavar="FILE",
+        help="enable span tracing with a JSONL sink at FILE "
+        "(render it with 'repro trace show FILE')",
     )
     _add_runtime_flags(p)
     p.set_defaults(func=_cmd_serve)

@@ -57,6 +57,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.attacks.vector import AttackVector
 from repro.core.spec import AttackGoal, AttackSpec
+from repro.obs.trace import get_tracer
 from repro.smt import (
     And,
     BoolVar,
@@ -587,15 +588,22 @@ class VerificationSession:
     ) -> VerificationResult:
         """One incremental feasibility probe; semantics of
         :func:`verify_attack` on the matching concrete spec."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            # safe mid-flight: profiling only brackets phases with
+            # perf_counter, the search path is unchanged
+            self.encoder.solver.set_profile(True)
         start = time.perf_counter()
-        result = self.encoder.check(
-            secured_buses=secured_buses,
-            secured_measurements=secured_measurements,
-            max_conflicts=max_conflicts,
-            max_measurements=max_measurements,
-            max_buses=max_buses,
-            goal=goal,
-        )
+        with tracer.span("session.probe", probes=self.probes + 1) as span:
+            result = self.encoder.check(
+                secured_buses=secured_buses,
+                secured_measurements=secured_measurements,
+                max_conflicts=max_conflicts,
+                max_measurements=max_measurements,
+                max_buses=max_buses,
+                goal=goal,
+            )
+            span.set(outcome=result.value)
         runtime = time.perf_counter() - start
         self.probes += 1
         if result is Result.UNSAT:
@@ -652,31 +660,53 @@ def verify_attack(
     ``"milp"`` (big-M mirror on scipy/HiGHS; fast on large systems,
     subject to big-M scale limits — see :mod:`repro.milp.backend`).
     """
+    tracer = get_tracer()
     start = time.perf_counter()
-    encoder = UfdiEncoder(spec, epsilon=epsilon)
+    with tracer.span(
+        "verify.encode",
+        backend=backend,
+        buses=spec.grid.num_buses,
+        lines=len(spec.grid.lines),
+    ):
+        encoder = UfdiEncoder(spec, epsilon=epsilon)
     if backend == "smt":
-        result = encoder.check(max_conflicts=max_conflicts)
-        runtime = time.perf_counter() - start
+        if tracer.enabled:
+            # attach per-phase solver timings (time_bcp/theory/decide/
+            # analyze) to the solve span; search path is unchanged
+            encoder.solver.set_profile(True)
+        with tracer.span("verify.solve", backend="smt") as span:
+            result = encoder.check(max_conflicts=max_conflicts)
+            runtime = time.perf_counter() - start
+            stats = encoder.statistics()
+            span.set(
+                outcome=result.value,
+                conflicts=stats.get("conflicts"),
+                restarts=stats.get("restarts"),
+                propagations=stats.get("propagations"),
+                pivots=stats.get("pivots"),
+                theory_checks=stats.get("theory_checks"),
+                **{k: v for k, v in stats.items() if k.startswith("time_")},
+            )
         if result is Result.SAT:
             return VerificationResult(
                 VerificationOutcome.ATTACK_EXISTS,
                 encoder.extract_attack(),
                 "smt",
                 runtime,
-                encoder.statistics(),
+                stats,
             )
         outcome = (
             VerificationOutcome.SECURE
             if result is Result.UNSAT
             else VerificationOutcome.UNKNOWN
         )
-        return VerificationResult(
-            outcome, None, "smt", runtime, encoder.statistics()
-        )
+        return VerificationResult(outcome, None, "smt", runtime, stats)
     if backend == "milp":
         from repro.milp.backend import solve_encoder_milp
 
-        milp_result = solve_encoder_milp(encoder)
+        with tracer.span("verify.solve", backend="milp") as span:
+            milp_result = solve_encoder_milp(encoder)
+            span.set(outcome=milp_result.outcome.value)
         runtime = time.perf_counter() - start
         return VerificationResult(
             milp_result.outcome,

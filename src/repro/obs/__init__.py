@@ -1,0 +1,68 @@
+"""End-to-end observability: span tracing, metrics, structured logs.
+
+Three stdlib-only pillars behind one package, shared by every layer of
+the reproduction (HTTP service, job queue, batching scheduler, parallel
+runtime, verification sessions, SMT solver):
+
+* :mod:`repro.obs.trace` — ``trace_id``/``span_id`` span tracing with
+  contextvars propagation through asyncio, explicit payload propagation
+  across the process-pool boundary, a bounded in-memory ring and an
+  optional JSONL sink.  Off by default (no-op tracer).
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with labels,
+  rendered in Prometheus text format by ``GET /metricsz`` and the
+  ``repro metrics`` CLI.
+* :mod:`repro.obs.logging` — trace-correlated one-line JSON logs.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog, the span tree of
+a verify request, the log schema and scrape examples.
+"""
+
+from repro.obs.logging import StructuredLogger, configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+)
+from repro.obs.trace import (
+    NoopTracer,
+    Span,
+    SpanContext,
+    Tracer,
+    configure_tracing,
+    context_from_payload,
+    context_payload,
+    current_context,
+    get_tracer,
+    set_tracer,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopTracer",
+    "Span",
+    "SpanContext",
+    "StructuredLogger",
+    "Tracer",
+    "configure_logging",
+    "configure_tracing",
+    "context_from_payload",
+    "context_payload",
+    "counter",
+    "current_context",
+    "gauge",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "set_tracer",
+    "tracing_enabled",
+]

@@ -1,0 +1,119 @@
+"""Trace-correlated structured JSON logging.
+
+One JSON object per line on a configurable stream (stderr by default):
+timestamp, level, logger name, an ``event`` slug, the active trace/span
+ids (when a span is open in this task/thread), and free-form fields.
+Replaces the service's ad-hoc ``print`` logging so log lines can be
+joined with traces and metrics on ``trace_id``.
+
+.. code-block:: python
+
+    log = get_logger("repro.service")
+    log.info("job.finished", job_id=job.id, state=job.state.value)
+
+emits::
+
+    {"ts": "2026-08-07T12:00:00.123+00:00", "level": "info",
+     "logger": "repro.service", "event": "job.finished",
+     "trace_id": "4f…", "span_id": "9a…", "job_id": "ab12", "state": "done"}
+
+``REPRO_LOG=0`` disables emission entirely; ``REPRO_LOG_LEVEL`` sets
+the threshold (debug/info/warning/error).  :func:`configure_logging`
+overrides both and the output stream programmatically (tests pass a
+``StringIO``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+from datetime import datetime, timezone
+from typing import Any, Dict, Optional, TextIO
+
+from repro.obs.trace import current_context
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_lock = threading.Lock()
+_config: Dict[str, Any] = {
+    "enabled": os.environ.get("REPRO_LOG", "1") not in ("", "0"),
+    "level": _LEVELS.get(os.environ.get("REPRO_LOG_LEVEL", "info"), 20),
+    "stream": None,  # None: resolve sys.stderr at emit time (capturable)
+}
+
+
+def configure_logging(
+    enabled: Optional[bool] = None,
+    level: Optional[str] = None,
+    stream: Optional[TextIO] = None,
+) -> None:
+    """Override the process-wide logging configuration (None = keep)."""
+    with _lock:
+        if enabled is not None:
+            _config["enabled"] = bool(enabled)
+        if level is not None:
+            if level not in _LEVELS:
+                raise ValueError(f"unknown log level {level!r}")
+            _config["level"] = _LEVELS[level]
+        if stream is not None:
+            _config["stream"] = stream
+
+
+def logging_enabled() -> bool:
+    return bool(_config["enabled"])
+
+
+class StructuredLogger:
+    """A named emitter of one-line JSON log records."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def _emit(self, level: str, event: str, fields: Dict[str, Any]) -> None:
+        if not _config["enabled"] or _LEVELS[level] < _config["level"]:
+            return
+        record: Dict[str, Any] = {
+            "ts": datetime.now(timezone.utc).isoformat(timespec="milliseconds"),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        ctx = current_context()
+        if ctx is not None:
+            record["trace_id"] = ctx.trace_id
+            record["span_id"] = ctx.span_id
+        record.update(fields)
+        stream = _config["stream"] or sys.stderr
+        try:
+            stream.write(json.dumps(record, default=str) + "\n")
+            stream.flush()
+        except (OSError, ValueError):
+            pass  # logging must never fail the logged computation
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._emit("error", event, fields)
+
+
+_loggers: Dict[str, StructuredLogger] = {}
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Cached named logger (loggers are stateless beyond their name)."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = _loggers.setdefault(name, StructuredLogger(name))
+    return logger

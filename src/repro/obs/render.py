@@ -1,0 +1,163 @@
+"""Waterfall rendering of JSONL span sinks (``repro trace show``).
+
+Reads the one-span-per-line JSONL file written by
+:class:`repro.obs.trace.Tracer`, groups spans by ``trace_id``, rebuilds
+each trace's parent/child tree and prints a per-trace waterfall: spans
+in tree order, indented by depth, each with its offset from the trace
+start, its duration, a proportional bar, and a short attribute summary.
+
+Malformed lines are skipped (a crashing writer must not make the sink
+unreadable); spans whose parent never reached the sink render as
+additional roots of their trace.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+#: attributes surfaced inline in the waterfall, in display order
+_SUMMARY_KEYS = (
+    "method", "path", "status", "kind", "state", "backend", "outcome",
+    "job_id", "pid", "cache", "winner", "probes", "conflicts",
+)
+_BAR_WIDTH = 32
+
+
+def load_spans(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL sink, skipping lines that are not valid span objects."""
+    spans: List[Dict[str, Any]] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and record.get("trace_id") and record.get(
+            "span_id"
+        ):
+            spans.append(record)
+    return spans
+
+
+def group_traces(spans: Iterable[Dict[str, Any]]) -> Dict[str, List[Dict[str, Any]]]:
+    """Spans bucketed by trace id, in first-seen trace order."""
+    traces: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        traces.setdefault(span["trace_id"], []).append(span)
+    return traces
+
+
+def _start(span: Dict[str, Any]) -> float:
+    try:
+        return float(span.get("start") or 0.0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+def _duration(span: Dict[str, Any]) -> float:
+    try:
+        return max(0.0, float(span.get("duration_seconds") or 0.0))
+    except (TypeError, ValueError):
+        return 0.0
+
+
+def _tree_order(spans: List[Dict[str, Any]]) -> List[Tuple[int, Dict[str, Any]]]:
+    """Depth-first (depth, span) order: parents before children, by start."""
+    by_id = {span["span_id"]: span for span in spans}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent not in by_id:
+            parent = None  # orphan: its parent never reached the sink
+        children.setdefault(parent, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=_start)
+
+    out: List[Tuple[int, Dict[str, Any]]] = []
+
+    def visit(span: Dict[str, Any], depth: int) -> None:
+        out.append((depth, span))
+        for child in children.get(span["span_id"], ()):
+            visit(child, depth + 1)
+
+    for root in children.get(None, ()):
+        visit(root, 0)
+    return out
+
+
+def _summary(span: Dict[str, Any]) -> str:
+    attributes = span.get("attributes") or {}
+    parts = [
+        f"{key}={attributes[key]}" for key in _SUMMARY_KEYS if key in attributes
+    ]
+    if span.get("status") not in (None, "ok"):
+        parts.append(f"status={span['status']}")
+    return " ".join(parts)
+
+
+def _bar(offset: float, duration: float, total: float) -> str:
+    if total <= 0:
+        return "#" * _BAR_WIDTH
+    lead = min(_BAR_WIDTH - 1, int(round(_BAR_WIDTH * offset / total)))
+    span_cols = max(1, int(round(_BAR_WIDTH * duration / total)))
+    span_cols = min(span_cols, _BAR_WIDTH - lead)
+    return "·" * lead + "#" * span_cols + "·" * (_BAR_WIDTH - lead - span_cols)
+
+
+def render_trace(spans: List[Dict[str, Any]]) -> str:
+    """One trace's waterfall as printable text."""
+    ordered = _tree_order(spans)
+    if not ordered:
+        return ""
+    t0 = min(_start(span) for _, span in ordered)
+    t_end = max(_start(span) + _duration(span) for _, span in ordered)
+    total = max(0.0, t_end - t0)
+    trace_id = ordered[0][1]["trace_id"]
+    lines = [
+        f"trace {trace_id}  {len(spans)} spans  {total * 1000:.2f} ms total"
+    ]
+    name_width = max(
+        (2 * depth + len(span.get("name") or "?")) for depth, span in ordered
+    )
+    for depth, span in ordered:
+        offset = _start(span) - t0
+        duration = _duration(span)
+        label = "  " * depth + (span.get("name") or "?")
+        lines.append(
+            f"  {label:<{name_width}}  "
+            f"[{_bar(offset, duration, total)}]  "
+            f"+{offset * 1000:8.2f}ms  {duration * 1000:8.2f}ms  {_summary(span)}"
+            .rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_file(
+    path: Union[str, Path],
+    trace_id: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Render every trace in a sink file (newest last).
+
+    ``trace_id`` restricts output to one trace (prefix match accepted);
+    ``limit`` keeps only the last N traces.
+    """
+    traces = group_traces(load_spans(path))
+    if trace_id is not None:
+        traces = {
+            tid: spans
+            for tid, spans in traces.items()
+            if tid == trace_id or tid.startswith(trace_id)
+        }
+        if not traces:
+            return f"no trace matching {trace_id!r} in {path}"
+    items = list(traces.items())
+    if limit is not None and limit > 0:
+        items = items[-limit:]
+    if not items:
+        return f"no spans in {path}"
+    return "\n\n".join(render_trace(spans) for _, spans in items)

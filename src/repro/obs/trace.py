@@ -1,0 +1,399 @@
+"""Span tracing across the service, runtime, sessions and solver.
+
+One verification request touches four process layers — the asyncio HTTP
+front end, the job queue, a process-pool task, and the SMT/MILP solver
+inside it — and until now each layer reported timings on its own island
+(``/statsz``, ``Solver.statistics()``, ``REPRO_SMT_PROFILE``).  The
+tracer stitches them together under a shared request identity:
+
+* a **span** is one timed operation with a ``trace_id`` (shared by the
+  whole request), its own ``span_id``, an optional ``parent_id``, and a
+  free-form attribute dict;
+* the **current span context** propagates through ``async``/``await``
+  and threads via :mod:`contextvars`; across the process-pool boundary
+  it is serialized into task payloads (:func:`context_payload`) and the
+  worker's spans are shipped back and re-parented into the submitting
+  process's tracer (:meth:`Tracer.export`);
+* finished spans land in a bounded in-memory **ring** (white-box
+  inspection, tests) and optionally in a **JSONL sink** — one span per
+  line — that ``repro trace show`` renders as a per-trace waterfall.
+
+Tracing is **off by default**: the global tracer is a no-op whose
+``span()`` hands out a shared inert object, so instrumented call sites
+cost one attribute lookup and an empty ``with`` block.  Enable it with
+``REPRO_TRACE=1`` (ring only), ``REPRO_TRACE_FILE=/path/spans.jsonl``
+(ring + sink), or programmatically via :func:`configure_tracing`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Union
+
+
+class SpanContext(NamedTuple):
+    """The propagatable identity of a span: which trace, which parent."""
+
+    trace_id: str
+    span_id: str
+
+
+#: the active span context for this task/thread of execution
+_CURRENT: ContextVar[Optional[SpanContext]] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+ParentLike = Union[SpanContext, Dict[str, str], None]
+
+
+def _new_trace_id() -> str:
+    return os.urandom(16).hex()
+
+
+def _new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+def current_context() -> Optional[SpanContext]:
+    """The span context active in this task/thread (None outside a span)."""
+    return _CURRENT.get()
+
+
+def context_payload() -> Optional[Dict[str, str]]:
+    """The current context as a JSON-able dict for cross-process hops."""
+    ctx = _CURRENT.get()
+    if ctx is None:
+        return None
+    return {"trace_id": ctx.trace_id, "span_id": ctx.span_id}
+
+
+def context_from_payload(payload: ParentLike) -> Optional[SpanContext]:
+    """Rebuild a :class:`SpanContext` from :func:`context_payload` output."""
+    if payload is None:
+        return None
+    if isinstance(payload, SpanContext):
+        return payload
+    trace_id = payload.get("trace_id")
+    span_id = payload.get("span_id")
+    if not trace_id or not span_id:
+        return None
+    return SpanContext(str(trace_id), str(span_id))
+
+
+class Span:
+    """One timed operation; usable as a context manager.
+
+    Entering the span activates its context (children created inside the
+    ``with`` block parent to it); exiting finishes it and records it in
+    the tracer.  Spans created with ``activate=False`` (e.g. a job span
+    that lives across asyncio tasks) never touch the context variable
+    and must be finished explicitly with :meth:`finish`.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_wall",
+        "start_mono",
+        "duration_seconds",
+        "attributes",
+        "status",
+        "_tracer",
+        "_token",
+        "_finished",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        parent_id: Optional[str],
+        attributes: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_span_id()
+        self.parent_id = parent_id
+        self.start_wall = time.time()
+        self.start_mono = time.monotonic()
+        self.duration_seconds: Optional[float] = None
+        self.attributes = attributes
+        self.status = "ok"
+        self._token = None
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def context_payload(self) -> Dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attributes.update(attributes)
+        return self
+
+    def finish(self, status: Optional[str] = None) -> None:
+        """Stop the clock and record the span (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        if status is not None:
+            self.status = status
+        self.duration_seconds = time.monotonic() - self.start_mono
+        self._tracer._record(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start_wall,
+            "duration_seconds": self.duration_seconds,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT.set(self.context)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        if exc_type is not None and self.status == "ok":
+            self.status = "error"
+            self.attributes.setdefault("error", f"{exc_type.__name__}: {exc}")
+        self.finish()
+
+
+class _NoopSpan:
+    """Shared inert span: every tracing call site degrades to this."""
+
+    __slots__ = ()
+
+    # mirror the Span surface so call sites never branch on enablement
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    status = "ok"
+    duration_seconds = None
+    attributes: Dict[str, Any] = {}
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        return self
+
+    def finish(self, status: Optional[str] = None) -> None:
+        pass
+
+    def context_payload(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Recording tracer: bounded ring of finished spans + JSONL sink."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        ring_size: int = 4096,
+        jsonl_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if ring_size < 1:
+            raise ValueError("ring_size must be positive")
+        self.ring_size = ring_size
+        self.jsonl_path = Path(jsonl_path).expanduser() if jsonl_path else None
+        self._ring: "deque[Dict[str, Any]]" = deque(maxlen=ring_size)
+        self._lock = threading.Lock()
+        self.counters = {"started": 0, "finished": 0, "exported": 0, "sink_errors": 0}
+
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        parent: ParentLike = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a span (use as ``with tracer.span(...) as span:``).
+
+        ``parent`` overrides the ambient context — pass a
+        :class:`SpanContext` or a :func:`context_payload` dict to stitch
+        across queue hops and process boundaries; with no parent and no
+        ambient context the span roots a fresh trace.
+        """
+        ctx = context_from_payload(parent) if parent is not None else _CURRENT.get()
+        with self._lock:
+            self.counters["started"] += 1
+        if ctx is None:
+            return Span(self, name, _new_trace_id(), None, attributes)
+        return Span(self, name, ctx.trace_id, ctx.span_id, attributes)
+
+    def start_span(
+        self,
+        name: str,
+        parent: ParentLike = None,
+        **attributes: Any,
+    ) -> Span:
+        """A span the caller owns: never activates the context variable,
+        must be closed with :meth:`Span.finish` (job-lifecycle spans)."""
+        return self.span(name, parent=parent, **attributes)
+
+    # ------------------------------------------------------------------
+    def _record(self, span: Span) -> None:
+        self._write(span.to_dict())
+        with self._lock:
+            self.counters["finished"] += 1
+
+    def export(self, span_dict: Dict[str, Any]) -> None:
+        """Adopt a finished span recorded elsewhere (a pool worker)."""
+        self._write(dict(span_dict))
+        with self._lock:
+            self.counters["exported"] += 1
+
+    def _write(self, span_dict: Dict[str, Any]) -> None:
+        with self._lock:
+            self._ring.append(span_dict)
+            if self.jsonl_path is not None:
+                try:
+                    with self.jsonl_path.open("a") as handle:
+                        handle.write(json.dumps(span_dict, default=str) + "\n")
+                except OSError:
+                    # a sink must never fail the traced computation
+                    self.counters["sink_errors"] += 1
+
+    # ------------------------------------------------------------------
+    def finished_spans(self, trace_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Spans currently in the ring, optionally filtered by trace."""
+        with self._lock:
+            spans = list(self._ring)
+        if trace_id is None:
+            return spans
+        return [s for s in spans if s.get("trace_id") == trace_id]
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Remove and return every ring span (worker shipping, tests)."""
+        with self._lock:
+            spans = list(self._ring)
+            self._ring.clear()
+        return spans
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            for key in self.counters:
+                self.counters[key] = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able health view (``/statsz``)."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "ring_size": self.ring_size,
+                "ring_spans": len(self._ring),
+                "sink": None if self.jsonl_path is None else str(self.jsonl_path),
+                **self.counters,
+            }
+
+
+class NoopTracer(Tracer):
+    """The zero-overhead default: hands out the shared inert span."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(ring_size=1)
+
+    def span(self, name: str, parent: ParentLike = None, **attributes: Any) -> Span:
+        return NOOP_SPAN  # type: ignore[return-value]
+
+    def start_span(
+        self, name: str, parent: ParentLike = None, **attributes: Any
+    ) -> Span:
+        return NOOP_SPAN  # type: ignore[return-value]
+
+    def export(self, span_dict: Dict[str, Any]) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"enabled": False, "ring_size": 0, "ring_spans": 0, "sink": None}
+
+
+# ----------------------------------------------------------------------
+# global tracer management
+# ----------------------------------------------------------------------
+_tracer: Optional[Tracer] = None
+_tracer_lock = threading.Lock()
+
+
+def _tracer_from_env() -> Tracer:
+    path = os.environ.get("REPRO_TRACE_FILE")
+    flag = os.environ.get("REPRO_TRACE", "")
+    if path:
+        return Tracer(jsonl_path=path)
+    if flag not in ("", "0"):
+        return Tracer()
+    return NoopTracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (environment-resolved on first use)."""
+    global _tracer
+    if _tracer is None:
+        with _tracer_lock:
+            if _tracer is None:
+                _tracer = _tracer_from_env()
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the global; returns the previous one."""
+    global _tracer
+    with _tracer_lock:
+        previous = _tracer if _tracer is not None else _tracer_from_env()
+        _tracer = tracer
+    return previous
+
+
+def configure_tracing(
+    enabled: bool = True,
+    ring_size: int = 4096,
+    jsonl_path: Optional[Union[str, Path]] = None,
+) -> Tracer:
+    """Build and install the global tracer; returns it."""
+    tracer: Tracer
+    if enabled:
+        tracer = Tracer(ring_size=ring_size, jsonl_path=jsonl_path)
+    else:
+        tracer = NoopTracer()
+    set_tracer(tracer)
+    return tracer
+
+
+def tracing_enabled() -> bool:
+    return get_tracer().enabled

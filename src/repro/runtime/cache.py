@@ -24,6 +24,7 @@ treated as misses.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 import tempfile
@@ -33,8 +34,23 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.core.verification import VerificationResult
+from repro.obs import metrics as obs_metrics
 from repro.runtime.serialize import result_from_payload, result_to_payload
 from repro.smt.solver import engine_signature
+
+_M_LOOKUPS = obs_metrics.counter(
+    "repro_cache_lookups_total",
+    "Result-cache lookups by outcome",
+    labels=("result",),  # hit | miss
+)
+_M_STORES = obs_metrics.counter(
+    "repro_cache_stores_total", "Results written to the cache"
+)
+_M_EVICTIONS = obs_metrics.counter(
+    "repro_cache_evictions_total",
+    "Entries dropped to stay within bounds",
+    labels=("layer",),  # memory | disk
+)
 
 
 def default_cache_dir() -> Path:
@@ -105,6 +121,7 @@ class ResultCache:
         while len(self._memory) > self.max_memory_entries:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
+            _M_EVICTIONS.inc(layer="memory")
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[VerificationResult]:
@@ -124,12 +141,14 @@ class ResultCache:
                     self._remember(key, payload)
         if payload is None:
             self.stats.misses += 1
+            _M_LOOKUPS.inc(result="miss")
             return None
         if payload.get("engine") != engine_signature():
             # written by a different solver engine: models and stats
             # schemas are not comparable — recompute instead of reusing
             self._memory.pop(key, None)
             self.stats.misses += 1
+            _M_LOOKUPS.inc(result="miss")
             return None
         self.stats.hits += 1
         try:
@@ -139,7 +158,9 @@ class ResultCache:
             self._memory.pop(key, None)
             self.stats.hits -= 1
             self.stats.misses += 1
+            _M_LOOKUPS.inc(result="miss")
             return None
+        _M_LOOKUPS.inc(result="hit")
         result.statistics = dict(result.statistics)
         result.statistics["cache_hit"] = 1
         return result
@@ -151,6 +172,7 @@ class ResultCache:
         payload["statistics"].pop("cache_hit", None)
         self._remember(key, payload)
         self.stats.stores += 1
+        _M_STORES.inc()
         path = self._disk_path(key)
         if path is None:
             return
@@ -196,12 +218,23 @@ class ResultCache:
             try:
                 path.unlink()
                 self.stats.disk_evictions += 1
+                _M_EVICTIONS.inc(layer="disk")
             except OSError:
                 pass
 
     # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache; 0.0 before any lookup."""
+        return self.stats.hit_rate()
+
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-able live view: counters plus current store sizes."""
+        """JSON-able live view: counters plus current store sizes.
+
+        Deep-copied: callers (``/statsz`` serialization, tests that diff
+        before/after snapshots) can mutate the returned structure freely
+        without corrupting the live counters.
+        """
         out = self.stats.as_dict()
         out["memory_entries"] = len(self._memory)
         out["max_memory_entries"] = self.max_memory_entries
@@ -209,7 +242,7 @@ class ResultCache:
         if self.directory is not None:
             out["disk_entries"] = len(self._disk_entries())
             out["max_disk_entries"] = self.max_disk_entries
-        return out
+        return copy.deepcopy(out)
 
     def clear_memory(self) -> None:
         self._memory.clear()

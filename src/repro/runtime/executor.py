@@ -42,6 +42,13 @@ from repro.core.verification import (
     VerificationSession,
     verify_attack,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import (
+    Tracer,
+    context_payload,
+    get_tracer,
+    set_tracer,
+)
 from repro.runtime.cache import ResultCache
 from repro.runtime.portfolio import race_backends
 from repro.runtime.serialize import (
@@ -56,6 +63,73 @@ from repro.runtime.serialize import (
 )
 
 Epsilon = Optional[Union[int, float, Fraction]]
+
+# Runtime/solver metrics.  Everything here is incremented in the
+# *submitting* process: pool workers are ephemeral, so their solver
+# counters travel home inside ``result.statistics`` and are folded into
+# the registry by :func:`_record_result_metrics`.
+_M_TASKS = obs_metrics.counter(
+    "repro_runtime_tasks_total",
+    "Verification tasks actually solved (cache hits excluded)",
+    labels=("mode",),  # inline | pool
+)
+_M_TASK_TIMEOUTS = obs_metrics.counter(
+    "repro_task_timeouts_total", "Tasks cut off by the per-task wall clock"
+)
+_M_SOLVE_SECONDS = obs_metrics.histogram(
+    "repro_solve_seconds", "Solver wall time per task", labels=("backend",)
+)
+_M_PORTFOLIO_RACES = obs_metrics.counter(
+    "repro_portfolio_races_total", "SMT/MILP portfolio races run"
+)
+_M_PORTFOLIO_WINS = obs_metrics.counter(
+    "repro_portfolio_wins_total",
+    "Races won, by the backend that answered first",
+    labels=("backend",),
+)
+_M_SOLVER_CONFLICTS = obs_metrics.counter(
+    "repro_solver_conflicts_total", "SAT-core conflicts across all solves"
+)
+_M_SOLVER_RESTARTS = obs_metrics.counter(
+    "repro_solver_restarts_total", "SAT-core restarts across all solves"
+)
+_M_SOLVER_PROPAGATIONS = obs_metrics.counter(
+    "repro_solver_propagations_total", "Unit propagations across all solves"
+)
+_M_SOLVER_THEORY_CHECKS = obs_metrics.counter(
+    "repro_solver_theory_checks_total", "LRA theory checks across all solves"
+)
+_M_SOLVER_PIVOTS = obs_metrics.counter(
+    "repro_solver_pivots_total", "Simplex pivots across all solves"
+)
+_M_SESSION_EVENTS = obs_metrics.counter(
+    "repro_session_events_total",
+    "Warm-session registry events (reused == encodes avoided)",
+    labels=("event",),  # opened | reused | probe | evicted
+)
+
+
+def _record_result_metrics(result: VerificationResult) -> None:
+    """Fold one solver-produced result into the metrics registry."""
+    stats = result.statistics
+    _M_SOLVE_SECONDS.observe(result.runtime_seconds, backend=result.backend)
+    for metric, key in (
+        (_M_SOLVER_CONFLICTS, "conflicts"),
+        (_M_SOLVER_RESTARTS, "restarts"),
+        (_M_SOLVER_PROPAGATIONS, "propagations"),
+        (_M_SOLVER_THEORY_CHECKS, "theory_checks"),
+        (_M_SOLVER_PIVOTS, "pivots"),
+    ):
+        amount = stats.get(key)
+        if amount:
+            metric.inc(amount)
+    if stats.get("task_timeout"):
+        _M_TASK_TIMEOUTS.inc()
+    if stats.get("portfolio"):
+        _M_PORTFOLIO_RACES.inc()
+        winner = stats.get("portfolio_winner")
+        if winner:
+            _M_PORTFOLIO_WINS.inc(backend=winner)
 
 #: Whether this platform can enforce per-task wall-clock timeouts.
 #: ``SIGALRM``/``setitimer`` are POSIX-only (absent on Windows); without
@@ -178,15 +252,19 @@ def _solve_on_session(
         if session is not None and session.compatible(spec):
             registry.move_to_end(key)
             _session_stats["reused"] += 1
+            _M_SESSION_EVENTS.inc(event="reused")
         else:
             session = VerificationSession(spec, epsilon=epsilon)
             registry[key] = session
             registry.move_to_end(key)
             _session_stats["opened"] += 1
+            _M_SESSION_EVENTS.inc(event="opened")
             while len(registry) > SESSION_REGISTRY_LIMIT:
                 registry.popitem(last=False)
                 _session_stats["evicted"] += 1
+                _M_SESSION_EVENTS.inc(event="evicted")
         _session_stats["probes"] += 1
+        _M_SESSION_EVENTS.inc(event="probe")
         try:
             return session.probe_spec(spec, max_conflicts=max_conflicts)
         except BaseException:
@@ -265,24 +343,61 @@ def _solve_spec(
 
 
 def _verify_remote(task: Dict[str, Any]) -> Dict[str, Any]:
-    """Pool worker body: rebuild the spec, solve, return the encoded result."""
+    """Pool worker body: rebuild the spec, solve, return the encoded result.
+
+    When the task carries a ``"trace"`` context, the worker installs a
+    recording tracer for the duration of the solve, wraps it in a
+    ``pool.task`` span parented to the submitter's span, and ships every
+    finished span home in the result payload (``"trace_spans"``) — the
+    parent re-exports them into its own ring/sink, so one trace crosses
+    the process boundary seamlessly.
+    """
     spec = payload_to_spec(json.loads(task["payload"]))
     epsilon = None if task["epsilon"] is None else Fraction(task["epsilon"])
-    result = _solve_spec(
-        spec,
-        backend=task["backend"],
-        portfolio=task["portfolio"],
-        epsilon=epsilon,
-        max_conflicts=task["max_conflicts"],
-        task_timeout=task["timeout"],
-        sessions=task.get("sessions", False),
-    )
-    return result_to_payload(result)
+    trace = task.get("trace")
+    if trace is None:
+        result = _solve_spec(
+            spec,
+            backend=task["backend"],
+            portfolio=task["portfolio"],
+            epsilon=epsilon,
+            max_conflicts=task["max_conflicts"],
+            task_timeout=task["timeout"],
+            sessions=task.get("sessions", False),
+        )
+        return result_to_payload(result)
+    worker_tracer = Tracer(ring_size=1024)
+    previous = set_tracer(worker_tracer)
+    try:
+        with worker_tracer.span(
+            "pool.task",
+            parent=trace,
+            pid=os.getpid(),
+            backend=(
+                "portfolio" if task["portfolio"] else task["backend"]
+            ),
+        ) as span:
+            result = _solve_spec(
+                spec,
+                backend=task["backend"],
+                portfolio=task["portfolio"],
+                epsilon=epsilon,
+                max_conflicts=task["max_conflicts"],
+                task_timeout=task["timeout"],
+                sessions=task.get("sessions", False),
+            )
+            span.set(outcome=result.outcome.value)
+    finally:
+        set_tracer(previous)
+    payload = result_to_payload(result)
+    payload["trace_spans"] = worker_tracer.drain()
+    return payload
 
 
 def verify_many(
     specs: Sequence[AttackSpec],
     options: Optional[RuntimeOptions] = None,
+    trace_parents: Optional[Sequence[Optional[Dict[str, str]]]] = None,
 ) -> List[VerificationResult]:
     """Verify a batch of independent specs, preserving input order.
 
@@ -290,10 +405,22 @@ def verify_many(
     on each spec (workers rebuild the exact spec from its canonical
     payload and the solvers are deterministic).  Cache hits carry
     ``statistics["cache_hit"] == 1`` and skip all solver work.
+
+    ``trace_parents`` (aligned with ``specs``) carries per-spec span
+    contexts — the batching scheduler passes each job's span here so a
+    job's solve appears under its own trace rather than the batch's.
     """
     options = options or RuntimeOptions()
+    tracer = get_tracer()
     n = len(specs)
     results: List[Optional[VerificationResult]] = [None] * n
+
+    def _parent(i: int) -> Optional[Dict[str, str]]:
+        if trace_parents is not None and i < len(trace_parents):
+            parent = trace_parents[i]
+            if parent is not None:
+                return parent
+        return context_payload()
 
     fingerprints: List[Optional[str]] = [None] * n
     pending: Dict[str, List[int]] = {}  # fingerprint -> indices to fill
@@ -312,6 +439,10 @@ def verify_many(
             hit = options.cache.get(key)
             if hit is not None:
                 results[i] = hit
+                if tracer.enabled:
+                    tracer.span(
+                        "runtime.cache", parent=_parent(i), cache="hit"
+                    ).finish()
                 continue
         bucket = pending.setdefault(key, [])
         if not bucket:
@@ -323,8 +454,13 @@ def verify_many(
     if order:
         if jobs <= 1:
             for i in order:
-                solved.append(
-                    _solve_spec(
+                with tracer.span(
+                    "runtime.task",
+                    parent=_parent(i),
+                    mode="inline",
+                    backend=options.backend_label(),
+                ) as span:
+                    result = _solve_spec(
                         specs[i],
                         backend=options.backend,
                         portfolio=options.portfolio,
@@ -333,7 +469,9 @@ def verify_many(
                         task_timeout=options.task_timeout,
                         sessions=options.sessions,
                     )
-                )
+                    span.set(outcome=result.outcome.value)
+                solved.append(result)
+                _M_TASKS.inc(mode="inline")
         else:
             tasks = [
                 {
@@ -348,14 +486,19 @@ def verify_many(
                     "max_conflicts": options.max_conflicts,
                     "timeout": options.task_timeout,
                     "sessions": options.sessions,
+                    "trace": _parent(i) if tracer.enabled else None,
                 }
                 for i in order
             ]
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                solved = [
-                    result_from_payload(payload)
-                    for payload in pool.map(_verify_remote, tasks, chunksize=1)
-                ]
+                for payload in pool.map(_verify_remote, tasks, chunksize=1):
+                    for span_dict in payload.pop("trace_spans", None) or ():
+                        tracer.export(span_dict)
+                    solved.append(result_from_payload(payload))
+                    _M_TASKS.inc(mode="pool")
+
+    for result in solved:
+        _record_result_metrics(result)
 
     for i, result in zip(order, solved):
         key = fingerprints[i]

@@ -15,6 +15,7 @@ portfolio: backends run in order and the first conclusive answer wins.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_module
 import time
 from fractions import Fraction
@@ -52,6 +53,11 @@ def _race_child(payload_json: str, backend: str, epsilon: Optional[str], out) ->
     import json
 
     try:
+        # deterministic-test hook: REPRO_RACE_STALL=<backend> parks that
+        # contender so the other one always wins and the stalled child is
+        # observed being cancelled; never set outside the test suite
+        if os.environ.get("REPRO_RACE_STALL") == backend:
+            time.sleep(120.0)
         spec = payload_to_spec(json.loads(payload_json))
         result = verify_attack(spec, backend=backend, epsilon=_decode_epsilon(epsilon))
         out.put((backend, result_to_payload(result), None))
@@ -67,6 +73,7 @@ def _sequential_race(
         result = verify_attack(spec, backend=backend, epsilon=epsilon)
         if result.outcome is not VerificationOutcome.UNKNOWN:
             result.statistics["portfolio"] = 1
+            result.statistics["portfolio_winner"] = result.backend
             return result
         last = result
     assert last is not None
@@ -93,6 +100,8 @@ def race_backends(
     if len(backends) == 1:
         result = verify_attack(spec, backend=backends[0], epsilon=epsilon)
         result.statistics["portfolio"] = 1
+        if result.outcome is not VerificationOutcome.UNKNOWN:
+            result.statistics["portfolio_winner"] = result.backend
         return result
 
     start = time.perf_counter()
@@ -116,6 +125,8 @@ def race_backends(
         return _sequential_race(spec, backends, epsilon)
 
     winner: Optional[VerificationResult] = None
+    winner_backend: Optional[str] = None
+    losers_cancelled = 0
     reported = 0
     try:
         while reported < len(children):
@@ -134,11 +145,13 @@ def race_backends(
             result = result_from_payload(payload)
             if result.outcome is not VerificationOutcome.UNKNOWN:
                 winner = result
+                winner_backend = backend
                 break
     finally:
         for child in children:
             if child.is_alive():
                 child.terminate()
+                losers_cancelled += 1
         for child in children:
             child.join(timeout=5.0)
         results_queue.close()
@@ -151,9 +164,15 @@ def race_backends(
             None,
             "portfolio",
             elapsed,
-            {"portfolio": 1, "portfolio_inconclusive": 1},
+            {
+                "portfolio": 1,
+                "portfolio_inconclusive": 1,
+                "portfolio_losers_cancelled": losers_cancelled,
+            },
         )
     winner.runtime_seconds = elapsed
     winner.statistics = dict(winner.statistics)
     winner.statistics["portfolio"] = 1
+    winner.statistics["portfolio_winner"] = winner_backend or winner.backend
+    winner.statistics["portfolio_losers_cancelled"] = losers_cancelled
     return winner

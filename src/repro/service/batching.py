@@ -32,6 +32,9 @@ from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 from repro.core.spec import AttackSpec
 from repro.core.synthesis import SynthesisSettings, synthesize_architecture
 from repro.core.verification import VerificationResult
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
+from repro.obs.trace import get_tracer
 from repro.runtime import RuntimeOptions, spec_fingerprint, verify_many
 from repro.runtime.serialize import (
     attack_to_payload,
@@ -39,6 +42,25 @@ from repro.runtime.serialize import (
     result_to_payload,
 )
 from repro.service.jobs import Job, JobQueue, JobState
+
+_LOG = get_logger("repro.service.batching")
+
+_M_BATCH_SIZE = obs_metrics.histogram(
+    "repro_batch_size",
+    "Jobs coalesced into one scheduler batch",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+)
+_M_BATCH_JOBS = obs_metrics.counter(
+    "repro_batch_jobs_total",
+    "Verify jobs by how the batch answered them",
+    labels=("path",),  # dedup | cache | solver
+)
+_M_BATCH_RETRIES = obs_metrics.counter(
+    "repro_batch_retries_total", "Batch attempts retried after a failure"
+)
+_M_BATCH_FAILURES = obs_metrics.counter(
+    "repro_batch_failures_total", "Jobs failed after exhausting retries"
+)
 
 
 class BatchStats:
@@ -66,6 +88,7 @@ class BatchStats:
         self.batches += 1
         self.jobs += size
         self.size_histogram[size] = self.size_histogram.get(size, 0) + 1
+        _M_BATCH_SIZE.observe(size)
 
     def observe_specs(
         self,
@@ -82,12 +105,15 @@ class BatchStats:
             )
             if key in first_index:
                 self.dedup_hits += 1
+                _M_BATCH_JOBS.inc(path="dedup")
                 continue
             first_index[key] = i
             if results[i].statistics.get("cache_hit"):
                 self.cache_hits += 1
+                _M_BATCH_JOBS.inc(path="cache")
             else:
                 self.solver_calls += 1
+                _M_BATCH_JOBS.inc(path="solver")
 
     def observe_latency(self, seconds: float) -> None:
         self._latencies.append(seconds)
@@ -121,6 +147,7 @@ def verify_specs_batched(
     options: Optional[RuntimeOptions] = None,
     max_batch: Optional[int] = None,
     stats: Optional[BatchStats] = None,
+    trace_parents: Optional[Sequence[Optional[Dict[str, str]]]] = None,
 ) -> List[VerificationResult]:
     """Verify ``specs`` in micro-batches of ``max_batch`` (None: one batch).
 
@@ -128,15 +155,24 @@ def verify_specs_batched(
     offline sweeps: each chunk goes through :func:`verify_many` (dedup,
     cache, process-pool fan-out per ``options``), results return in
     input order, and ``stats`` — when provided — is credited exactly as
-    the service's ``/statsz`` endpoint reports it.
+    the service's ``/statsz`` endpoint reports it.  ``trace_parents``
+    (aligned with ``specs``) carries each request's span context into
+    the runtime so pool-task and solver spans join the right trace.
     """
     options = options or RuntimeOptions()
     specs = list(specs)
+    parents = list(trace_parents) if trace_parents is not None else None
     step = len(specs) if not max_batch or max_batch <= 0 else max_batch
     results: List[VerificationResult] = []
     for start in range(0, len(specs), max(1, step)):
         chunk = specs[start : start + step]
-        chunk_results = verify_many(chunk, options)
+        chunk_parents = None if parents is None else parents[start : start + step]
+        if chunk_parents is not None and any(p is not None for p in chunk_parents):
+            chunk_results = verify_many(chunk, options, trace_parents=chunk_parents)
+        else:
+            # tracing off (every parent None): keep the historical
+            # two-argument call so test doubles of verify_many still fit
+            chunk_results = verify_many(chunk, options)
         if stats is not None:
             stats.observe_specs(chunk, chunk_results, options)
         results.extend(chunk_results)
@@ -254,12 +290,17 @@ class BatchingScheduler:
     async def _execute_verify_group(self, group: List[Job]) -> None:
         options = _verify_job_options(self.options, group[0].payload)
         specs = [payload_to_spec(job.payload["spec"]) for job in group]
+        trace_parents = [job.trace for job in group]
         loop = asyncio.get_running_loop()
         try:
             results = await loop.run_in_executor(
                 None,
                 functools.partial(
-                    verify_specs_batched, specs, options, stats=self.stats
+                    verify_specs_batched,
+                    specs,
+                    options,
+                    stats=self.stats,
+                    trace_parents=trace_parents,
                 ),
             )
         except Exception as exc:  # worker failure: retry each job, bounded
@@ -298,9 +339,25 @@ class BatchingScheduler:
     async def _retry_or_fail(self, job: Job, exc: Exception) -> None:
         if job.attempts <= job.max_retries and not job.expired():
             self.stats.retries += 1
+            _M_BATCH_RETRIES.inc()
+            _LOG.warning(
+                "job.retry",
+                job_id=job.id,
+                kind=job.kind,
+                attempt=job.attempts,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             await self.queue.requeue(job)
         else:
             self.stats.failures += 1
+            _M_BATCH_FAILURES.inc()
+            _LOG.error(
+                "job.failed",
+                job_id=job.id,
+                kind=job.kind,
+                attempts=job.attempts,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             self.queue.finish(
                 job,
                 JobState.FAILED,
@@ -309,5 +366,7 @@ class BatchingScheduler:
             self._observe_finish(job)
 
     def _observe_finish(self, job: Job) -> None:
-        if job.finished_at is not None:
-            self.stats.observe_latency(job.finished_at - job.submitted_at)
+        # monotonic end-to-end latency: immune to wall-clock adjustment
+        latency = job.total_seconds()
+        if latency is not None:
+            self.stats.observe_latency(latency)

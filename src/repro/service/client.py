@@ -93,6 +93,22 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self._request("GET", "/statsz")
 
+    def metrics_text(self) -> str:
+        """Raw Prometheus exposition from ``GET /metricsz`` (not JSON)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", "/metricsz")
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        finally:
+            connection.close()
+        if status >= 400:
+            raise ServiceError(status, {"error": raw.decode("utf-8", "replace")})
+        return raw.decode("utf-8")
+
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/v1/jobs/{job_id}")
 

@@ -38,10 +38,45 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from repro.core.io import SpecParseError, parse_spec
 from repro.core.spec import AttackSpec
 from repro.core.synthesis import SynthesisSettings
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
+from repro.obs.trace import configure_tracing, get_tracer
 from repro.runtime import ResultCache, RuntimeOptions
 from repro.runtime.serialize import payload_to_spec, spec_to_payload
 from repro.service.batching import BatchingScheduler, BatchStats
 from repro.service.jobs import JobQueue, JobState, QueueFull
+from repro.smt.solver import engine_signature
+
+_LOG = get_logger("repro.service")
+
+#: endpoints that may appear as a metric label (bounds cardinality)
+_KNOWN_PATHS = (
+    "/healthz",
+    "/statsz",
+    "/metricsz",
+    "/v1/verify",
+    "/v1/synthesize",
+)
+
+_M_REQUESTS = obs_metrics.counter(
+    "repro_http_requests_total",
+    "HTTP requests by endpoint and answer status",
+    labels=("method", "path", "status"),
+)
+_M_REQUEST_SECONDS = obs_metrics.histogram(
+    "repro_http_request_seconds",
+    "Wall time spent answering a request",
+    labels=("path",),
+)
+
+
+def _metric_path(path: str) -> str:
+    """Collapse request targets onto a bounded endpoint label set."""
+    if path.startswith("/v1/jobs/"):
+        return "/v1/jobs/:id"
+    if path in _KNOWN_PATHS:
+        return path
+    return "other"
 
 _REASONS = {
     200: "OK",
@@ -163,26 +198,42 @@ class ServiceApp:
     # ------------------------------------------------------------------
     async def handle(
         self, method: str, path: str, body: Optional[Dict[str, Any]]
-    ) -> Tuple[int, Dict[str, Any]]:
-        try:
-            return await self._route(method, path, body)
-        except RequestError as exc:
-            return exc.status, {"error": str(exc)}
-        except QueueFull as exc:
-            return 503, {"error": str(exc)}
+    ) -> Tuple[int, Any]:
+        """Route one request; the payload is a JSON dict, or raw text for
+        ``/metricsz`` (Prometheus exposition is not JSON)."""
+        endpoint = _metric_path(path)
+        start = time.monotonic()
+        with get_tracer().span("http.request", method=method, path=path) as span:
+            try:
+                status, payload = await self._route(method, path, body)
+            except RequestError as exc:
+                status, payload = exc.status, {"error": str(exc)}
+            except QueueFull as exc:
+                status, payload = 503, {"error": str(exc)}
+            span.set(status=status)
+        _M_REQUESTS.inc(method=method, path=endpoint, status=status)
+        _M_REQUEST_SECONDS.observe(time.monotonic() - start, path=endpoint)
+        return status, payload
 
     async def _route(
         self, method: str, path: str, body: Optional[Dict[str, Any]]
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> Tuple[int, Any]:
         if path == "/healthz":
             _require(method == "GET", "use GET", 405)
             return 200, {
                 "status": "draining" if self.draining else "ok",
                 "uptime_seconds": time.monotonic() - self.started_mono,
+                # self-identification for scraped deployments: which
+                # runtime knobs and solver engine answered this request
+                "runtime": self.options.describe(),
+                "engine": engine_signature(),
             }
         if path == "/statsz":
             _require(method == "GET", "use GET", 405)
             return 200, self.statsz()
+        if path == "/metricsz":
+            _require(method == "GET", "use GET", 405)
+            return 200, self.metricsz()
         if path.startswith("/v1/jobs/"):
             _require(method == "GET", "use GET", 405)
             job = self.queue.get(path[len("/v1/jobs/") :])
@@ -293,8 +344,14 @@ class ServiceApp:
             },
             "cache": None if cache is None else cache.snapshot(),
             "runtime": self.options.describe(),
+            "engine": engine_signature(),
             "sessions": session_registry_stats(),
+            "tracer": get_tracer().snapshot(),
         }
+
+    def metricsz(self) -> str:
+        """The registry in Prometheus text format (``GET /metricsz``)."""
+        return obs_metrics.get_registry().render_prometheus()
 
 
 # ----------------------------------------------------------------------
@@ -325,11 +382,17 @@ async def _read_request(
     return method, target.split("?", 1)[0], body
 
 
-def _encode_response(status: int, payload: Dict[str, Any]) -> bytes:
-    body = json.dumps(payload).encode("utf-8")
+def _encode_response(status: int, payload: Any) -> bytes:
+    """JSON for dict payloads; Prometheus text for raw strings."""
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-        "Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         "Connection: close\r\n"
         "\r\n"
@@ -414,8 +477,17 @@ async def serve_async(
     ready: Optional[Callable[[ServerHandle], None]] = None,
     install_signal_handlers: bool = True,
     log: Callable[[str], None] = print,
+    trace_file: Optional[str] = None,
 ) -> None:
-    """Run the service until SIGTERM/SIGINT, then drain gracefully."""
+    """Run the service until SIGTERM/SIGINT, then drain gracefully.
+
+    ``trace_file`` enables span tracing with a JSONL sink at that path
+    (equivalent to ``REPRO_TRACE_FILE``); lifecycle events additionally
+    go to the structured JSON log, stamped with the runtime knobs and
+    the solver engine signature so scraped deployments self-identify.
+    """
+    if trace_file is not None:
+        configure_tracing(enabled=True, jsonl_path=trace_file)
     app = ServiceApp(
         options=options, window=window, max_batch=max_batch, max_queue=max_queue
     )
@@ -435,15 +507,25 @@ async def serve_async(
     handle = ServerHandle(loop=loop, app=app, host=host, port=bound_port, _stop=stop)
     if ready is not None:
         ready(handle)
+    _LOG.info(
+        "service.listening",
+        host=host,
+        port=bound_port,
+        runtime=app.options.describe(),
+        engine=engine_signature(),
+        tracing=get_tracer().snapshot(),
+    )
     log(f"repro service listening on http://{host}:{bound_port}")
     try:
         await stop.wait()
     finally:
+        _LOG.info("service.draining", unfinished=app.queue.unfinished())
         log("repro service draining ...")
         # refuse new jobs but keep answering polls while work completes
         await app.drain()
         server.close()
         await server.wait_closed()
+        _LOG.info("service.stopped", queue=app.queue.snapshot())
         log("repro service stopped")
 
 

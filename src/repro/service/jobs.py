@@ -14,8 +14,15 @@ full lifecycle::
 
 States are deliberately terminal-or-not: a terminal job never changes
 again, and its ``done`` event is set exactly once, so HTTP handlers can
-``await`` completion without polling.  Deadlines use ``time.monotonic``
-— wall-clock jumps never expire a job.
+``await`` completion without polling.  Deadlines and **all durations**
+use ``time.monotonic`` — wall-clock jumps never expire a job, and the
+queue-wait/run-latency numbers fed to the metrics histograms can never
+go negative under a clock adjustment.  Wall-clock timestamps are kept
+alongside purely for display in ``describe()``.
+
+Every job carries the span context of the request that submitted it
+(``job.trace``) plus its own lifecycle span, so the trace tree connects
+``http.request -> job -> pool.task -> solver`` across the queue hop.
 """
 
 from __future__ import annotations
@@ -29,6 +36,35 @@ from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import context_payload, get_tracer
+
+_M_SUBMITTED = obs_metrics.counter(
+    "repro_jobs_submitted_total", "Jobs accepted by the queue", labels=("kind",)
+)
+_M_FINISHED = obs_metrics.counter(
+    "repro_jobs_finished_total",
+    "Jobs reaching a terminal state",
+    labels=("kind", "state"),
+)
+_M_RETRIED = obs_metrics.counter(
+    "repro_jobs_retried_total", "Failed attempts put back in line"
+)
+_M_DEPTH = obs_metrics.gauge(
+    "repro_queue_depth", "Jobs waiting for dispatch right now"
+)
+_M_RUNNING = obs_metrics.gauge(
+    "repro_queue_running", "Jobs currently executing"
+)
+_M_QUEUE_WAIT = obs_metrics.histogram(
+    "repro_queue_wait_seconds", "Submit-to-dispatch wait (monotonic)"
+)
+_M_RUN = obs_metrics.histogram(
+    "repro_job_run_seconds",
+    "Dispatch-to-terminal runtime (monotonic)",
+    labels=("kind",),
+)
 
 
 class JobState(str, Enum):
@@ -67,15 +103,40 @@ class Job:
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     attempts: int = 0
+    # wall clocks, for human display only
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    # monotonic clocks, the single source of truth for durations
+    submitted_mono: float = field(default_factory=time.monotonic)
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
+    trace: Optional[Dict[str, str]] = field(default=None, repr=False)
+    span: Any = field(default=None, repr=False)
     done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
 
     def expired(self, now: Optional[float] = None) -> bool:
         if self.deadline is None:
             return False
         return (time.monotonic() if now is None else now) > self.deadline
+
+    def queue_wait_seconds(self) -> Optional[float]:
+        """Submit-to-dispatch wait; None while still queued."""
+        if self.started_mono is None:
+            return None
+        return max(0.0, self.started_mono - self.submitted_mono)
+
+    def run_seconds(self) -> Optional[float]:
+        """Dispatch-to-terminal runtime; None before both ends exist."""
+        if self.started_mono is None or self.finished_mono is None:
+            return None
+        return max(0.0, self.finished_mono - self.started_mono)
+
+    def total_seconds(self) -> Optional[float]:
+        """Submit-to-terminal latency; None while not terminal."""
+        if self.finished_mono is None:
+            return None
+        return max(0.0, self.finished_mono - self.submitted_mono)
 
     def describe(self) -> Dict[str, Any]:
         """The JSON view served by ``GET /v1/jobs/<id>``."""
@@ -88,7 +149,11 @@ class Job:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "queue_wait_seconds": self.queue_wait_seconds(),
+            "run_seconds": self.run_seconds(),
         }
+        if self.trace is not None:
+            out["trace_id"] = self.trace.get("trace_id")
         if self.result is not None:
             out["result"] = self.result
         if self.error is not None:
@@ -160,10 +225,18 @@ class JobQueue:
             deadline=None if deadline is None else time.monotonic() + deadline,
             max_retries=max_retries,
         )
+        # the job span parents to the submitting request's span (if any)
+        # and lives until the job is terminal; pool tasks parent to it
+        job.span = get_tracer().start_span(
+            "job", kind=kind, job_id=job.id, priority=priority
+        )
+        job.trace = job.span.context_payload()
         self._jobs[job.id] = job
         self._unfinished += 1
         self._idle.clear()
         self.counters["submitted"] += 1
+        _M_SUBMITTED.inc(kind=kind)
+        _M_DEPTH.inc()
         async with self._cond:
             heapq.heappush(self._heap, (job.priority, next(self._seq), job.id))
             self._cond.notify()
@@ -199,7 +272,13 @@ class JobQueue:
                 continue
             job.state = JobState.RUNNING
             job.started_at = time.time()
+            job.started_mono = time.monotonic()
             job.attempts += 1
+            _M_DEPTH.dec()
+            _M_RUNNING.inc()
+            wait = job.queue_wait_seconds()
+            if wait is not None:
+                _M_QUEUE_WAIT.observe(wait)
             return job
         return None
 
@@ -216,6 +295,9 @@ class JobQueue:
         """Put a failed-attempt job back in line (retry path)."""
         job.state = JobState.QUEUED
         self.counters["retried"] += 1
+        _M_RETRIED.inc()
+        _M_RUNNING.dec()
+        _M_DEPTH.inc()
         async with self._cond:
             heapq.heappush(self._heap, (job.priority, next(self._seq), job.id))
             self._cond.notify()
@@ -241,12 +323,34 @@ class JobQueue:
     ) -> None:
         if job.state.terminal:
             return
+        was_running = job.state is JobState.RUNNING
         job.state = state
         job.result = result
         job.error = error
         job.finished_at = time.time()
+        job.finished_mono = time.monotonic()
         job.done.set()
         self.counters[state.value] += 1
+        _M_FINISHED.inc(kind=job.kind, state=state.value)
+        if was_running:
+            _M_RUNNING.dec()
+            run = job.run_seconds()
+            if run is not None:
+                _M_RUN.observe(run, kind=job.kind)
+        else:
+            _M_DEPTH.dec()
+        if job.span is not None:
+            job.span.set(
+                state=state.value,
+                attempts=job.attempts,
+                queue_wait_seconds=job.queue_wait_seconds(),
+                run_seconds=job.run_seconds(),
+            )
+            if error is not None:
+                job.span.set(error=error)
+            job.span.finish(
+                status="ok" if state is JobState.DONE else state.value
+            )
         self._unfinished -= 1
         if self._unfinished == 0:
             self._idle.set()

@@ -149,6 +149,16 @@ class Solver:
         # form -> list of (op, bound, sat var)
         self._atoms_by_form: Dict[tuple, List[tuple]] = {}
 
+    def set_profile(self, enabled: bool = True) -> None:
+        """Toggle per-phase timing (``time_*`` keys in :meth:`statistics`).
+
+        Profiling only adds ``perf_counter`` bracketing around search
+        phases — the search path and every verdict/model are unchanged —
+        so layers like the tracer can flip it on mid-flight for a solver
+        they did not construct.
+        """
+        self._sat.profile = bool(enabled)
+
     # ------------------------------------------------------------------
     # variables
     # ------------------------------------------------------------------

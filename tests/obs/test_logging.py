@@ -1,0 +1,74 @@
+"""Structured logging: JSON lines, levels, trace correlation."""
+
+import io
+import json
+
+import pytest
+
+import repro.obs.logging as obs_logging
+from repro.obs.logging import StructuredLogger, configure_logging, get_logger
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture
+def stream():
+    """Capture log output and restore the module config afterwards."""
+    previous = dict(obs_logging._config)
+    out = io.StringIO()
+    configure_logging(enabled=True, level="debug", stream=out)
+    yield out
+    obs_logging._config.update(previous)
+
+
+def records(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestEmission:
+    def test_one_json_object_per_line(self, stream):
+        log = StructuredLogger("test")
+        log.info("thing.happened", a=1)
+        log.warning("thing.warned")
+        recs = records(stream)
+        assert [r["event"] for r in recs] == ["thing.happened", "thing.warned"]
+        assert recs[0]["level"] == "info"
+        assert recs[0]["logger"] == "test"
+        assert recs[0]["a"] == 1
+        assert "ts" in recs[0]
+
+    def test_level_threshold_filters(self, stream):
+        configure_logging(level="warning")
+        log = StructuredLogger("test")
+        log.debug("quiet")
+        log.info("quiet")
+        log.error("loud")
+        assert [r["event"] for r in records(stream)] == ["loud"]
+
+    def test_disabled_emits_nothing(self, stream):
+        configure_logging(enabled=False)
+        StructuredLogger("test").error("anything")
+        assert stream.getvalue() == ""
+
+    def test_unserializable_fields_fall_back_to_str(self, stream):
+        StructuredLogger("test").info("x", obj=object())
+        (rec,) = records(stream)
+        assert "object object" in rec["obj"]
+
+
+class TestTraceCorrelation:
+    def test_active_span_ids_injected(self, stream):
+        tracer = Tracer()
+        log = StructuredLogger("test")
+        with tracer.span("work") as span:
+            log.info("inside")
+        log.info("outside")
+        inside, outside = records(stream)
+        assert inside["trace_id"] == span.trace_id
+        assert inside["span_id"] == span.span_id
+        assert "trace_id" not in outside
+
+
+class TestGetLogger:
+    def test_cached_by_name(self):
+        assert get_logger("repro.x") is get_logger("repro.x")
+        assert get_logger("repro.x").name == "repro.x"

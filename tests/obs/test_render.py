@@ -1,0 +1,110 @@
+"""Waterfall rendering of JSONL span sinks."""
+
+import json
+
+from repro.obs.render import group_traces, load_spans, render_file, render_trace
+
+
+def span(trace="t1", sid="s1", parent=None, name="work", start=0.0, dur=0.01, **attrs):
+    return {
+        "trace_id": trace,
+        "span_id": sid,
+        "parent_id": parent,
+        "name": name,
+        "start": start,
+        "duration_seconds": dur,
+        "status": "ok",
+        "attributes": attrs,
+    }
+
+
+def write_sink(path, spans):
+    path.write_text("".join(json.dumps(s) + "\n" for s in spans))
+
+
+class TestLoading:
+    def test_malformed_lines_skipped(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text(
+            json.dumps(span()) + "\n"
+            "not json at all\n"
+            '{"no": "ids"}\n'
+            "\n"
+            + json.dumps(span(sid="s2"))
+            + "\n"
+        )
+        assert len(load_spans(path)) == 2
+
+    def test_group_by_trace_preserves_first_seen_order(self, tmp_path):
+        spans = [span(trace="a"), span(trace="b", sid="s2"), span(trace="a", sid="s3")]
+        traces = group_traces(spans)
+        assert list(traces) == ["a", "b"]
+        assert len(traces["a"]) == 2
+
+
+class TestWaterfall:
+    def test_tree_order_and_indent(self):
+        spans = [
+            span(sid="root", name="http.request", start=0.0, dur=0.1),
+            span(sid="c1", parent="root", name="job", start=0.01, dur=0.08),
+            span(sid="c2", parent="c1", name="verify.solve", start=0.02, dur=0.05),
+        ]
+        text = render_trace(spans)
+        lines = text.splitlines()
+        assert "trace t1  3 spans" in lines[0]
+        assert lines[1].lstrip().startswith("http.request")
+        assert "  job" in lines[2]
+        assert "    verify.solve" in lines[3]
+
+    def test_orphans_become_roots(self):
+        spans = [span(sid="x", parent="never-arrived", name="orphan")]
+        text = render_trace(spans)
+        assert "orphan" in text
+
+    def test_summary_shows_selected_attributes(self):
+        spans = [span(sid="s", name="verify.solve", backend="smt", outcome="sat")]
+        text = render_trace(spans)
+        assert "backend=smt" in text
+        assert "outcome=sat" in text
+
+    def test_error_status_surfaced(self):
+        bad = span(sid="s")
+        bad["status"] = "error"
+        assert "status=error" in render_trace([bad])
+
+
+class TestRenderFile:
+    def test_multiple_traces_rendered(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_sink(path, [span(trace="aaa111"), span(trace="bbb222", sid="s2")])
+        text = render_file(path)
+        assert "trace aaa111" in text
+        assert "trace bbb222" in text
+
+    def test_trace_id_prefix_filter(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_sink(path, [span(trace="aaa111"), span(trace="bbb222", sid="s2")])
+        text = render_file(path, trace_id="bbb")
+        assert "trace bbb222" in text
+        assert "aaa111" not in text
+
+    def test_unknown_trace_id_reported(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_sink(path, [span()])
+        assert "no trace matching" in render_file(path, trace_id="zzz")
+
+    def test_limit_keeps_last_traces(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_sink(
+            path,
+            [span(trace=f"trace{i}", sid=f"s{i}") for i in range(5)],
+        )
+        text = render_file(path, limit=2)
+        assert "trace trace3" in text
+        assert "trace trace4" in text
+        assert "trace trace0" not in text
+
+    def test_empty_sink_reported(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text("")
+        assert "no spans" in render_file(path)

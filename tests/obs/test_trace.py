@@ -1,0 +1,211 @@
+"""Span tracer: identity, nesting, propagation, ring, sink, no-op path."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    NoopTracer,
+    SpanContext,
+    Tracer,
+    configure_tracing,
+    context_from_payload,
+    context_payload,
+    current_context,
+    get_tracer,
+    set_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def restore_global_tracer():
+    previous = get_tracer()
+    yield
+    set_tracer(previous)
+
+
+class TestSpanIdentity:
+    def test_root_span_starts_a_fresh_trace(self):
+        tracer = Tracer()
+        with tracer.span("root") as span:
+            assert len(span.trace_id) == 32
+            assert len(span.span_id) == 16
+            assert span.parent_id is None
+
+    def test_nested_spans_share_trace_and_chain_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+
+    def test_sibling_roots_get_distinct_traces(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_context_restored_after_exit(self):
+        tracer = Tracer()
+        assert current_context() is None
+        with tracer.span("outer") as outer:
+            assert current_context() == outer.context
+        assert current_context() is None
+
+
+class TestExplicitParents:
+    def test_payload_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            payload = context_payload()
+        assert set(payload) == {"trace_id", "span_id"}
+        ctx = context_from_payload(payload)
+        assert isinstance(ctx, SpanContext)
+        assert ctx.trace_id == payload["trace_id"]
+
+    def test_explicit_parent_overrides_ambient(self):
+        tracer = Tracer()
+        parent = {"trace_id": "t" * 32, "span_id": "s" * 16}
+        with tracer.span("ambient"):
+            with tracer.span("child", parent=parent) as child:
+                assert child.trace_id == parent["trace_id"]
+                assert child.parent_id == parent["span_id"]
+
+    def test_malformed_payload_means_no_parent(self):
+        assert context_from_payload(None) is None
+        assert context_from_payload({}) is None
+        assert context_from_payload({"trace_id": "x"}) is None
+
+
+class TestRecording:
+    def test_finished_spans_land_in_ring(self):
+        tracer = Tracer()
+        with tracer.span("work", kind="test"):
+            pass
+        spans = tracer.finished_spans()
+        assert len(spans) == 1
+        assert spans[0]["name"] == "work"
+        assert spans[0]["attributes"] == {"kind": "test"}
+        assert spans[0]["duration_seconds"] >= 0
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(ring_size=4)
+        for i in range(10):
+            tracer.span(f"s{i}").finish()
+        spans = tracer.finished_spans()
+        assert len(spans) == 4
+        assert spans[-1]["name"] == "s9"
+
+    def test_exception_marks_error_status(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("explodes"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished_spans()
+        assert span["status"] == "error"
+        assert "boom" in span["attributes"]["error"]
+
+    def test_set_attributes_chainable_and_recorded(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            span.set(a=1).set(b="x")
+        (recorded,) = tracer.finished_spans()
+        assert recorded["attributes"] == {"a": 1, "b": "x"}
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.start_span("once")
+        span.finish()
+        span.finish()
+        assert len(tracer.finished_spans()) == 1
+
+    def test_export_adopts_foreign_spans(self):
+        tracer = Tracer()
+        foreign = {"trace_id": "t" * 32, "span_id": "s" * 16, "name": "pool.task"}
+        tracer.export(foreign)
+        assert tracer.finished_spans("t" * 32)[0]["name"] == "pool.task"
+        assert tracer.snapshot()["exported"] == 1
+
+    def test_drain_empties_the_ring(self):
+        tracer = Tracer()
+        tracer.span("a").finish()
+        assert len(tracer.drain()) == 1
+        assert tracer.finished_spans() == []
+
+
+class TestJsonlSink:
+    def test_spans_appended_one_per_line(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer(jsonl_path=path)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["name"] for line in lines] == ["inner", "outer"]
+        assert lines[0]["trace_id"] == lines[1]["trace_id"]
+
+    def test_sink_errors_counted_not_raised(self, tmp_path):
+        tracer = Tracer(jsonl_path=tmp_path / "nope" / "spans.jsonl")
+        tracer.span("work").finish()  # parent dir missing: OSError inside
+        assert tracer.snapshot()["sink_errors"] == 1
+
+
+class TestThreads:
+    def test_context_does_not_leak_across_threads(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            seen["ctx"] = current_context()
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["ctx"] is None
+
+
+class TestNoop:
+    def test_default_tracer_is_noop(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        monkeypatch.delenv("REPRO_TRACE_FILE", raising=False)
+        import repro.obs.trace as trace_module
+
+        monkeypatch.setattr(trace_module, "_tracer", None)
+        assert isinstance(get_tracer(), NoopTracer)
+        assert get_tracer().enabled is False
+
+    def test_noop_span_is_shared_and_inert(self):
+        tracer = NoopTracer()
+        span = tracer.span("anything", big="attr")
+        assert span is NOOP_SPAN
+        with span as active:
+            assert active.set(x=1) is active
+            assert active.context_payload() is None
+        assert tracer.finished_spans() == []
+
+    def test_noop_does_not_activate_context(self):
+        tracer = NoopTracer()
+        with tracer.span("anything"):
+            assert current_context() is None
+
+
+class TestGlobalManagement:
+    def test_configure_tracing_installs_and_returns(self):
+        tracer = configure_tracing(enabled=True, ring_size=16)
+        assert get_tracer() is tracer
+        assert tracer.ring_size == 16
+
+    def test_configure_disabled_installs_noop(self):
+        configure_tracing(enabled=False)
+        assert isinstance(get_tracer(), NoopTracer)
+
+    def test_set_tracer_returns_previous(self):
+        first = configure_tracing(enabled=True)
+        second = Tracer()
+        assert set_tracer(second) is first
+        assert get_tracer() is second

@@ -177,3 +177,34 @@ class TestDiskPruning:
         snap = cache.snapshot()
         assert snap["directory"] is None
         assert "disk_entries" not in snap
+
+
+class TestStatsRegression:
+    def test_hit_rate_is_zero_with_no_lookups(self):
+        cache = ResultCache()
+        assert cache.hit_rate == 0.0
+        assert cache.stats.hit_rate() == 0.0
+        assert cache.snapshot()["hit_rate"] == 0.0
+
+    def test_hit_rate_tracks_lookups(self):
+        cache = ResultCache()
+        key, result = make_result()
+        cache.get(key)  # miss
+        cache.put(key, result)
+        cache.get(key)  # hit
+        assert cache.hit_rate == 0.5
+
+    def test_snapshot_is_isolated_from_mutation(self, tmp_path):
+        key, result = make_result()
+        cache = ResultCache(directory=tmp_path, max_disk_entries=8)
+        cache.put(key, result)
+        cache.get(key)
+        snap = cache.snapshot()
+        snap["hit_rate"] = 99.0
+        snap["memory_entries"] = -1
+        for value in snap.values():
+            if isinstance(value, dict):
+                value.clear()
+        fresh = cache.snapshot()
+        assert fresh["hit_rate"] == 1.0
+        assert fresh["memory_entries"] == 1

@@ -1,0 +1,61 @@
+"""Portfolio racing edge cases: total failure, cancellation, attribution."""
+
+import pytest
+
+from repro.core.spec import AttackGoal, AttackSpec
+from repro.core.verification import VerificationOutcome
+from repro.grid.cases import ieee14
+from repro.runtime import RuntimeOptions, race_backends, verify_many
+from repro.runtime.executor import _M_PORTFOLIO_RACES, _M_PORTFOLIO_WINS
+
+
+def sat_spec():
+    return AttackSpec.default(ieee14(), goal=AttackGoal.states(9))
+
+
+class TestTotalFailure:
+    def test_every_contender_crashing_is_inconclusive_not_fatal(self):
+        result = race_backends(sat_spec(), backends=("bogus_a", "bogus_b"))
+        assert result.outcome is VerificationOutcome.UNKNOWN
+        assert result.backend == "portfolio"
+        assert result.statistics["portfolio_inconclusive"] == 1
+        assert result.attack is None
+
+    def test_one_crashing_contender_does_not_spoil_the_race(self):
+        result = race_backends(sat_spec(), backends=("bogus_a", "smt"))
+        assert result.outcome is VerificationOutcome.ATTACK_EXISTS
+        assert result.statistics["portfolio_winner"] == "smt"
+
+
+class TestLoserCancellation:
+    def test_stalled_loser_is_terminated_and_counted(self, monkeypatch):
+        # the hook parks the MILP child, so SMT must win and the parked
+        # contender must be observed getting cancelled
+        monkeypatch.setenv("REPRO_RACE_STALL", "milp")
+        result = race_backends(sat_spec(), backends=("smt", "milp"))
+        assert result.outcome is VerificationOutcome.ATTACK_EXISTS
+        assert result.statistics["portfolio_winner"] == "smt"
+        assert result.statistics["portfolio_losers_cancelled"] >= 1
+
+    def test_winner_attribution_survives_role_swap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RACE_STALL", "smt")
+        result = race_backends(sat_spec(), backends=("smt", "milp"))
+        assert result.outcome is VerificationOutcome.ATTACK_EXISTS
+        assert result.statistics["portfolio_winner"] == "milp"
+
+
+class TestWinnerAttributionMetrics:
+    def test_executor_counts_races_and_wins_by_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RACE_STALL", "milp")
+        races_before = _M_PORTFOLIO_RACES.value()
+        wins_before = _M_PORTFOLIO_WINS.value(backend="smt")
+        results = verify_many(
+            [sat_spec()], RuntimeOptions(jobs=1, portfolio=True, cache=None)
+        )
+        assert results[0].outcome is VerificationOutcome.ATTACK_EXISTS
+        assert _M_PORTFOLIO_RACES.value() == races_before + 1
+        assert _M_PORTFOLIO_WINS.value(backend="smt") == wins_before + 1
+
+    def test_single_backend_race_still_attributes_winner(self):
+        result = race_backends(sat_spec(), backends=("smt",))
+        assert result.statistics["portfolio_winner"] == "smt"

@@ -185,3 +185,70 @@ class TestServe:
         assert args.port == 0
         assert args.batch_window == 0.1
         assert args.jobs == 2
+
+
+class TestObservabilityCli:
+    def test_bare_metrics_dumps_local_registry(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_solve_seconds histogram" in out
+        assert "# TYPE repro_cache_lookups_total counter" in out
+
+    def test_trace_show_renders_waterfall(self, tmp_path, capsys):
+        import json
+
+        sink = tmp_path / "spans.jsonl"
+        spans = [
+            {
+                "trace_id": "t" * 32,
+                "span_id": "a" * 16,
+                "parent_id": None,
+                "name": "http.request",
+                "start": 0.0,
+                "duration_seconds": 0.2,
+                "status": "ok",
+                "attributes": {"path": "/v1/verify"},
+            },
+            {
+                "trace_id": "t" * 32,
+                "span_id": "b" * 16,
+                "parent_id": "a" * 16,
+                "name": "verify.solve",
+                "start": 0.05,
+                "duration_seconds": 0.1,
+                "status": "ok",
+                "attributes": {"backend": "smt", "outcome": "sat"},
+            },
+        ]
+        sink.write_text("".join(json.dumps(s) + "\n" for s in spans))
+        assert main(["trace", "show", str(sink)]) == 0
+        out = capsys.readouterr().out
+        assert "trace " + "t" * 32 in out
+        assert "verify.solve" in out
+        assert "backend=smt" in out
+
+    def test_trace_show_filters_by_prefix(self, tmp_path, capsys):
+        import json
+
+        sink = tmp_path / "spans.jsonl"
+        for tid in ("aaa" + "0" * 29, "bbb" + "0" * 29):
+            span = {
+                "trace_id": tid,
+                "span_id": "c" * 16,
+                "parent_id": None,
+                "name": "work",
+                "start": 0.0,
+                "duration_seconds": 0.01,
+                "status": "ok",
+                "attributes": {},
+            }
+            with sink.open("a") as fh:
+                fh.write(json.dumps(span) + "\n")
+        assert main(["trace", "show", str(sink), "--trace-id", "bbb"]) == 0
+        out = capsys.readouterr().out
+        assert "bbb" in out
+        assert "aaa" not in out
+
+    def test_trace_show_missing_file_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["trace", "show", str(tmp_path / "missing.jsonl")])
+        assert rc == 1
