@@ -9,6 +9,10 @@ are deterministic synthetic grids matching the published bus/branch
 counts of the real systems (see :mod:`repro.grid.synthetic` and
 DESIGN.md for the substitution rationale) — the paper's scalability
 experiments depend only on problem size and degree structure.
+``synthetic1000``/``synthetic2000``/``synthetic3000`` extend the
+scaling ladder past the published systems at the same ~3 average
+degree (1.5 lines per bus), for the Fig. 4/5-style large-grid
+campaign in ``benchmarks/bench_scaling.py``.
 """
 
 from __future__ import annotations
@@ -126,17 +130,38 @@ def ieee300() -> Grid:
     return generate_grid(300, 411, seed=300, name="ieee300-synthetic")
 
 
+def synthetic1000() -> Grid:
+    """Deterministic 1000-bus grid (1500 lines, avg degree 3.0)."""
+    return generate_grid(1000, 1500, seed=1000, name="synthetic1000")
+
+
+def synthetic2000() -> Grid:
+    """Deterministic 2000-bus grid (3000 lines, avg degree 3.0)."""
+    return generate_grid(2000, 3000, seed=2000, name="synthetic2000")
+
+
+def synthetic3000() -> Grid:
+    """Deterministic 3000-bus grid (4500 lines, avg degree 3.0)."""
+    return generate_grid(3000, 4500, seed=3000, name="synthetic3000")
+
+
 _REGISTRY: Dict[str, Callable[[], Grid]] = {
     "ieee14": ieee14,
     "ieee30": ieee30,
     "ieee57": ieee57,
     "ieee118": ieee118,
     "ieee300": ieee300,
+    "synthetic1000": synthetic1000,
+    "synthetic2000": synthetic2000,
+    "synthetic3000": synthetic3000,
     "14": ieee14,
     "30": ieee30,
     "57": ieee57,
     "118": ieee118,
     "300": ieee300,
+    "1000": synthetic1000,
+    "2000": synthetic2000,
+    "3000": synthetic3000,
 }
 
 
@@ -152,4 +177,13 @@ def load_case(name: str) -> Grid:
 
 
 def available_cases() -> List[str]:
-    return ["ieee14", "ieee30", "ieee57", "ieee118", "ieee300"]
+    return [
+        "ieee14",
+        "ieee30",
+        "ieee57",
+        "ieee118",
+        "ieee300",
+        "synthetic1000",
+        "synthetic2000",
+        "synthetic3000",
+    ]

@@ -15,6 +15,7 @@ DESIGN.md as a substitution.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from typing import List, Set, Tuple
 
 from repro.grid.model import Grid, Line
@@ -59,15 +60,28 @@ def generate_grid(
         degree[b] += 1
         return True
 
-    # spanning tree
+    # spanning tree.  `attachable` is maintained incrementally as the
+    # ascending list of earlier buses with degree < 4, so each step is
+    # O(1) plus a rare O(log n) bisect + C-level delete when a bus fills
+    # up — the old per-bus list comprehension made tree construction
+    # quadratic in grid size, which dominated generation at 1000+ buses.
+    # The list contents (and hence every rng.choice draw) are identical
+    # to the old code's, keeping seeded grids byte-for-byte stable.
+    attachable: List[int] = [1]
     for bus in range(2, num_buses + 1):
-        candidates = [j for j in range(1, bus) if degree[j] < 4]
-        if not candidates:
-            candidates = list(range(1, bus))
-        add_edge(rng.choice(candidates), bus)
+        parent = rng.choice(attachable if attachable else list(range(1, bus)))
+        add_edge(parent, bus)
+        if degree[parent] >= 4 and attachable:
+            idx = bisect_left(attachable, parent)
+            if idx < len(attachable) and attachable[idx] == parent:
+                del attachable[idx]
+        if degree[bus] < 4:
+            attachable.append(bus)
 
     # chords: prefer local connections (|i-j| small in construction order,
-    # which correlates with tree distance)
+    # which correlates with tree distance).  Acceptance stays high at the
+    # ~3-average-degree densities real grids have, so this is
+    # O(num_lines) draws in expectation — O(n * degree) overall.
     attempts = 0
     while len(edges) < num_lines and attempts < 50 * num_lines:
         attempts += 1
@@ -79,10 +93,17 @@ def generate_grid(
         if degree[a] >= 6 or degree[b] >= 6:
             continue
         add_edge(a, b)
-    while len(edges) < num_lines:  # fallback: any pair
-        a = rng.randint(1, num_buses)
-        b = rng.randint(1, num_buses)
-        add_edge(a, b)
+    if len(edges) < num_lines:
+        # saturated fallback (dense requests only — never reached at grid
+        # densities): fill deterministically instead of rejection-sampling
+        # random pairs, which could spin arbitrarily long near capacity
+        for a in range(1, num_buses + 1):
+            for b in range(a + 1, num_buses + 1):
+                if len(edges) == num_lines:
+                    break
+                add_edge(a, b)
+            if len(edges) == num_lines:
+                break
 
     lines = [
         Line.from_reactance(

@@ -102,6 +102,14 @@ _M_SOLVER_THEORY_CHECKS = obs_metrics.counter(
 _M_SOLVER_PIVOTS = obs_metrics.counter(
     "repro_solver_pivots_total", "Simplex pivots across all solves"
 )
+_M_SOLVER_FILL_RATIO = obs_metrics.gauge(
+    "repro_solver_fill_ratio",
+    "Tableau fill ratio (row nonzeros / row cells) of the last solve",
+)
+_M_SOLVER_REFACTORIZATIONS = obs_metrics.counter(
+    "repro_solver_refactorizations_total",
+    "Sparse-kernel refactorization sweeps across all solves",
+)
 _M_SESSION_EVENTS = obs_metrics.counter(
     "repro_session_events_total",
     "Warm-session registry events (reused == encodes avoided)",
@@ -119,10 +127,14 @@ def _record_result_metrics(result: VerificationResult) -> None:
         (_M_SOLVER_PROPAGATIONS, "propagations"),
         (_M_SOLVER_THEORY_CHECKS, "theory_checks"),
         (_M_SOLVER_PIVOTS, "pivots"),
+        (_M_SOLVER_REFACTORIZATIONS, "refactorizations"),
     ):
         amount = stats.get(key)
         if amount:
             metric.inc(amount)
+    fill_ratio = stats.get("fill_ratio")
+    if fill_ratio is not None:
+        _M_SOLVER_FILL_RATIO.set(fill_ratio)
     if stats.get("task_timeout"):
         _M_TASK_TIMEOUTS.inc()
     if stats.get("portfolio"):

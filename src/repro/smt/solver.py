@@ -41,14 +41,28 @@ class Result(enum.Enum):
 #: bumped whenever solver internals change in a way that can alter
 #: models, cores or the statistics schema; baked into cache
 #: fingerprints so stale disk entries are recomputed, not reused
-ENGINE_VERSION = 4
+ENGINE_VERSION = 5
 
-DEFAULT_KERNEL = "int"
+DEFAULT_KERNEL = "sparse"
+
+#: every selectable kernel; mirrors repro.smt.theory.KERNELS without
+#: importing it (the facade validates before the theory is built, so a
+#: typo in REPRO_THEORY_KERNEL fails here with the env var named)
+VALID_KERNELS = ("sparse", "int", "reference")
 
 
 def _resolve_kernel(kernel: Optional[str]) -> str:
+    source = "kernel argument"
     if kernel is None:
-        kernel = os.environ.get("REPRO_THEORY_KERNEL", DEFAULT_KERNEL)
+        # an empty env var means "unset", matching the 0/""/unset
+        # convention of the sibling REPRO_* switches
+        kernel = os.environ.get("REPRO_THEORY_KERNEL") or DEFAULT_KERNEL
+        source = "REPRO_THEORY_KERNEL"
+    if kernel not in VALID_KERNELS:
+        raise ValueError(
+            f"unknown theory kernel {kernel!r} (from {source}); "
+            f"valid kernels: {', '.join(VALID_KERNELS)}"
+        )
     return kernel
 
 
@@ -109,10 +123,12 @@ class Model:
 class Solver:
     """An incremental QF_LRA solver (drop-in for the paper's use of Z3).
 
-    ``kernel`` selects the simplex engine — ``"int"`` (integer-triple
-    hot path, the default) or ``"reference"`` (the retained Fraction
-    oracle); ``theory_propagation`` toggles row-implied bound
-    propagation (integer kernel only); ``profile`` enables per-phase
+    ``kernel`` selects the simplex engine — ``"sparse"`` (sparse
+    control flow over the integer-triple layout, the default),
+    ``"int"`` (the PR 4 integer-triple kernel) or ``"reference"`` (the
+    retained Fraction oracle); ``theory_propagation`` toggles
+    row-implied bound propagation (triple kernels only); ``profile``
+    enables per-phase
     wall-time attribution in :meth:`statistics`.  Each defaults to the
     ``REPRO_THEORY_KERNEL`` / ``REPRO_THEORY_PROPAGATION`` /
     ``REPRO_SMT_PROFILE`` environment variable so existing ``Solver()``
@@ -402,6 +418,12 @@ class Solver:
         """Model-size and search statistics."""
         stats = dict(self._sat.stats)
         theory_checks = self._theory.stats["theory_checks"]
+        simplex = self._theory.simplex
+        # kernel sparsity: stored nonzeros across all tableau rows, and
+        # the fill relative to a dense rows x vars tableau.  ~3 nonzeros
+        # per row on real grids, so fill_ratio drops with grid size.
+        rows_nnz = sum(len(row) for row in simplex.rows.values())
+        cells = len(simplex.rows) * simplex.num_vars
         stats.update(
             sat_variables=self._sat.num_vars,
             clauses=len(self._sat.clauses),
@@ -417,7 +439,10 @@ class Solver:
             learned_kept=self._learned_kept,
             core_size=len(self._core),
             kernel=self._theory.kernel,
-            pivots=self._theory.simplex.pivots,
+            pivots=simplex.pivots,
+            rows_nnz=rows_nnz,
+            fill_ratio=round(rows_nnz / cells, 6) if cells else 0.0,
+            refactorizations=getattr(simplex, "refactorizations", 0),
             implied_bounds=self._theory.stats["implied_bounds"],
             theory_checks=theory_checks,
             props_per_check=round(

@@ -14,11 +14,14 @@ literal               asserted bound
 ``(e >= b)`` false    upper bound ``b - delta``  (strict ``<``)
 ====================  =======================================
 
-Two kernels back the listener (see :mod:`repro.smt.simplex`): the
-integer-triple :class:`~repro.smt.simplex.Simplex` (default) and the
-retained :class:`~repro.smt.simplex.ReferenceSimplex` Fraction oracle.
+Three kernels back the listener (see :mod:`repro.smt.simplex`): the
+sparse-control-flow :class:`~repro.smt.simplex.SparseSimplex`
+(default), the integer-triple :class:`~repro.smt.simplex.Simplex`, and
+the retained :class:`~repro.smt.simplex.ReferenceSimplex` Fraction
+oracle.  All three are bit-identical; :data:`KERNELS` names the valid
+selections.
 
-On the integer kernel the listener additionally implements *unate
+On the integer-triple kernels the listener additionally implements *unate
 propagation* (Dutertre & de Moura section 6): after a feasible
 ``check()``, rows touched by recently tightened bounds are scanned and
 the bound each row implies on its basic variable is compared against the
@@ -35,9 +38,23 @@ from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.smt.cnf import CanonicalAtom
-from repro.smt.simplex import DeltaRational, ReferenceSimplex, Simplex
+from repro.smt.simplex import (
+    DeltaRational,
+    ReferenceSimplex,
+    Simplex,
+    SparseSimplex,
+)
 
 ONE = Fraction(1)
+
+#: valid theory kernels, fastest first; ``sparse`` is the default
+KERNELS = ("sparse", "int", "reference")
+
+_ENGINES = {
+    "sparse": SparseSimplex,
+    "int": Simplex,
+    "reference": ReferenceSimplex,
+}
 
 #: rows examined per :meth:`LraTheory.propagate` call; overflow rows are
 #: re-queued on the dirty set for the next call
@@ -49,20 +66,23 @@ class LraTheory:
 
     def __init__(
         self,
-        kernel: str = "int",
+        kernel: str = "sparse",
         propagate: bool = True,
         propagation_budget: int = DEFAULT_PROPAGATION_BUDGET,
     ) -> None:
-        if kernel not in ("int", "reference"):
-            raise ValueError(f"unknown theory kernel {kernel!r}")
+        if kernel not in _ENGINES:
+            raise ValueError(
+                f"unknown theory kernel {kernel!r}; valid kernels: "
+                f"{', '.join(KERNELS)}"
+            )
         self.kernel = kernel
-        self._use_triples = kernel == "int"
-        # row-implied bound propagation needs the integer kernel's
+        self._use_triples = kernel != "reference"
+        # row-implied bound propagation needs the integer kernels'
         # triple bounds; the reference engine is the frozen pre-overhaul
         # oracle and always runs without it
         self.propagation = bool(propagate) and self._use_triples
         self.propagation_budget = propagation_budget
-        self.simplex = Simplex() if self._use_triples else ReferenceSimplex()
+        self.simplex = _ENGINES[kernel]()
         # RealVar.index -> simplex var
         self._real_vars: Dict[int, int] = {}
         # canonical linear form -> simplex var holding its value

@@ -15,13 +15,17 @@ PAPER_TABLE_II_ENDPOINTS = [
     (9, 14), (10, 11), (12, 13), (13, 14),
 ]
 
-# published sizes of the real IEEE test systems
+# published sizes of the real IEEE test systems, plus the deterministic
+# large-grid scaling ladder (1.5 lines per bus -> avg degree 3.0)
 EXPECTED_SIZES = {
     "ieee14": (14, 20),
     "ieee30": (30, 41),
     "ieee57": (57, 80),
     "ieee118": (118, 186),
     "ieee300": (300, 411),
+    "synthetic1000": (1000, 1500),
+    "synthetic2000": (2000, 3000),
+    "synthetic3000": (3000, 4500),
 }
 
 
@@ -59,6 +63,7 @@ class TestRegistry:
 
     def test_numeric_aliases(self):
         assert load_case("30").num_buses == 30
+        assert load_case("1000").num_buses == 1000
 
     def test_unknown_case(self):
         with pytest.raises(KeyError):

@@ -170,6 +170,8 @@ class TestGlobalRegistry:
             "repro_portfolio_wins_total",
             "repro_session_events_total",
             "repro_solver_conflicts_total",
+            "repro_solver_fill_ratio",
+            "repro_solver_refactorizations_total",
             "repro_solve_seconds",
             "repro_task_timeouts_total",
         ):

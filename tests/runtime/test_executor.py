@@ -23,6 +23,22 @@ def batch_specs():
     ]
 
 
+class TestResultMetrics:
+    def test_solver_stats_fold_into_registry(self):
+        fill_gauge = executor_module._M_SOLVER_FILL_RATIO
+        conflict_counter = executor_module._M_SOLVER_CONFLICTS
+        before = conflict_counter.value()
+        results = verify_many(batch_specs()[:1], RuntimeOptions(jobs=1))
+        stats = results[0].statistics
+        # the tableau sparsity stats travel home in the result and land
+        # in the registry: fill ratio as a last-solve gauge, conflicts
+        # (and friends) as running counters
+        assert 0.0 < stats["fill_ratio"] <= 1.0
+        assert stats["rows_nnz"] > 0
+        assert fill_gauge.value() == stats["fill_ratio"]
+        assert conflict_counter.value() == before + stats["conflicts"]
+
+
 class TestOptions:
     def test_effective_jobs_clamps_to_tasks(self):
         assert RuntimeOptions(jobs=8).effective_jobs(3) == 3

@@ -99,6 +99,7 @@ class TestMetricsEndpoint:
             "repro_portfolio_races_total",
             "repro_session_events_total",
             "repro_solver_conflicts_total",
+            "repro_solver_fill_ratio",
             "repro_solve_seconds",
         ):
             assert f"# TYPE {family} " in text

@@ -1,12 +1,15 @@
-"""Property tests pinning the integer kernel to the Fraction reference.
+"""Property tests pinning the fast kernels to the Fraction reference.
 
-The integer-triple simplex (the default engine) must be **bit-identical**
-to the retained :class:`~repro.smt.simplex.ReferenceSimplex`: same
-verdicts, same models, same search trace.  These tests exercise the
+Both integer-triple simplex engines — the sparse-control-flow
+:class:`~repro.smt.simplex.SparseSimplex` (the default) and the dense
+:class:`~repro.smt.simplex.Simplex` — must be **bit-identical** to the
+retained :class:`~repro.smt.simplex.ReferenceSimplex`: same verdicts,
+same models, same search trace.  These tests exercise the three-way
 contract two ways — random mixed formulas through the full
-:class:`~repro.smt.Solver` under both kernels, and random bound/pivot
-scripts replayed directly on both simplex engines with invariant
-checking enabled.
+:class:`~repro.smt.Solver` under every kernel, and random bound/pivot
+scripts replayed directly on the simplex engines with invariant
+checking enabled (which on the sparse engine also cross-checks the
+incrementally maintained violated-basic set against a full recompute).
 """
 
 import random
@@ -16,9 +19,17 @@ from functools import reduce
 import pytest
 
 from repro.smt import Not, Or, Result, Solver, ge, le
-from repro.smt.simplex import DeltaRational, ReferenceSimplex, Simplex
+from repro.smt.simplex import (
+    DeltaRational,
+    ReferenceSimplex,
+    Simplex,
+    SparseSimplex,
+)
 
 F = Fraction
+
+#: the kernels pinned to the reference oracle
+FAST_KERNELS = ("int", "sparse")
 
 
 # ----------------------------------------------------------------------
@@ -77,27 +88,40 @@ def solve_with(kernel, seed, propagation=False):
 
 
 class TestSolverEquivalence:
+    @pytest.mark.parametrize("kernel", FAST_KERNELS)
     @pytest.mark.parametrize("seed", range(40))
-    def test_bit_identical_verdict_model_and_trace(self, seed):
+    def test_bit_identical_verdict_model_and_trace(self, seed, kernel):
         ref = solve_with("reference", seed)
-        fast = solve_with("int", seed)
+        fast = solve_with(kernel, seed)
         _, xs, bs, _, _, ref_result, ref_model = ref
-        _, _, _, _, _, int_result, int_model = fast
-        assert int_result is ref_result
+        _, _, _, _, _, fast_result, fast_model = fast
+        assert fast_result is ref_result
         if ref_result is Result.SAT:
             for x in xs:
-                assert int_model.real_value(x) == ref_model.real_value(x)
+                assert fast_model.real_value(x) == ref_model.real_value(x)
             for b in bs:
-                assert int_model.value(b) == ref_model.value(b)
+                assert fast_model.value(b) == ref_model.value(b)
         # the search itself must be identical, not just the answer
         ref_stats = ref[0].statistics()
-        int_stats = fast[0].statistics()
+        fast_stats = fast[0].statistics()
         for key in ("conflicts", "decisions", "propagations", "pivots"):
-            assert int_stats[key] == ref_stats[key], key
+            assert fast_stats[key] == ref_stats[key], key
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_sparse_matches_int_stats_exactly(self, seed):
+        # sparse vs int directly (not just both-vs-reference): the whole
+        # stats dicts must agree except the sparse-only refactorization
+        # counter
+        int_stats = solve_with("int", seed)[0].statistics()
+        sparse_stats = solve_with("sparse", seed)[0].statistics()
+        for stats in (int_stats, sparse_stats):
+            stats.pop("refactorizations", None)
+            stats.pop("kernel", None)
+        assert sparse_stats == int_stats
 
     @pytest.mark.parametrize("seed", range(40))
     def test_models_satisfy_asserted_clauses(self, seed):
-        solver, xs, bs, atoms, skeleton, result, model = solve_with("int", seed)
+        solver, xs, bs, atoms, skeleton, result, model = solve_with("sparse", seed)
         if result is not Result.SAT:
             return
         values = [model.real_value(x) for x in xs]
@@ -133,7 +157,7 @@ class TestUnsatCores:
             op = rng.choice(("<=", ">="))
             bounds.append((var, op, rng.randint(-3, 3)))
         cores = {}
-        for kernel in ("reference", "int"):
+        for kernel in ("reference", "int", "sparse"):
             solver = Solver(kernel=kernel)
             xs = [solver.real_var(f"x{i}") for i in range(2)]
             terms = [
@@ -147,6 +171,7 @@ class TestUnsatCores:
                 else [terms.index(t) for t in solver.unsat_core()]
             )
         assert cores["int"] == cores["reference"]
+        assert cores["sparse"] == cores["reference"]
         if cores["int"] is None:
             return
         # the named subset must itself be UNSAT
@@ -232,4 +257,51 @@ class TestScriptReplay:
         rows, ops = random_script(rng, nv=nv)
         ref_trace = replay(ReferenceSimplex, rows, ops, nv)
         int_trace = replay(Simplex, rows, ops, nv)
+        sparse_trace = replay(SparseSimplex, rows, ops, nv)
         assert int_trace == ref_trace
+        assert sparse_trace == ref_trace
+
+    @pytest.mark.parametrize("seed", range(30, 50))
+    def test_sparse_invariants_on_larger_scripts(self, seed):
+        # bigger scripts drive more pivot/backtrack interleavings through
+        # the sparse engine's incremental violated-set maintenance;
+        # replay() runs with debug_invariants=True, so every check() and
+        # the final check_invariants() cross-check the set against a
+        # full recompute
+        rng = random.Random(seed)
+        nv = rng.randint(4, 6)
+        rows, ops = random_script(rng, nv=nv, nrows=5, nops=60)
+        sparse_trace = replay(SparseSimplex, rows, ops, nv)
+        int_trace = replay(Simplex, rows, ops, nv)
+        assert sparse_trace == int_trace
+
+
+# ----------------------------------------------------------------------
+# kernel selection validation
+# ----------------------------------------------------------------------
+class TestKernelValidation:
+    def test_unknown_kernel_argument_rejected(self):
+        with pytest.raises(ValueError, match="unknown theory kernel 'bogus'"):
+            Solver(kernel="bogus")
+
+    def test_unknown_kernel_env_rejected(self, monkeypatch):
+        # a typo'd REPRO_THEORY_KERNEL must fail loudly at Solver
+        # construction, naming the env var and the valid kernels, not
+        # silently fall back or crash deep in the theory layer
+        monkeypatch.setenv("REPRO_THEORY_KERNEL", "sprase")
+        with pytest.raises(ValueError) as exc:
+            Solver()
+        message = str(exc.value)
+        assert "sprase" in message
+        assert "REPRO_THEORY_KERNEL" in message
+        for kernel in ("sparse", "int", "reference"):
+            assert kernel in message
+
+    def test_empty_env_means_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THEORY_KERNEL", "")
+        assert Solver().statistics()["kernel"] == "sparse"
+
+    @pytest.mark.parametrize("kernel", ("sparse", "int", "reference"))
+    def test_valid_kernels_accepted(self, kernel, monkeypatch):
+        monkeypatch.setenv("REPRO_THEORY_KERNEL", kernel)
+        assert Solver().statistics()["kernel"] == kernel
