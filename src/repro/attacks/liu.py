@@ -26,10 +26,15 @@ from repro.estimation.measurement import MeasurementPlan, build_h
 
 
 def _vector_from_c(
-    plan: MeasurementPlan, c: np.ndarray, reference_bus: int, tol: float
+    plan: MeasurementPlan,
+    c: np.ndarray,
+    reference_bus: int,
+    tol: float,
+    mapped_lines: Optional[Iterable[int]] = None,
 ) -> AttackVector:
     grid = plan.grid
-    h_full = build_h(grid, reference_bus)  # all potential measurements
+    # all potential measurements, on the mapped (in-service) topology
+    h_full = build_h(grid, reference_bus, mapped_lines=mapped_lines)
     a_full = h_full @ c
     deltas: Dict[int, float] = {}
     for meas in plan.taken_in_order():
@@ -50,6 +55,7 @@ def perfect_knowledge_attack(
     target_deltas: Mapping[int, float],
     reference_bus: int = 1,
     tol: float = 1e-12,
+    mapped_lines: Optional[Iterable[int]] = None,
 ) -> AttackVector:
     """The textbook ``a = H c`` attack for a chosen state corruption.
 
@@ -57,6 +63,11 @@ def perfect_knowledge_attack(
     bus cannot be targeted).  Every taken measurement whose value moves
     is included in the vector — the attacker needs access to all of
     them for the attack to stay stealthy.
+
+    ``mapped_lines`` crafts the attack against the control center's
+    current in-service topology (e.g. after a line outage): stealth is
+    relative to the H the estimator actually uses, so an attacker who
+    tracks breaker telemetry stays invisible across topology changes.
     """
     grid = plan.grid
     columns = [j for j in grid.buses if j != reference_bus]
@@ -68,7 +79,7 @@ def perfect_knowledge_attack(
         if bus not in index_of:
             raise ValueError(f"unknown bus {bus}")
         c[index_of[bus]] = delta
-    return _vector_from_c(plan, c, reference_bus, tol)
+    return _vector_from_c(plan, c, reference_bus, tol, mapped_lines=mapped_lines)
 
 
 def restricted_access_attack(

@@ -48,6 +48,7 @@ def _runtime_options(args: argparse.Namespace) -> RuntimeOptions:
         portfolio=getattr(args, "portfolio", False),
         backend=getattr(args, "backend", "smt"),
         cache=cache,
+        sessions=getattr(args, "sessions", False),
     )
 
 
@@ -67,6 +68,12 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         "--cache-dir",
         metavar="DIR",
         help="memoize results on disk under DIR (skips repeated solves)",
+    )
+    parser.add_argument(
+        "--sessions",
+        action="store_true",
+        help="reuse warm verification sessions across same-grid solves "
+        "(jobs=1; incremental probes instead of fresh encodings)",
     )
 
 
@@ -275,6 +282,92 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Stream a scenario through the monitor and report incidents.
+
+    Local by default (warm in-process sessions); ``--serve-url`` routes
+    re-verification probes to a running service as high-priority jobs
+    and publishes incidents to its ``/v1/incidents`` store instead.
+    """
+    import json as json_mod
+
+    from repro.monitor import (
+        IncidentSink,
+        MonitorConfig,
+        MonitorEngine,
+        ReverifyConfig,
+        resolve_scenario,
+    )
+    from repro.obs.trace import configure_tracing
+
+    if args.trace_file:
+        configure_tracing(enabled=True, jsonl_path=args.trace_file)
+    grid = load_case(args.case)
+    try:
+        scenario = resolve_scenario(
+            args.scenario, grid, ticks=args.ticks, noise_std=args.noise_std
+        )
+    except ValueError as exc:
+        print(f"invalid scenario: {exc}", file=sys.stderr)
+        return 1
+    client = None
+    if args.serve_url:
+        from urllib.parse import urlparse
+
+        from repro.service.client import ServiceClient
+
+        parsed = urlparse(args.serve_url)
+        client = ServiceClient(
+            host=parsed.hostname or "127.0.0.1", port=parsed.port or 8321
+        )
+        client.wait_until_ready()
+    config = MonitorConfig(
+        ticks=args.ticks,
+        seed=args.seed,
+        reverify=ReverifyConfig(
+            cost_threshold=args.cost_threshold,
+            synthesis_budget=args.synthesis_budget,
+        ),
+    )
+    sink = IncidentSink(args.sink) if args.sink else None
+    engine = MonitorEngine(grid, scenario, config, client=client, sink=sink)
+    report = engine.run()
+    if args.json:
+        print(json_mod.dumps(report.to_payload(), indent=2, default=str))
+    else:
+        print(
+            f"monitored {args.case} / {scenario.name}: {report.ticks} ticks, "
+            f"stream digest {report.stream_digest[:16]}"
+        )
+        if report.baseline_cost is not None:
+            print(f"baseline min attack cost: {report.baseline_cost}")
+        if not report.incidents:
+            print("no incidents")
+        for incident in report.incidents:
+            verdict = incident.verification or {}
+            line = (
+                f"[{incident.severity:>8}] tick {incident.tick:>4} "
+                f"{incident.kind} ({incident.detector})"
+            )
+            if verdict.get("outcome"):
+                line += f" outcome={verdict['outcome']}"
+            if verdict.get("min_cost") is not None:
+                line += f" min_cost={verdict['min_cost']}"
+            if incident.countermeasure is not None:
+                line += (
+                    f" countermeasure={incident.countermeasure.get('secured_buses')}"
+                )
+            print(line)
+        fired = {
+            name: snap.get("fired")
+            for name, snap in report.triggers.items()
+            if snap.get("fired")
+        }
+        if fired:
+            print(f"detector firings: {fired}")
+    return 2 if any(i.severity in ("major", "critical") for i in report.incidents) else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.http import serve
 
@@ -388,6 +481,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=15, help="hot functions to report")
     p.add_argument("--out", metavar="FILE", help="write the JSON report to FILE")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "monitor",
+        help="stream a measurement scenario and raise verified incidents",
+    )
+    p.add_argument("case", choices=available_cases())
+    p.add_argument(
+        "--scenario",
+        default="nominal",
+        help="builtin name (nominal, noise_burst, telemetry_spoof, "
+        "line_outage) or a scenario JSON file",
+    )
+    p.add_argument("--ticks", type=int, default=200, help="frames to stream")
+    p.add_argument("--seed", type=int, default=7, help="noise/injection RNG seed")
+    p.add_argument(
+        "--noise-std", type=float, default=None, help="meter noise sigma override"
+    )
+    p.add_argument(
+        "--cost-threshold",
+        type=int,
+        default=8,
+        help="min attack cost at or below this escalates and synthesizes "
+        "a countermeasure",
+    )
+    p.add_argument(
+        "--synthesis-budget",
+        type=int,
+        default=2,
+        help="max secured buses for synthesized countermeasures",
+    )
+    p.add_argument(
+        "--serve-url",
+        metavar="URL",
+        help="run re-verification via this service (high-priority jobs) "
+        "and publish incidents to its /v1/incidents store",
+    )
+    p.add_argument(
+        "--sink", metavar="FILE", help="append incidents to FILE as JSONL"
+    )
+    p.add_argument(
+        "--trace-file",
+        metavar="FILE",
+        help="enable span tracing with a JSONL sink at FILE",
+    )
+    p.add_argument("--json", action="store_true", help="emit the full JSON report")
+    p.set_defaults(func=_cmd_monitor)
 
     p = sub.add_parser(
         "serve", help="run the long-lived verification service (HTTP JSON API)"

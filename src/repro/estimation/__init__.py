@@ -8,7 +8,12 @@ analysis, and residual-based topology-error detection.
 """
 
 from repro.estimation.measurement import MeasurementPlan, build_h, build_measurements
-from repro.estimation.wls import StateEstimate, wls_estimate
+from repro.estimation.wls import (
+    StateEstimate,
+    UnobservableSystemError,
+    WlsEstimator,
+    wls_estimate,
+)
 from repro.estimation.baddata import BadDataResult, chi_square_test, largest_normalized_residuals
 from repro.estimation.observability import (
     ObservabilityReport,
@@ -22,6 +27,8 @@ __all__ = [
     "MeasurementPlan",
     "ObservabilityReport",
     "StateEstimate",
+    "UnobservableSystemError",
+    "WlsEstimator",
     "analyze_observability",
     "basic_measurement_set",
     "build_h",

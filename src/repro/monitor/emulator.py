@@ -1,0 +1,210 @@
+"""Tick-based measurement-stream generator driving the warm WLS path.
+
+Each tick the emulator plays the control-room data path once: solve the
+DC operating point on the *currently in-service* topology, telemeter
+every taken measurement with Gaussian meter noise, apply whatever the
+scenario says is happening (burst noise, a crafted ``a = H c`` spoof,
+an open breaker), and hand the stream to the estimator — the
+:class:`~repro.estimation.wls.WlsEstimator`, whose gain factorization
+is cached per topology so a 200-tick run on an unchanged grid
+factorizes exactly once.
+
+Determinism is a contract, not an accident: a single
+``numpy.random.default_rng(seed)`` drives all noise, every tick draws
+the same number of variates regardless of scenario activity, and the
+byte stream of emitted ``z`` vectors is folded into a SHA-256 digest so
+replay tests can assert bit-identical streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.liu import perfect_knowledge_attack
+from repro.attacks.vector import AttackVector
+from repro.estimation.measurement import MeasurementPlan, build_h
+from repro.estimation.wls import StateEstimate, WlsEstimator
+from repro.grid.dcflow import nominal_injections, solve_dc_flow
+from repro.grid.model import Grid
+from repro.monitor.scenario import Scenario, validate_scenario
+
+
+@dataclass(frozen=True)
+class Tick:
+    """One emitted control-room frame.
+
+    ``z`` is what the control center receives (noise + any injection);
+    ``z_clean`` is the noiseless truth for the same topology.
+    ``spoof`` carries the injected attack vector while a spoof is
+    active (None otherwise), ``mapped_lines`` the in-service line set
+    the estimator used, and ``topology_changed`` flags the first tick
+    after a breaker event.
+    """
+
+    index: int
+    z: np.ndarray
+    z_clean: np.ndarray
+    estimate: StateEstimate
+    active_kinds: Tuple[str, ...]
+    mapped_lines: Tuple[int, ...]
+    topology_changed: bool
+    noise_scale: float
+    spoof: Optional[AttackVector]
+
+
+class MeasurementEmulator:
+    """Seeded, deterministic stream of :class:`Tick` frames.
+
+    The emulator owns the grid, the full measurement plan (every
+    potential measurement taken), the scenario timeline and the RNG.
+    ``ticks(n)`` generates frames 0..n-1; :attr:`stream_digest` is the
+    SHA-256 over all emitted ``z`` bytes so far.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        scenario: Scenario,
+        seed: int = 7,
+        reference_bus: int = 1,
+        estimator: Optional[WlsEstimator] = None,
+    ) -> None:
+        validate_scenario(scenario, grid)
+        self.grid = grid
+        self.scenario = scenario
+        self.seed = seed
+        self.reference_bus = reference_bus
+        self.plan = MeasurementPlan(grid)
+        self.estimator = estimator if estimator is not None else WlsEstimator()
+        self.injections = nominal_injections(grid, seed=seed)
+        self._rng = np.random.default_rng(seed)
+        self._digest = hashlib.sha256()
+        self._num_taken = len(self.plan.taken_in_order())
+        # weight every meter by its assumed noise variance so the WLS
+        # objective is chi-square distributed with dof degrees of
+        # freedom under nominal noise — otherwise the residual test has
+        # no calibrated threshold to fire against
+        sigma = scenario.noise_std if scenario.noise_std > 0 else 1.0
+        self._weights = np.full(self._num_taken, 1.0 / sigma**2)
+        self._spoof_cache: Dict[Tuple, AttackVector] = {}
+        self._flow_cache: Dict[Tuple[int, ...], np.ndarray] = {}
+        self._previous_mapped: Optional[Tuple[int, ...]] = None
+        self.ticks_emitted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def stream_digest(self) -> str:
+        """SHA-256 over the bytes of every ``z`` emitted so far."""
+        return self._digest.hexdigest()
+
+    def _mapped_lines(self, tick: int) -> Tuple[int, ...]:
+        open_lines = {
+            event.params["line"]
+            for event in self.scenario.events_at(tick)
+            if event.kind == "line_outage"
+        }
+        return tuple(
+            i for i in range(1, self.grid.num_lines + 1) if i not in open_lines
+        )
+
+    def _clean_measurements(self, mapped: Tuple[int, ...]) -> np.ndarray:
+        """Noiseless z for the operating point on the mapped topology."""
+        cached = self._flow_cache.get(mapped)
+        if cached is not None:
+            return cached
+        flow = solve_dc_flow(
+            self.grid, self.injections, self.reference_bus, line_indices=mapped
+        )
+        values: List[float] = []
+        for meas in self.plan.taken_in_order():
+            kind, element = self.plan.classify(meas)
+            if kind == "forward":
+                values.append(flow.flow(element))
+            elif kind == "backward":
+                values.append(-flow.flow(element))
+            else:
+                values.append(flow.consumption(element))
+        z_clean = np.array(values)
+        self._flow_cache[mapped] = z_clean
+        return z_clean
+
+    def _spoof_vector(
+        self, targets: Tuple[int, ...], magnitude: float, mapped: Tuple[int, ...]
+    ) -> AttackVector:
+        """The ``a = H c`` injection for these targets on this topology."""
+        key = (targets, magnitude, mapped)
+        cached = self._spoof_cache.get(key)
+        if cached is None:
+            cached = perfect_knowledge_attack(
+                self.plan,
+                {bus: magnitude for bus in targets},
+                reference_bus=self.reference_bus,
+                mapped_lines=mapped,
+            )
+            self._spoof_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def tick(self, index: int) -> Tick:
+        """Emit frame ``index`` (must be called in 0,1,2,... order)."""
+        active = self.scenario.events_at(index)
+        active_kinds = tuple(sorted({event.kind for event in active}))
+        mapped = self._mapped_lines(index)
+        topology_changed = (
+            self._previous_mapped is not None and mapped != self._previous_mapped
+        )
+        self._previous_mapped = mapped
+
+        z_clean = self._clean_measurements(mapped)
+        # one fixed-size draw per tick, whatever the scenario is doing,
+        # so event timing never shifts the RNG stream
+        noise = self._rng.normal(0.0, 1.0, size=self._num_taken)
+        noise_scale = 1.0
+        for event in active:
+            if event.kind == "noise_burst":
+                noise_scale *= float(event.params.get("scale", 1.0))
+        z = z_clean + self.scenario.noise_std * noise_scale * noise
+
+        spoof: Optional[AttackVector] = None
+        for event in active:
+            if event.kind == "telemetry_spoof":
+                vector = self._spoof_vector(
+                    tuple(sorted(event.params["target_states"])),
+                    float(event.params.get("magnitude", 0.1)),
+                    mapped,
+                )
+                z = vector.apply_to(z, self.plan)
+                spoof = vector
+
+        h = build_h(
+            self.grid,
+            self.reference_bus,
+            taken=self.plan.taken_in_order(),
+            mapped_lines=mapped,
+        )
+        estimate = self.estimator.estimate(
+            h, z, weights=self._weights, key=mapped
+        )
+
+        self._digest.update(np.ascontiguousarray(z).tobytes())
+        self.ticks_emitted += 1
+        return Tick(
+            index=index,
+            z=z,
+            z_clean=z_clean,
+            estimate=estimate,
+            active_kinds=active_kinds,
+            mapped_lines=mapped,
+            topology_changed=topology_changed,
+            noise_scale=noise_scale,
+            spoof=spoof,
+        )
+
+    def ticks(self, count: int) -> Iterator[Tick]:
+        """Generate frames ``0..count-1`` lazily."""
+        for index in range(count):
+            yield self.tick(index)

@@ -1,0 +1,391 @@
+"""The per-tick monitoring loop: stream -> triggers -> bridge -> incidents.
+
+:class:`MonitorEngine` plays a scenario through the
+:class:`~repro.monitor.emulator.MeasurementEmulator`, feeds every frame
+to the four detectors, and escalates trigger events into
+:class:`~repro.monitor.incidents.Incident` records — running the
+re-verification bridge for the events where statistics alone cannot
+answer (state drift: *is this consistent with an undetectable
+attack?*; topology change: *did the minimum attack cost just drop?*).
+
+Severity policy:
+
+* ``state_drift`` verified ``sat`` with min cost at or below the
+  threshold (countermeasure attached) — **critical**
+* ``state_drift`` verified ``sat`` above the threshold — **major**
+* topology shift breaching the cost threshold — **major**; a cost drop
+  that stays above it — **minor**; no change in exposure — **info**
+* chi-square bad data and residual-shift change points — **minor**
+
+Everything the engine emits is deterministic for a fixed (case,
+scenario, seed): incident ids are ``{kind}-{tick:05d}-{seq:02d}``,
+verdict payloads carry no wall-clock fields, and the report includes
+the emulator's z-stream SHA-256 — the replay test asserts both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.grid.model import Grid
+from repro.monitor.emulator import MeasurementEmulator, Tick
+from repro.monitor.incidents import Incident, IncidentSink, IncidentStore
+from repro.monitor.reverify import ReverificationBridge, ReverifyConfig
+from repro.monitor.scenario import Scenario
+from repro.monitor.triggers import (
+    ChiSquareTrigger,
+    ResidualCusumTrigger,
+    StateDriftTrigger,
+    TopologyChangeTrigger,
+    TriggerEvent,
+)
+from repro.obs.metrics import counter, gauge
+from repro.obs.trace import get_tracer
+
+if TYPE_CHECKING:
+    from repro.estimation.wls import WlsEstimator
+    from repro.service.client import ServiceClient
+
+_M_TICKS = counter(
+    "repro_monitor_ticks_total",
+    "Measurement frames processed by the monitor loop",
+    labels=("scenario",),
+)
+_M_INCIDENTS = counter(
+    "repro_monitor_incidents_total",
+    "Incidents raised by the monitor loop",
+    labels=("kind", "severity"),
+)
+_M_TRIGGERS = counter(
+    "repro_monitor_trigger_events_total",
+    "Raw detector activations (before incident assembly)",
+    labels=("detector",),
+)
+_G_RESIDUAL = gauge(
+    "repro_monitor_residual_norm",
+    "Residual l2 norm of the latest processed tick",
+)
+
+#: how many trailing ticks of an excursion an incident records
+_EVIDENCE_WINDOW = 10
+
+
+@dataclass
+class MonitorConfig:
+    """Engine knobs; detector defaults follow docs/MONITORING.md."""
+
+    ticks: int = 200
+    seed: int = 7
+    reference_bus: int = 1
+    chi_alpha: float = 0.01
+    cusum_drift: float = 0.5
+    cusum_threshold: float = 8.0
+    warmup: int = 20
+    cooldown: int = 10
+    bus_sigma: float = 4.0
+    #: compute the full-topology min attack cost before the run so
+    #: topology-shift incidents can report the change in exposure
+    baseline_cost: bool = True
+    reverify: ReverifyConfig = field(default_factory=ReverifyConfig)
+
+    def __post_init__(self) -> None:
+        if self.ticks < 1:
+            raise ValueError("ticks must be positive")
+        if not 0 < self.chi_alpha < 1:
+            raise ValueError("chi_alpha must be in (0, 1)")
+        if self.warmup < 1:
+            raise ValueError("warmup must be positive")
+
+
+@dataclass
+class MonitorReport:
+    """Everything one run produced, JSON-able for the CLI and tests."""
+
+    case: str
+    scenario: str
+    ticks: int
+    seed: int
+    stream_digest: str
+    incidents: List[Incident]
+    baseline_cost: Optional[int]
+    trace_id: Optional[str]
+    triggers: Dict[str, Any]
+    estimator: Dict[str, Any]
+    bridge: Dict[str, Any]
+    final_residual_norm: float
+
+    def incident_signatures(self) -> List[Dict[str, Any]]:
+        """Deterministic incident views — the replay-test contract."""
+        return [incident.signature() for incident in self.incidents]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "case": self.case,
+            "scenario": self.scenario,
+            "ticks": self.ticks,
+            "seed": self.seed,
+            "stream_digest": self.stream_digest,
+            "baseline_cost": self.baseline_cost,
+            "trace_id": self.trace_id,
+            "incidents": [incident.to_payload() for incident in self.incidents],
+            "triggers": self.triggers,
+            "estimator": self.estimator,
+            "bridge": self.bridge,
+            "final_residual_norm": self.final_residual_norm,
+        }
+
+
+class MonitorEngine:
+    """Wire emulator, triggers, bridge and incident plumbing together."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        scenario: Scenario,
+        config: Optional[MonitorConfig] = None,
+        client: "Optional[ServiceClient]" = None,
+        estimator: "Optional[WlsEstimator]" = None,
+        sink: Optional[IncidentSink] = None,
+        store: Optional[IncidentStore] = None,
+    ) -> None:
+        self.grid = grid
+        self.scenario = scenario
+        self.config = config or MonitorConfig()
+        self.client = client
+        self.sink = sink
+        self.store = store if store is not None else IncidentStore()
+        cfg = self.config
+        self.emulator = MeasurementEmulator(
+            grid,
+            scenario,
+            seed=cfg.seed,
+            reference_bus=cfg.reference_bus,
+            estimator=estimator,
+        )
+        state_buses = tuple(
+            bus for bus in grid.buses if bus != cfg.reference_bus
+        )
+        self.triggers = [
+            ChiSquareTrigger(alpha=cfg.chi_alpha),
+            ResidualCusumTrigger(
+                drift=cfg.cusum_drift,
+                threshold=cfg.cusum_threshold,
+                warmup=cfg.warmup,
+                cooldown=cfg.cooldown,
+            ),
+            StateDriftTrigger(
+                state_buses,
+                drift=cfg.cusum_drift,
+                threshold=cfg.cusum_threshold,
+                warmup=cfg.warmup,
+                cooldown=cfg.cooldown,
+                bus_sigma=cfg.bus_sigma,
+            ),
+            TopologyChangeTrigger(),
+        ]
+        self.bridge = ReverificationBridge(
+            grid,
+            reference_bus=cfg.reference_bus,
+            config=cfg.reverify,
+            client=client,
+        )
+        self.incidents: List[Incident] = []
+        self.counters: Dict[str, int] = {
+            "trigger_events": 0,
+            "incidents": 0,
+            "deduped": 0,
+            "reverify_errors": 0,
+            "publish_errors": 0,
+        }
+        self._baseline_cost: Optional[int] = None
+        # per-detector (dedup key, last event tick): a CUSUM detector
+        # re-fires every cooldown cycle while a condition persists; only
+        # the first firing of an unchanged excursion becomes an incident
+        self._last_event: Dict[str, Tuple[Tuple, int]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> MonitorReport:
+        """Process the configured number of ticks and report."""
+        cfg = self.config
+        with get_tracer().span(
+            "monitor.run",
+            case=self.grid.name,
+            scenario=self.scenario.name,
+            ticks=cfg.ticks,
+            seed=cfg.seed,
+        ) as span:
+            trace_id = span.trace_id or None
+            if cfg.baseline_cost:
+                self._baseline_cost = self.bridge.baseline_cost()
+                span.set(baseline_cost=self._baseline_cost)
+            final_residual = 0.0
+            for tick in self.emulator.ticks(cfg.ticks):
+                final_residual = tick.estimate.residual_norm
+                self._process_tick(tick, trace_id)
+            span.set(
+                incidents=len(self.incidents),
+                stream_digest=self.emulator.stream_digest,
+            )
+        return MonitorReport(
+            case=self.grid.name,
+            scenario=self.scenario.name,
+            ticks=cfg.ticks,
+            seed=cfg.seed,
+            stream_digest=self.emulator.stream_digest,
+            incidents=list(self.incidents),
+            baseline_cost=self._baseline_cost,
+            trace_id=trace_id,
+            triggers={t.name: t.snapshot() for t in self.triggers},
+            estimator=self.emulator.estimator.snapshot(),
+            bridge=self.bridge.snapshot(),
+            final_residual_norm=final_residual,
+        )
+
+    # ------------------------------------------------------------------
+    def _process_tick(self, tick: Tick, trace_id: Optional[str]) -> None:
+        _M_TICKS.inc(scenario=self.scenario.name)
+        _G_RESIDUAL.set(tick.estimate.residual_norm)
+        if tick.topology_changed:
+            # the operating point legitimately moved: change-point
+            # baselines from the old topology would fire on physics,
+            # not attacks, so both CUSUM detectors recalibrate
+            for trigger in self.triggers:
+                if isinstance(
+                    trigger, (ResidualCusumTrigger, StateDriftTrigger)
+                ):
+                    trigger.reset()
+        raised_this_tick = 0
+        for trigger in self.triggers:
+            event = trigger.update(tick)
+            if event is None:
+                continue
+            self.counters["trigger_events"] += 1
+            _M_TRIGGERS.inc(detector=event.detector)
+            if self._is_duplicate(event):
+                self.counters["deduped"] += 1
+                continue
+            incident = self._escalate(event, tick, raised_this_tick, trace_id)
+            if incident is not None:
+                raised_this_tick += 1
+                self._publish(incident)
+
+    def _is_duplicate(self, event: TriggerEvent) -> bool:
+        """True when this firing continues an already-reported excursion.
+
+        The dedup key is the detector's suspect identity (drifted
+        buses, in-service line set); the holdoff spans two cooldown
+        cycles, so a condition that persists chains into one incident
+        while a condition that clears and returns raises a fresh one.
+        Runs *before* the re-verification bridge — duplicates cost no
+        solver time.
+        """
+        if event.detector == "state_drift":
+            key = tuple(event.evidence.get("drifted_buses", ()))
+        elif event.detector == "topology_change":
+            key = tuple(event.evidence.get("in_service", ()))
+        else:
+            key = ()
+        holdoff = 2 * (self.config.cooldown + 1)
+        previous = self._last_event.get(event.detector)
+        self._last_event[event.detector] = (key, event.tick)
+        return (
+            previous is not None
+            and previous[0] == key
+            and event.tick - previous[1] <= holdoff
+        )
+
+    def _escalate(
+        self,
+        event: TriggerEvent,
+        tick: Tick,
+        seq: int,
+        trace_id: Optional[str],
+    ) -> Optional[Incident]:
+        """Turn a detector activation into an incident (or drop it)."""
+        verification: Optional[Dict[str, Any]] = None
+        countermeasure: Optional[Dict[str, Any]] = None
+        kind = event.kind
+        severity = "minor"
+
+        if event.detector == "state_drift":
+            suspects = list(event.evidence.get("drifted_buses", ()))
+            if not suspects:
+                severity = "info"
+            else:
+                verification, countermeasure = self._reverify_stealthy(
+                    tick, suspects
+                )
+                if verification is None:
+                    severity = "minor"
+                elif verification["outcome"] == "sat":
+                    severity = "critical" if countermeasure else "major"
+                else:
+                    severity = "minor"
+        elif event.detector == "topology_change":
+            kind = "vulnerability_shift"
+            verification = self._reverify_topology(tick)
+            if verification is None:
+                severity = "minor"
+            elif verification.get("threshold_breached"):
+                severity = "major"
+            elif verification.get("cost_dropped"):
+                severity = "minor"
+            else:
+                severity = "info"
+
+        incident = Incident(
+            id=f"{kind}-{event.tick:05d}-{seq:02d}",
+            kind=kind,
+            severity=severity,
+            tick=event.tick,
+            detector=event.detector,
+            evidence_ticks=self._evidence_ticks(event),
+            evidence={
+                "value": event.value,
+                "threshold": event.threshold,
+                **event.evidence,
+            },
+            verification=verification,
+            countermeasure=countermeasure,
+            trace_id=trace_id,
+        )
+        return incident
+
+    def _evidence_ticks(self, event: TriggerEvent) -> Tuple[int, ...]:
+        onset = event.evidence.get("onset_tick")
+        if onset is None:
+            return (event.tick,)
+        start = max(int(onset), event.tick - _EVIDENCE_WINDOW + 1)
+        return tuple(range(start, event.tick + 1))
+
+    def _reverify_stealthy(
+        self, tick: Tick, suspects: List[int]
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[Dict[str, Any]]]:
+        try:
+            return self.bridge.check_stealthy(tick.mapped_lines, suspects)
+        except Exception as exc:  # noqa: BLE001 — monitoring must outlive probes
+            self.counters["reverify_errors"] += 1
+            return {"check": "stealthy", "outcome": "error", "error": str(exc)}, None
+
+    def _reverify_topology(self, tick: Tick) -> Optional[Dict[str, Any]]:
+        try:
+            return self.bridge.check_topology_shift(
+                tick.mapped_lines, baseline_cost=self._baseline_cost
+            )
+        except Exception as exc:  # noqa: BLE001
+            self.counters["reverify_errors"] += 1
+            return {"check": "topology_shift", "outcome": "error", "error": str(exc)}
+
+    def _publish(self, incident: Incident) -> None:
+        self.incidents.append(incident)
+        self.counters["incidents"] += 1
+        _M_INCIDENTS.inc(kind=incident.kind, severity=incident.severity)
+        self.store.add(incident)
+        if self.sink is not None:
+            self.sink.emit(incident)
+        if self.client is not None:
+            try:
+                self.client.post_incident(incident.to_payload())
+            except Exception:  # noqa: BLE001 — the service may be draining
+                self.counters["publish_errors"] += 1

@@ -1,0 +1,198 @@
+"""Typed incidents, a JSONL sink, and the queryable in-memory store.
+
+An :class:`Incident` is the monitor's unit of escalation: which
+detector fired, at which tick, with what evidence — plus, when the
+re-verification bridge ran, the formal verdict (is the observed
+pattern consistent with an undetectable attack?) and the synthesized
+countermeasure when one is warranted.
+
+Incident identity is deterministic (``{kind}-{tick:05d}-{seq:02d}``)
+and :meth:`Incident.signature` excludes volatile fields (wall-clock
+timestamp, trace id), so two replays of the same seeded scenario
+produce byte-identical incident lists — the replay test's contract.
+
+The :class:`IncidentStore` is thread-safe: the monitor loop appends
+from its own thread while the service event loop answers
+``GET /v1/incidents``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: severity ordering, least to most urgent
+SEVERITIES = ("info", "minor", "major", "critical")
+
+
+def severity_rank(severity: str) -> int:
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ValueError(f"unknown severity {severity!r}; one of {SEVERITIES}")
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One escalated monitoring event.
+
+    ``verification`` and ``countermeasure`` are JSON payloads produced
+    by the re-verification bridge (verdict/cost/attack witness and the
+    synthesized architecture respectively); both are None for incidents
+    that never reached the bridge.
+    """
+
+    id: str
+    kind: str
+    severity: str
+    tick: int
+    detector: str
+    evidence_ticks: tuple
+    evidence: Dict[str, Any] = field(default_factory=dict)
+    verification: Optional[Dict[str, Any]] = None
+    countermeasure: Optional[Dict[str, Any]] = None
+    trace_id: Optional[str] = None
+    created_at: float = field(default_factory=time.time)
+
+    def __post_init__(self) -> None:
+        severity_rank(self.severity)  # validates
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The full JSON view (sink lines, ``GET /v1/incidents``)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "severity": self.severity,
+            "tick": self.tick,
+            "detector": self.detector,
+            "evidence_ticks": list(self.evidence_ticks),
+            "evidence": self.evidence,
+            "verification": self.verification,
+            "countermeasure": self.countermeasure,
+            "trace_id": self.trace_id,
+            "created_at": self.created_at,
+        }
+
+    def signature(self) -> Dict[str, Any]:
+        """Deterministic view: the payload minus volatile fields."""
+        payload = self.to_payload()
+        payload.pop("trace_id")
+        payload.pop("created_at")
+        return payload
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "Incident":
+        """Rebuild an incident from its JSON view (service ingestion)."""
+        if not isinstance(payload, dict):
+            raise ValueError("incident payload must be an object")
+        try:
+            return Incident(
+                id=str(payload["id"]),
+                kind=str(payload["kind"]),
+                severity=str(payload["severity"]),
+                tick=int(payload["tick"]),
+                detector=str(payload["detector"]),
+                evidence_ticks=tuple(payload.get("evidence_ticks", ())),
+                evidence=dict(payload.get("evidence", {})),
+                verification=payload.get("verification"),
+                countermeasure=payload.get("countermeasure"),
+                trace_id=payload.get("trace_id"),
+                created_at=float(payload.get("created_at", time.time())),
+            )
+        except KeyError as exc:
+            raise ValueError(f"incident payload missing field {exc}")
+
+
+class IncidentSink:
+    """Append-only JSONL writer; one incident per line."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.written = 0
+        self._lock = threading.Lock()
+
+    def emit(self, incident: Incident) -> None:
+        line = json.dumps(incident.to_payload(), sort_keys=True, default=str)
+        with self._lock:
+            with self.path.open("a") as handle:
+                handle.write(line + "\n")
+            self.written += 1
+
+
+class IncidentStore:
+    """Bounded in-memory incident log, queryable from any thread."""
+
+    def __init__(self, max_incidents: int = 4096) -> None:
+        if max_incidents < 1:
+            raise ValueError("max_incidents must be positive")
+        self.max_incidents = max_incidents
+        self._incidents: List[Incident] = []
+        self._lock = threading.Lock()
+        self.counters: Dict[str, int] = {"added": 0, "dropped": 0}
+
+    def add(self, incident: Incident) -> None:
+        with self._lock:
+            self._incidents.append(incident)
+            self.counters["added"] += 1
+            while len(self._incidents) > self.max_incidents:
+                self._incidents.pop(0)
+                self.counters["dropped"] += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._incidents)
+
+    def query(
+        self,
+        kind: Optional[str] = None,
+        severity: Optional[str] = None,
+        min_severity: Optional[str] = None,
+        since_tick: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[Incident]:
+        """Filtered view, insertion (= tick) order, newest-last.
+
+        ``limit`` keeps the *newest* matches.  ``severity`` matches
+        exactly; ``min_severity`` keeps that level and above.
+        """
+        if min_severity is not None:
+            floor = severity_rank(min_severity)
+        with self._lock:
+            matches = [
+                incident
+                for incident in self._incidents
+                if (kind is None or incident.kind == kind)
+                and (severity is None or incident.severity == severity)
+                and (
+                    min_severity is None
+                    or severity_rank(incident.severity) >= floor
+                )
+                and (since_tick is None or incident.tick >= since_tick)
+            ]
+        if limit is not None and limit >= 0:
+            matches = matches[-limit:] if limit else []
+        return matches
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counts by kind and severity (``/statsz``)."""
+        with self._lock:
+            incidents = list(self._incidents)
+            counters = dict(self.counters)
+        by_kind: Dict[str, int] = {}
+        by_severity: Dict[str, int] = {}
+        for incident in incidents:
+            by_kind[incident.kind] = by_kind.get(incident.kind, 0) + 1
+            by_severity[incident.severity] = (
+                by_severity.get(incident.severity, 0) + 1
+            )
+        return {
+            "stored": len(incidents),
+            "limit": self.max_incidents,
+            "by_kind": by_kind,
+            "by_severity": by_severity,
+            **counters,
+        }

@@ -1,0 +1,338 @@
+"""Deterministic scenario timelines for the measurement emulator.
+
+A :class:`Scenario` is a named, seeded timeline of :class:`ScenarioEvent`
+entries over a fixed number of ticks.  Four event kinds are understood
+(grounded in the FDI-vs-bad-data-detection literature — Liang/Sankar/
+Kosut, arXiv:1506.03774 — and the vulnerability shifts under line
+outages of Chu/Zhang/Kosut/Sankar, arXiv:1903.07781):
+
+``noise_burst``      — meter noise is scaled by ``scale`` while active
+                       (a detectable, non-malicious disturbance);
+``telemetry_spoof``  — a crafted ``a = H c`` false-data injection on
+                       ``target_states`` is added to the telemetry while
+                       active: the residual stays clean, the estimated
+                       state drifts (the paper's UFDI attack, live);
+``line_outage``      — the line drops out of the in-service topology at
+                       ``at`` (optionally restored ``duration`` ticks
+                       later): the control center re-maps, and the
+                       grid's attack surface shifts;
+``nominal``          — no events at all (baseline traffic).
+
+Scenarios come from JSON files (see ``docs/MONITORING.md`` for the
+schema) or from :func:`builtin_scenario`, which lays out a canonical
+timeline for any grid and tick budget.  Everything is deterministic:
+the same scenario + seed always produce byte-identical measurement
+streams.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.grid.model import Grid
+
+EVENT_KINDS = ("noise_burst", "telemetry_spoof", "line_outage")
+
+#: default per-measurement Gaussian meter noise (per unit)
+DEFAULT_NOISE_STD = 0.002
+
+
+class ScenarioError(ValueError):
+    """A scenario file or timeline is malformed or impossible to run."""
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One timeline entry: ``kind`` activates at ``at`` for ``duration``.
+
+    ``duration=None`` means "until the end of the run".  ``params`` are
+    kind-specific (``scale``, ``target_states``/``magnitude``,
+    ``line``).
+    """
+
+    at: int
+    kind: str
+    duration: Optional[int] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ScenarioError(f"event at={self.at} must be nonnegative")
+        if self.kind not in EVENT_KINDS:
+            raise ScenarioError(
+                f"unknown event kind {self.kind!r}; one of {EVENT_KINDS}"
+            )
+        if self.duration is not None and self.duration < 1:
+            raise ScenarioError(f"event duration must be positive, got {self.duration}")
+
+    def active_at(self, tick: int) -> bool:
+        if tick < self.at:
+            return False
+        if self.duration is None:
+            return True
+        return tick < self.at + self.duration
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named timeline plus the stream's noise level."""
+
+    name: str
+    events: Tuple[ScenarioEvent, ...] = ()
+    noise_std: float = DEFAULT_NOISE_STD
+
+    def __post_init__(self) -> None:
+        if self.noise_std < 0:
+            raise ScenarioError(f"noise_std must be nonnegative, got {self.noise_std}")
+
+    def events_at(self, tick: int) -> List[ScenarioEvent]:
+        """Events active at ``tick`` (timeline order)."""
+        return [event for event in self.events if event.active_at(tick)]
+
+    def starting_at(self, tick: int) -> List[ScenarioEvent]:
+        """Events whose first active tick is ``tick``."""
+        return [event for event in self.events if event.at == tick]
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-able view (reports, incident evidence)."""
+        return {
+            "name": self.name,
+            "noise_std": self.noise_std,
+            "events": [
+                {
+                    "at": event.at,
+                    "kind": event.kind,
+                    "duration": event.duration,
+                    **{k: v for k, v in sorted(event.params.items())},
+                }
+                for event in self.events
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# validation against a concrete grid
+# ----------------------------------------------------------------------
+def validate_scenario(scenario: Scenario, grid: Grid) -> None:
+    """Fail fast on timelines this grid cannot execute.
+
+    Checks line indices, target buses, and that no combination of
+    simultaneously-open lines ever islands the grid (an islanded grid
+    has no single WLS problem to solve).
+    """
+    for event in scenario.events:
+        if event.kind == "line_outage":
+            line = event.params.get("line")
+            if not isinstance(line, int) or not 1 <= line <= grid.num_lines:
+                raise ScenarioError(
+                    f"line_outage at t={event.at}: line must be in "
+                    f"1..{grid.num_lines}, got {line!r}"
+                )
+        elif event.kind == "telemetry_spoof":
+            targets = event.params.get("target_states", ())
+            if not targets:
+                raise ScenarioError(
+                    f"telemetry_spoof at t={event.at}: 'target_states' required"
+                )
+            for bus in targets:
+                if not isinstance(bus, int) or not 1 <= bus <= grid.num_buses:
+                    raise ScenarioError(
+                        f"telemetry_spoof at t={event.at}: bus {bus!r} out of range"
+                    )
+        elif event.kind == "noise_burst":
+            scale = event.params.get("scale", 1.0)
+            if not isinstance(scale, (int, float)) or scale <= 0:
+                raise ScenarioError(
+                    f"noise_burst at t={event.at}: 'scale' must be positive"
+                )
+    # every set of simultaneously-open lines must keep the grid connected
+    outage_events = [e for e in scenario.events if e.kind == "line_outage"]
+    boundaries = sorted(
+        {e.at for e in outage_events}
+        | {e.at + e.duration for e in outage_events if e.duration is not None}
+    )
+    for tick in boundaries:
+        open_lines = {
+            e.params["line"] for e in outage_events if e.active_at(tick)
+        }
+        if not open_lines:
+            continue
+        remaining = [i for i in range(1, grid.num_lines + 1) if i not in open_lines]
+        if not grid.is_connected(remaining):
+            raise ScenarioError(
+                f"outage of lines {sorted(open_lines)} (from t={tick}) islands "
+                f"the grid; monitoring an islanded system is unsupported"
+            )
+
+
+# ----------------------------------------------------------------------
+# built-in templates
+# ----------------------------------------------------------------------
+def _default_spoof_target(grid: Grid, reference_bus: int = 1) -> int:
+    """Highest-degree non-reference bus (ties broken by index)."""
+    candidates = [bus for bus in grid.buses if bus != reference_bus]
+    return max(candidates, key=lambda bus: (grid.degree(bus), -bus))
+
+
+def _default_outage_line(grid: Grid) -> int:
+    """The first line whose removal keeps the grid connected."""
+    for line in grid.lines:
+        remaining = [i for i in range(1, grid.num_lines + 1) if i != line.index]
+        if grid.is_connected(remaining):
+            return line.index
+    raise ScenarioError(
+        f"grid {grid.name or 'unnamed'} is a tree: every outage islands it"
+    )
+
+
+def builtin_scenario(
+    name: str,
+    grid: Grid,
+    ticks: int,
+    noise_std: float = DEFAULT_NOISE_STD,
+    reference_bus: int = 1,
+) -> Scenario:
+    """A canonical timeline for ``name`` scaled to the tick budget.
+
+    Events start after a quarter of the run (so change-point detectors
+    have a clean calibration window) and the defaults are derived from
+    the grid itself, keeping every built-in runnable on every case.
+    """
+    if ticks < 8:
+        raise ScenarioError(f"need at least 8 ticks for a scenario, got {ticks}")
+    onset = max(2, ticks // 4)
+    if name == "nominal":
+        return Scenario(name="nominal", noise_std=noise_std)
+    if name == "noise_burst":
+        duration = max(2, ticks // 5)
+        return Scenario(
+            name="noise_burst",
+            noise_std=noise_std,
+            events=(
+                ScenarioEvent(
+                    at=onset,
+                    kind="noise_burst",
+                    duration=duration,
+                    params={"scale": 12.0},
+                ),
+            ),
+        )
+    if name == "telemetry_spoof":
+        return Scenario(
+            name="telemetry_spoof",
+            noise_std=noise_std,
+            events=(
+                ScenarioEvent(
+                    at=onset,
+                    kind="telemetry_spoof",
+                    duration=None,
+                    params={
+                        "target_states": [
+                            _default_spoof_target(grid, reference_bus)
+                        ],
+                        "magnitude": 0.3,
+                    },
+                ),
+            ),
+        )
+    if name == "line_outage":
+        return Scenario(
+            name="line_outage",
+            noise_std=noise_std,
+            events=(
+                ScenarioEvent(
+                    at=onset,
+                    kind="line_outage",
+                    duration=None,
+                    params={"line": _default_outage_line(grid)},
+                ),
+            ),
+        )
+    raise ScenarioError(
+        f"unknown built-in scenario {name!r}; one of "
+        "('nominal', 'noise_burst', 'telemetry_spoof', 'line_outage')"
+    )
+
+
+BUILTIN_SCENARIOS = ("nominal", "noise_burst", "telemetry_spoof", "line_outage")
+
+
+# ----------------------------------------------------------------------
+# JSON files
+# ----------------------------------------------------------------------
+def scenario_from_payload(payload: Mapping[str, Any]) -> Scenario:
+    """Build a scenario from a parsed JSON object (see docs/MONITORING.md)."""
+    if not isinstance(payload, Mapping):
+        raise ScenarioError("scenario file must hold a JSON object")
+    name = payload.get("name", "scenario")
+    noise_std = payload.get("noise_std", DEFAULT_NOISE_STD)
+    if not isinstance(noise_std, (int, float)):
+        raise ScenarioError(f"noise_std must be a number, got {noise_std!r}")
+    raw_events = payload.get("events", [])
+    if not isinstance(raw_events, Sequence) or isinstance(raw_events, (str, bytes)):
+        raise ScenarioError("'events' must be a list")
+    events: List[ScenarioEvent] = []
+    for i, raw in enumerate(raw_events):
+        if not isinstance(raw, Mapping):
+            raise ScenarioError(f"events[{i}] must be an object")
+        entry = dict(raw)
+        try:
+            at = int(entry.pop("at"))
+            kind = str(entry.pop("kind"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScenarioError(f"events[{i}]: 'at' and 'kind' required: {exc}")
+        duration = entry.pop("duration", None)
+        if duration is not None:
+            duration = int(duration)
+        events.append(ScenarioEvent(at=at, kind=kind, duration=duration, params=entry))
+    return Scenario(
+        name=str(name),
+        noise_std=float(noise_std),
+        events=tuple(sorted(events, key=lambda e: (e.at, e.kind))),
+    )
+
+
+def load_scenario(path: str) -> Scenario:
+    """Load a scenario JSON file."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario file {path}: {exc}")
+    except ValueError as exc:
+        raise ScenarioError(f"scenario file {path} is not valid JSON: {exc}")
+    return scenario_from_payload(payload)
+
+
+def resolve_scenario(
+    spec: str,
+    grid: Grid,
+    ticks: int,
+    noise_std: Optional[float] = None,
+    reference_bus: int = 1,
+) -> Scenario:
+    """``spec`` is a built-in name or a JSON file path; validate and return."""
+    if spec in BUILTIN_SCENARIOS:
+        scenario = builtin_scenario(
+            spec,
+            grid,
+            ticks,
+            noise_std=DEFAULT_NOISE_STD if noise_std is None else noise_std,
+            reference_bus=reference_bus,
+        )
+    elif os.path.exists(spec):
+        scenario = load_scenario(spec)
+        if noise_std is not None:
+            scenario = Scenario(
+                name=scenario.name, events=scenario.events, noise_std=noise_std
+            )
+    else:
+        raise ScenarioError(
+            f"{spec!r} is neither a built-in scenario {BUILTIN_SCENARIOS} "
+            "nor an existing file"
+        )
+    validate_scenario(scenario, grid)
+    return scenario

@@ -1,0 +1,347 @@
+"""Per-tick detectors deciding when deeper analysis is warranted.
+
+Four triggers watch the stream, each covering a failure mode the others
+cannot (the division follows Liang/Sankar/Kosut, arXiv:1506.03774):
+
+* :class:`ChiSquareTrigger` — the classical residual test (paper
+  Section II-B).  Catches gross errors and *non*-stealthy injections;
+  blind by construction to a perfect ``a = H c`` attack.
+* :class:`ResidualCusumTrigger` — CUSUM on the standardized residual
+  norm.  Catches persistent small shifts the per-tick chi-square test
+  averages away (slow meter drift, sustained moderate noise).
+* :class:`StateDriftTrigger` — CUSUM on the distance between the
+  estimated state and its calibration-window baseline.  This is the
+  detector that *does* see a stealthy FDI: ``a = H c`` leaves the
+  residual untouched but moves ``x_hat`` by exactly ``c``.
+* :class:`TopologyChangeTrigger` — fires on breaker events; a topology
+  change is not an anomaly, but it shifts the attack surface and
+  warrants re-verification (Chu/Zhang/Kosut/Sankar, arXiv:1903.07781).
+
+All triggers are rising-edge: one :class:`TriggerEvent` per activation,
+re-armed only after the statistic returns below threshold (or, for
+CUSUM detectors, after a reset + cooldown), so a persistent condition
+yields one incident, not one per tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.estimation.baddata import chi_square_test
+from repro.monitor.emulator import Tick
+
+
+@dataclass(frozen=True)
+class TriggerEvent:
+    """One detector activation.
+
+    ``value``/``threshold`` are the statistic and its trip level at the
+    firing tick; ``evidence`` is detector-specific JSON-able context
+    (suspect measurements, drifted buses, changed lines).
+    """
+
+    detector: str
+    kind: str
+    tick: int
+    value: float
+    threshold: float
+    evidence: Dict[str, Any] = field(default_factory=dict)
+
+
+class ChiSquareTrigger:
+    """Rising-edge wrapper around the paper's chi-square bad-data test."""
+
+    name = "chi_square"
+    kind = "bad_data"
+
+    def __init__(self, alpha: float = 0.01, top_residuals: int = 5) -> None:
+        self.alpha = alpha
+        self.top_residuals = top_residuals
+        self._active = False
+        self.fired = 0
+
+    def update(self, tick: Tick) -> Optional[TriggerEvent]:
+        result = chi_square_test(tick.estimate, alpha=self.alpha)
+        if not result.bad_data_detected:
+            self._active = False
+            return None
+        if self._active:
+            return None  # still the same episode
+        self._active = True
+        self.fired += 1
+        residual = np.abs(tick.estimate.residual)
+        worst = np.argsort(residual)[::-1][: self.top_residuals]
+        return TriggerEvent(
+            detector=self.name,
+            kind=self.kind,
+            tick=tick.index,
+            value=float(result.objective),
+            threshold=float(result.threshold),
+            evidence={
+                "alpha": self.alpha,
+                "dof": tick.estimate.dof,
+                "suspect_rows": [int(i) for i in worst],
+                "suspect_residuals": [float(residual[i]) for i in worst],
+            },
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"alpha": self.alpha, "active": self._active, "fired": self.fired}
+
+
+class _Cusum:
+    """One-sided CUSUM on a standardized statistic.
+
+    During the first ``warmup`` updates the mean/std of the watched
+    statistic are calibrated and the accumulator stays at zero; after
+    that, ``s += (x - mean)/std - drift`` clipped at zero, firing when
+    ``s`` exceeds ``threshold``.  After a firing the accumulator resets
+    and the detector sleeps for ``cooldown`` updates.
+    """
+
+    def __init__(
+        self, drift: float, threshold: float, warmup: int, cooldown: int
+    ) -> None:
+        self.drift = drift
+        self.threshold = threshold
+        self.warmup = warmup
+        self.cooldown = cooldown
+        self.samples: List[float] = []
+        self.mean = 0.0
+        self.std = 1.0
+        self.s = 0.0
+        self.seen = 0
+        self._sleep = 0
+        self._onset: Optional[int] = None
+        #: 0-based sample index where the firing excursion left zero
+        self.last_onset: Optional[int] = None
+
+    def reset(self) -> None:
+        """Forget calibration and state (e.g. after a topology change)."""
+        self.samples = []
+        self.mean = 0.0
+        self.std = 1.0
+        self.s = 0.0
+        self.seen = 0
+        self._sleep = 0
+        self._onset = None
+
+    def calibrate(self, samples: List[float]) -> None:
+        """Set mean/std directly and skip the built-in warmup phase."""
+        self.samples = list(samples)
+        self.mean = float(np.mean(self.samples)) if self.samples else 0.0
+        self.std = (float(np.std(self.samples)) if self.samples else 0.0) or 1.0
+        self.seen = max(self.seen, self.warmup)
+
+    def update(self, x: float) -> Optional[float]:
+        """Feed one sample; returns the accumulator value when firing."""
+        self.seen += 1
+        if self.seen <= self.warmup:
+            self.samples.append(x)
+            if self.seen == self.warmup:
+                self.mean = float(np.mean(self.samples))
+                self.std = float(np.std(self.samples)) or 1.0
+            return None
+        if self._sleep > 0:
+            self._sleep -= 1
+            return None
+        was_zero = self.s == 0.0
+        self.s = max(0.0, self.s + (x - self.mean) / self.std - self.drift)
+        if self.s == 0.0:
+            self._onset = None
+        elif was_zero:
+            self._onset = self.seen - 1
+        if self.s > self.threshold:
+            fired_at = self.s
+            self.last_onset = self._onset
+            self.s = 0.0
+            self._onset = None
+            self._sleep = self.cooldown
+            return fired_at
+        return None
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "drift": self.drift,
+            "threshold": self.threshold,
+            "warmup": self.warmup,
+            "mean": self.mean,
+            "std": self.std,
+            "s": self.s,
+            "seen": self.seen,
+        }
+
+
+class ResidualCusumTrigger:
+    """Change-point detection on the residual norm."""
+
+    name = "residual_cusum"
+    kind = "residual_shift"
+
+    def __init__(
+        self,
+        drift: float = 0.5,
+        threshold: float = 8.0,
+        warmup: int = 20,
+        cooldown: int = 10,
+    ) -> None:
+        self._cusum = _Cusum(drift, threshold, warmup, cooldown)
+        self.fired = 0
+
+    def update(self, tick: Tick) -> Optional[TriggerEvent]:
+        fired = self._cusum.update(tick.estimate.residual_norm)
+        if fired is None:
+            return None
+        self.fired += 1
+        return TriggerEvent(
+            detector=self.name,
+            kind=self.kind,
+            tick=tick.index,
+            value=float(fired),
+            threshold=self._cusum.threshold,
+            evidence={
+                "residual_norm": tick.estimate.residual_norm,
+                "baseline_mean": self._cusum.mean,
+                "baseline_std": self._cusum.std,
+                "onset_tick": self._cusum.last_onset,
+            },
+        )
+
+    def reset(self) -> None:
+        """Recalibrate from scratch (the residual distribution moved)."""
+        self._cusum.reset()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {**self._cusum.snapshot(), "fired": self.fired}
+
+
+class StateDriftTrigger:
+    """Change-point detection on the estimated state itself.
+
+    A perfect FDI moves ``x_hat`` by exactly the chosen ``c`` while the
+    residual stays clean — so the state, not the residual, is the
+    observable.  The baseline is the mean estimate over the calibration
+    window; the watched statistic is the l2 distance from it.  Evidence
+    names the drifted buses (per-state deviation beyond
+    ``bus_sigma`` baseline standard deviations), which seeds the
+    re-verification goal.
+    """
+
+    name = "state_drift"
+    kind = "state_drift"
+
+    def __init__(
+        self,
+        state_buses: Tuple[int, ...],
+        drift: float = 0.5,
+        threshold: float = 8.0,
+        warmup: int = 20,
+        cooldown: int = 10,
+        bus_sigma: float = 4.0,
+    ) -> None:
+        #: bus number of each x_hat column (reference bus excluded)
+        self.state_buses = state_buses
+        self.bus_sigma = bus_sigma
+        self._cusum = _Cusum(drift, threshold, warmup, cooldown)
+        self._window: List[np.ndarray] = []
+        self._baseline: Optional[np.ndarray] = None
+        self._per_bus_std: Optional[np.ndarray] = None
+        self.fired = 0
+
+    def update(self, tick: Tick) -> Optional[TriggerEvent]:
+        x_hat = tick.estimate.x_hat
+        if self._baseline is None:
+            self._window.append(np.array(x_hat))
+            if len(self._window) == self._cusum.warmup:
+                stack = np.stack(self._window)
+                self._baseline = stack.mean(axis=0)
+                std = stack.std(axis=0)
+                self._per_bus_std = np.where(std > 0, std, 1.0)
+                # the CUSUM's noise scale is the within-window distance
+                # spread, not the raw statistic (which is 0 by definition
+                # while the baseline is still being built)
+                self._cusum.calibrate(
+                    [
+                        float(np.linalg.norm(x - self._baseline))
+                        for x in self._window
+                    ]
+                )
+                self._window = []
+            return None
+        distance = float(np.linalg.norm(x_hat - self._baseline))
+        fired = self._cusum.update(distance)
+        if fired is None:
+            return None
+        self.fired += 1
+        deviation = np.abs(x_hat - self._baseline) / self._per_bus_std
+        drifted = [
+            (self.state_buses[i], float(deviation[i]))
+            for i in np.argsort(deviation)[::-1]
+            if deviation[i] > self.bus_sigma
+        ]
+        return TriggerEvent(
+            detector=self.name,
+            kind=self.kind,
+            tick=tick.index,
+            value=float(fired),
+            threshold=self._cusum.threshold,
+            evidence={
+                "distance": distance,
+                "drifted_buses": [bus for bus, _ in drifted],
+                "drifted_sigmas": {str(bus): sigma for bus, sigma in drifted},
+                "residual_norm": tick.estimate.residual_norm,
+                "onset_tick": self._cusum.last_onset,
+            },
+        )
+
+    def reset(self) -> None:
+        """Drop the baseline; the state legitimately moved (new topology)."""
+        self._cusum.reset()
+        self._window = []
+        self._baseline = None
+        self._per_bus_std = None
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            **self._cusum.snapshot(),
+            "calibrated": self._baseline is not None,
+            "fired": self.fired,
+        }
+
+
+class TopologyChangeTrigger:
+    """Fires once per in-service line-set change."""
+
+    name = "topology_change"
+    kind = "topology_change"
+
+    def __init__(self) -> None:
+        self._previous: Optional[Tuple[int, ...]] = None
+        self.fired = 0
+
+    def update(self, tick: Tick) -> Optional[TriggerEvent]:
+        previous = self._previous
+        self._previous = tick.mapped_lines
+        if previous is None or tick.mapped_lines == previous:
+            return None
+        self.fired += 1
+        opened = sorted(set(previous) - set(tick.mapped_lines))
+        closed = sorted(set(tick.mapped_lines) - set(previous))
+        return TriggerEvent(
+            detector=self.name,
+            kind=self.kind,
+            tick=tick.index,
+            value=float(len(opened) + len(closed)),
+            threshold=0.0,
+            evidence={
+                "opened_lines": opened,
+                "closed_lines": closed,
+                "in_service": list(tick.mapped_lines),
+            },
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"fired": self.fired}

@@ -22,6 +22,7 @@ import time
 from typing import Any, Dict, Optional, Union
 
 from repro.core.spec import AttackSpec
+from repro.obs.trace import context_payload
 from repro.runtime.serialize import spec_to_payload
 
 SpecLike = Union[AttackSpec, Dict[str, Any]]
@@ -67,11 +68,17 @@ class ServiceClient:
             self.host, self.port, timeout=self.timeout
         )
         try:
+            headers = {"Content-Type": "application/json"}
+            # propagate the caller's span so the server parents its
+            # http.request span on it: one trace across processes
+            trace_context = context_payload()
+            if trace_context is not None:
+                headers["X-Trace-Context"] = json.dumps(trace_context)
             connection.request(
                 method,
                 path,
                 body=None if body is None else json.dumps(body),
-                headers={"Content-Type": "application/json"},
+                headers=headers,
             )
             response = connection.getresponse()
             raw = response.read()
@@ -196,3 +203,18 @@ class ServiceClient:
         if job["state"] == "failed":
             raise ServiceError(500, {"error": job.get("error", "job failed")})
         return job
+
+    # ------------------------------------------------------------------
+    def post_incident(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Publish one monitor incident (``POST /v1/incidents``)."""
+        return self._request("POST", "/v1/incidents", payload)
+
+    def incidents(self, **params: Any) -> Dict[str, Any]:
+        """Query stored incidents (``GET /v1/incidents``).
+
+        ``params`` forwards the endpoint's filters: ``kind``,
+        ``severity``, ``min_severity``, ``since_tick``, ``limit``.
+        """
+        query = "&".join(f"{k}={v}" for k, v in params.items() if v is not None)
+        path = "/v1/incidents" + (f"?{query}" if query else "")
+        return self._request("GET", path)

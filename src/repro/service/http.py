@@ -5,10 +5,24 @@ Endpoints::
     POST /v1/verify       submit a verification job
     POST /v1/synthesize   submit a countermeasure-synthesis job
     GET  /v1/jobs/<id>    job state (+ result once terminal)
+    POST /v1/incidents    ingest a monitor incident
+    GET  /v1/incidents    query stored incidents (``?kind=``,
+                          ``?severity=``, ``?min_severity=``,
+                          ``?since_tick=``, ``?limit=``)
     GET  /healthz         liveness ("ok" / "draining")
-    GET  /statsz          queue depth, batch-size histogram, cache
-                          hit-rate, p50/p95 latency, job counters,
-                          warm-session registry counters
+    GET  /statsz          queue depth (total and per priority),
+                          batch-size histogram, cache hit-rate,
+                          p50/p95 latency, job counters, warm-session
+                          registry counters, incident counts
+
+Requests may carry an ``X-Trace-Context`` header (the JSON of
+:func:`repro.obs.trace.context_payload`); the server parents its
+``http.request`` span on it, so a monitor's re-verification probes and
+the solver work they cause share one trace id across processes.
+
+Client errors are answered with ``{"error": <message>, "code":
+<slug>}`` — including malformed (non-JSON) bodies, which get a 400
+with ``code="invalid_json"`` instead of a traceback.
 
 Verify bodies carry either ``"spec"`` (the canonical payload of
 :func:`repro.runtime.serialize.spec_to_payload`) or ``"spec_text"``
@@ -35,9 +49,12 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from urllib.parse import parse_qs
+
 from repro.core.io import SpecParseError, parse_spec
 from repro.core.spec import AttackSpec
 from repro.core.synthesis import SynthesisSettings
+from repro.monitor.incidents import Incident, IncidentStore
 from repro.obs import metrics as obs_metrics
 from repro.obs.logging import get_logger
 from repro.obs.trace import configure_tracing, get_tracer
@@ -56,7 +73,12 @@ _KNOWN_PATHS = (
     "/metricsz",
     "/v1/verify",
     "/v1/synthesize",
+    "/v1/incidents",
 )
+
+#: sentinel for a request body that was present but not valid JSON;
+#: routed through ``handle`` so the 400 still gets metrics and a span
+_INVALID_BODY: Any = object()
 
 _M_REQUESTS = obs_metrics.counter(
     "repro_http_requests_total",
@@ -92,16 +114,31 @@ _BACKENDS = ("smt", "milp")
 
 
 class RequestError(ValueError):
-    """A client error; carries the HTTP status to answer with."""
+    """A client error; carries the HTTP status and a stable error code."""
 
-    def __init__(self, message: str, status: int = 400) -> None:
+    def __init__(
+        self, message: str, status: int = 400, code: str = "bad_request"
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.code = code
 
 
-def _require(condition: bool, message: str, status: int = 400) -> None:
+def _require(
+    condition: bool, message: str, status: int = 400, code: str = "bad_request"
+) -> None:
     if not condition:
-        raise RequestError(message, status)
+        raise RequestError(message, status, code)
+
+
+def _query_int(query: Dict[str, str], name: str) -> Optional[int]:
+    value = query.get(name)
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise RequestError(f"'{name}' must be an integer")
 
 
 def _parse_spec_field(body: Dict[str, Any]) -> AttackSpec:
@@ -175,6 +212,7 @@ class ServiceApp:
             self.queue, options, window=window, max_batch=max_batch, stats=self.stats
         )
         self.draining = False
+        self.incidents = IncidentStore()
         self.started_wall = time.time()
         self.started_mono = time.monotonic()
         self._scheduler_task: Optional[asyncio.Task] = None
@@ -197,26 +235,47 @@ class ServiceApp:
 
     # ------------------------------------------------------------------
     async def handle(
-        self, method: str, path: str, body: Optional[Dict[str, Any]]
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]],
+        query: Optional[Dict[str, str]] = None,
+        parent: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Any]:
         """Route one request; the payload is a JSON dict, or raw text for
-        ``/metricsz`` (Prometheus exposition is not JSON)."""
+        ``/metricsz`` (Prometheus exposition is not JSON).
+
+        ``parent`` is a caller-supplied trace context (the
+        ``X-Trace-Context`` header): the request span joins that trace
+        instead of starting a fresh one.
+        """
         endpoint = _metric_path(path)
         start = time.monotonic()
-        with get_tracer().span("http.request", method=method, path=path) as span:
+        with get_tracer().span(
+            "http.request", parent=parent, method=method, path=path
+        ) as span:
             try:
-                status, payload = await self._route(method, path, body)
+                _require(
+                    body is not _INVALID_BODY,
+                    "request body is not valid JSON",
+                    code="invalid_json",
+                )
+                status, payload = await self._route(method, path, body, query or {})
             except RequestError as exc:
-                status, payload = exc.status, {"error": str(exc)}
+                status, payload = exc.status, {"error": str(exc), "code": exc.code}
             except QueueFull as exc:
-                status, payload = 503, {"error": str(exc)}
+                status, payload = 503, {"error": str(exc), "code": "queue_full"}
             span.set(status=status)
         _M_REQUESTS.inc(method=method, path=endpoint, status=status)
         _M_REQUEST_SECONDS.observe(time.monotonic() - start, path=endpoint)
         return status, payload
 
     async def _route(
-        self, method: str, path: str, body: Optional[Dict[str, Any]]
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]],
+        query: Dict[str, str],
     ) -> Tuple[int, Any]:
         if path == "/healthz":
             _require(method == "GET", "use GET", 405)
@@ -245,7 +304,12 @@ class ServiceApp:
         if path == "/v1/synthesize":
             _require(method == "POST", "use POST", 405)
             return await self._submit_synthesize(body)
-        raise RequestError(f"no such endpoint: {path}", 404)
+        if path == "/v1/incidents":
+            if method == "POST":
+                return self._ingest_incident(body)
+            _require(method == "GET", "use GET or POST", 405)
+            return self._query_incidents(query)
+        raise RequestError(f"no such endpoint: {path}", 404, "not_found")
 
     # ------------------------------------------------------------------
     def _check_accepting(self, body: Optional[Dict[str, Any]]) -> Dict[str, Any]:
@@ -316,6 +380,36 @@ class ServiceApp:
         )
         return await self._answer_submission(job.id, common)
 
+    def _ingest_incident(
+        self, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        body = self._check_accepting(body)
+        try:
+            incident = Incident.from_payload(body)
+        except ValueError as exc:
+            raise RequestError(f"invalid incident: {exc}") from exc
+        self.incidents.add(incident)
+        return 202, {"id": incident.id, "stored": len(self.incidents)}
+
+    def _query_incidents(
+        self, query: Dict[str, str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        limit = _query_int(query, "limit")
+        try:
+            matches = self.incidents.query(
+                kind=query.get("kind"),
+                severity=query.get("severity"),
+                min_severity=query.get("min_severity"),
+                since_tick=_query_int(query, "since_tick"),
+                limit=100 if limit is None else limit,
+            )
+        except ValueError as exc:
+            raise RequestError(str(exc)) from exc
+        return 200, {
+            "incidents": [incident.to_payload() for incident in matches],
+            "count": len(matches),
+        }
+
     async def _answer_submission(
         self, job_id: str, common: Dict[str, Any]
     ) -> Tuple[int, Dict[str, Any]]:
@@ -346,6 +440,7 @@ class ServiceApp:
             "runtime": self.options.describe(),
             "engine": engine_signature(),
             "sessions": session_registry_stats(),
+            "incidents": self.incidents.snapshot(),
             "tracer": get_tracer().snapshot(),
         }
 
@@ -359,7 +454,7 @@ class ServiceApp:
 # ----------------------------------------------------------------------
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> Optional[Tuple[str, str, bytes]]:
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
     request_line = await reader.readline()
     if not request_line:
         return None
@@ -367,19 +462,41 @@ async def _read_request(
     if len(parts) < 2:
         return None
     method, target = parts[0].upper(), parts[1]
-    length = 0
+    headers: Dict[str, str] = {}
     while True:
         line = await reader.readline()
         if not line or line in (b"\r\n", b"\n"):
             break
         name, _, value = line.decode("latin-1").partition(":")
-        if name.strip().lower() == "content-length":
-            try:
-                length = int(value.strip())
-            except ValueError:
-                length = 0
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        length = 0
     body = await reader.readexactly(length) if length > 0 else b""
-    return method, target.split("?", 1)[0], body
+    return method, target, headers, body
+
+
+def _parse_query(raw: str) -> Dict[str, str]:
+    """``a=1&b=2`` -> ``{"a": "1", "b": "2"}`` (last value wins)."""
+    return {
+        name: values[-1]
+        for name, values in parse_qs(raw, keep_blank_values=True).items()
+    }
+
+
+def _parse_trace_header(headers: Dict[str, str]) -> Optional[Dict[str, str]]:
+    """The ``X-Trace-Context`` header: JSON ``{"trace_id", "span_id"}``."""
+    raw = headers.get("x-trace-context")
+    if not raw:
+        return None
+    try:
+        payload = json.loads(raw)
+    except ValueError:
+        return None
+    if isinstance(payload, dict) and payload.get("trace_id"):
+        return {str(k): str(v) for k, v in payload.items()}
+    return None
 
 
 def _encode_response(status: int, payload: Any) -> bytes:
@@ -410,23 +527,31 @@ async def _handle_connection(
             request = None
         if request is None:
             return
-        method, path, raw_body = request
+        method, target, headers, raw_body = request
+        path, _, raw_query = target.partition("?")
         body: Optional[Dict[str, Any]]
         if raw_body:
             try:
                 body = json.loads(raw_body)
             except ValueError:
-                writer.write(
-                    _encode_response(400, {"error": "request body is not valid JSON"})
-                )
-                await writer.drain()
-                return
+                # routed through handle() so the 400 is still metered,
+                # spanned, and answered in the structured error shape
+                body = _INVALID_BODY
         else:
             body = None
         try:
-            status, payload = await app.handle(method, path, body)
+            status, payload = await app.handle(
+                method,
+                path,
+                body,
+                query=_parse_query(raw_query),
+                parent=_parse_trace_header(headers),
+            )
         except Exception as exc:  # never leak a traceback as a hung socket
-            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            status, payload = 500, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "code": "internal",
+            }
         writer.write(_encode_response(status, payload))
         await writer.drain()
     except (ConnectionResetError, BrokenPipeError):

@@ -192,6 +192,20 @@ class JobQueue:
         """Jobs waiting for dispatch (cancelled/expired not yet reaped count)."""
         return sum(1 for job in self._jobs.values() if job.state is JobState.QUEUED)
 
+    def depth_by_priority(self) -> Dict[str, int]:
+        """Queued-job count per priority level (str keys: JSON object).
+
+        Smaller priorities dispatch sooner, so this shows at a glance
+        whether e.g. a monitor's ``-10`` re-verification probes are
+        jumping ahead of batch traffic at ``0``.
+        """
+        depths: Dict[str, int] = {}
+        for job in self._jobs.values():
+            if job.state is JobState.QUEUED:
+                key = str(job.priority)
+                depths[key] = depths.get(key, 0) + 1
+        return dict(sorted(depths.items(), key=lambda item: int(item[0])))
+
     def running(self) -> int:
         return sum(1 for job in self._jobs.values() if job.state is JobState.RUNNING)
 
@@ -379,6 +393,7 @@ class JobQueue:
         """Counters + live depth for ``/statsz``."""
         return {
             "depth": self.depth(),
+            "depth_by_priority": self.depth_by_priority(),
             "running": self.running(),
             "unfinished": self._unfinished,
             "tracked": len(self._jobs),

@@ -1,0 +1,100 @@
+"""The warm WLS path must be a pure speedup: same estimates, fewer
+factorizations."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.measurement import MeasurementPlan, build_h
+from repro.estimation.wls import (
+    UnobservableSystemError,
+    WlsEstimator,
+    wls_estimate,
+)
+from repro.grid.cases import ieee14
+
+
+@pytest.fixture()
+def system():
+    grid = ieee14()
+    plan = MeasurementPlan(grid)
+    h = build_h(grid, 1, taken=plan.taken_in_order())
+    rng = np.random.default_rng(3)
+    x_true = rng.normal(0.0, 0.1, size=h.shape[1])
+    z = h @ x_true + rng.normal(0.0, 0.002, size=h.shape[0])
+    return h, z
+
+
+class TestWarmEqualsCold:
+    def test_warm_estimates_are_identical_to_cold(self, system):
+        """Regression contract of the cached-gain path: re-estimation on
+        a cached factorization is bit-identical to the first call."""
+        h, z = system
+        estimator = WlsEstimator()
+        cold = estimator.estimate(h, z, key="ieee14")
+        warm = estimator.estimate(h, z, key="ieee14")
+        np.testing.assert_array_equal(cold.x_hat, warm.x_hat)
+        np.testing.assert_array_equal(cold.residual, warm.residual)
+        assert cold.objective == warm.objective
+        assert cold.residual_norm == warm.residual_norm
+        assert estimator.stats["factorizations"] == 1
+        assert estimator.stats["cache_hits"] == 1
+
+    def test_matches_one_shot_wls(self, system):
+        h, z = system
+        estimator = WlsEstimator()
+        weights = np.full(h.shape[0], 1.0 / 0.002**2)
+        fast = estimator.estimate(h, z, weights)
+        slow = wls_estimate(h, z, weights)
+        np.testing.assert_allclose(fast.x_hat, slow.x_hat, atol=1e-9)
+        np.testing.assert_allclose(fast.residual, slow.residual, atol=1e-9)
+        assert fast.objective == pytest.approx(slow.objective, rel=1e-9)
+        assert fast.dof == slow.dof
+
+    def test_content_key_when_no_key_given(self, system):
+        h, z = system
+        estimator = WlsEstimator()
+        estimator.estimate(h, z)
+        estimator.estimate(h, z + 0.1)  # same H: cached
+        assert estimator.stats["factorizations"] == 1
+        assert estimator.stats["cache_hits"] == 1
+
+
+class TestCacheMechanics:
+    def test_topology_change_refactorizes_once(self):
+        grid = ieee14()
+        plan = MeasurementPlan(grid)
+        full = tuple(range(1, grid.num_lines + 1))
+        degraded = tuple(i for i in full if i != 5)
+        estimator = WlsEstimator()
+        for mapped in (full, full, degraded, degraded, full):
+            h = build_h(
+                grid, 1, taken=plan.taken_in_order(), mapped_lines=mapped
+            )
+            z = np.zeros(h.shape[0])
+            estimator.estimate(h, z, key=mapped)
+        snap = estimator.snapshot()
+        assert snap["factorizations"] == 2
+        assert snap["cache_hits"] == 3
+        assert snap["estimates"] == 5
+        assert snap["entries"] == 2
+
+    def test_lru_eviction(self, system):
+        h, z = system
+        estimator = WlsEstimator(max_entries=2)
+        for key in ("a", "b", "c"):
+            estimator.estimate(h, z, key=key)
+        assert estimator.stats["evictions"] == 1
+        estimator.estimate(h, z, key="a")  # evicted: refactorizes
+        assert estimator.stats["factorizations"] == 4
+
+    def test_bad_weights_rejected(self, system):
+        h, z = system
+        estimator = WlsEstimator()
+        with pytest.raises(ValueError):
+            estimator.estimate(h, z, weights=np.zeros(h.shape[0]))
+
+    def test_unobservable_system_raises(self):
+        h = np.array([[1.0, 0.0], [2.0, 0.0]])
+        estimator = WlsEstimator()
+        with pytest.raises(UnobservableSystemError):
+            estimator.estimate(h, np.zeros(2))

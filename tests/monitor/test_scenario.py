@@ -1,0 +1,149 @@
+"""Scenario timelines: builtins, JSON loading, validation."""
+
+import json
+
+import pytest
+
+from repro.grid.cases import ieee14
+from repro.monitor.scenario import (
+    BUILTIN_SCENARIOS,
+    Scenario,
+    ScenarioError,
+    ScenarioEvent,
+    builtin_scenario,
+    load_scenario,
+    resolve_scenario,
+    validate_scenario,
+)
+
+
+class TestEvents:
+    def test_active_window_with_duration(self):
+        event = ScenarioEvent(at=10, kind="noise_burst", duration=5)
+        assert not event.active_at(9)
+        assert event.active_at(10)
+        assert event.active_at(14)
+        assert not event.active_at(15)
+
+    def test_open_ended_event(self):
+        event = ScenarioEvent(at=3, kind="telemetry_spoof")
+        assert event.active_at(3)
+        assert event.active_at(10_000)
+        assert not event.active_at(2)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ScenarioError):
+            ScenarioEvent(at=0, kind="alien_invasion")
+
+    def test_negative_at_rejected(self):
+        with pytest.raises(ScenarioError):
+            ScenarioEvent(at=-1, kind="noise_burst")
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("name", BUILTIN_SCENARIOS)
+    def test_builtin_validates_on_ieee14(self, name):
+        grid = ieee14()
+        scenario = builtin_scenario(name, grid, ticks=40)
+        validate_scenario(scenario, grid)  # must not raise
+        assert scenario.name == name
+
+    def test_nominal_has_no_events(self):
+        scenario = builtin_scenario("nominal", ieee14(), ticks=40)
+        assert scenario.events == ()
+
+    def test_spoof_targets_non_reference_bus(self):
+        scenario = builtin_scenario("telemetry_spoof", ieee14(), ticks=40)
+        (event,) = scenario.events
+        assert event.kind == "telemetry_spoof"
+        assert 1 not in event.params["target_states"]
+
+    def test_unknown_builtin(self):
+        with pytest.raises(ScenarioError):
+            builtin_scenario("nope", ieee14(), ticks=40)
+
+
+class TestValidation:
+    def test_outage_must_keep_grid_connected(self):
+        grid = ieee14()
+        # bus 8 hangs off bus 7 by a single line: opening it islands bus 8
+        bridge = next(
+            line.index
+            for line in grid.lines
+            if grid.degree(line.from_bus) == 1 or grid.degree(line.to_bus) == 1
+        )
+        scenario = Scenario(
+            name="island",
+            events=(
+                ScenarioEvent(
+                    at=5, kind="line_outage", params={"line": bridge}
+                ),
+            ),
+        )
+        with pytest.raises(ScenarioError, match="islands"):
+            validate_scenario(scenario, grid)
+
+    def test_line_out_of_range(self):
+        scenario = Scenario(
+            name="bad",
+            events=(
+                ScenarioEvent(at=0, kind="line_outage", params={"line": 999}),
+            ),
+        )
+        with pytest.raises(ScenarioError):
+            validate_scenario(scenario, ieee14())
+
+    def test_spoof_bus_out_of_range(self):
+        scenario = Scenario(
+            name="bad",
+            events=(
+                ScenarioEvent(
+                    at=0,
+                    kind="telemetry_spoof",
+                    params={"target_states": [99], "magnitude": 0.1},
+                ),
+            ),
+        )
+        with pytest.raises(ScenarioError):
+            validate_scenario(scenario, ieee14())
+
+
+class TestLoading:
+    def test_round_trip_from_json_file(self, tmp_path):
+        payload = {
+            "name": "custom",
+            "noise_std": 0.004,
+            "events": [
+                {"at": 8, "kind": "noise_burst", "duration": 4, "scale": 9.0},
+                {
+                    "at": 20,
+                    "kind": "telemetry_spoof",
+                    "target_states": [4],
+                    "magnitude": 0.2,
+                },
+            ],
+        }
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(payload))
+        scenario = load_scenario(path)
+        assert scenario.name == "custom"
+        assert scenario.noise_std == 0.004
+        assert [e.kind for e in scenario.events] == [
+            "noise_burst",
+            "telemetry_spoof",
+        ]
+        assert scenario.events[0].params["scale"] == 9.0
+
+    def test_resolve_builtin_name(self):
+        scenario = resolve_scenario("line_outage", ieee14(), ticks=40)
+        assert scenario.name == "line_outage"
+
+    def test_resolve_file_path(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"name": "f", "events": []}))
+        scenario = resolve_scenario(str(path), ieee14(), ticks=40)
+        assert scenario.name == "f"
+
+    def test_resolve_unknown(self):
+        with pytest.raises(ScenarioError):
+            resolve_scenario("not-a-builtin-or-file", ieee14(), ticks=40)

@@ -1,0 +1,138 @@
+"""Detector semantics: who sees what, and who stays silent."""
+
+from repro.estimation.baddata import chi_square_test
+from repro.grid.cases import ieee14
+from repro.monitor.emulator import MeasurementEmulator
+from repro.monitor.scenario import builtin_scenario
+from repro.monitor.triggers import (
+    ChiSquareTrigger,
+    ResidualCusumTrigger,
+    StateDriftTrigger,
+    TopologyChangeTrigger,
+    _Cusum,
+)
+
+# long enough that every builtin event onset (ticks // 4) lands after
+# the CUSUM calibration window (20 ticks)
+TICKS = 80
+
+
+def run_triggers(scenario_name, *triggers, ticks=TICKS):
+    grid = ieee14()
+    scenario = builtin_scenario(scenario_name, grid, ticks=ticks)
+    emulator = MeasurementEmulator(grid, scenario, seed=7)
+    events = {trigger.name: [] for trigger in triggers}
+    for tick in emulator.ticks(ticks):
+        for trigger in triggers:
+            event = trigger.update(tick)
+            if event is not None:
+                events[trigger.name].append(event)
+    return events
+
+
+def state_buses(grid=None):
+    grid = grid or ieee14()
+    return tuple(bus for bus in grid.buses if bus != 1)
+
+
+class TestCusumCore:
+    def test_fires_on_sustained_shift_after_warmup(self):
+        cusum = _Cusum(drift=0.5, threshold=5.0, warmup=10, cooldown=3)
+        for _ in range(10):
+            assert cusum.update(1.0) is None  # calibration
+        fired = [cusum.update(10.0) for _ in range(10)]
+        assert any(v is not None for v in fired)
+
+    def test_cooldown_suppresses_refire(self):
+        cusum = _Cusum(drift=0.0, threshold=1.0, warmup=2, cooldown=5)
+        cusum.update(0.0)
+        cusum.update(0.0)
+        cusum.std = 1.0
+        fires = [cusum.update(100.0) is not None for _ in range(6)]
+        assert fires[0] is True
+        assert not any(fires[1:])  # asleep for the cooldown window
+
+    def test_onset_tracking(self):
+        cusum = _Cusum(drift=0.5, threshold=3.0, warmup=4, cooldown=2)
+        for _ in range(4):
+            cusum.update(0.0)
+        cusum.std = 1.0
+        cusum.update(0.0)  # sample 4: stays at zero
+        cusum.update(2.0)  # sample 5: excursion starts
+        fired = cusum.update(2.5)  # sample 6: fires
+        assert fired is not None
+        assert cusum.last_onset == 5
+
+    def test_reset_forgets_everything(self):
+        cusum = _Cusum(drift=0.5, threshold=3.0, warmup=2, cooldown=2)
+        cusum.update(1.0)
+        cusum.update(1.0)
+        cusum.update(50.0)
+        cusum.reset()
+        assert cusum.seen == 0
+        assert cusum.s == 0.0
+        assert cusum.samples == []
+
+
+class TestChiSquare:
+    def test_fires_on_noise_burst_not_on_spoof(self):
+        events = run_triggers("noise_burst", ChiSquareTrigger())
+        assert events["chi_square"], "gross noise must trip the residual test"
+        events = run_triggers("telemetry_spoof", ChiSquareTrigger())
+        assert not events["chi_square"], "a=Hc is invisible to chi-square"
+
+    def test_rising_edge_only(self):
+        """A persistent burst yields far fewer events than burst ticks."""
+        grid = ieee14()
+        scenario = builtin_scenario("noise_burst", grid, ticks=TICKS)
+        burst_ticks = sum(
+            1
+            for t in range(TICKS)
+            if any(e.kind == "noise_burst" for e in scenario.events_at(t))
+        )
+        events = run_triggers("noise_burst", ChiSquareTrigger())
+        assert 1 <= len(events["chi_square"]) < burst_ticks
+
+    def test_evidence_names_suspects(self):
+        events = run_triggers("noise_burst", ChiSquareTrigger())
+        evidence = events["chi_square"][0].evidence
+        assert evidence["suspect_rows"]
+        assert len(evidence["suspect_rows"]) == len(evidence["suspect_residuals"])
+
+
+class TestStateDrift:
+    def test_catches_the_stealthy_spoof(self):
+        events = run_triggers(
+            "telemetry_spoof", StateDriftTrigger(state_buses())
+        )
+        assert events["state_drift"], "state drift is the UFDI observable"
+        first = events["state_drift"][0]
+        grid = ieee14()
+        scenario = builtin_scenario("telemetry_spoof", grid, ticks=TICKS)
+        target = scenario.events[0].params["target_states"][0]
+        assert target in first.evidence["drifted_buses"]
+
+    def test_silent_on_nominal(self):
+        events = run_triggers("nominal", StateDriftTrigger(state_buses()))
+        assert not events["state_drift"]
+
+
+class TestResidualCusum:
+    def test_silent_on_spoof(self):
+        events = run_triggers("telemetry_spoof", ResidualCusumTrigger())
+        assert not events["residual_cusum"]
+
+
+class TestTopologyChange:
+    def test_fires_once_with_line_evidence(self):
+        events = run_triggers("line_outage", TopologyChangeTrigger())
+        assert len(events["topology_change"]) == 1
+        evidence = events["topology_change"][0].evidence
+        grid = ieee14()
+        scenario = builtin_scenario("line_outage", grid, ticks=TICKS)
+        assert evidence["opened_lines"] == [scenario.events[0].params["line"]]
+        assert evidence["closed_lines"] == []
+
+    def test_silent_on_nominal(self):
+        events = run_triggers("nominal", TopologyChangeTrigger())
+        assert not events["topology_change"]
