@@ -14,6 +14,8 @@ Drives the full pipeline from spec files in the text format of
     $ python -m repro.cli profile grid.spec --repeat 5 --out report.json
     $ python -m repro.cli serve --port 8321 --jobs 4 --portfolio \
           --trace-file spans.jsonl
+    $ python -m repro.cli serve --port 8321 --replicas 3 --sessions \
+          --cache-dir /var/cache/repro
     $ python -m repro.cli metrics --scrape http://127.0.0.1:8321
     $ python -m repro.cli trace show spans.jsonl --limit 3
 """
@@ -369,6 +371,38 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.replicas > 1:
+        from repro.service.router import run_cluster
+
+        # replicas are separate `repro serve` processes: forward the
+        # knobs as CLI flags (--cache-dir/--trace-file are added by the
+        # cluster itself so every replica shares one tier and one sink)
+        replica_args = [
+            "--batch-window",
+            str(args.batch_window),
+            "--max-batch",
+            str(args.max_batch),
+            "--max-queue",
+            str(args.max_queue),
+            "--jobs",
+            str(args.jobs),
+        ]
+        if args.max_queue_per_client is not None:
+            replica_args += ["--max-queue-per-client", str(args.max_queue_per_client)]
+        if args.portfolio:
+            replica_args.append("--portfolio")
+        if args.sessions:
+            replica_args.append("--sessions")
+        run_cluster(
+            host=args.host,
+            port=args.port,
+            replicas=args.replicas,
+            replica_args=replica_args,
+            cache_dir=args.cache_dir,
+            trace_file=args.trace_file,
+        )
+        return 0
+
     from repro.service.http import serve
 
     serve(
@@ -378,6 +412,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         window=args.batch_window,
         max_batch=args.max_batch,
         max_queue=args.max_queue,
+        max_queue_per_client=args.max_queue_per_client,
+        replica_id=args.replica_id,
         trace_file=args.trace_file,
     )
     return 0
@@ -548,7 +584,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="max verify requests coalesced into one solver batch",
     )
     p.add_argument(
-        "--max-queue", type=int, default=10_000, help="queue depth before 503s"
+        "--max-queue", type=int, default=10_000, help="queue depth before 429s"
+    )
+    p.add_argument(
+        "--max-queue-per-client",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap any one client's queued jobs (429 queue_full beyond it)",
+    )
+    p.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run a sharded cluster: a consistent-hash router on --port "
+        "in front of N replica processes sharing one cache dir",
+    )
+    p.add_argument(
+        "--replica-id",
+        default=None,
+        metavar="ID",
+        help="name this process in a cluster (set by the supervisor; "
+        "surfaced in /healthz and /statsz)",
     )
     p.add_argument(
         "--trace-file",

@@ -1,4 +1,4 @@
-"""Memoizing verification-result cache.
+"""Memoizing verification-result cache — the cluster's shared tier.
 
 Two layers behind one interface:
 
@@ -7,7 +7,22 @@ Two layers behind one interface:
 * an optional **on-disk JSON store** (one file per fingerprint under
   ``~/.cache/repro-ufdi/`` or a caller-supplied directory) that
   survives across processes and runs — the re-verification steps of the
-  synthesis benchmarks hit it instead of the solver.
+  synthesis benchmarks hit it instead of the solver, and N ``repro
+  serve`` replicas pointed at one directory share results instead of
+  re-solving.
+
+**Concurrency contract.**  The memory layer is write-through and
+guarded by a lock, so a replica's event loop and its solver executor
+threads can share one instance.  The disk layer is safe across
+*processes* without any file locking: entries are immutable for a
+given key (fingerprints pin spec, backend, epsilon and engine
+signature), writers stage to a temp file and ``os.replace`` it into
+place (atomic on POSIX — readers observe either the complete old or
+the complete new JSON, never a torn write), and eviction unlinks
+files, which on POSIX leaves any reader that already opened the file
+unaffected.  A reader that loses the open race (file pruned between
+``glob`` and ``open``) or finds bytes it cannot parse records a miss
+and recomputes — a cache must never fail the computation.
 
 Keys are :func:`repro.runtime.serialize.spec_fingerprint` strings, so
 the cache is safe across backends and epsilon settings.  Fingerprints
@@ -28,6 +43,7 @@ import copy
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -108,6 +124,9 @@ class ResultCache:
         self.max_disk_entries = max_disk_entries
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self.stats = CacheStats()
+        # One instance is shared between a replica's event loop and its
+        # solver executor threads; RLock because put() -> _remember().
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def _disk_path(self, key: str) -> Optional[Path]:
@@ -116,51 +135,53 @@ class ResultCache:
         return self.directory / f"{key}.json"
 
     def _remember(self, key: str, payload: Dict[str, Any]) -> None:
-        self._memory[key] = payload
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.max_memory_entries:
-            self._memory.popitem(last=False)
-            self.stats.evictions += 1
-            _M_EVICTIONS.inc(layer="memory")
+        with self._lock:
+            self._memory[key] = payload
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
+                _M_EVICTIONS.inc(layer="memory")
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[VerificationResult]:
         """Look ``key`` up; None on miss.  Hits are marked in statistics."""
-        payload = self._memory.get(key)
-        if payload is not None:
-            self._memory.move_to_end(key)
-        else:
-            path = self._disk_path(key)
-            if path is not None:
-                try:
-                    payload = json.loads(path.read_text())
-                except (OSError, ValueError):
-                    payload = None
-                if payload is not None:
-                    self.stats.disk_hits += 1
-                    self._remember(key, payload)
-        if payload is None:
-            self.stats.misses += 1
-            _M_LOOKUPS.inc(result="miss")
-            return None
-        if payload.get("engine") != engine_signature():
-            # written by a different solver engine: models and stats
-            # schemas are not comparable — recompute instead of reusing
-            self._memory.pop(key, None)
-            self.stats.misses += 1
-            _M_LOOKUPS.inc(result="miss")
-            return None
-        self.stats.hits += 1
-        try:
-            result = result_from_payload(payload)
-        except (KeyError, TypeError, ValueError):
-            # stale/foreign entry: drop it and report a miss
-            self._memory.pop(key, None)
-            self.stats.hits -= 1
-            self.stats.misses += 1
-            _M_LOOKUPS.inc(result="miss")
-            return None
-        _M_LOOKUPS.inc(result="hit")
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+            else:
+                path = self._disk_path(key)
+                if path is not None:
+                    try:
+                        payload = json.loads(path.read_text())
+                    except (OSError, ValueError):
+                        payload = None
+                    if payload is not None:
+                        self.stats.disk_hits += 1
+                        self._remember(key, payload)
+            if payload is None:
+                self.stats.misses += 1
+                _M_LOOKUPS.inc(result="miss")
+                return None
+            if payload.get("engine") != engine_signature():
+                # written by a different solver engine: models and stats
+                # schemas are not comparable — recompute instead of reusing
+                self._memory.pop(key, None)
+                self.stats.misses += 1
+                _M_LOOKUPS.inc(result="miss")
+                return None
+            self.stats.hits += 1
+            try:
+                result = result_from_payload(payload)
+            except (KeyError, TypeError, ValueError):
+                # stale/foreign entry: drop it and report a miss
+                self._memory.pop(key, None)
+                self.stats.hits -= 1
+                self.stats.misses += 1
+                _M_LOOKUPS.inc(result="miss")
+                return None
+            _M_LOOKUPS.inc(result="hit")
         result.statistics = dict(result.statistics)
         result.statistics["cache_hit"] = 1
         return result
@@ -170,9 +191,10 @@ class ResultCache:
         payload = result_to_payload(result)
         payload["engine"] = engine_signature()
         payload["statistics"].pop("cache_hit", None)
-        self._remember(key, payload)
-        self.stats.stores += 1
-        _M_STORES.inc()
+        with self._lock:
+            self._remember(key, payload)
+            self.stats.stores += 1
+            _M_STORES.inc()
         path = self._disk_path(key)
         if path is None:
             return
@@ -235,8 +257,9 @@ class ResultCache:
         before/after snapshots) can mutate the returned structure freely
         without corrupting the live counters.
         """
-        out = self.stats.as_dict()
-        out["memory_entries"] = len(self._memory)
+        with self._lock:
+            out = self.stats.as_dict()
+            out["memory_entries"] = len(self._memory)
         out["max_memory_entries"] = self.max_memory_entries
         out["directory"] = None if self.directory is None else str(self.directory)
         if self.directory is not None:
@@ -245,7 +268,9 @@ class ResultCache:
         return copy.deepcopy(out)
 
     def clear_memory(self) -> None:
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)

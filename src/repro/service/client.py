@@ -12,6 +12,23 @@ as canonical payload dicts, or as the paper's text format via
     client.wait_until_ready()
     job = client.verify(spec, timeout=60)
     assert job["result"]["outcome"] in ("sat", "unsat")
+
+**Transient-failure handling.**  A replica restarting (supervisor
+failover, rolling deploy) answers with connection-refused or resets
+the socket mid-exchange.  Every request retries those transient
+errors up to ``retries`` times with capped exponential backoff
+(``backoff`` doubling up to ``max_backoff``); HTTP-level errors
+(4xx/5xx answers) and request timeouts are *not* retried — the server
+spoke, or is merely slow.  With more than one endpoint
+(``endpoints=[(host, port), ...]`` — e.g. a router plus a direct
+replica, or several routers) each retry also fails over to the next
+endpoint round-robin.  Retried POSTs can in principle double-submit
+if the server accepted just before the connection dropped; all
+submission endpoints are idempotent in effect (results are
+deterministic and cached), so the duplicate only costs a cache hit.
+
+``client_id`` stamps every submission's ``client`` field so the
+service's per-client fair queue can tell callers apart.
 """
 
 from __future__ import annotations
@@ -19,7 +36,7 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.spec import AttackSpec
 from repro.obs.trace import context_payload
@@ -29,6 +46,11 @@ SpecLike = Union[AttackSpec, Dict[str, Any]]
 
 #: job states after which a job will never change again
 TERMINAL_STATES = ("done", "failed", "cancelled", "timeout")
+
+#: connection-level failures worth retrying: the server never answered
+#: (refused while restarting, reset/EOF mid-exchange).  Timeouts are
+#: deliberately absent — a slow solver is not a dead replica.
+TRANSIENT_ERRORS = (ConnectionError, http.client.BadStatusLine)
 
 
 class ServiceError(RuntimeError):
@@ -51,40 +73,95 @@ def _spec_field(spec: Optional[SpecLike], spec_text: Optional[str]) -> Dict[str,
 
 
 class ServiceClient:
-    """One service endpoint; every call opens a short-lived connection."""
+    """One endpoint (or several, with failover); short-lived connections."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8321, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        timeout: float = 60.0,
+        *,
+        endpoints: Optional[Sequence[Tuple[str, int]]] = None,
+        retries: int = 3,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        client_id: Optional[str] = None,
     ) -> None:
-        self.host = host
-        self.port = port
+        if endpoints:
+            self.endpoints: List[Tuple[str, int]] = [
+                (str(h), int(p)) for h, p in endpoints
+            ]
+        else:
+            self.endpoints = [(host, int(port))]
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.client_id = client_id
+        self._cursor = 0
+        #: observable retry behaviour: requests issued, transient-error
+        #: retries, endpoint failovers
+        self.retry_stats: Dict[str, int] = {"attempts": 0, "retries": 0, "failovers": 0}
+
+    @property
+    def host(self) -> str:
+        """Host of the endpoint the next request will try."""
+        return self.endpoints[self._cursor % len(self.endpoints)][0]
+
+    @property
+    def port(self) -> int:
+        """Port of the endpoint the next request will try."""
+        return self.endpoints[self._cursor % len(self.endpoints)][1]
 
     # ------------------------------------------------------------------
+    def _raw_request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, bytes]:
+        """One HTTP exchange with transient-error retry + failover."""
+        attempt = 0
+        while True:
+            target_host, target_port = self.endpoints[
+                self._cursor % len(self.endpoints)
+            ]
+            connection = http.client.HTTPConnection(
+                target_host, target_port, timeout=self.timeout
+            )
+            self.retry_stats["attempts"] += 1
+            try:
+                connection.request(method, path, body=body, headers=headers or {})
+                response = connection.getresponse()
+                return response.status, response.read()
+            except TRANSIENT_ERRORS:
+                if attempt >= self.retries:
+                    raise
+                self.retry_stats["retries"] += 1
+                if len(self.endpoints) > 1:
+                    self._cursor = (self._cursor + 1) % len(self.endpoints)
+                    self.retry_stats["failovers"] += 1
+                time.sleep(min(self.backoff * (2**attempt), self.max_backoff))
+                attempt += 1
+            finally:
+                connection.close()
+
     def _request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
+        headers = {"Content-Type": "application/json"}
+        # propagate the caller's span so the server parents its
+        # http.request span on it: one trace across processes
+        trace_context = context_payload()
+        if trace_context is not None:
+            headers["X-Trace-Context"] = json.dumps(trace_context)
+        status, raw = self._raw_request(
+            method,
+            path,
+            body=None if body is None else json.dumps(body).encode("utf-8"),
+            headers=headers,
         )
-        try:
-            headers = {"Content-Type": "application/json"}
-            # propagate the caller's span so the server parents its
-            # http.request span on it: one trace across processes
-            trace_context = context_payload()
-            if trace_context is not None:
-                headers["X-Trace-Context"] = json.dumps(trace_context)
-            connection.request(
-                method,
-                path,
-                body=None if body is None else json.dumps(body),
-                headers=headers,
-            )
-            response = connection.getresponse()
-            raw = response.read()
-            status = response.status
-        finally:
-            connection.close()
         try:
             payload = json.loads(raw) if raw else {}
         except ValueError as exc:
@@ -102,16 +179,7 @@ class ServiceClient:
 
     def metrics_text(self) -> str:
         """Raw Prometheus exposition from ``GET /metricsz`` (not JSON)."""
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
-        try:
-            connection.request("GET", "/metricsz")
-            response = connection.getresponse()
-            raw = response.read()
-            status = response.status
-        finally:
-            connection.close()
+        status, raw = self._raw_request("GET", "/metricsz")
         if status >= 400:
             raise ServiceError(status, {"error": raw.decode("utf-8", "replace")})
         return raw.decode("utf-8")
@@ -144,9 +212,11 @@ class ServiceClient:
 
         ``fields`` forwards API knobs verbatim: ``backend``,
         ``portfolio``, ``epsilon``, ``priority``, ``deadline``,
-        ``max_retries``, ``wait``, ``wait_timeout``.
+        ``max_retries``, ``wait``, ``wait_timeout``, ``client``.
         """
         body = {**_spec_field(spec, spec_text), **fields}
+        if self.client_id is not None:
+            body.setdefault("client", self.client_id)
         return self._request("POST", "/v1/verify", body)
 
     def submit_synthesize(
@@ -158,6 +228,8 @@ class ServiceClient:
     ) -> Dict[str, Any]:
         settings = {"budget": budget, **fields.pop("settings", {})}
         body = {**_spec_field(spec, spec_text), "settings": settings, **fields}
+        if self.client_id is not None:
+            body.setdefault("client", self.client_id)
         return self._request("POST", "/v1/synthesize", body)
 
     def wait(

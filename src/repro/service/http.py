@@ -9,7 +9,7 @@ Endpoints::
     GET  /v1/incidents    query stored incidents (``?kind=``,
                           ``?severity=``, ``?min_severity=``,
                           ``?since_tick=``, ``?limit=``)
-    GET  /healthz         liveness ("ok" / "draining")
+    GET  /healthz         liveness ("ok" / "draining") + replica id
     GET  /statsz          queue depth (total and per priority),
                           batch-size histogram, cache hit-rate,
                           p50/p95 latency, job counters, warm-session
@@ -22,7 +22,10 @@ the solver work they cause share one trace id across processes.
 
 Client errors are answered with ``{"error": <message>, "code":
 <slug>}`` — including malformed (non-JSON) bodies, which get a 400
-with ``code="invalid_json"`` instead of a traceback.
+with ``code="invalid_json"`` instead of a traceback.  Admission
+control (queue at ``max_queue``, or one client at
+``max_queue_per_client``) answers 429 with ``code="queue_full"``; a
+draining server answers new submissions 503 with ``code="draining"``.
 
 Verify bodies carry either ``"spec"`` (the canonical payload of
 :func:`repro.runtime.serialize.spec_to_payload`) or ``"spec_text"``
@@ -106,7 +109,9 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
 }
 
@@ -187,6 +192,13 @@ def _parse_common(body: Dict[str, Any]) -> Dict[str, Any]:
         "'wait_timeout' must be a positive number of seconds",
     )
     out["wait_timeout"] = float(wait_timeout)
+    client = body.get("client")
+    if client is not None:
+        _require(
+            isinstance(client, str) and 0 < len(client) <= 120,
+            "'client' must be a nonempty string of at most 120 characters",
+        )
+    out["client"] = client
     return out
 
 
@@ -199,6 +211,8 @@ class ServiceApp:
         window: float = 0.05,
         max_batch: int = 64,
         max_queue: int = 10_000,
+        max_queue_per_client: Optional[int] = None,
+        replica_id: Optional[str] = None,
     ) -> None:
         options = options or RuntimeOptions()
         if options.cache is None:
@@ -206,7 +220,8 @@ class ServiceApp:
             # carry at least an in-memory cache
             options = dataclasses.replace(options, cache=ResultCache())
         self.options = options
-        self.queue = JobQueue(max_depth=max_queue)
+        self.replica_id = replica_id
+        self.queue = JobQueue(max_depth=max_queue, max_per_client=max_queue_per_client)
         self.stats = BatchStats()
         self.scheduler = BatchingScheduler(
             self.queue, options, window=window, max_batch=max_batch, stats=self.stats
@@ -264,7 +279,9 @@ class ServiceApp:
             except RequestError as exc:
                 status, payload = exc.status, {"error": str(exc), "code": exc.code}
             except QueueFull as exc:
-                status, payload = 503, {"error": str(exc), "code": "queue_full"}
+                # admission control: shed load with a structured, retryable
+                # rejection rather than a bare server error
+                status, payload = 429, {"error": str(exc), "code": "queue_full"}
             span.set(status=status)
         _M_REQUESTS.inc(method=method, path=endpoint, status=status)
         _M_REQUEST_SECONDS.observe(time.monotonic() - start, path=endpoint)
@@ -283,7 +300,8 @@ class ServiceApp:
                 "status": "draining" if self.draining else "ok",
                 "uptime_seconds": time.monotonic() - self.started_mono,
                 # self-identification for scraped deployments: which
-                # runtime knobs and solver engine answered this request
+                # replica, runtime knobs and solver engine answered
+                "replica": self.replica_id,
                 "runtime": self.options.describe(),
                 "engine": engine_signature(),
             }
@@ -313,7 +331,12 @@ class ServiceApp:
 
     # ------------------------------------------------------------------
     def _check_accepting(self, body: Optional[Dict[str, Any]]) -> Dict[str, Any]:
-        _require(not self.draining, "service is draining; not accepting jobs", 503)
+        _require(
+            not self.draining,
+            "service is draining; not accepting jobs",
+            503,
+            code="draining",
+        )
         _require(isinstance(body, dict), "request body must be a JSON object")
         return body  # type: ignore[return-value]
 
@@ -344,6 +367,7 @@ class ServiceApp:
             priority=common["priority"],
             deadline=common["deadline"],
             max_retries=common["max_retries"],
+            client=common["client"],
         )
         return await self._answer_submission(job.id, common)
 
@@ -377,6 +401,7 @@ class ServiceApp:
             priority=common["priority"],
             deadline=common["deadline"],
             max_retries=common["max_retries"],
+            client=common["client"],
         )
         return await self._answer_submission(job.id, common)
 
@@ -429,6 +454,7 @@ class ServiceApp:
         return {
             "uptime_seconds": time.monotonic() - self.started_mono,
             "started_at": self.started_wall,
+            "replica": self.replica_id,
             "draining": self.draining,
             "queue": self.queue.snapshot(),
             "batching": {
@@ -599,6 +625,8 @@ async def serve_async(
     window: float = 0.05,
     max_batch: int = 64,
     max_queue: int = 10_000,
+    max_queue_per_client: Optional[int] = None,
+    replica_id: Optional[str] = None,
     ready: Optional[Callable[[ServerHandle], None]] = None,
     install_signal_handlers: bool = True,
     log: Callable[[str], None] = print,
@@ -610,11 +638,19 @@ async def serve_async(
     (equivalent to ``REPRO_TRACE_FILE``); lifecycle events additionally
     go to the structured JSON log, stamped with the runtime knobs and
     the solver engine signature so scraped deployments self-identify.
+    ``replica_id`` names this process in a sharded cluster (surfaced in
+    ``/healthz`` and ``/statsz``); ``max_queue_per_client`` bounds any
+    one client's queued jobs (429 ``queue_full`` beyond it).
     """
     if trace_file is not None:
         configure_tracing(enabled=True, jsonl_path=trace_file)
     app = ServiceApp(
-        options=options, window=window, max_batch=max_batch, max_queue=max_queue
+        options=options,
+        window=window,
+        max_batch=max_batch,
+        max_queue=max_queue,
+        max_queue_per_client=max_queue_per_client,
+        replica_id=replica_id,
     )
     await app.start()
     server = await asyncio.start_server(
@@ -636,11 +672,13 @@ async def serve_async(
         "service.listening",
         host=host,
         port=bound_port,
+        replica=replica_id,
         runtime=app.options.describe(),
         engine=engine_signature(),
         tracing=get_tracer().snapshot(),
     )
-    log(f"repro service listening on http://{host}:{bound_port}")
+    tag = "" if replica_id is None else f" (replica {replica_id})"
+    log(f"repro service listening on http://{host}:{bound_port}{tag}")
     try:
         await stop.wait()
     finally:

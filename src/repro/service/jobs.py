@@ -2,9 +2,10 @@
 
 Every request the HTTP layer accepts becomes a :class:`Job`: a kind
 (``"verify"`` or ``"synthesize"``), a JSON-able payload, a priority, an
-optional deadline and a bounded retry budget.  The queue hands jobs to
-the batching scheduler in ``(priority, arrival)`` order and tracks the
-full lifecycle::
+optional deadline, a bounded retry budget and an optional **client
+identity**.  The queue hands jobs to the batching scheduler in
+``(priority, client fair-rank, arrival)`` order and tracks the full
+lifecycle::
 
     queued -> running -> done
                       -> failed      (exhausted retries)
@@ -19,6 +20,20 @@ use ``time.monotonic`` — wall-clock jumps never expire a job, and the
 queue-wait/run-latency numbers fed to the metrics histograms can never
 go negative under a clock adjustment.  Wall-clock timestamps are kept
 alongside purely for display in ``describe()``.
+
+**Per-client fairness.**  The fair-rank component of the dispatch key
+is the number of jobs the submitting client already had queued at
+submission time, so the streams of different clients *interleave*: a
+sweep that enqueues 500 jobs holds ranks 0..499 while an interactive
+probe arriving later gets rank 0 and dispatches after at most one of
+the sweep's jobs at the same priority.  Priorities still dominate —
+the monitor's ``-10`` re-verification probes always jump the line —
+and a single client's jobs stay FIFO.  ``max_per_client`` adds
+admission control on top: a client at its queued-job cap is refused
+with :class:`QueueFull` (the HTTP layer answers 429 ``queue_full``)
+instead of monopolising the queue.  Anonymous submissions share one
+fairness bucket; callers that want an independent budget identify
+themselves.
 
 Every job carries the span context of the request that submitted it
 (``job.trace``) plus its own lifecycle span, so the trace tree connects
@@ -99,6 +114,7 @@ class Job:
     priority: int = 0  # smaller runs sooner
     deadline: Optional[float] = None  # absolute time.monotonic()
     max_retries: int = 1
+    client: Optional[str] = None  # fairness/admission identity
     state: JobState = JobState.QUEUED
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
@@ -152,6 +168,8 @@ class Job:
             "queue_wait_seconds": self.queue_wait_seconds(),
             "run_seconds": self.run_seconds(),
         }
+        if self.client is not None:
+            out["client"] = self.client
         if self.trace is not None:
             out["trace_id"] = self.trace.get("trace_id")
         if self.result is not None:
@@ -170,11 +188,20 @@ class JobQueue:
     until ``max_finished`` later completions push them out.
     """
 
-    def __init__(self, max_depth: int = 10_000, max_finished: int = 4096) -> None:
+    def __init__(
+        self,
+        max_depth: int = 10_000,
+        max_finished: int = 4096,
+        max_per_client: Optional[int] = None,
+    ) -> None:
+        if max_per_client is not None and max_per_client < 1:
+            raise ValueError("max_per_client must be positive (or None)")
         self.max_depth = max_depth
         self.max_finished = max_finished
+        self.max_per_client = max_per_client
         self._jobs: Dict[str, Job] = {}
-        self._heap: List[Tuple[int, int, str]] = []
+        self._heap: List[Tuple[int, int, int, str]] = []
+        self._queued_by_client: Dict[str, int] = {}
         self._seq = itertools.count()
         self._cond = asyncio.Condition()
         self._finished_order: Deque[str] = deque()
@@ -206,6 +233,14 @@ class JobQueue:
                 depths[key] = depths.get(key, 0) + 1
         return dict(sorted(depths.items(), key=lambda item: int(item[0])))
 
+    def depth_by_client(self) -> Dict[str, int]:
+        """Live queued-job count per fairness bucket (``/statsz``)."""
+        return {
+            client or "(anonymous)": count
+            for client, count in sorted(self._queued_by_client.items())
+            if count > 0
+        }
+
     def running(self) -> int:
         return sum(1 for job in self._jobs.values() if job.state is JobState.RUNNING)
 
@@ -220,6 +255,26 @@ class JobQueue:
         return job
 
     # ------------------------------------------------------------------
+    def _fair_rank(self, job: Job) -> int:
+        """The client's current queued count, then count this job in.
+
+        Used as the middle component of the dispatch key: a client's
+        n-th queued job ranks behind every other client's first.
+        """
+        bucket = job.client or ""
+        rank = self._queued_by_client.get(bucket, 0)
+        self._queued_by_client[bucket] = rank + 1
+        return rank
+
+    def _leave_queue(self, job: Job) -> None:
+        """Bookkeeping for a job transitioning out of ``QUEUED``."""
+        bucket = job.client or ""
+        remaining = self._queued_by_client.get(bucket, 0) - 1
+        if remaining > 0:
+            self._queued_by_client[bucket] = remaining
+        else:
+            self._queued_by_client.pop(bucket, None)
+
     async def submit(
         self,
         kind: str,
@@ -227,10 +282,23 @@ class JobQueue:
         priority: int = 0,
         deadline: Optional[float] = None,
         max_retries: int = 1,
+        client: Optional[str] = None,
     ) -> Job:
-        """Enqueue a job; ``deadline`` is seconds from now (monotonic)."""
+        """Enqueue a job; ``deadline`` is seconds from now (monotonic).
+
+        ``client`` names the submitting party for fairness and per-client
+        admission control; anonymous jobs share one bucket.
+        """
         if self.depth() >= self.max_depth:
             raise QueueFull(f"queue depth at max_depth={self.max_depth}")
+        if (
+            self.max_per_client is not None
+            and self._queued_by_client.get(client or "", 0) >= self.max_per_client
+        ):
+            who = repr(client) if client else "anonymous clients"
+            raise QueueFull(
+                f"{who} at max_queue_per_client={self.max_per_client}"
+            )
         job = Job(
             id=uuid.uuid4().hex[:12],
             kind=kind,
@@ -238,6 +306,7 @@ class JobQueue:
             priority=priority,
             deadline=None if deadline is None else time.monotonic() + deadline,
             max_retries=max_retries,
+            client=client,
         )
         # the job span parents to the submitting request's span (if any)
         # and lives until the job is terminal; pool tasks parent to it
@@ -251,8 +320,11 @@ class JobQueue:
         self.counters["submitted"] += 1
         _M_SUBMITTED.inc(kind=kind)
         _M_DEPTH.inc()
+        rank = self._fair_rank(job)
         async with self._cond:
-            heapq.heappush(self._heap, (job.priority, next(self._seq), job.id))
+            heapq.heappush(
+                self._heap, (job.priority, rank, next(self._seq), job.id)
+            )
             self._cond.notify()
         return job
 
@@ -277,13 +349,14 @@ class JobQueue:
 
     def _pop_runnable(self) -> Optional[Job]:
         while self._heap:
-            _, _, job_id = heapq.heappop(self._heap)
+            _, _, _, job_id = heapq.heappop(self._heap)
             job = self._jobs.get(job_id)
             if job is None or job.state is not JobState.QUEUED:
                 continue  # cancelled (or already reaped) while waiting
             if job.expired():
                 self._finish(job, JobState.TIMEOUT, error="deadline expired in queue")
                 continue
+            self._leave_queue(job)
             job.state = JobState.RUNNING
             job.started_at = time.time()
             job.started_mono = time.monotonic()
@@ -312,8 +385,11 @@ class JobQueue:
         _M_RETRIED.inc()
         _M_RUNNING.dec()
         _M_DEPTH.inc()
+        rank = self._fair_rank(job)
         async with self._cond:
-            heapq.heappush(self._heap, (job.priority, next(self._seq), job.id))
+            heapq.heappush(
+                self._heap, (job.priority, rank, next(self._seq), job.id)
+            )
             self._cond.notify()
 
     def finish(
@@ -338,6 +414,8 @@ class JobQueue:
         if job.state.terminal:
             return
         was_running = job.state is JobState.RUNNING
+        if job.state is JobState.QUEUED:
+            self._leave_queue(job)
         job.state = state
         job.result = result
         job.error = error
@@ -394,6 +472,8 @@ class JobQueue:
         return {
             "depth": self.depth(),
             "depth_by_priority": self.depth_by_priority(),
+            "depth_by_client": self.depth_by_client(),
+            "max_per_client": self.max_per_client,
             "running": self.running(),
             "unfinished": self._unfinished,
             "tracked": len(self._jobs),

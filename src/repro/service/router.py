@@ -1,0 +1,1014 @@
+"""Consistent-hash router + replica supervisor: the sharded service.
+
+One ``repro serve`` process caps throughput at one machine's process
+pool and loses every warm session on restart.  This module turns the
+service into a small cluster with the same wire protocol:
+
+* :class:`HashRing` — consistent hashing (sha256, virtual nodes) from a
+  routing key to a *preference order* over replicas.  The first entry
+  owns the key; the rest are the failover order, so a key only moves
+  while its owner is down and moves straight back on recovery.
+* :class:`RouterApp` — a stdlib-asyncio reverse proxy.  Submissions are
+  routed by ``family_fingerprint(spec, epsilon)`` — the same key the
+  runtime's warm-session registry uses — so every probe of a spec
+  family lands on the replica holding that family's warm
+  :class:`~repro.core.verification.VerificationSession`.  Job polls
+  follow a job→owner map (with broadcast fallback), incidents live on
+  the first replica in ring order, ``/statsz`` aggregates the fleet.
+* :class:`ClusterSupervisor` — spawns N ``repro serve`` subprocesses on
+  free ports and restarts any that die on the same port under the same
+  replica id (so the ring never changes shape).
+
+``repro serve --replicas N`` (see :mod:`repro.cli`) wires all three
+together.  Replicas share one disk cache directory (a temporary one
+unless ``--cache-dir`` is given): the :class:`~repro.runtime.cache
+.ResultCache` disk tier is multi-process safe, so a failed-over probe
+re-asked on a survivor is answered from cache instead of re-solved.
+
+**Failure semantics.**  A forward that cannot reach its replica marks
+the replica down and fails over along the preference order within the
+same request; a ~0.5 s health loop probes downed replicas back alive.
+Requests pinned to a replica id that is not in the ring are rejected
+with a structured 503 ``code="unknown_replica"``; a router with no
+live replica answers 503 ``code="no_replicas"``; admission control
+beyond ``max_inflight`` answers 429 ``code="queue_full"``.
+
+**Tracing.**  The router opens a ``router.request`` span parented on
+the caller's ``X-Trace-Context`` and forwards *its own* context to the
+replica, so one trace id spans monitor/client → router → replica →
+runtime → solver.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.io import parse_spec
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
+from repro.obs.trace import configure_tracing, get_tracer
+from repro.runtime.serialize import (
+    canonical_json,
+    family_fingerprint,
+    payload_to_spec,
+)
+from repro.service.http import (
+    RequestError,
+    _encode_response,
+    _parse_query,
+    _parse_trace_header,
+    _read_request,
+)
+
+_LOG = get_logger("repro.router")
+
+_M_REQUESTS = obs_metrics.counter(
+    "repro_router_requests_total",
+    "Router requests by endpoint and answer status",
+    labels=("path", "status"),
+)
+_M_FORWARDS = obs_metrics.counter(
+    "repro_router_forwards_total",
+    "Requests forwarded to a replica",
+    labels=("replica",),
+)
+_M_FAILOVERS = obs_metrics.counter(
+    "repro_router_failovers_total",
+    "Forwards retried on another replica after a replica failure",
+)
+
+
+# ----------------------------------------------------------------------
+# consistent hashing
+# ----------------------------------------------------------------------
+def _hash_point(material: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(material.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes over a fixed member set.
+
+    Membership is static for the life of a cluster (the supervisor
+    restarts a dead replica under the same id), so failover is
+    expressed as a *preference order* per key rather than ring surgery:
+    a key served by its second choice while the owner is down snaps
+    back to the owner on recovery — which is exactly what warm-session
+    affinity wants.
+    """
+
+    def __init__(self, members: Sequence[str], vnodes: int = 64) -> None:
+        if not members:
+            raise ValueError("HashRing needs at least one member")
+        if vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        self.members = sorted(set(members))
+        self.vnodes = vnodes
+        ring: List[Tuple[int, str]] = []
+        for member in self.members:
+            for vnode in range(vnodes):
+                ring.append((_hash_point(f"{member}#{vnode}"), member))
+        ring.sort()
+        self._ring = ring
+        self._points = [point for point, _ in ring]
+
+    def preference(self, key: str) -> List[str]:
+        """All members in ring order from ``key``'s position.
+
+        ``preference(key)[0]`` owns the key; the tail is the failover
+        order.  Deterministic for a given (members, vnodes, key).
+        """
+        start = bisect.bisect_right(self._points, _hash_point(key)) % len(self._ring)
+        order: List[str] = []
+        seen: set = set()
+        for offset in range(len(self._ring)):
+            member = self._ring[(start + offset) % len(self._ring)][1]
+            if member not in seen:
+                seen.add(member)
+                order.append(member)
+                if len(order) == len(self.members):
+                    break
+        return order
+
+    def owner(self, key: str) -> str:
+        return self.preference(key)[0]
+
+
+# ----------------------------------------------------------------------
+# replica endpoints
+# ----------------------------------------------------------------------
+@dataclass
+class ReplicaEndpoint:
+    """Where one replica listens, and what the router believes about it."""
+
+    replica_id: str
+    host: str
+    port: int
+    pid: Optional[int] = None
+    alive: bool = True
+    last_error: Optional[str] = None
+    forwarded: int = 0
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "replica_id": self.replica_id,
+            "host": self.host,
+            "port": self.port,
+            "pid": self.pid,
+            "alive": self.alive,
+            "forwarded": self.forwarded,
+            "last_error": self.last_error,
+        }
+
+
+class ReplicaDown(ConnectionError):
+    """A forward could not reach (or lost) its replica."""
+
+
+# ----------------------------------------------------------------------
+# the router
+# ----------------------------------------------------------------------
+class RouterApp:
+    """Routing, admission and failover over a fixed set of replicas."""
+
+    def __init__(
+        self,
+        replicas: Sequence[ReplicaEndpoint],
+        vnodes: int = 64,
+        max_inflight: int = 256,
+        health_interval: float = 0.5,
+        forward_timeout: float = 120.0,
+    ) -> None:
+        if not replicas:
+            raise ValueError("RouterApp needs at least one replica")
+        self.replicas: Dict[str, ReplicaEndpoint] = {
+            replica.replica_id: replica for replica in replicas
+        }
+        if len(self.replicas) != len(replicas):
+            raise ValueError("replica ids must be unique")
+        self.ring = HashRing(list(self.replicas), vnodes=vnodes)
+        self.max_inflight = max_inflight
+        self.health_interval = health_interval
+        self.forward_timeout = forward_timeout
+        self.draining = False
+        self.inflight = 0
+        self.started_mono = time.monotonic()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "forwarded": 0,
+            "failovers": 0,
+            "rejected": 0,
+            "routed_by_family": 0,
+            "routed_by_body": 0,
+        }
+        # job id -> owning replica id, bounded so a long-lived router
+        # cannot grow without bound; misses fall back to broadcast
+        self._job_owner: "OrderedDict[str, str]" = OrderedDict()
+        self._job_owner_limit = 65_536
+        self._health_task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._health_task = asyncio.create_task(self._health_loop())
+
+    async def stop(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+
+    async def _health_loop(self) -> None:
+        """Probe downed replicas back alive (forwards mark them down)."""
+        while True:
+            await asyncio.sleep(self.health_interval)
+            for replica in list(self.replicas.values()):
+                if replica.alive:
+                    continue
+                try:
+                    status, _, _ = await self._forward(
+                        replica, "GET", "/healthz", b"", None, mark_down=False
+                    )
+                except (ReplicaDown, asyncio.TimeoutError):
+                    continue
+                if status == 200:
+                    replica.alive = True
+                    replica.last_error = None
+                    _LOG.info("router.replica_up", replica=replica.replica_id)
+
+    # ------------------------------------------------------------------
+    def _mark_down(self, replica: ReplicaEndpoint, error: Exception) -> None:
+        if replica.alive:
+            _LOG.info(
+                "router.replica_down",
+                replica=replica.replica_id,
+                error=f"{type(error).__name__}: {error}",
+            )
+        replica.alive = False
+        replica.last_error = f"{type(error).__name__}: {error}"
+
+    async def _forward(
+        self,
+        replica: ReplicaEndpoint,
+        method: str,
+        target: str,
+        body: bytes,
+        parent: Optional[Dict[str, str]],
+        mark_down: bool = True,
+    ) -> Tuple[int, bytes, str]:
+        """One proxied exchange; raises :class:`ReplicaDown` on failure."""
+        try:
+            reader, writer = await asyncio.open_connection(replica.host, replica.port)
+        except OSError as exc:
+            if mark_down:
+                self._mark_down(replica, exc)
+            raise ReplicaDown(f"replica {replica.replica_id}: {exc}") from exc
+        try:
+            head = (
+                f"{method} {target} HTTP/1.1\r\n"
+                f"Host: {replica.host}:{replica.port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+            )
+            if parent is not None:
+                head += "X-Trace-Context: " + json.dumps(parent) + "\r\n"
+            writer.write(head.encode("latin-1") + b"\r\n" + body)
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(-1), timeout=self.forward_timeout)
+        except (OSError, asyncio.IncompleteReadError) as exc:
+            if mark_down:
+                self._mark_down(replica, exc)
+            raise ReplicaDown(f"replica {replica.replica_id}: {exc}") from exc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.TimeoutError):
+                pass
+        status, payload, content_type = _parse_http_response(raw)
+        if status is None:
+            error = ReplicaDown(
+                f"replica {replica.replica_id}: truncated/invalid response"
+            )
+            if mark_down:
+                self._mark_down(replica, error)
+            raise error
+        replica.forwarded += 1
+        self.counters["forwarded"] += 1
+        _M_FORWARDS.inc(replica=replica.replica_id)
+        return status, payload, content_type
+
+    # ------------------------------------------------------------------
+    def _route_key(self, raw_body: bytes) -> Tuple[str, str]:
+        """(routing key, mode): the spec's family fingerprint when the
+        body parses — same key as the warm-session registry, so probes
+        of one family share a replica — else a hash of the raw body."""
+        try:
+            body = json.loads(raw_body)
+            if not isinstance(body, dict):
+                raise ValueError("not an object")
+            if body.get("spec") is not None:
+                spec = payload_to_spec(body["spec"])
+            elif body.get("spec_text") is not None:
+                spec = parse_spec(body["spec_text"])
+            else:
+                raise ValueError("no spec")
+            epsilon = body.get("epsilon")
+            fraction = Fraction(str(epsilon)) if epsilon is not None else None
+            return family_fingerprint(spec, epsilon=fraction), "family"
+        except Exception:
+            # malformed bodies still route *somewhere* deterministic so
+            # the replica can answer its structured 400
+            try:
+                material = canonical_json(json.loads(raw_body))
+            except Exception:
+                material = raw_body.decode("latin-1")
+            return hashlib.sha256(material.encode("utf-8")).hexdigest(), "body"
+
+    def _record_owner(self, job_id: str, replica_id: str) -> None:
+        self._job_owner[job_id] = replica_id
+        self._job_owner.move_to_end(job_id)
+        while len(self._job_owner) > self._job_owner_limit:
+            self._job_owner.popitem(last=False)
+
+    def _candidates(self, order: Sequence[str]) -> List[ReplicaEndpoint]:
+        """Preference order, live replicas first; downed ones kept as a
+        last resort (they may have restarted since being marked)."""
+        live = [self.replicas[rid] for rid in order if self.replicas[rid].alive]
+        down = [self.replicas[rid] for rid in order if not self.replicas[rid].alive]
+        return live + down
+
+    def _pinned(self, query: Dict[str, str]) -> Optional[ReplicaEndpoint]:
+        pin = query.get("replica")
+        if pin is None:
+            return None
+        replica = self.replicas.get(pin)
+        if replica is None:
+            raise RequestError(
+                f"unknown replica: {pin!r} (cluster has {sorted(self.replicas)})",
+                503,
+                "unknown_replica",
+            )
+        return replica
+
+    async def _try_each(
+        self,
+        candidates: Sequence[ReplicaEndpoint],
+        method: str,
+        target: str,
+        body: bytes,
+        parent: Optional[Dict[str, str]],
+    ) -> Tuple[int, Any, str]:
+        """Forward to the first candidate that answers; fail over on
+        replica loss.  Returns (status, decoded payload, replica id)."""
+        last_error: Optional[str] = None
+        for index, replica in enumerate(candidates):
+            try:
+                status, raw, content_type = await self._forward(
+                    replica, method, target, body, parent
+                )
+            except ReplicaDown as exc:
+                last_error = str(exc)
+                if index + 1 < len(candidates):
+                    self.counters["failovers"] += 1
+                    _M_FAILOVERS.inc()
+                continue
+            return status, _decode_payload(raw, content_type), replica.replica_id
+        detail = f" (last error: {last_error})" if last_error else ""
+        raise RequestError(f"no live replicas{detail}", 503, "no_replicas")
+
+    # ------------------------------------------------------------------
+    async def handle(
+        self,
+        method: str,
+        target: str,
+        raw_body: bytes,
+        parent: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Any]:
+        """Route one request; returns (status, JSON-able payload)."""
+        path, _, raw_query = target.partition("?")
+        self.counters["requests"] += 1
+        with get_tracer().span(
+            "router.request", parent=parent, method=method, path=path
+        ) as span:
+            # forward the router span's own context (fall back to the
+            # caller's when tracing is off) so replica http.request
+            # spans join the same trace, one hop deeper
+            downstream = span.context_payload() or parent
+            try:
+                status, payload = await self._route(
+                    method, path, target, raw_body, _parse_query(raw_query), downstream
+                )
+            except RequestError as exc:
+                self.counters["rejected"] += 1
+                status, payload = exc.status, {"error": str(exc), "code": exc.code}
+            except (ReplicaDown, asyncio.TimeoutError) as exc:
+                status, payload = 502, {
+                    "error": f"replica failure: {exc}",
+                    "code": "replica_error",
+                }
+            span.set(status=status)
+        _M_REQUESTS.inc(path=path if path.startswith("/") else "other", status=status)
+        return status, payload
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        target: str,
+        raw_body: bytes,
+        query: Dict[str, str],
+        parent: Optional[Dict[str, str]],
+    ) -> Tuple[int, Any]:
+        if path == "/healthz":
+            return self._healthz()
+        if path == "/clusterz":
+            return 200, self.clusterz()
+        if path == "/statsz":
+            return 200, await self.statsz(parent)
+        if path == "/metricsz":
+            return 200, obs_metrics.get_registry().render_prometheus()
+        if path in ("/v1/verify", "/v1/synthesize"):
+            if method != "POST":
+                raise RequestError("use POST", 405, "bad_request")
+            return await self._route_submission(method, target, raw_body, query, parent)
+        if path.startswith("/v1/jobs/"):
+            return await self._route_job_poll(
+                method, path, target, raw_body, query, parent
+            )
+        if path == "/v1/incidents":
+            return await self._route_incidents(method, target, raw_body, query, parent)
+        raise RequestError(f"no such endpoint: {path}", 404, "not_found")
+
+    def _healthz(self) -> Tuple[int, Dict[str, Any]]:
+        live = sorted(r.replica_id for r in self.replicas.values() if r.alive)
+        payload = {
+            "status": "draining" if self.draining else ("ok" if live else "down"),
+            "role": "router",
+            "uptime_seconds": time.monotonic() - self.started_mono,
+            "replicas": {rid: r.alive for rid, r in sorted(self.replicas.items())},
+            "live_replicas": len(live),
+        }
+        if not live:
+            # keep wait_until_ready() polling until a replica answers
+            payload["code"] = "no_replicas"
+            return 503, payload
+        return 200, payload
+
+    def clusterz(self) -> Dict[str, Any]:
+        """Cluster topology: replicas (with pids, for chaos tests) + ring."""
+        return {
+            "role": "router",
+            "replicas": [
+                replica.describe()
+                for _, replica in sorted(self.replicas.items())
+            ],
+            "ring": {"members": self.ring.members, "vnodes": self.ring.vnodes},
+            "counters": dict(self.counters),
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "draining": self.draining,
+            "job_owners": len(self._job_owner),
+        }
+
+    async def statsz(self, parent: Optional[Dict[str, str]]) -> Dict[str, Any]:
+        """Router counters plus every live replica's ``/statsz``."""
+
+        async def one(replica: ReplicaEndpoint) -> Tuple[str, Any]:
+            try:
+                status, raw, content_type = await self._forward(
+                    replica, "GET", "/statsz", b"", parent
+                )
+            except (ReplicaDown, asyncio.TimeoutError) as exc:
+                return replica.replica_id, {"error": str(exc)}
+            payload = _decode_payload(raw, content_type)
+            return replica.replica_id, payload if status == 200 else {"error": payload}
+
+        pairs = await asyncio.gather(
+            *(one(replica) for _, replica in sorted(self.replicas.items()))
+        )
+        return {
+            "role": "router",
+            "uptime_seconds": time.monotonic() - self.started_mono,
+            "counters": dict(self.counters),
+            "inflight": self.inflight,
+            "replicas": dict(pairs),
+        }
+
+    # ------------------------------------------------------------------
+    async def _route_submission(
+        self,
+        method: str,
+        target: str,
+        raw_body: bytes,
+        query: Dict[str, str],
+        parent: Optional[Dict[str, str]],
+    ) -> Tuple[int, Any]:
+        if self.draining:
+            raise RequestError(
+                "router is draining; not accepting jobs", 503, "draining"
+            )
+        if self.inflight >= self.max_inflight:
+            self.counters["rejected"] += 1
+            raise RequestError(
+                f"router at max_inflight={self.max_inflight}", 429, "queue_full"
+            )
+        pinned = self._pinned(query)
+        if pinned is not None:
+            candidates: List[ReplicaEndpoint] = [pinned]
+        else:
+            key, mode = self._route_key(raw_body)
+            self.counters[f"routed_by_{mode}"] += 1
+            candidates = self._candidates(self.ring.preference(key))
+        self.inflight += 1
+        try:
+            status, payload, replica_id = await self._try_each(
+                candidates, method, target, raw_body, parent
+            )
+        finally:
+            self.inflight -= 1
+        if isinstance(payload, dict):
+            payload.setdefault("replica", replica_id)
+            if status in (200, 202) and isinstance(payload.get("id"), str):
+                self._record_owner(payload["id"], replica_id)
+        return status, payload
+
+    async def _route_job_poll(
+        self,
+        method: str,
+        path: str,
+        target: str,
+        raw_body: bytes,
+        query: Dict[str, str],
+        parent: Optional[Dict[str, str]],
+    ) -> Tuple[int, Any]:
+        if method != "GET":
+            raise RequestError("use GET", 405, "bad_request")
+        job_id = path[len("/v1/jobs/") :]
+        pinned = self._pinned(query)
+        owner = self._job_owner.get(job_id)
+        if pinned is not None:
+            candidates: List[ReplicaEndpoint] = [pinned]
+        elif owner is not None and owner in self.replicas:
+            # owner first; the rest as broadcast fallback (the owner may
+            # have restarted and lost the job from memory)
+            rest = [rid for rid in sorted(self.replicas) if rid != owner]
+            candidates = self._candidates([owner] + rest)
+        else:
+            candidates = self._candidates(sorted(self.replicas))
+        last: Optional[Tuple[int, Any, str]] = None
+        for replica in candidates:
+            try:
+                status, raw, content_type = await self._forward(
+                    replica, method, target, raw_body, parent
+                )
+            except ReplicaDown:
+                continue
+            payload = _decode_payload(raw, content_type)
+            last = (status, payload, replica.replica_id)
+            if status != 404:
+                break
+        if last is None:
+            raise RequestError("no live replicas", 503, "no_replicas")
+        status, payload, replica_id = last
+        if isinstance(payload, dict):
+            payload.setdefault("replica", replica_id)
+        if status != 404:
+            self._record_owner(job_id, replica_id)
+        return status, payload
+
+    async def _route_incidents(
+        self,
+        method: str,
+        target: str,
+        raw_body: bytes,
+        query: Dict[str, str],
+        parent: Optional[Dict[str, str]],
+    ) -> Tuple[int, Any]:
+        if method not in ("GET", "POST"):
+            raise RequestError("use GET or POST", 405, "bad_request")
+        if method == "POST" and self.draining:
+            raise RequestError(
+                "router is draining; not accepting incidents", 503, "draining"
+            )
+        pinned = self._pinned(query)
+        if pinned is not None:
+            candidates: List[ReplicaEndpoint] = [pinned]
+        else:
+            # incidents live on one stable home (first id in ring order)
+            # so GET sees every POST; failover order is deterministic
+            candidates = self._candidates(sorted(self.replicas))
+        status, payload, replica_id = await self._try_each(
+            candidates, method, target, raw_body, parent
+        )
+        if isinstance(payload, dict):
+            payload.setdefault("replica", replica_id)
+        return status, payload
+
+
+def _parse_http_response(raw: bytes) -> Tuple[Optional[int], bytes, str]:
+    """(status, body, content-type) from a full Connection-close response."""
+    head, sep, body = raw.partition(b"\r\n\r\n")
+    if not sep:
+        return None, b"", ""
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) < 2 or not parts[1].isdigit():
+        return None, b"", ""
+    content_type = ""
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-type":
+            content_type = value.strip()
+    return int(parts[1]), body, content_type
+
+
+def _decode_payload(raw: bytes, content_type: str) -> Any:
+    """Replica answers decoded for re-encoding: JSON dicts stay dicts
+    (so the router can stamp ``replica``), Prometheus text stays text."""
+    if content_type.startswith("text/plain"):
+        return raw.decode("utf-8", "replace")
+    try:
+        return json.loads(raw) if raw else {}
+    except ValueError:
+        return raw.decode("utf-8", "replace")
+
+
+# ----------------------------------------------------------------------
+# replica supervision
+# ----------------------------------------------------------------------
+def _free_port(host: str) -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+class ClusterSupervisor:
+    """Spawn N ``repro serve`` replica subprocesses and keep them up.
+
+    Each replica keeps its port and replica id across restarts, so the
+    router's ring and endpoint table never change shape; a restarted
+    replica comes back empty (cold sessions, cold memory cache) but
+    re-warms from the shared disk cache tier.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        host: str = "127.0.0.1",
+        base_args: Optional[Sequence[str]] = None,
+        poll_interval: float = 0.5,
+        log: Callable[[str], None] = lambda message: None,
+    ) -> None:
+        if count < 1:
+            raise ValueError("count must be positive")
+        self.count = count
+        self.host = host
+        self.base_args = list(base_args or [])
+        self.poll_interval = poll_interval
+        self.log = log
+        self.endpoints: List[ReplicaEndpoint] = []
+        self.restarts = 0
+        self._procs: Dict[str, subprocess.Popen] = {}
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def _spawn(self, replica_id: str, port: int) -> subprocess.Popen:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--host",
+            self.host,
+            "--port",
+            str(port),
+            "--replica-id",
+            replica_id,
+            *self.base_args,
+        ]
+        env = dict(os.environ)
+        # make the repro package importable in the child regardless of
+        # how the parent found it (installed, PYTHONPATH, sys.path hack)
+        package_root = str(pathlib.Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        if package_root not in (existing or "").split(os.pathsep):
+            env["PYTHONPATH"] = (
+                package_root if not existing else package_root + os.pathsep + existing
+            )
+        proc = subprocess.Popen(
+            argv,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            start_new_session=True,
+        )
+        self._procs[replica_id] = proc
+        return proc
+
+    def start(self) -> List[ReplicaEndpoint]:
+        """Spawn all replicas; returns their (stable) endpoints."""
+        for index in range(self.count):
+            replica_id = f"r{index}"
+            port = _free_port(self.host)
+            proc = self._spawn(replica_id, port)
+            # alive=False until the router's health loop sees /healthz —
+            # replicas take a moment to bind
+            self.endpoints.append(
+                ReplicaEndpoint(
+                    replica_id=replica_id,
+                    host=self.host,
+                    port=port,
+                    pid=proc.pid,
+                    alive=False,
+                )
+            )
+            self.log(f"replica {replica_id} (pid {proc.pid}) on port {port}")
+        self._thread = threading.Thread(
+            target=self._watch, name="repro-cluster-supervisor", daemon=True
+        )
+        self._thread.start()
+        return self.endpoints
+
+    def _watch(self) -> None:
+        """Restart dead replicas on their original port/replica id."""
+        while not self._stopping:
+            time.sleep(self.poll_interval)
+            for endpoint in self.endpoints:
+                proc = self._procs.get(endpoint.replica_id)
+                if proc is None or proc.poll() is None or self._stopping:
+                    continue
+                endpoint.alive = False
+                endpoint.last_error = f"exited with {proc.returncode}"
+                new = self._spawn(endpoint.replica_id, endpoint.port)
+                endpoint.pid = new.pid
+                self.restarts += 1
+                self.log(
+                    f"replica {endpoint.replica_id} died "
+                    f"(rc={proc.returncode}); restarted as pid {new.pid}"
+                )
+
+    def stop(self, timeout: float = 15.0) -> None:
+        """SIGTERM every replica (they drain), then SIGKILL stragglers."""
+        self._stopping = True
+        if self._thread is not None:
+            self._thread.join(self.poll_interval * 4)
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                try:
+                    proc.terminate()
+                except OSError:
+                    pass
+        deadline = time.monotonic() + timeout
+        for proc in self._procs.values():
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# router server lifecycle
+# ----------------------------------------------------------------------
+@dataclass
+class RouterHandle:
+    """Cross-thread control surface returned by :func:`start_router_in_thread`."""
+
+    loop: asyncio.AbstractEventLoop
+    app: RouterApp
+    host: str
+    port: int
+    thread: Optional[threading.Thread] = None
+    _stop: Optional[asyncio.Event] = None
+
+    def request_shutdown(self) -> None:
+        if self._stop is None:
+            return
+        try:
+            self.loop.call_soon_threadsafe(self._stop.set)
+        except RuntimeError:
+            pass
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self.thread is not None:
+            self.thread.join(timeout)
+
+
+async def _handle_router_connection(
+    app: RouterApp, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        try:
+            request = await asyncio.wait_for(_read_request(reader), timeout=30.0)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError):
+            request = None
+        if request is None:
+            return
+        method, target, headers, raw_body = request
+        try:
+            status, payload = await app.handle(
+                method, target, raw_body, parent=_parse_trace_header(headers)
+            )
+        except Exception as exc:  # never leak a traceback as a hung socket
+            status, payload = 500, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "code": "internal",
+            }
+        writer.write(_encode_response(status, payload))
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def serve_router_async(
+    replicas: Sequence[ReplicaEndpoint],
+    host: str = "127.0.0.1",
+    port: int = 8320,
+    vnodes: int = 64,
+    max_inflight: int = 256,
+    supervisor: Optional[ClusterSupervisor] = None,
+    ready: Optional[Callable[[RouterHandle], None]] = None,
+    install_signal_handlers: bool = True,
+    log: Callable[[str], None] = print,
+    trace_file: Optional[str] = None,
+) -> None:
+    """Run the router over ``replicas`` until SIGTERM/SIGINT.
+
+    On shutdown the router drains (new submissions 503
+    ``code="draining"``), then stops the supervisor's replicas (each of
+    which drains its own queue before exiting).
+    """
+    if trace_file is not None:
+        configure_tracing(enabled=True, jsonl_path=trace_file)
+    app = RouterApp(replicas, vnodes=vnodes, max_inflight=max_inflight)
+    await app.start()
+    server = await asyncio.start_server(
+        lambda r, w: _handle_router_connection(app, r, w), host, port
+    )
+    bound_port = server.sockets[0].getsockname()[1]
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    if install_signal_handlers:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+    handle = RouterHandle(loop=loop, app=app, host=host, port=bound_port, _stop=stop)
+    if ready is not None:
+        ready(handle)
+    _LOG.info(
+        "router.listening",
+        host=host,
+        port=bound_port,
+        replicas=sorted(app.replicas),
+        vnodes=vnodes,
+    )
+    log(
+        f"repro router listening on http://{host}:{bound_port} "
+        f"({len(app.replicas)} replicas: {', '.join(sorted(app.replicas))})"
+    )
+    try:
+        await stop.wait()
+    finally:
+        app.draining = True
+        _LOG.info("router.draining", counters=dict(app.counters))
+        log("repro router draining ...")
+        await app.stop()
+        server.close()
+        await server.wait_closed()
+        if supervisor is not None:
+            supervisor.stop()
+        _LOG.info("router.stopped", counters=dict(app.counters))
+        log("repro router stopped")
+
+
+async def serve_cluster_async(
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    replicas: int = 3,
+    replica_args: Optional[Sequence[str]] = None,
+    cache_dir: Optional[str] = None,
+    vnodes: int = 64,
+    max_inflight: int = 256,
+    ready: Optional[Callable[[RouterHandle], None]] = None,
+    install_signal_handlers: bool = True,
+    log: Callable[[str], None] = print,
+    trace_file: Optional[str] = None,
+) -> None:
+    """Boot supervisor + N replicas + router: ``repro serve --replicas N``.
+
+    Replicas share ``cache_dir`` as the cluster's result tier (a
+    temporary directory when not given — still shared, but not
+    persistent across cluster restarts).
+    """
+    scratch: Optional[tempfile.TemporaryDirectory] = None
+    if cache_dir is None:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-cluster-cache-")
+        cache_dir = scratch.name
+    args = list(replica_args or []) + ["--cache-dir", cache_dir]
+    if trace_file is not None:
+        args += ["--trace-file", trace_file]
+    supervisor = ClusterSupervisor(replicas, host=host, base_args=args, log=log)
+    try:
+        endpoints = supervisor.start()
+        await serve_router_async(
+            endpoints,
+            host=host,
+            port=port,
+            vnodes=vnodes,
+            max_inflight=max_inflight,
+            supervisor=supervisor,
+            ready=ready,
+            install_signal_handlers=install_signal_handlers,
+            log=log,
+            trace_file=trace_file,
+        )
+    finally:
+        supervisor.stop()
+        if scratch is not None:
+            scratch.cleanup()
+
+
+def run_cluster(**kwargs: Any) -> None:
+    """Blocking entry point used by ``repro serve --replicas N``."""
+    try:
+        asyncio.run(serve_cluster_async(**kwargs))
+    except KeyboardInterrupt:
+        pass
+
+
+def start_router_in_thread(
+    replicas: Sequence[ReplicaEndpoint],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    log: Callable[[str], None] = lambda message: None,
+    **kwargs: Any,
+) -> RouterHandle:
+    """Run a router (over already-running replicas) on a daemon thread.
+
+    The test-facing mirror of :func:`repro.service.http.start_in_thread`:
+    no supervisor, no signal handlers, ``port=0`` picks a free port.
+    """
+    box: Dict[str, Any] = {}
+    started = threading.Event()
+
+    def _ready(handle: RouterHandle) -> None:
+        box["handle"] = handle
+        started.set()
+
+    def _run() -> None:
+        try:
+            asyncio.run(
+                serve_router_async(
+                    replicas,
+                    host=host,
+                    port=port,
+                    ready=_ready,
+                    install_signal_handlers=False,
+                    log=log,
+                    **kwargs,
+                )
+            )
+        except Exception as exc:
+            box["error"] = exc
+            started.set()
+
+    thread = threading.Thread(target=_run, name="repro-router", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30.0):
+        raise RuntimeError("router failed to start within 30 s")
+    if "error" in box:
+        raise RuntimeError(f"router failed to start: {box['error']}")
+    handle: RouterHandle = box["handle"]
+    handle.thread = thread
+    return handle

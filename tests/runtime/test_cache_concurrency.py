@@ -1,0 +1,159 @@
+"""The cache's concurrency contract, exercised rather than asserted.
+
+Cross-process: N replica stand-ins hammer one shared directory — the
+same keys written, read and evicted concurrently.  The contract is
+*valid-or-miss*: a reader sees a complete entry or a miss, never torn
+JSON surfacing as an exception or a half-populated result.  In-process:
+many threads share one instance (a replica's event loop + its solver
+executor threads) without corrupting the LRU or the counters.
+"""
+
+import concurrent.futures
+import json
+import threading
+
+from repro.core.spec import AttackGoal, AttackSpec
+from repro.core.verification import verify_attack
+from repro.grid.cases import ieee14
+from repro.runtime import ResultCache, spec_fingerprint
+
+KEYS = [f"shared-key-{i}" for i in range(6)]
+
+
+def make_result(bus=9):
+    spec = AttackSpec.default(ieee14(), goal=AttackGoal.states(bus))
+    return verify_attack(spec)
+
+
+def _hammer_process(directory, rounds, max_disk_entries, seed):
+    """Worker: interleave put/get/evict on the shared directory.
+
+    Returns (reads, hits, anomalies): anomalies are torn/invalid reads
+    — any exception out of get(), or a hit whose outcome is wrong.
+    """
+    expected = make_result()
+    cache = ResultCache(directory=directory, max_disk_entries=max_disk_entries)
+    reads = hits = anomalies = 0
+    for round_index in range(rounds):
+        for offset, key in enumerate(KEYS):
+            # writers and readers deliberately collide on every key;
+            # stagger by seed so the processes interleave differently
+            if (round_index + offset + seed) % 2 == 0:
+                cache.put(key, expected)
+            cache.clear_memory()  # force the disk tier every round
+            try:
+                hit = cache.get(key)
+            except Exception:
+                anomalies += 1
+                continue
+            reads += 1
+            if hit is None:
+                continue
+            hits += 1
+            if (
+                hit.outcome != expected.outcome
+                or hit.attack != expected.attack
+                or hit.statistics.get("cache_hit") != 1
+            ):
+                anomalies += 1
+    return reads, hits, anomalies
+
+
+class TestCrossProcess:
+    ROUNDS = 40
+
+    def test_two_processes_hammering_same_keys_see_no_torn_reads(self, tmp_path):
+        with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(_hammer_process, str(tmp_path), self.ROUNDS, None, seed)
+                for seed in (0, 1)
+            ]
+            outcomes = [future.result(timeout=300) for future in futures]
+        total_reads = sum(reads for reads, _, _ in outcomes)
+        total_hits = sum(hits for _, hits, _ in outcomes)
+        total_anomalies = sum(anomalies for _, _, anomalies in outcomes)
+        assert total_reads == 2 * self.ROUNDS * len(KEYS)
+        assert total_anomalies == 0
+        # the point of sharing a tier: most collisions are answered
+        assert total_hits > total_reads // 2
+
+    def test_concurrent_eviction_never_corrupts_readers(self, tmp_path):
+        # max_disk_entries below the live key count: every round prunes
+        # entries other processes are actively reading
+        with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(
+                    _hammer_process, str(tmp_path), self.ROUNDS, len(KEYS) // 2, seed
+                )
+                for seed in (0, 1)
+            ]
+            outcomes = [future.result(timeout=300) for future in futures]
+        assert sum(anomalies for _, _, anomalies in outcomes) == 0
+        # eviction actually happened under contention
+        survivors = list(tmp_path.glob("*.json"))
+        assert len(survivors) <= len(KEYS)
+        # whatever survived is complete, parseable JSON
+        for path in survivors:
+            payload = json.loads(path.read_text())
+            assert "outcome" in payload and "engine" in payload
+
+    def test_atomic_writes_leave_no_temp_droppings(self, tmp_path):
+        with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(_hammer_process, str(tmp_path), 10, None, seed)
+                for seed in (0, 1)
+            ]
+            for future in futures:
+                future.result(timeout=300)
+        assert not list(tmp_path.glob(".tmp-*"))
+
+
+class TestThreadSafety:
+    def test_many_threads_one_instance(self, tmp_path):
+        """Event loop + executor threads share one ResultCache."""
+        cache = ResultCache(
+            directory=tmp_path, max_memory_entries=4, max_disk_entries=4
+        )
+        expected = make_result()
+        errors = []
+        barrier = threading.Barrier(6)
+
+        def worker(seed):
+            try:
+                barrier.wait(timeout=10)
+                for i in range(150):
+                    key = KEYS[(i + seed) % len(KEYS)]
+                    if i % 3 == 0:
+                        cache.put(key, expected)
+                    hit = cache.get(key)
+                    if hit is not None and hit.outcome != expected.outcome:
+                        raise AssertionError("torn in-memory read")
+                    len(cache)
+                    cache.snapshot()
+                    if i % 50 == 0:
+                        cache.clear_memory()
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        # counters stayed coherent under the lock
+        stats = cache.stats
+        assert stats.hits + stats.misses == 6 * 150
+        assert len(cache) <= 4
+
+    def test_fingerprint_keys_are_process_stable(self):
+        """Sanity: the shared tier's keys hash identically everywhere."""
+        spec = AttackSpec.default(ieee14(), goal=AttackGoal.states(9))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(_remote_fingerprint).result(timeout=60)
+        assert remote == spec_fingerprint(spec)
+
+
+def _remote_fingerprint():
+    spec = AttackSpec.default(ieee14(), goal=AttackGoal.states(9))
+    return spec_fingerprint(spec)

@@ -1,0 +1,142 @@
+"""Client resilience: transient-connection retry, backoff, failover.
+
+A replica restarting under the supervisor answers connection-refused
+(socket gone) or resets mid-exchange; the client must ride through
+that window instead of surfacing it to every caller.  HTTP-level
+errors, by contrast, mean the server *spoke* — they must not be
+retried.
+"""
+
+import threading
+import time
+
+import pytest
+
+import repro.service.client as client_module
+from repro.core.spec import AttackGoal, AttackSpec
+from repro.grid.cases import ieee14
+from repro.runtime import ResultCache, RuntimeOptions
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import start_in_thread
+from repro.service.router import _free_port
+
+
+def make_spec(bus=9):
+    return AttackSpec.default(ieee14(), goal=AttackGoal.states(bus))
+
+
+def start_server(port=0):
+    return start_in_thread(
+        options=RuntimeOptions(jobs=1, cache=ResultCache()), port=port
+    )
+
+
+class TestRetry:
+    def test_restart_mid_request_is_transparent(self):
+        """Kill the server, restart it on the same port while a request
+        is in flight: the retrying client never sees the gap."""
+        port = _free_port("127.0.0.1")
+        first = start_server(port=port)
+        client = ServiceClient(port=port, retries=5, backoff=0.05)
+        client.wait_until_ready()
+        assert client.verify(make_spec(), timeout=60)["state"] == "done"
+
+        first.request_shutdown()
+        first.join(timeout=10.0)
+        assert not first.thread.is_alive()
+
+        box = {}
+
+        def restart_later():
+            time.sleep(0.15)  # inside the client's backoff window
+            box["handle"] = start_server(port=port)
+
+        restarter = threading.Thread(target=restart_later)
+        restarter.start()
+        try:
+            # issued while the port is dead: retried until the restarted
+            # server answers
+            job = client.verify(make_spec(), timeout=60)
+            assert job["state"] == "done"
+            assert client.retry_stats["retries"] >= 1
+        finally:
+            restarter.join(timeout=10.0)
+            box["handle"].request_shutdown()
+            box["handle"].join(timeout=10.0)
+
+    def test_failover_to_next_endpoint(self):
+        live = start_server()
+        dead_port = _free_port("127.0.0.1")
+        client = ServiceClient(
+            endpoints=[("127.0.0.1", dead_port), ("127.0.0.1", live.port)],
+            retries=3,
+            backoff=0.01,
+        )
+        try:
+            health = client.health()
+            assert health["status"] == "ok"
+            assert client.retry_stats["failovers"] >= 1
+            # the cursor stuck to the endpoint that answered
+            assert client.port == live.port
+            client.health()
+            assert client.retry_stats["failovers"] == 1
+        finally:
+            live.request_shutdown()
+            live.join(timeout=10.0)
+
+    def test_http_errors_are_not_retried(self):
+        live = start_server()
+        client = ServiceClient(port=live.port, retries=3)
+        try:
+            client.wait_until_ready()
+            before = client.retry_stats["attempts"]
+            with pytest.raises(ServiceError) as excinfo:
+                client.job("no-such-job")
+            assert excinfo.value.status == 404
+            assert client.retry_stats["attempts"] == before + 1
+            assert client.retry_stats["retries"] == 0
+        finally:
+            live.request_shutdown()
+            live.join(timeout=10.0)
+
+    def test_exhausted_retries_raise_original_error(self):
+        dead_port = _free_port("127.0.0.1")
+        client = ServiceClient(port=dead_port, retries=2, backoff=0.01)
+        with pytest.raises(ConnectionError):
+            client.health()
+        assert client.retry_stats["attempts"] == 3  # initial + 2 retries
+        assert client.retry_stats["retries"] == 2
+
+    def test_zero_retries_raise_immediately(self):
+        dead_port = _free_port("127.0.0.1")
+        client = ServiceClient(port=dead_port, retries=0)
+        with pytest.raises(ConnectionError):
+            client.health()
+        assert client.retry_stats["attempts"] == 1
+
+    def test_backoff_doubles_and_caps(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(client_module.time, "sleep", sleeps.append)
+        dead_port = _free_port("127.0.0.1")
+        client = ServiceClient(
+            port=dead_port, retries=4, backoff=0.5, max_backoff=2.0
+        )
+        with pytest.raises(ConnectionError):
+            client.health()
+        assert sleeps == [0.5, 1.0, 2.0, 2.0]
+
+
+class TestClientIdentity:
+    def test_client_id_stamped_on_submissions(self):
+        live = start_server()
+        client = ServiceClient(port=live.port, client_id="sweeper")
+        try:
+            client.wait_until_ready()
+            job = client.submit_verify(make_spec())
+            assert job["client"] == "sweeper"
+            # explicit field wins over the default identity
+            job = client.submit_verify(make_spec(), client="probe")
+            assert job["client"] == "probe"
+        finally:
+            live.request_shutdown()
+            live.join(timeout=10.0)

@@ -193,6 +193,105 @@ class TestCancelAndLimits:
         run(body())
 
 
+class TestFairness:
+    def test_clients_interleave_instead_of_fifo_starvation(self):
+        """A heavy sweep queued first must not starve an interactive
+        client: dispatch interleaves the streams round-robin-by-rank."""
+
+        async def body():
+            queue = JobQueue()
+            sweep = [
+                await queue.submit("verify", {"n": i}, client="sweep")
+                for i in range(3)
+            ]
+            probe = await queue.submit("verify", {}, client="interactive")
+            order = [await queue.take() for _ in range(4)]
+            # rank 0: sweep[0] then probe (FIFO within rank); rank 1+: rest
+            assert order == [sweep[0], probe, sweep[1], sweep[2]]
+
+        run(body())
+
+    def test_fifo_within_one_client(self):
+        async def body():
+            queue = JobQueue()
+            jobs = [
+                await queue.submit("verify", {"n": i}, client="c") for i in range(4)
+            ]
+            taken = [await queue.take() for _ in range(4)]
+            assert taken == jobs
+
+        run(body())
+
+    def test_priority_dominates_fairness(self):
+        async def body():
+            queue = JobQueue()
+            await queue.submit("verify", {}, client="sweep")
+            urgent = await queue.submit("verify", {}, priority=-10, client="monitor")
+            assert (await queue.take()) is urgent
+
+        run(body())
+
+    def test_anonymous_submitters_share_one_bucket(self):
+        async def body():
+            queue = JobQueue()
+            a = await queue.submit("verify", {"n": 1})
+            named = await queue.submit("verify", {}, client="c")
+            b = await queue.submit("verify", {"n": 2})
+            # anonymous jobs rank as one client; "c" interleaves at rank 0
+            assert [await queue.take() for _ in range(3)] == [a, named, b]
+
+        run(body())
+
+    def test_per_client_cap_is_queue_full(self):
+        async def body():
+            queue = JobQueue(max_per_client=2)
+            await queue.submit("verify", {}, client="greedy")
+            await queue.submit("verify", {}, client="greedy")
+            with pytest.raises(QueueFull) as excinfo:
+                await queue.submit("verify", {}, client="greedy")
+            assert "max_queue_per_client" in str(excinfo.value)
+            # other clients are unaffected
+            other = await queue.submit("verify", {}, client="modest")
+            assert other.state is JobState.QUEUED
+
+        run(body())
+
+    def test_per_client_count_released_on_dispatch_and_cancel(self):
+        async def body():
+            queue = JobQueue(max_per_client=1)
+            first = await queue.submit("verify", {}, client="c")
+            await queue.take()  # dispatch frees the slot
+            second = await queue.submit("verify", {}, client="c")
+            assert queue.cancel(second.id)  # cancellation frees it too
+            third = await queue.submit("verify", {}, client="c")
+            assert third.state is JobState.QUEUED
+            assert first.state is JobState.RUNNING
+
+        run(body())
+
+    def test_snapshot_reports_per_client_depths(self):
+        async def body():
+            queue = JobQueue(max_per_client=5)
+            await queue.submit("verify", {}, client="sweep")
+            await queue.submit("verify", {}, client="sweep")
+            await queue.submit("verify", {})
+            snapshot = queue.snapshot()
+            assert snapshot["depth_by_client"] == {"sweep": 2, "(anonymous)": 1}
+            assert snapshot["max_per_client"] == 5
+
+        run(body())
+
+    def test_client_appears_in_describe(self):
+        async def body():
+            queue = JobQueue()
+            job = await queue.submit("verify", {}, client="monitor")
+            assert job.describe()["client"] == "monitor"
+            anonymous = await queue.submit("verify", {})
+            assert "client" not in anonymous.describe()
+
+        run(body())
+
+
 class TestRequeue:
     def test_requeue_preserves_attempts(self):
         async def body():
