@@ -63,8 +63,14 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--portfolio",
-        action="store_true",
-        help="race the SMT and MILP backends, first conclusive answer wins",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="MODE",
+        help="race contenders per instance, first conclusive answer wins: "
+        "no value or 'backends' races SMT vs MILP; 'configs' or "
+        "'configs:N' races N diversified SMT configurations with "
+        "learned-clause exchange (default N=4)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -238,21 +244,81 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.smt.solver import engine_signature
 
     spec = load_spec_file(args.specfile)
+    portfolio_mode = getattr(args, "portfolio", False)
+    if portfolio_mode:
+        from repro.runtime.portfolio import parse_portfolio_mode, race_configs
+
+        mode, size = parse_portfolio_mode(portfolio_mode)
+        if mode != "configs":
+            print(
+                "profile --portfolio only supports 'configs' or 'configs:N'",
+                file=sys.stderr,
+            )
+            return 2
     previous = os.environ.get("REPRO_SMT_PROFILE")
     os.environ["REPRO_SMT_PROFILE"] = "1"
     try:
-        profiler = cProfile.Profile()
-        start = time.perf_counter()
-        profiler.enable()
-        for _ in range(args.repeat):
-            result = verify_attack(spec, backend=args.backend)
-        profiler.disable()
-        wall = time.perf_counter() - start
+        if portfolio_mode:
+            # a configuration race runs its contenders in child
+            # processes, where cProfile cannot see; the per-config
+            # phase-time breakdown below is the profile
+            capture: dict = {}
+            start = time.perf_counter()
+            for _ in range(args.repeat):
+                result = race_configs(
+                    spec, n=size, capture=capture, collect_all=True
+                )
+            wall = time.perf_counter() - start
+        else:
+            profiler = cProfile.Profile()
+            start = time.perf_counter()
+            profiler.enable()
+            for _ in range(args.repeat):
+                result = verify_attack(spec, backend=args.backend)
+            profiler.disable()
+            wall = time.perf_counter() - start
     finally:
         if previous is None:
             os.environ.pop("REPRO_SMT_PROFILE", None)
         else:
             os.environ["REPRO_SMT_PROFILE"] = previous
+    if portfolio_mode:
+        per_config = {
+            token: {
+                "phase_times": meta.get("phase_times", {}),
+                "clauses_exported": meta.get("clauses_exported", 0),
+                "clauses_imported": meta.get("clauses_imported", 0),
+                "runtime_seconds": round(meta.get("runtime_seconds", 0.0), 6),
+            }
+            for token, meta in sorted(capture.get("details", {}).items())
+        }
+        report = {
+            "spec": args.specfile,
+            "backend": f"portfolio-configs{size}",
+            "engine": engine_signature(),
+            "repeat": args.repeat,
+            "outcome": result.outcome.value,
+            "wall_seconds": round(wall, 6),
+            "portfolio": {
+                "mode": "configs",
+                "size": size,
+                "winner_config": result.statistics.get(
+                    "portfolio_winner_config"
+                ),
+                "clauses_exchanged": result.statistics.get(
+                    "portfolio_clauses_exchanged", 0
+                ),
+                "per_config": per_config,
+            },
+            "solver_statistics": result.statistics,
+        }
+        text = json.dumps(report, indent=2, default=str)
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+            print(f"profile report written to {args.out}")
+        else:
+            print(text)
+        return 0
     rows = []
     for (filename, line, funcname), entry in pstats.Stats(profiler).stats.items():
         _, ncalls, tottime, cumtime, _ = entry
@@ -391,6 +457,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             replica_args += ["--max-queue-per-client", str(args.max_queue_per_client)]
         if args.portfolio:
             replica_args.append("--portfolio")
+            if isinstance(args.portfolio, str):
+                replica_args.append(args.portfolio)
         if args.sessions:
             replica_args.append("--sessions")
         run_cluster(
@@ -516,6 +584,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--top", type=int, default=15, help="hot functions to report")
     p.add_argument("--out", metavar="FILE", help="write the JSON report to FILE")
+    p.add_argument(
+        "--portfolio",
+        nargs="?",
+        const="configs",
+        default=False,
+        metavar="MODE",
+        help="profile a cooperative configuration race instead of a solo "
+        "solve: per-config phase-time breakdown and exchanged-clause "
+        "counts ('configs' or 'configs:N', default N=4)",
+    )
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser(

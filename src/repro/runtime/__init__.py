@@ -6,8 +6,10 @@ memoized:
 * :mod:`repro.runtime.executor` — process-pool fan-out for batches of
   independent verification/synthesis instances, with per-task timeouts
   and an in-process fallback at ``jobs=1``;
-* :mod:`repro.runtime.portfolio` — SMT/MILP portfolio racing on a
-  single instance (first conclusive answer wins, loser is cancelled);
+* :mod:`repro.runtime.portfolio` — portfolio racing on a single
+  instance: SMT vs MILP backends, or N diversified SMT configurations
+  cooperating through learned-clause exchange (first conclusive answer
+  wins, losers are cancelled);
 * :mod:`repro.runtime.cache` — a memoizing result cache (in-memory LRU
   plus optional on-disk JSON store) keyed by canonical spec
   fingerprints;
@@ -26,7 +28,12 @@ from repro.runtime.executor import (
     verify_many,
     verify_one,
 )
-from repro.runtime.portfolio import race_backends
+from repro.runtime.portfolio import (
+    parse_portfolio_mode,
+    race_backends,
+    race_configs,
+    replay_config_solo,
+)
 from repro.runtime.serialize import (
     attack_from_payload,
     attack_to_payload,
@@ -53,8 +60,11 @@ __all__ = [
     "default_cache_dir",
     "family_fingerprint",
     "family_spec",
+    "parse_portfolio_mode",
     "payload_to_spec",
     "race_backends",
+    "race_configs",
+    "replay_config_solo",
     "result_from_payload",
     "result_to_payload",
     "session_registry_stats",

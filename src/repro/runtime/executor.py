@@ -50,7 +50,11 @@ from repro.obs.trace import (
     set_tracer,
 )
 from repro.runtime.cache import ResultCache
-from repro.runtime.portfolio import race_backends
+from repro.runtime.portfolio import (
+    parse_portfolio_mode,
+    race_backends,
+    race_configs,
+)
 from repro.runtime.serialize import (
     attack_to_payload,
     canonical_json,
@@ -86,6 +90,15 @@ _M_PORTFOLIO_WINS = obs_metrics.counter(
     "repro_portfolio_wins_total",
     "Races won, by the backend that answered first",
     labels=("backend",),
+)
+_M_PORTFOLIO_CLAUSES = obs_metrics.counter(
+    "repro_portfolio_clauses_exchanged_total",
+    "Learned clauses relayed between cooperative portfolio configurations",
+)
+_M_PORTFOLIO_CONFIG_WINS = obs_metrics.counter(
+    "repro_portfolio_config_wins_total",
+    "Cooperative races won, by the solver configuration that answered first",
+    labels=("config",),
 )
 _M_SOLVER_CONFLICTS = obs_metrics.counter(
     "repro_solver_conflicts_total", "SAT-core conflicts across all solves"
@@ -142,6 +155,12 @@ def _record_result_metrics(result: VerificationResult) -> None:
         winner = stats.get("portfolio_winner")
         if winner:
             _M_PORTFOLIO_WINS.inc(backend=winner)
+        exchanged = stats.get("portfolio_clauses_exchanged")
+        if exchanged:
+            _M_PORTFOLIO_CLAUSES.inc(exchanged)
+        winner_config = stats.get("portfolio_winner_config")
+        if winner_config:
+            _M_PORTFOLIO_CONFIG_WINS.inc(config=winner_config)
 
 #: Whether this platform can enforce per-task wall-clock timeouts.
 #: ``SIGALRM``/``setitimer`` are POSIX-only (absent on Windows); without
@@ -158,7 +177,11 @@ class RuntimeOptions:
 
     ``jobs``          — worker processes; 1 = in-process, 0/None = all cores
     ``backend``       — ``"smt"`` or ``"milp"`` (ignored under portfolio)
-    ``portfolio``     — race both backends per instance, first answer wins
+    ``portfolio``     — ``True``/``"backends"`` races SMT vs MILP per
+                        instance; ``"configs"`` / ``"configs:N"`` races N
+                        diversified SMT configurations with learned-clause
+                        exchange (cooperative portfolio); first
+                        definitive answer wins either way
     ``cache``         — optional :class:`ResultCache` for memoization
     ``task_timeout``  — per-instance wall-clock budget in seconds
     ``epsilon``       — forwarded to :func:`verify_attack`
@@ -173,25 +196,48 @@ class RuntimeOptions:
 
     jobs: int = 1
     backend: str = "smt"
-    portfolio: bool = False
+    portfolio: Union[bool, str] = False
     cache: Optional[ResultCache] = None
     task_timeout: Optional[float] = None
     epsilon: Epsilon = None
     max_conflicts: Optional[int] = None
     sessions: bool = False
 
+    def __post_init__(self) -> None:
+        # fail on construction, not at solve time inside a pool worker
+        parse_portfolio_mode(self.portfolio)
+
     def effective_jobs(self, num_tasks: int) -> int:
         jobs = self.jobs if self.jobs and self.jobs > 0 else (os.cpu_count() or 1)
         return max(1, min(jobs, num_tasks))
 
+    def portfolio_mode(self) -> Optional[str]:
+        """``None``, ``"backends"`` or ``"configs"``."""
+        return parse_portfolio_mode(self.portfolio)[0]
+
+    def portfolio_size(self) -> int:
+        """Contenders per race (0 when the portfolio is off)."""
+        return parse_portfolio_mode(self.portfolio)[1]
+
     def backend_label(self) -> str:
-        return "portfolio" if self.portfolio else self.backend
+        mode, size = parse_portfolio_mode(self.portfolio)
+        if mode == "configs":
+            # the label participates in cache fingerprints; a config
+            # race of different width explores a different portfolio,
+            # but the determinism contract keeps results equivalent —
+            # the size is still baked in so cached entries self-describe
+            return f"portfolio-configs{size}"
+        if mode == "backends":
+            return "portfolio"
+        return self.backend
 
     def describe(self) -> Dict[str, Any]:
         """JSON-able snapshot of the knobs (for ``/statsz`` and logs)."""
         return {
             "jobs": self.jobs,
             "backend": self.backend_label(),
+            "portfolio": self.portfolio_mode(),
+            "portfolio_size": self.portfolio_size() or None,
             "task_timeout": self.task_timeout,
             "task_timeouts_enforced": HAS_TASK_TIMEOUTS,
             "epsilon": None if self.epsilon is None else str(self.epsilon),
@@ -332,16 +378,21 @@ def _timeout_result(backend: str, elapsed: float) -> VerificationResult:
 def _solve_spec(
     spec: AttackSpec,
     backend: str,
-    portfolio: bool,
+    portfolio: Union[bool, str],
     epsilon: Epsilon,
     max_conflicts: Optional[int],
     task_timeout: Optional[float],
     sessions: bool = False,
 ) -> VerificationResult:
     start = time.perf_counter()
+    mode, size = parse_portfolio_mode(portfolio)
     try:
         with _alarm(task_timeout):
-            if portfolio:
+            if mode == "configs":
+                return race_configs(
+                    spec, n=size, epsilon=epsilon, timeout=task_timeout
+                )
+            if mode == "backends":
                 return race_backends(spec, epsilon=epsilon, timeout=task_timeout)
             if sessions and backend == "smt":
                 return _solve_on_session(spec, epsilon, max_conflicts)
@@ -350,7 +401,7 @@ def _solve_spec(
             )
     except _TaskTimeout:
         return _timeout_result(
-            "portfolio" if portfolio else backend, time.perf_counter() - start
+            "portfolio" if mode else backend, time.perf_counter() - start
         )
 
 

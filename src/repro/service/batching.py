@@ -186,10 +186,13 @@ def _verify_job_options(base: RuntimeOptions, payload: Dict[str, Any]) -> Runtim
     requests across batches into hits.
     """
     epsilon = payload.get("epsilon")
+    portfolio = payload.get("portfolio", base.portfolio)
+    if not isinstance(portfolio, str):
+        portfolio = bool(portfolio)
     return dataclasses.replace(
         base,
         backend=payload.get("backend") or base.backend,
-        portfolio=bool(payload.get("portfolio", base.portfolio)),
+        portfolio=portfolio,
         epsilon=base.epsilon if epsilon is None else Fraction(str(epsilon)),
     )
 

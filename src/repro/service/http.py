@@ -61,7 +61,7 @@ from repro.monitor.incidents import Incident, IncidentStore
 from repro.obs import metrics as obs_metrics
 from repro.obs.logging import get_logger
 from repro.obs.trace import configure_tracing, get_tracer
-from repro.runtime import ResultCache, RuntimeOptions
+from repro.runtime import ResultCache, RuntimeOptions, parse_portfolio_mode
 from repro.runtime.serialize import payload_to_spec, spec_to_payload
 from repro.service.batching import BatchingScheduler, BatchStats
 from repro.service.jobs import JobQueue, JobState, QueueFull
@@ -355,10 +355,20 @@ class ServiceApp:
                 epsilon = str(Fraction(str(epsilon)))
             except (ValueError, ZeroDivisionError) as exc:
                 raise RequestError(f"invalid 'epsilon': {exc}") from exc
+        portfolio = body.get("portfolio", False)
+        if isinstance(portfolio, str):
+            # "backends" / "configs" / "configs:N"; validated here so a
+            # typo is a 400, not a failed job inside the pool
+            try:
+                parse_portfolio_mode(portfolio)
+            except ValueError as exc:
+                raise RequestError(f"invalid 'portfolio': {exc}") from exc
+        else:
+            portfolio = bool(portfolio)
         payload = {
             "spec": spec_to_payload(spec),
             "backend": backend,
-            "portfolio": bool(body.get("portfolio", False)),
+            "portfolio": portfolio,
             "epsilon": epsilon,
         }
         job = await self.queue.submit(

@@ -40,6 +40,7 @@ from repro.smt.terms import (
     neq_with_eps,
     to_fraction,
 )
+from repro.smt.sat import ScriptedExchange, SolverConfig, diversified_configs
 from repro.smt.solver import Model, Result, Solver
 
 __all__ = [
@@ -55,7 +56,10 @@ __all__ = [
     "Or",
     "RealVar",
     "Result",
+    "ScriptedExchange",
     "Solver",
+    "SolverConfig",
+    "diversified_configs",
     "TRUE",
     "encode_totalizer",
     "eq",

@@ -12,8 +12,10 @@ Literals are DIMACS integers (``+v`` / ``-v``); variables are 1-based.
 from __future__ import annotations
 
 import heapq
+import random
+from dataclasses import dataclass
 from time import perf_counter
-from typing import Iterable, List, Optional, Protocol, Sequence
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 
 class TheoryListener(Protocol):
@@ -61,10 +63,218 @@ def luby(i: int) -> int:
         i -= (1 << (k - 1)) - 1
 
 
+#: restart policies a :class:`SolverConfig` may select
+RESTART_POLICIES = ("luby", "geometric")
+
+#: selectable BCP implementations: ``python`` is the tuned scalar loop,
+#: ``vec`` stores clauses as numpy int64 arrays and batches the
+#: false-literal scan — bit-identical search, same stats trace
+SAT_KERNELS = ("python", "vec")
+
+_np = None  # lazily imported numpy module (vec kernel only)
+
+
+def _ensure_numpy():
+    global _np
+    if _np is None:
+        try:
+            import numpy
+        except ImportError as exc:  # pragma: no cover - numpy is baked in
+            raise RuntimeError(
+                "REPRO_SAT_KERNEL=vec requires numpy; install it or use "
+                "the 'python' kernel"
+            ) from exc
+        _np = numpy
+    return _np
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """One search configuration of the CDCL core.
+
+    The default values reproduce the historical engine byte for byte
+    (Luby restarts with base 100, negative default phase, 0.95 VSIDS
+    decay, index-ordered tie-breaking).  A portfolio diversifies these
+    knobs — restart policy and base, default phase, decay, and a
+    decision seed that perturbs initial variable activities through a
+    reproducible RNG, so equal-activity ties break differently per
+    configuration but identically across runs of the same config.
+    """
+
+    restart: str = "luby"  # "luby" | "geometric"
+    restart_base: int = 100
+    restart_growth: float = 1.5  # geometric policy only
+    phase: bool = False  # default phase for fresh variables
+    decay: float = 0.95  # VSIDS activity decay
+    seed: Optional[int] = None  # tie-break RNG; None = index order
+
+    def __post_init__(self) -> None:
+        if self.restart not in RESTART_POLICIES:
+            raise ValueError(
+                f"unknown restart policy {self.restart!r}; "
+                f"valid policies: {', '.join(RESTART_POLICIES)}"
+            )
+        if self.restart_base < 1:
+            raise ValueError("restart_base must be >= 1")
+        if self.restart_growth <= 1.0:
+            raise ValueError("restart_growth must be > 1.0")
+        if not (0.0 < self.decay <= 1.0):
+            raise ValueError("decay must be in (0, 1]")
+
+    def restart_limit(self, restart_count: int) -> int:
+        """Conflicts allowed before restart number ``restart_count + 1``."""
+        if self.restart == "luby":
+            return luby(restart_count + 1) * self.restart_base
+        return max(1, int(self.restart_base * self.restart_growth**restart_count))
+
+    def token(self) -> str:
+        """Canonical compact form, e.g. ``geometric@64x1.5/p1/d0.92/s3``."""
+        head = f"{self.restart}@{self.restart_base}"
+        if self.restart == "geometric":
+            head += f"x{self.restart_growth:g}"
+        parts = [head, f"p{int(self.phase)}", f"d{self.decay:g}"]
+        if self.seed is not None:
+            parts.append(f"s{self.seed}")
+        return "/".join(parts)
+
+    @classmethod
+    def from_token(cls, text: str) -> "SolverConfig":
+        """Parse :meth:`token` output (also accepts ``default``/empty)."""
+        text = text.strip()
+        if not text or text == "default":
+            return cls()
+        parts = text.split("/")
+        head = parts[0]
+        kwargs: Dict[str, object] = {}
+        try:
+            if "@" in head:
+                name, _, rest = head.partition("@")
+                if "x" in rest:
+                    base, _, growth = rest.partition("x")
+                    kwargs["restart_growth"] = float(growth)
+                else:
+                    base = rest
+                kwargs["restart_base"] = int(base)
+            else:
+                name = head
+            kwargs["restart"] = name
+            for part in parts[1:]:
+                if not part:
+                    continue
+                tag, value = part[0], part[1:]
+                if tag == "p":
+                    kwargs["phase"] = bool(int(value))
+                elif tag == "d":
+                    kwargs["decay"] = float(value)
+                elif tag == "s":
+                    kwargs["seed"] = int(value)
+                else:
+                    raise ValueError(f"unknown field {part!r}")
+            return cls(**kwargs)  # type: ignore[arg-type]
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"bad solver config token {text!r}: {exc} "
+                "(expected e.g. 'luby@100/p0/d0.95' or "
+                "'geometric@64x1.5/p1/d0.92/s3')"
+            ) from exc
+
+
+#: the configurations :func:`diversified_configs` hands out first; the
+#: leading entry is the production default so a portfolio of size 1
+#: degenerates to the solo engine
+_PORTFOLIO_SEEDS: Tuple[SolverConfig, ...] = (
+    SolverConfig(),
+    SolverConfig(
+        restart="geometric", restart_base=64, restart_growth=1.5,
+        phase=True, decay=0.92, seed=1,
+    ),
+    SolverConfig(restart="luby", restart_base=32, decay=0.85, seed=2),
+    SolverConfig(
+        restart="geometric", restart_base=128, restart_growth=1.3,
+        decay=0.99, seed=3,
+    ),
+)
+
+
+def diversified_configs(n: int) -> List[SolverConfig]:
+    """``n`` deterministic, pairwise-distinct search configurations."""
+    if n < 1:
+        raise ValueError("need at least one configuration")
+    out = list(_PORTFOLIO_SEEDS[:n])
+    index = len(_PORTFOLIO_SEEDS)
+    while len(out) < n:
+        out.append(
+            SolverConfig(
+                restart="luby" if index % 2 else "geometric",
+                restart_base=32 + 16 * (index % 5),
+                phase=bool(index % 2),
+                decay=round(0.82 + 0.04 * (index % 5), 2),
+                seed=index,
+            )
+        )
+        index += 1
+    return out
+
+
+class ClauseExchange(Protocol):
+    """Transport for learned-clause exchange between portfolio solvers.
+
+    ``publish`` ships clauses this solver learned (already filtered by
+    the size/LBD export caps); ``poll`` returns clauses learned
+    elsewhere, to be imported at decision level 0.  Both receive the
+    solver's running conflict count so a recorded exchange schedule can
+    be replayed deterministically (:class:`ScriptedExchange`).
+    """
+
+    def publish(self, clauses: List[Tuple[int, ...]], conflicts: int) -> None: ...
+
+    def poll(self, conflicts: int) -> List[Tuple[int, ...]]: ...
+
+
+class ScriptedExchange:
+    """Replays a recorded import schedule (``SatSolver.import_log``).
+
+    Feeding the winner's log to a solo solver of the same configuration
+    reproduces its search bit for bit: imports land at the same conflict
+    counts, in the same order, so every decision afterwards is
+    identical.  This is the determinism contract of ``race_configs``.
+    """
+
+    def __init__(self, log: Iterable[Tuple[int, Tuple[int, ...]]]) -> None:
+        self._by_count: Dict[int, List[Tuple[int, ...]]] = {}
+        for conflicts, clause in log:
+            self._by_count.setdefault(int(conflicts), []).append(tuple(clause))
+
+    def publish(self, clauses: List[Tuple[int, ...]], conflicts: int) -> None:
+        pass  # exports do not influence the local search
+
+    def poll(self, conflicts: int) -> List[Tuple[int, ...]]:
+        return self._by_count.pop(conflicts, [])
+
+
 class SatSolver:
     """CDCL solver; see module docstring."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        config: Optional[SolverConfig] = None,
+        kernel: str = "python",
+    ) -> None:
+        if kernel not in SAT_KERNELS:
+            raise ValueError(
+                f"unknown SAT kernel {kernel!r}; "
+                f"valid kernels: {', '.join(SAT_KERNELS)}"
+            )
+        self.config = config if config is not None else SolverConfig()
+        self.kernel = kernel
+        #: decision-seed RNG: perturbs fresh-variable activities by a
+        #: tiny reproducible amount so equal-activity ties break in a
+        #: config-specific (but deterministic) order
+        self._rng = (
+            random.Random(self.config.seed)
+            if self.config.seed is not None
+            else None
+        )
         self.num_vars = 0
         self.clauses: List[List[int]] = []
         self.learnts: List[List[int]] = []
@@ -85,9 +295,29 @@ class SatSolver:
         self.theory: Optional[TheoryListener] = None
         self.theory_qhead = 0
         self.var_inc = 1.0
-        self.var_decay = 1.0 / 0.95
+        self.var_decay = 1.0 / self.config.decay
         self._heap: List[tuple[float, int]] = []
-        self.default_phase = False
+        self.default_phase = self.config.phase
+        # vec kernel: int8 mirror of `assign` for batched tail scans;
+        # clauses become numpy int64 arrays (see _store_clause/_bcp_vec)
+        self._assign_np = None
+        if kernel == "vec":
+            np = _ensure_numpy()
+            self._assign_np = np.zeros(1, dtype=np.int8)
+            self._bcp = self._bcp_vec  # type: ignore[method-assign]
+        # learned-clause exchange (portfolio cooperation); disabled
+        # unless set_exchange() installs a transport
+        self.exchange: Optional[ClauseExchange] = None
+        self.exchange_interval = 64
+        self.export_size_cap = 8
+        self.export_lbd_cap = 6
+        self._export_pending: List[Tuple[int, ...]] = []
+        self._next_exchange = 0
+        self._last_lbd = 0
+        #: every imported clause with the conflict count it arrived at —
+        #: replaying this log through ScriptedExchange reproduces the
+        #: search bit for bit (the race_configs determinism contract)
+        self.import_log: List[Tuple[int, Tuple[int, ...]]] = []
         # statistics
         self.stats = {
             "conflicts": 0,
@@ -98,6 +328,8 @@ class SatSolver:
             "theory_props": 0,
             "learned_literals": 0,
             "solves": 0,
+            "clauses_exported": 0,
+            "clauses_imported": 0,
         }
         #: when True, wall time is attributed per search phase into
         #: :attr:`phase_time` (off by default: perf_counter per phase
@@ -121,8 +353,17 @@ class SatSolver:
         self.assign.append(0)
         self.level.append(0)
         self.reason.append(None)
-        self.activity.append(0.0)
+        # the perturbation is far below any VSIDS bump, so it only
+        # decides ties between otherwise equal-activity variables
+        self.activity.append(
+            self._rng.random() * 1e-6 if self._rng is not None else 0.0
+        )
         self.saved_phase.append(self.default_phase)
+        if self._assign_np is not None and self.num_vars >= len(self._assign_np):
+            np = _np
+            grown = np.zeros(max(16, 2 * len(self._assign_np)), dtype=np.int8)
+            grown[: len(self._assign_np)] = self._assign_np
+            self._assign_np = grown
         self._heap_push(self.num_vars)
         return self.num_vars
 
@@ -167,9 +408,16 @@ class SatSolver:
         if len(out) == 1:
             self._enqueue(out[0], None)
             return True
-        self.clauses.append(out)
-        self._watch(out)
+        stored = self._store_clause(out)
+        self.clauses.append(stored)
+        self._watch(stored)
         return True
+
+    def _store_clause(self, lits: Sequence[int]) -> List[int]:
+        """Clause storage for the active kernel (list vs int64 array)."""
+        if self._assign_np is not None:
+            return _np.array(lits, dtype=_np.int64)  # type: ignore[return-value]
+        return list(lits)
 
     def _watch_index(self, lit: int) -> int:
         return ((lit << 1) if lit > 0 else (-lit << 1)) | (lit < 0)
@@ -183,7 +431,10 @@ class SatSolver:
     # ------------------------------------------------------------------
     def _enqueue(self, lit: int, reason: Optional[List[int]]) -> None:
         var = abs(lit)
-        self.assign[var] = 1 if lit > 0 else -1
+        value = 1 if lit > 0 else -1
+        self.assign[var] = value
+        if self._assign_np is not None:
+            self._assign_np[var] = value
         self.level[var] = self.decision_level()
         self.reason[var] = reason
         self.trail.append(lit)
@@ -192,11 +443,14 @@ class SatSolver:
         if self.decision_level() <= target_level:
             return
         bound = self.trail_lim[target_level]
+        anp = self._assign_np
         for i in range(len(self.trail) - 1, bound - 1, -1):
             lit = self.trail[i]
             var = abs(lit)
             self.saved_phase[var] = lit > 0
             self.assign[var] = 0
+            if anp is not None:
+                anp[var] = 0
             self.reason[var] = None
             self._heap_push(var)
         del self.trail[bound:]
@@ -281,6 +535,87 @@ class SatSolver:
                 j += 1
                 if self.value(first) == -1:
                     # conflict: keep remaining watches in place
+                    while i < n:
+                        watchlist[j] = watchlist[i]
+                        j += 1
+                        i += 1
+                    del watchlist[j:]
+                    return clause
+                self._enqueue(first, clause)
+            del watchlist[j:]
+        return None
+
+    def _bcp_vec(self) -> Optional[List[int]]:
+        """Vectorized unit propagation (``kernel="vec"``).
+
+        Same control flow as :meth:`_bcp`, with clauses stored as numpy
+        int64 arrays so the false-literal scan over ``clause[2:]`` runs
+        as one batched index + compare instead of a Python loop.  The
+        replacement watch picked is the *first* non-false tail literal —
+        exactly the literal the scalar loop would pick — so watch-list
+        evolution, propagation order, conflicts, and therefore the whole
+        search are bit-identical to the Python kernel.
+        """
+        np = _np
+        anp = self._assign_np
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            self.stats["propagations"] += 1
+            watchlist = self.watches[
+                ((lit << 1) if lit > 0 else (-lit << 1)) | (lit < 0)
+            ]
+            if not watchlist:
+                continue
+            i = 0
+            j = 0
+            n = len(watchlist)
+            while i < n:
+                clause = watchlist[i]
+                i += 1
+                neg = -lit
+                if clause[0] == neg:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = int(clause[0])
+                if self.assign[abs(first)] == (1 if first > 0 else -1):
+                    watchlist[j] = clause
+                    j += 1
+                    continue
+                found = False
+                size = len(clause)
+                if size >= 6:
+                    # batched scan: value of each tail literal under the
+                    # int8 assignment mirror; first entry != -1 is the
+                    # same literal the scalar loop stops at
+                    tail = clause[2:]
+                    av = anp[np.abs(tail)]
+                    adj = np.where(tail > 0, av, -av)
+                    hits = np.flatnonzero(adj != -1)
+                    if hits.size:
+                        k = int(hits[0]) + 2
+                        other = int(clause[k])
+                        clause[1], clause[k] = other, neg
+                        self.watches[
+                            ((-other << 1) if other < 0 else (other << 1))
+                            | (other > 0)
+                        ].append(clause)
+                        found = True
+                else:
+                    for k in range(2, size):
+                        other = int(clause[k])
+                        if self.value(other) != -1:
+                            clause[1], clause[k] = other, neg
+                            self.watches[
+                                ((-other << 1) if other < 0 else (other << 1))
+                                | (other > 0)
+                            ].append(clause)
+                            found = True
+                            break
+                if found:
+                    continue
+                watchlist[j] = clause
+                j += 1
+                if self.value(first) == -1:
                     while i < n:
                         watchlist[j] = watchlist[i]
                         j += 1
@@ -439,19 +774,36 @@ class SatSolver:
             learnt[1], learnt[best] = learnt[best], learnt[1]
             backjump = self.level[abs(learnt[1])]
         self.stats["learned_literals"] += len(learnt)
+        if self.exchange is not None:
+            # LBD (glue): distinct decision levels in the learnt clause,
+            # computed here while the pre-backjump levels are still valid
+            self._last_lbd = len({self.level[abs(q)] for q in learnt})
         return learnt, backjump
 
     def _record_learnt(self, learnt: List[int]) -> None:
+        if self.exchange is not None:
+            size = len(learnt)
+            if size <= self.export_size_cap and (
+                size == 1 or self._last_lbd <= self.export_lbd_cap
+            ):
+                self._export_pending.append(tuple(int(q) for q in learnt))
         if len(learnt) == 1:
-            self._enqueue(learnt[0], None)
+            self._enqueue(int(learnt[0]), None)
         else:
-            self.learnts.append(learnt)
-            self._watch(learnt)
-            self._enqueue(learnt[0], learnt)
+            stored = self._store_clause(learnt)
+            self.learnts.append(stored)
+            self._watch(stored)
+            self._enqueue(int(learnt[0]), stored)
 
     def _reduce_db(self) -> None:
         """Drop the longer half of non-reason learned clauses."""
-        locked = {id(self.reason[abs(l)]) for l in self.trail if self.reason[abs(l)]}
+        locked = {
+            # `is not None`, not truthiness: vec-kernel reasons are numpy
+            # arrays, whose bool() raises for length > 1
+            id(self.reason[abs(l)])
+            for l in self.trail
+            if self.reason[abs(l)] is not None
+        }
         self.learnts.sort(key=len)
         keep = len(self.learnts) // 2
         removed = []
@@ -467,6 +819,86 @@ class SatSolver:
         self.learnts = kept
         for watchlist in self.watches:
             watchlist[:] = [c for c in watchlist if id(c) not in dead]
+
+    # ------------------------------------------------------------------
+    # learned-clause exchange (cooperative portfolio)
+    # ------------------------------------------------------------------
+    def set_exchange(
+        self,
+        exchange: Optional[ClauseExchange],
+        interval: int = 64,
+        size_cap: int = 8,
+        lbd_cap: int = 6,
+    ) -> None:
+        """Install (or remove) a clause-exchange transport.
+
+        Every ``interval`` conflicts the solver publishes learnt clauses
+        that passed the ``size_cap``/``lbd_cap`` export filter and
+        imports foreign clauses at decision level 0.  Imported clauses
+        are recorded in :attr:`import_log` with the conflict count they
+        arrived at, so the search is reproducible via
+        :class:`ScriptedExchange`.
+        """
+        self.exchange = exchange
+        self.exchange_interval = max(1, interval)
+        self.export_size_cap = size_cap
+        self.export_lbd_cap = lbd_cap
+        self._export_pending = []
+
+    def _exchange_point(self, conflicts: int) -> None:
+        """Publish pending exports and import foreign clauses (level 0)."""
+        exchange = self.exchange
+        assert exchange is not None
+        if self._export_pending:
+            exchange.publish(self._export_pending, conflicts)
+            self.stats["clauses_exported"] += len(self._export_pending)
+            self._export_pending = []
+        imports = exchange.poll(conflicts)
+        if not imports:
+            return
+        self.cancel_until(0)
+        for lits in imports:
+            clause = tuple(int(q) for q in lits)
+            self.import_log.append((conflicts, clause))
+            self._import_clause(clause)
+            self.stats["clauses_imported"] += 1
+
+    def _import_clause(self, lits: Tuple[int, ...]) -> None:
+        """Attach one foreign learnt clause at decision level 0.
+
+        Mirrors :meth:`add_clause` filtering (tautology, satisfied,
+        false-literal stripping) but lands the clause in the learnt DB.
+        Imported clauses are implied by the shared formula, so they can
+        only prune the search, never change the verdict.
+        """
+        assert self.decision_level() == 0
+        seen = set()
+        out: List[int] = []
+        for lit in lits:
+            var = abs(lit)
+            if var > self.num_vars:
+                return  # foreign variable: not our instance, drop
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            val = self.value(lit)
+            if val == 1:
+                return  # satisfied at level 0
+            if val == -1:
+                continue  # false at level 0: strip
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            # an implied clause false at level 0: the formula is UNSAT
+            self.ok = False
+            return
+        if len(out) == 1:
+            self._enqueue(out[0], None)
+            return
+        stored = self._store_clause(out)
+        self.learnts.append(stored)
+        self._watch(stored)
 
     def _final_core(self, failing_lit: int) -> List[int]:
         """Final-conflict analysis (MiniSat's ``analyzeFinal``).
@@ -522,10 +954,13 @@ class SatSolver:
         for lit in assumptions:
             self.ensure_vars(abs(lit))
         restart_count = 0
-        conflicts_until_restart = luby(1) * 100
+        conflicts_until_restart = self.config.restart_limit(0)
         conflicts_in_round = 0
         max_learnts = max(2000, len(self.clauses) // 2)
         total_conflicts = 0
+        self.import_log = []
+        self._export_pending = []
+        self._next_exchange = self.exchange_interval
 
         while True:
             conflict = self._propagate_all()
@@ -556,13 +991,24 @@ class SatSolver:
                 ):
                     self.cancel_until(0)
                     return None
+                if (
+                    self.exchange is not None
+                    and total_conflicts >= self._next_exchange
+                ):
+                    self._next_exchange += self.exchange_interval
+                    self._exchange_point(total_conflicts)
+                    if not self.ok:
+                        # an imported (implied) clause was empty after
+                        # level-0 stripping: UNSAT outright
+                        self.core = []
+                        return False
                 continue
 
             if conflicts_in_round >= conflicts_until_restart:
                 restart_count += 1
                 self.stats["restarts"] += 1
                 conflicts_in_round = 0
-                conflicts_until_restart = luby(restart_count + 1) * 100
+                conflicts_until_restart = self.config.restart_limit(restart_count)
                 self.cancel_until(0)
                 continue
 

@@ -27,7 +27,7 @@ from repro.smt.cardinality import (
     encode_exactly,
 )
 from repro.smt.cnf import CnfBuilder
-from repro.smt.sat import SatSolver
+from repro.smt.sat import ClauseExchange, SatSolver, SolverConfig
 from repro.smt.terms import BoolTerm, BoolVar, LinExpr, RealVar, to_fraction
 from repro.smt.theory import LraTheory
 
@@ -41,7 +41,7 @@ class Result(enum.Enum):
 #: bumped whenever solver internals change in a way that can alter
 #: models, cores or the statistics schema; baked into cache
 #: fingerprints so stale disk entries are recomputed, not reused
-ENGINE_VERSION = 5
+ENGINE_VERSION = 6
 
 DEFAULT_KERNEL = "sparse"
 
@@ -49,6 +49,11 @@ DEFAULT_KERNEL = "sparse"
 #: importing it (the facade validates before the theory is built, so a
 #: typo in REPRO_THEORY_KERNEL fails here with the env var named)
 VALID_KERNELS = ("sparse", "int", "reference")
+
+DEFAULT_SAT_KERNEL = "python"
+
+#: selectable SAT/BCP kernels; mirrors repro.smt.sat.SAT_KERNELS
+VALID_SAT_KERNELS = ("python", "vec")
 
 
 def _resolve_kernel(kernel: Optional[str]) -> str:
@@ -81,17 +86,46 @@ def _resolve_profile(flag: Optional[bool]) -> bool:
     return bool(flag)
 
 
+def _resolve_sat_kernel(kernel: Optional[str]) -> str:
+    source = "sat_kernel argument"
+    if kernel is None:
+        kernel = os.environ.get("REPRO_SAT_KERNEL") or DEFAULT_SAT_KERNEL
+        source = "REPRO_SAT_KERNEL"
+    if kernel not in VALID_SAT_KERNELS:
+        raise ValueError(
+            f"unknown SAT kernel {kernel!r} (from {source}); "
+            f"valid kernels: {', '.join(VALID_SAT_KERNELS)}"
+        )
+    return kernel
+
+
+def _resolve_sat_config(config: Optional[SolverConfig]) -> SolverConfig:
+    if config is not None:
+        return config
+    token = os.environ.get("REPRO_SAT_CONFIG") or ""
+    try:
+        return SolverConfig.from_token(token)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_SAT_CONFIG: {exc}") from exc
+
+
 def engine_signature() -> str:
     """Identity of the solver configuration results depend on.
 
-    Combines :data:`ENGINE_VERSION` with the environment-resolved kernel
-    and propagation switches — everything that can change a model or a
-    core for the same input.  Included in cache fingerprints
+    Combines :data:`ENGINE_VERSION` with the environment-resolved
+    kernel, propagation, SAT-kernel and search-configuration switches —
+    everything that can change a model or a core for the same input.
+    Included in cache fingerprints
     (:func:`repro.runtime.serialize.spec_fingerprint`).
     """
     kernel = _resolve_kernel(None)
     prop = "1" if _resolve_propagation(None) else "0"
-    return f"v{ENGINE_VERSION}/kernel={kernel}/prop={prop}"
+    sat_kernel = _resolve_sat_kernel(None)
+    config = _resolve_sat_config(None)
+    return (
+        f"v{ENGINE_VERSION}/kernel={kernel}/prop={prop}"
+        f"/sat={sat_kernel}/cfg={config.token()}"
+    )
 
 
 class Model:
@@ -140,8 +174,13 @@ class Solver:
         kernel: Optional[str] = None,
         theory_propagation: Optional[bool] = None,
         profile: Optional[bool] = None,
+        sat_config: Optional[SolverConfig] = None,
+        sat_kernel: Optional[str] = None,
     ) -> None:
-        self._sat = SatSolver()
+        self._sat = SatSolver(
+            config=_resolve_sat_config(sat_config),
+            kernel=_resolve_sat_kernel(sat_kernel),
+        )
         self._sat.profile = _resolve_profile(profile)
         self._theory = LraTheory(
             kernel=_resolve_kernel(kernel),
@@ -174,6 +213,27 @@ class Solver:
         they did not construct.
         """
         self._sat.profile = bool(enabled)
+
+    def set_clause_exchange(
+        self,
+        exchange: Optional[ClauseExchange],
+        interval: int = 64,
+        size_cap: int = 8,
+        lbd_cap: int = 6,
+    ) -> None:
+        """Install a learned-clause exchange transport on the SAT core.
+
+        See :meth:`repro.smt.sat.SatSolver.set_exchange`.  Used by the
+        cooperative portfolio (``race_configs``); the import schedule is
+        recorded in :meth:`import_log` for deterministic replay.
+        """
+        self._sat.set_exchange(
+            exchange, interval=interval, size_cap=size_cap, lbd_cap=lbd_cap
+        )
+
+    def import_log(self) -> List[tuple]:
+        """The last check's imported clauses as ``(conflicts, clause)``."""
+        return list(self._sat.import_log)
 
     # ------------------------------------------------------------------
     # variables
@@ -439,6 +499,8 @@ class Solver:
             learned_kept=self._learned_kept,
             core_size=len(self._core),
             kernel=self._theory.kernel,
+            sat_kernel=self._sat.kernel,
+            sat_config=self._sat.config.token(),
             pivots=simplex.pivots,
             rows_nnz=rows_nnz,
             fill_ratio=round(rows_nnz / cells, 6) if cells else 0.0,

@@ -5,8 +5,9 @@ import pytest
 from repro.core.spec import AttackGoal, AttackSpec
 from repro.core.verification import VerificationOutcome
 from repro.grid.cases import ieee14
-from repro.runtime import RuntimeOptions, race_backends, verify_many
+from repro.runtime import RuntimeOptions, race_backends, race_configs, verify_many
 from repro.runtime.executor import _M_PORTFOLIO_RACES, _M_PORTFOLIO_WINS
+from repro.smt.sat import SolverConfig, diversified_configs
 
 
 def sat_spec():
@@ -42,6 +43,76 @@ class TestLoserCancellation:
         result = race_backends(sat_spec(), backends=("smt", "milp"))
         assert result.outcome is VerificationOutcome.ATTACK_EXISTS
         assert result.statistics["portfolio_winner"] == "milp"
+
+
+class TestCrashReporting:
+    def test_unprintable_exception_still_yields_structured_error(
+        self, monkeypatch
+    ):
+        # _UnprintableError's __str__ and __reduce__ both raise; the
+        # child must still deliver a plain-string report to the parent
+        monkeypatch.setenv("REPRO_RACE_CRASH", "smt")
+        result = race_backends(sat_spec(), backends=("smt", "milp"))
+        assert result.outcome is VerificationOutcome.ATTACK_EXISTS
+        assert result.statistics["portfolio_winner"] == "milp"
+
+    def test_all_contenders_crashing_reports_each_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RACE_CRASH", "smt")
+        result = race_backends(sat_spec(), backends=("smt", "bogus_b"))
+        assert result.outcome is VerificationOutcome.UNKNOWN
+        assert result.statistics["portfolio_crashed"] == 2
+        errors = result.statistics["portfolio_errors"]
+        assert errors["smt"] == "_UnprintableError: <unprintable exception>"
+        assert "bogus_b" in errors
+
+    def test_config_race_crash_is_attributed_to_the_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RACE_CRASH", "config:0")
+        result = race_configs(sat_spec(), n=2)
+        # the surviving contender still settles the instance
+        assert result.outcome is VerificationOutcome.ATTACK_EXISTS
+        tokens = [c.token() for c in diversified_configs(2)]
+        assert result.statistics["portfolio_winner_config"] == tokens[1]
+        errors = result.statistics.get("portfolio_errors", {})
+        if errors:  # the crash may land after the winner already broke out
+            assert errors[tokens[0]].startswith("_UnprintableError")
+
+    def test_config_race_total_crash_is_inconclusive(self, monkeypatch):
+        # one contender crashes unprintably, the other is parked; the
+        # race must time out inconclusive with the crash attributed
+        monkeypatch.setenv("REPRO_RACE_CRASH", "config:0")
+        monkeypatch.setenv("REPRO_RACE_STALL", "config:1")
+        result = race_configs(sat_spec(), n=2, timeout=2.0)
+        assert result.outcome is VerificationOutcome.UNKNOWN
+        assert result.statistics["portfolio_inconclusive"] == 1
+        assert result.statistics["portfolio_crashed"] == 1
+        tokens = [c.token() for c in diversified_configs(2)]
+        assert result.statistics["portfolio_errors"][tokens[0]] == (
+            "_UnprintableError: <unprintable exception>"
+        )
+        assert result.statistics["portfolio_losers_cancelled"] >= 1
+
+
+class TestDeterministicTie:
+    def test_simultaneous_finishers_attribute_a_single_winner(self):
+        # both contenders solve the same easy instance near-instantly; the
+        # parent must pick exactly one winner and label it consistently
+        for _ in range(3):
+            result = race_backends(sat_spec(), backends=("smt", "milp"))
+            assert result.outcome is VerificationOutcome.ATTACK_EXISTS
+            winner = result.statistics["portfolio_winner"]
+            assert winner in ("smt", "milp")
+            assert result.backend == winner
+
+    def test_config_tie_winner_matches_replayable_config(self):
+        capture = {}
+        result = race_configs(sat_spec(), n=2, capture=capture)
+        assert result.outcome is VerificationOutcome.ATTACK_EXISTS
+        assert (
+            result.statistics["portfolio_winner_config"]
+            == capture["winner_config"]
+        )
+        tokens = {c.token() for c in diversified_configs(2)}
+        assert capture["winner_config"] in tokens
 
 
 class TestWinnerAttributionMetrics:

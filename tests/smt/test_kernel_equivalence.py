@@ -79,8 +79,10 @@ def build_formula(solver, seed, nreal=3, nbool=2, natoms=6, nclauses=8):
     return xs, bs, atoms, skeleton
 
 
-def solve_with(kernel, seed, propagation=False):
-    solver = Solver(kernel=kernel, theory_propagation=propagation)
+def solve_with(kernel, seed, propagation=False, sat_kernel=None):
+    solver = Solver(
+        kernel=kernel, theory_propagation=propagation, sat_kernel=sat_kernel
+    )
     xs, bs, atoms, skeleton = build_formula(solver, seed)
     result = solver.check()
     model = solver.model() if result is Result.SAT else None
@@ -144,6 +146,49 @@ class TestSolverEquivalence:
         ref_result = solve_with("reference", seed)[5]
         prop_result = solve_with("int", seed, propagation=True)[5]
         assert prop_result is ref_result
+
+
+class TestSatKernelEquivalence:
+    """The vectorized BCP kernel through the full DPLL(T) stack.
+
+    Same contract as the theory kernels: REPRO_SAT_KERNEL=vec must be
+    bit-identical to the Python propagation loop — verdicts, models and
+    the complete search trace.
+    """
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_vec_bcp_bit_identical_through_dpllt(self, seed):
+        ref = solve_with("sparse", seed, sat_kernel="python")
+        vec = solve_with("sparse", seed, sat_kernel="vec")
+        _, xs, bs, _, _, ref_result, ref_model = ref
+        _, _, _, _, _, vec_result, vec_model = vec
+        assert vec_result is ref_result
+        if ref_result is Result.SAT:
+            for x in xs:
+                assert vec_model.real_value(x) == ref_model.real_value(x)
+            for b in bs:
+                assert vec_model.value(b) == ref_model.value(b)
+        ref_stats = ref[0].statistics()
+        vec_stats = vec[0].statistics()
+        for stats in (ref_stats, vec_stats):
+            stats.pop("sat_kernel", None)
+        assert vec_stats == ref_stats
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_vec_bcp_with_theory_propagation(self, seed):
+        ref = solve_with("sparse", seed, propagation=True, sat_kernel="python")
+        vec = solve_with("sparse", seed, propagation=True, sat_kernel="vec")
+        assert vec[5] is ref[5]
+        ref_stats = ref[0].statistics()
+        vec_stats = vec[0].statistics()
+        for key in ("conflicts", "decisions", "propagations", "pivots"):
+            assert vec_stats[key] == ref_stats[key], key
+
+    def test_env_selection_reaches_the_sat_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAT_KERNEL", "vec")
+        assert Solver().statistics()["sat_kernel"] == "vec"
+        monkeypatch.setenv("REPRO_SAT_KERNEL", "python")
+        assert Solver().statistics()["sat_kernel"] == "python"
 
 
 class TestUnsatCores:

@@ -173,6 +173,45 @@ class TestProfile:
         assert report["engine"].startswith("v")
         assert len(report["hotspots"]) <= 15
 
+    def test_portfolio_report_breaks_down_per_config(
+        self, spec_file, tmp_path, capsys
+    ):
+        import json
+
+        out = tmp_path / "portfolio-profile.json"
+        assert (
+            main(
+                ["profile", spec_file, "--portfolio", "configs:2", "--out", str(out)]
+            )
+            == 0
+        )
+        assert "written to" in capsys.readouterr().out
+        report = json.loads(out.read_text())
+        assert report["backend"] == "portfolio-configs2"
+        assert report["outcome"] in ("sat", "unsat")
+        portfolio = report["portfolio"]
+        assert portfolio["mode"] == "configs"
+        assert portfolio["size"] == 2
+        assert portfolio["winner_config"] in portfolio["per_config"]
+        assert portfolio["clauses_exchanged"] >= 0
+        # collect_all waited for every contender, so each reports a
+        # phase-time breakdown and its share of the clause traffic
+        assert len(portfolio["per_config"]) == 2
+        for meta in portfolio["per_config"].values():
+            assert set(meta) >= {
+                "phase_times",
+                "clauses_exported",
+                "clauses_imported",
+                "runtime_seconds",
+            }
+            assert any(
+                phase.startswith("time_") for phase in meta["phase_times"]
+            )
+
+    def test_portfolio_rejects_backend_race(self, spec_file, capsys):
+        assert main(["profile", spec_file, "--portfolio", "backends"]) == 2
+        assert "only supports" in capsys.readouterr().err
+
 
 class TestServe:
     def test_parser_exposes_serve(self):
