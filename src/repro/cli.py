@@ -16,8 +16,11 @@ Drives the full pipeline from spec files in the text format of
           --trace-file spans.jsonl
     $ python -m repro.cli serve --port 8321 --replicas 3 --sessions \
           --cache-dir /var/cache/repro
+    $ python -m repro.cli serve --port 8321 --replicas 3 --slo --flight
     $ python -m repro.cli metrics --scrape http://127.0.0.1:8321
-    $ python -m repro.cli trace show spans.jsonl --limit 3
+    $ python -m repro.cli metrics --cluster http://127.0.0.1:8321
+    $ python -m repro.cli top http://127.0.0.1:8321 --interval 1
+    $ python -m repro.cli trace show spans.jsonl --limit 3 --since 2026-08-08
 """
 
 from __future__ import annotations
@@ -193,13 +196,17 @@ def _cmd_metrics_registry(args: argparse.Namespace) -> int:
     in-process sweep, or to list the full metric catalog (families
     render their HELP/TYPE headers even before the first sample).
     """
-    if args.scrape:
+    target = args.scrape or getattr(args, "cluster", None)
+    if target:
         import urllib.error
         import urllib.request
 
-        url = args.scrape.rstrip("/")
-        if not url.endswith("/metricsz"):
-            url += "/metricsz"
+        # --cluster fetches the router's merged fleet-wide exposition;
+        # --scrape fetches one process's /metricsz
+        suffix = "/clusterz/metrics" if getattr(args, "cluster", None) else "/metricsz"
+        url = target.rstrip("/")
+        if not url.endswith(suffix):
+            url += suffix
         try:
             with urllib.request.urlopen(url, timeout=10.0) as response:
                 sys.stdout.write(response.read().decode("utf-8"))
@@ -215,14 +222,43 @@ def _cmd_metrics_registry(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Render a JSONL span sink as per-trace waterfalls."""
-    from repro.obs.render import render_file
+    from repro.obs.render import parse_time, render_file
 
     try:
-        print(render_file(args.file, trace_id=args.trace_id, limit=args.limit))
+        since = parse_time(args.since) if args.since else None
+        until = parse_time(args.until) if args.until else None
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        print(
+            render_file(
+                args.file,
+                trace_id=args.trace_id,
+                limit=args.limit,
+                since=since,
+                until=until,
+            )
+        )
     except OSError as exc:
         print(f"cannot read {args.file}: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live cluster dashboard over /clusterz/metrics (or /metricsz)."""
+    from repro.obs.top import run_top
+
+    try:
+        return run_top(
+            args.url,
+            interval=args.interval,
+            iterations=args.iterations,
+            no_clear=args.no_clear,
+        )
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -468,6 +504,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             replica_args=replica_args,
             cache_dir=args.cache_dir,
             trace_file=args.trace_file,
+            slo=args.slo,
+            flight=args.flight,
         )
         return 0
 
@@ -483,6 +521,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_per_client=args.max_queue_per_client,
         replica_id=args.replica_id,
         trace_file=args.trace_file,
+        slo=args.slo,
+        flight=args.flight,
     )
     return 0
 
@@ -554,6 +594,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="fetch /metricsz from a running service instead of the "
         "local registry (e.g. http://127.0.0.1:8321)",
     )
+    p.add_argument(
+        "--cluster",
+        metavar="URL",
+        help="fetch the merged fleet-wide exposition from a router's "
+        "/clusterz/metrics (counters summed, histograms re-bucketed, "
+        "per-replica series preserved under a replica label)",
+    )
     _add_runtime_flags(p)
     p.set_defaults(func=_cmd_metrics)
 
@@ -571,7 +618,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--limit", type=int, help="only the last N traces in the file"
     )
+    p.add_argument(
+        "--since",
+        metavar="TIME",
+        help="only traces starting at or after TIME (epoch seconds or "
+        "ISO-8601, e.g. 2026-08-08T12:00:00)",
+    )
+    p.add_argument(
+        "--until",
+        metavar="TIME",
+        help="only traces starting at or before TIME (epoch seconds or "
+        "ISO-8601)",
+    )
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard: per-replica RED rates, latency "
+        "quantiles, SLO burn state (ctrl-c exits)",
+    )
+    p.add_argument(
+        "url",
+        nargs="?",
+        default="http://127.0.0.1:8321",
+        help="router or replica base URL (tries /clusterz/metrics, "
+        "falls back to /metricsz)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period in seconds"
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames then exit (default: run until ctrl-c)",
+    )
+    p.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (logs, CI)",
+    )
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(
         "profile",
@@ -691,6 +779,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="enable span tracing with a JSONL sink at FILE "
         "(render it with 'repro trace show FILE')",
+    )
+    p.add_argument(
+        "--slo",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="FILE",
+        help="evaluate SLO burn-rate alerts (GET /sloz); FILE is a JSON "
+        "config, omit it for the built-in availability/latency/jobs "
+        "SLOs; in a cluster the router evaluates the merged scrape so "
+        "each alert fires once fleet-wide",
+    )
+    p.add_argument(
+        "--flight",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="FILE",
+        help="arm the flight recorder (GET /debugz/flight): freeze "
+        "redacted trace/log/solver-stat snapshots on 5xx answers, job "
+        "failures, deadline misses and SLO burns; FILE appends "
+        "snapshots as JSONL",
     )
     _add_runtime_flags(p)
     p.set_defaults(func=_cmd_serve)

@@ -40,6 +40,7 @@ from repro.monitor.triggers import (
     TopologyChangeTrigger,
     TriggerEvent,
 )
+from repro.obs.flight import get_flight_recorder
 from repro.obs.metrics import counter, gauge
 from repro.obs.trace import get_tracer
 
@@ -382,6 +383,22 @@ class MonitorEngine:
         self.counters["incidents"] += 1
         _M_INCIDENTS.inc(kind=incident.kind, severity=incident.severity)
         self.store.add(incident)
+        if incident.severity in ("major", "critical"):
+            # freeze the tick's span evidence while it is still in the
+            # tracer ring; a no-op recorder makes this free
+            recorder = get_flight_recorder()
+            if recorder.enabled:
+                recorder.trigger(
+                    "monitor_incident",
+                    trace_id=incident.trace_id,
+                    detail={
+                        "incident_id": incident.id,
+                        "kind": incident.kind,
+                        "severity": incident.severity,
+                        "tick": incident.tick,
+                        "detector": incident.detector,
+                    },
+                )
         if self.sink is not None:
             self.sink.emit(incident)
         if self.client is not None:

@@ -17,7 +17,19 @@ See ``docs/OBSERVABILITY.md`` for the metric catalog, the span tree of
 a verify request, the log schema and scrape examples.
 """
 
-from repro.obs.logging import StructuredLogger, configure_logging, get_logger
+from repro.obs.flight import (
+    FlightRecorder,
+    NoopFlightRecorder,
+    configure_flight,
+    get_flight_recorder,
+)
+from repro.obs.logging import (
+    StructuredLogger,
+    add_log_listener,
+    configure_logging,
+    get_logger,
+    remove_log_listener,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -27,6 +39,14 @@ from repro.obs.metrics import (
     gauge,
     get_registry,
     histogram,
+    record_build_info,
+)
+from repro.obs.slo import (
+    BurnWindow,
+    SloConfig,
+    SloEvaluator,
+    SloObjective,
+    load_slo_config,
 )
 from repro.obs.trace import (
     NoopTracer,
@@ -43,15 +63,23 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BurnWindow",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NoopFlightRecorder",
     "NoopTracer",
+    "SloConfig",
+    "SloEvaluator",
+    "SloObjective",
     "Span",
     "SpanContext",
     "StructuredLogger",
     "Tracer",
+    "add_log_listener",
+    "configure_flight",
     "configure_logging",
     "configure_tracing",
     "context_from_payload",
@@ -59,10 +87,14 @@ __all__ = [
     "counter",
     "current_context",
     "gauge",
+    "get_flight_recorder",
     "get_logger",
     "get_registry",
     "get_tracer",
     "histogram",
+    "load_slo_config",
+    "record_build_info",
+    "remove_log_listener",
     "set_tracer",
     "tracing_enabled",
 ]

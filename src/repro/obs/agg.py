@@ -1,0 +1,474 @@
+"""Prometheus-text parsing and cluster-level metric aggregation.
+
+The sharded cluster (PR 8) exposes one ``/metricsz`` per process —
+router plus N replicas — so fleet questions ("how many jobs finished?",
+"what is cluster p99?") needed N+1 scrapes and hand-merging.  This
+module closes that gap:
+
+* :func:`parse_text` — a parser for the Prometheus text exposition
+  format 0.0.4 as produced by :mod:`repro.obs.metrics` (``# HELP``/
+  ``# TYPE`` lines, label escaping, cumulative histogram buckets,
+  OpenMetrics-style ``# {trace_id="..."}`` exemplar suffixes);
+  :func:`render` re-emits a parsed scrape **losslessly** — parse/render
+  round-trips byte-for-byte on our own output;
+* :func:`merge_scrapes` — merges one scrape per replica with
+  per-kind semantics: **counters sum**, **gauges last-write** (in
+  replica order), **histograms re-bucket** onto the union of bucket
+  bounds (identical bounds — the common case — reduce to exact
+  per-bucket sums); every input series is *also* re-emitted with a
+  ``replica="<id>"`` label so per-replica detail survives aggregation
+  and the merged series can be audited against the raw ones;
+* served as ``GET /clusterz/metrics`` on the router and fetched by
+  ``repro metrics --cluster URL`` / ``repro top``.
+
+Everything is stdlib-only and pure (no registry access): inputs are
+exposition strings, outputs are exposition strings or the intermediate
+:class:`Family`/:class:`Sample` model.
+"""
+
+from __future__ import annotations
+
+import math
+import urllib.request
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.obs.metrics import (
+    _escape_label_value,
+    _format_exemplar,
+    _format_value,
+)
+
+Labels = Tuple[Tuple[str, str], ...]
+Exemplar = Tuple[str, float, float]  # (trace_id, value, timestamp)
+
+#: histogram component suffixes, checked when associating samples with
+#: their ``# TYPE`` family
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+_UNESCAPE = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+@dataclass
+class Sample:
+    """One exposition line: full series name, ordered labels, value."""
+
+    name: str
+    labels: Labels
+    value: float
+    timestamp: Optional[float] = None
+    exemplar: Optional[Exemplar] = None
+
+    def label(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        for key, value in self.labels:
+            if key == name:
+                return value
+        return default
+
+    def without_labels(self, *names: str) -> Labels:
+        return tuple((k, v) for k, v in self.labels if k not in names)
+
+
+@dataclass
+class Family:
+    """One metric family: the ``# HELP``/``# TYPE`` header + samples."""
+
+    name: str
+    kind: str = "untyped"
+    help: str = ""
+    samples: List[Sample] = field(default_factory=list)
+
+
+Scrape = "OrderedDict[str, Family]"
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+def _unescape_help(text: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt in ("\\", "n"):
+                out.append("\\" if nxt == "\\" else "\n")
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str, i: int) -> Tuple[Labels, int]:
+    """Parse ``{k="v",...}`` starting at ``text[i] == '{'``."""
+    labels: List[Tuple[str, str]] = []
+    i += 1  # consume '{'
+    while i < len(text):
+        while i < len(text) and text[i] in " \t":
+            i += 1
+        if i < len(text) and text[i] == "}":
+            return tuple(labels), i + 1
+        j = text.index("=", i)
+        name = text[i:j].strip()
+        j += 1
+        if j >= len(text) or text[j] != '"':
+            raise ValueError(f"malformed label value for {name!r}")
+        j += 1
+        buf: List[str] = []
+        while j < len(text):
+            ch = text[j]
+            if ch == "\\" and j + 1 < len(text):
+                nxt = text[j + 1]
+                buf.append(_UNESCAPE.get(nxt, "\\" + nxt))
+                j += 2
+            elif ch == '"':
+                j += 1
+                break
+            else:
+                buf.append(ch)
+                j += 1
+        labels.append((name, "".join(buf)))
+        if j < len(text) and text[j] == ",":
+            i = j + 1
+        else:
+            i = j
+    if i < len(text) and text[i] == "}":
+        return tuple(labels), i + 1
+    raise ValueError("unterminated label set")
+
+
+def _parse_exemplar(text: str) -> Optional[Exemplar]:
+    """Parse ``{trace_id="..."} value [ts]`` (the part after ``# ``)."""
+    text = text.strip()
+    if not text.startswith("{"):
+        return None
+    labels, i = _parse_labels(text, 0)
+    trace_id = dict(labels).get("trace_id", "")
+    parts = text[i:].split()
+    if not parts:
+        return None
+    value = float(parts[0])
+    stamp = float(parts[1]) if len(parts) > 1 else 0.0
+    return (trace_id, value, stamp)
+
+
+def _parse_sample(line: str) -> Sample:
+    brace = line.find("{")
+    space = line.find(" ")
+    if brace != -1 and (space == -1 or brace < space):
+        name = line[:brace]
+        labels, i = _parse_labels(line, brace)
+        rest = line[i:]
+    else:
+        name = line[:space] if space != -1 else line
+        labels = ()
+        rest = line[space:] if space != -1 else ""
+    exemplar: Optional[Exemplar] = None
+    if " # " in rest:
+        rest, exemplar_text = rest.split(" # ", 1)
+        exemplar = _parse_exemplar(exemplar_text)
+    parts = rest.split()
+    if not parts:
+        raise ValueError(f"sample line without a value: {line!r}")
+    value = float(parts[0])
+    stamp = float(parts[1]) if len(parts) > 1 else None
+    return Sample(name, labels, value, timestamp=stamp, exemplar=exemplar)
+
+
+def parse_text(text: str) -> "OrderedDict[str, Family]":
+    """Parse one exposition into families, in first-seen order.
+
+    Histogram ``_bucket``/``_sum``/``_count`` series are folded into
+    their declared family.  Unknown-family samples become ``untyped``
+    families of their own; malformed lines raise ``ValueError`` (our
+    own renderer never produces them).
+    """
+    families: "OrderedDict[str, Family]" = OrderedDict()
+
+    def get_or_create(name: str) -> Family:
+        family = families.get(name)
+        if family is None:
+            family = Family(name)
+            families[name] = family
+        return family
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "HELP":
+                family = get_or_create(parts[2])
+                family.help = _unescape_help(parts[3]) if len(parts) > 3 else ""
+            elif len(parts) >= 4 and parts[1] == "TYPE":
+                family = get_or_create(parts[2])
+                family.kind = parts[3]
+            # other comments are ignored per the format spec
+            continue
+        sample = _parse_sample(line)
+        target = families.get(sample.name)
+        if target is None:
+            for suffix in _HISTOGRAM_SUFFIXES:
+                if sample.name.endswith(suffix):
+                    base = families.get(sample.name[: -len(suffix)])
+                    if base is not None and base.kind == "histogram":
+                        target = base
+                        break
+        if target is None:
+            target = get_or_create(sample.name)
+        target.samples.append(sample)
+    return families
+
+
+# ----------------------------------------------------------------------
+# rendering (inverse of parse_text on our own output)
+# ----------------------------------------------------------------------
+def _render_series(name: str, labels: Labels) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def render_sample(sample: Sample) -> str:
+    line = f"{_render_series(sample.name, sample.labels)} {_format_value(sample.value)}"
+    if sample.timestamp is not None:
+        line += f" {_format_value(sample.timestamp)}"
+    if sample.exemplar is not None:
+        line += _format_exemplar(sample.exemplar)
+    return line
+
+
+def render(families: Mapping[str, Family]) -> str:
+    """Families back to exposition text (lossless on parse_text output)."""
+    lines: List[str] = []
+    for family in families.values():
+        if family.help:
+            escaped = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {family.name} {escaped}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample in family.samples:
+            lines.append(render_sample(sample))
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# merging
+# ----------------------------------------------------------------------
+def _with_replica(labels: Labels, replica_label: str, replica: str) -> Labels:
+    """Append the replica label, keeping ``le`` last (cosmetic only)."""
+    if labels and labels[-1][0] == "le":
+        return labels[:-1] + ((replica_label, replica), labels[-1])
+    return labels + ((replica_label, replica),)
+
+
+def _merge_scalar(
+    per_replica: "List[Tuple[str, Sample]]", kind: str
+) -> "OrderedDict[Labels, Sample]":
+    merged: "OrderedDict[Labels, Sample]" = OrderedDict()
+    for _, sample in per_replica:
+        key = sample.labels
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = Sample(sample.name, key, sample.value)
+        elif kind == "counter":
+            existing.value += sample.value
+        else:  # gauge / untyped: last write (replica order) wins
+            existing.value = sample.value
+    return merged
+
+
+def _newest_exemplar(*candidates: Optional[Exemplar]) -> Optional[Exemplar]:
+    best: Optional[Exemplar] = None
+    for candidate in candidates:
+        if candidate is None:
+            continue
+        if best is None or candidate[2] >= best[2]:
+            best = candidate
+    return best
+
+
+def _merge_histogram(
+    name: str, per_replica: "List[Tuple[str, Sample]]"
+) -> List[Sample]:
+    """Re-bucket per-replica histogram series onto the union of bounds.
+
+    Cumulative counts are step functions of the bound; a replica's count
+    at a union bound it does not declare is its count at the largest
+    declared bound below it (the monotone lower bound), which makes the
+    merge *exact* whenever all replicas share the same bucket layout.
+    """
+    # group key: the labelset minus le (same for _bucket/_sum/_count)
+    groups: "OrderedDict[Labels, Dict[str, Dict[str, Any]]]" = OrderedDict()
+    for replica, sample in per_replica:
+        if sample.name.endswith("_bucket"):
+            key = sample.without_labels("le")
+            part, detail = "bucket", sample.label("le", "+Inf")
+        elif sample.name.endswith("_sum"):
+            key, part, detail = sample.labels, "sum", ""
+        elif sample.name.endswith("_count"):
+            key, part, detail = sample.labels, "count", ""
+        else:  # stray series inside a histogram family: pass through
+            continue
+        group = groups.setdefault(key, {})
+        slot = group.setdefault(replica, {"bucket": {}, "sum": 0.0, "count": 0.0})
+        if part == "bucket":
+            slot["bucket"][detail] = sample
+        else:
+            slot[part] = sample.value
+
+    out: List[Sample] = []
+    for key in sorted(groups, key=lambda k: tuple(k)):
+        group = groups[key]
+        bounds: List[float] = sorted(
+            {
+                float(le)
+                for slot in group.values()
+                for le in slot["bucket"]
+                if le != "+Inf"
+            }
+        )
+        for bound in bounds:
+            total = 0.0
+            exemplar: Optional[Exemplar] = None
+            for slot in group.values():
+                best = 0.0
+                for le, bucket_sample in slot["bucket"].items():
+                    le_value = math.inf if le == "+Inf" else float(le)
+                    if le_value <= bound:
+                        best = max(best, bucket_sample.value)
+                    if le_value == bound:
+                        exemplar = _newest_exemplar(exemplar, bucket_sample.exemplar)
+                total += best
+            out.append(
+                Sample(
+                    f"{name}_bucket",
+                    key + (("le", _format_value(bound)),),
+                    total,
+                    exemplar=exemplar,
+                )
+            )
+        inf_total = 0.0
+        inf_exemplar: Optional[Exemplar] = None
+        for slot in group.values():
+            inf_sample = slot["bucket"].get("+Inf")
+            if inf_sample is not None:
+                inf_total += inf_sample.value
+                inf_exemplar = _newest_exemplar(inf_exemplar, inf_sample.exemplar)
+            else:
+                inf_total += slot["count"] if isinstance(slot["count"], float) else 0.0
+        out.append(
+            Sample(
+                f"{name}_bucket",
+                key + (("le", "+Inf"),),
+                inf_total,
+                exemplar=inf_exemplar,
+            )
+        )
+        out.append(
+            Sample(f"{name}_sum", key, sum(s["sum"] for s in group.values()))
+        )
+        out.append(
+            Sample(f"{name}_count", key, sum(s["count"] for s in group.values()))
+        )
+    return out
+
+
+def merge_scrapes(
+    scrapes: "Mapping[str, Union[str, OrderedDict[str, Family]]]",
+    replica_label: str = "replica",
+    include_per_replica: bool = True,
+) -> "OrderedDict[str, Family]":
+    """Merge one exposition per replica into a cluster-level scrape.
+
+    ``scrapes`` maps replica id -> exposition text (or an already parsed
+    scrape); iteration order defines gauge last-write order.  Each
+    output family carries the merged series first, then (when
+    ``include_per_replica``) every input series re-labeled with
+    ``replica="<id>"`` so the merge is auditable sample-by-sample.
+    """
+    parsed: "OrderedDict[str, OrderedDict[str, Family]]" = OrderedDict()
+    for replica, scrape in scrapes.items():
+        parsed[replica] = (
+            parse_text(scrape) if isinstance(scrape, str) else scrape
+        )
+
+    names: List[str] = sorted(
+        {name for families in parsed.values() for name in families}
+    )
+    out: "OrderedDict[str, Family]" = OrderedDict()
+    for name in names:
+        kind, help_text = "untyped", ""
+        per_replica: List[Tuple[str, Sample]] = []
+        for replica, families in parsed.items():
+            family = families.get(name)
+            if family is None:
+                continue
+            if kind == "untyped" and family.kind != "untyped":
+                kind = family.kind
+            if not help_text and family.help:
+                help_text = family.help
+            for sample in family.samples:
+                per_replica.append((replica, sample))
+
+        merged = Family(name, kind, help_text)
+        if kind == "histogram":
+            merged.samples.extend(_merge_histogram(name, per_replica))
+        else:
+            scalar = _merge_scalar(per_replica, kind)
+            for key in sorted(scalar, key=lambda k: tuple(k)):
+                merged.samples.append(scalar[key])
+        if include_per_replica:
+            for replica, sample in per_replica:
+                merged.samples.append(
+                    Sample(
+                        sample.name,
+                        _with_replica(sample.labels, replica_label, replica),
+                        sample.value,
+                        timestamp=sample.timestamp,
+                        exemplar=sample.exemplar,
+                    )
+                )
+        out[name] = merged
+    return out
+
+
+def merge_exposition(
+    scrapes: Mapping[str, str],
+    replica_label: str = "replica",
+    include_per_replica: bool = True,
+) -> str:
+    """:func:`merge_scrapes` + :func:`render` in one call."""
+    return render(
+        merge_scrapes(
+            scrapes,
+            replica_label=replica_label,
+            include_per_replica=include_per_replica,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# scraping
+# ----------------------------------------------------------------------
+def http_get_text(url: str, timeout: float = 5.0) -> str:
+    """Fetch one URL as text (scrapes, ``/sloz``); stdlib urllib only."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8", "replace")
+
+
+def scrape_endpoints(
+    endpoints: Mapping[str, str], timeout: float = 5.0
+) -> "OrderedDict[str, str]":
+    """GET every endpoint (replica id -> URL); unreachable ones skipped."""
+    scrapes: "OrderedDict[str, str]" = OrderedDict()
+    for replica, url in endpoints.items():
+        try:
+            scrapes[replica] = http_get_text(url, timeout=timeout)
+        except OSError:
+            continue
+    return scrapes

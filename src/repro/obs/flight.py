@@ -1,0 +1,271 @@
+"""Flight recorder: always-on crash forensics for served requests.
+
+Postmortems used to depend on having had tracing pre-enabled *and* on
+the interesting trace still being in the tracer ring by the time a
+human looked.  The flight recorder closes that gap: while enabled it
+keeps the tracer ring warm, buffers recent trace-correlated log
+records, and — when something goes wrong — **freezes a snapshot** of
+everything known about the offending trace:
+
+* the full span tree from the tracer ring (never partial: the ring
+  evicts whole traces, see :class:`repro.obs.trace.Tracer`);
+* correlated structured-log records (subscribed via
+  :func:`repro.obs.logging.add_log_listener`);
+* solver statistics and runtime attributes as recorded on the spans;
+* the trigger reason and free-form detail from the triggering layer.
+
+Trigger points (wired in ``service/http.py``, ``service/jobs.py``,
+``monitor/engine.py`` and the SLO monitor): HTTP 5xx answers, job
+failures and deadline misses, SLO burn-rate alerts, and major/critical
+monitor incidents.  Snapshots are **redacted** before they are stored
+or written to the JSONL sink — attribute keys that may carry problem
+payloads (specs, measurements, attack witnesses) are dropped and long
+strings truncated — because ``GET /debugz/flight`` is a debugging
+endpoint, not a data-export one.
+
+Everything is bounded: at most ``max_snapshots`` snapshots (oldest
+dropped) and ``max_logs`` buffered log records.  Disabled (the
+default) the recorder is a shared no-op with zero per-request cost.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Union
+
+from repro.obs import logging as obs_logging
+from repro.obs import trace as obs_trace
+
+#: span-attribute / log-field keys dropped wholesale by redaction
+DEFAULT_REDACT_KEYS = frozenset(
+    {
+        "spec",
+        "spec_text",
+        "payload",
+        "body",
+        "attack",
+        "witness",
+        "measurements",
+        "readings",
+        "settings",
+        "architecture",
+    }
+)
+
+#: strings longer than this are truncated in snapshots
+DEFAULT_MAX_STRING = 512
+
+
+def _redact(value: Any, redact_keys: frozenset, max_string: int) -> Any:
+    if isinstance(value, dict):
+        return {
+            key: _redact(item, redact_keys, max_string)
+            for key, item in value.items()
+            if str(key).lower() not in redact_keys
+        }
+    if isinstance(value, (list, tuple)):
+        return [_redact(item, redact_keys, max_string) for item in value]
+    if isinstance(value, str) and len(value) > max_string:
+        return value[:max_string] + f"…[truncated {len(value) - max_string} chars]"
+    return value
+
+
+class FlightRecorder:
+    """Bounded snapshot store keyed by trigger events."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        max_snapshots: int = 32,
+        max_logs: int = 512,
+        sink_path: Optional[Union[str, Path]] = None,
+        redact_keys: frozenset = DEFAULT_REDACT_KEYS,
+        max_string: int = DEFAULT_MAX_STRING,
+    ) -> None:
+        self.sink_path = Path(sink_path).expanduser() if sink_path else None
+        self.redact_keys = frozenset(str(k).lower() for k in redact_keys)
+        self.max_string = max_string
+        self._snapshots: Deque[Dict[str, Any]] = deque(maxlen=max_snapshots)
+        self._logs: Deque[Dict[str, Any]] = deque(maxlen=max_logs)
+        self._lock = threading.Lock()
+        self.counters = {
+            "triggers": 0,
+            "snapshots": 0,
+            "duplicates": 0,
+            "sink_errors": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def record_log(self, record: Dict[str, Any]) -> None:
+        """Log-listener hook: buffer records that carry a trace id."""
+        if record.get("trace_id"):
+            with self._lock:
+                self._logs.append(record)
+
+    # ------------------------------------------------------------------
+    def trigger(
+        self,
+        reason: str,
+        trace_id: Optional[str] = None,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Freeze a snapshot for ``trace_id`` (dedup'd per trace+reason).
+
+        Returns the stored snapshot, or None when an identical
+        ``(reason, trace_id)`` snapshot already exists (the dedup keeps
+        a retry storm from flushing older evidence out of the ring).
+        """
+        with self._lock:
+            self.counters["triggers"] += 1
+            if trace_id and any(
+                s["trace_id"] == trace_id and s["reason"] == reason
+                for s in self._snapshots
+            ):
+                self.counters["duplicates"] += 1
+                return None
+
+        tracer = obs_trace.get_tracer()
+        spans = tracer.finished_spans(trace_id) if trace_id else []
+        with self._lock:
+            logs = [
+                record
+                for record in self._logs
+                if trace_id and record.get("trace_id") == trace_id
+            ]
+        solver_stats = [
+            {
+                "span": span.get("name"),
+                "stats": span.get("attributes", {}).get("stats"),
+            }
+            for span in spans
+            if isinstance(span.get("attributes"), dict)
+            and "stats" in span.get("attributes", {})
+        ]
+        snapshot = _redact(
+            {
+                "reason": reason,
+                "trace_id": trace_id,
+                "detail": dict(detail or {}),
+                "frozen_at": time.time(),
+                "span_count": len(spans),
+                "spans": spans,
+                "logs": logs,
+                "solver_stats": solver_stats,
+            },
+            self.redact_keys,
+            self.max_string,
+        )
+        with self._lock:
+            self._snapshots.append(snapshot)
+            self.counters["snapshots"] += 1
+        if self.sink_path is not None:
+            try:
+                with self.sink_path.open("a") as handle:
+                    handle.write(json.dumps(snapshot, default=str) + "\n")
+            except OSError:
+                with self._lock:
+                    self.counters["sink_errors"] += 1
+        return snapshot
+
+    # ------------------------------------------------------------------
+    def snapshots(self, trace_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Stored snapshots, oldest first (optionally one trace only)."""
+        with self._lock:
+            items = list(self._snapshots)
+        if trace_id is None:
+            return items
+        return [
+            s
+            for s in items
+            if s.get("trace_id") == trace_id
+            or str(s.get("trace_id") or "").startswith(trace_id)
+        ]
+
+    def payload(self, trace_id: Optional[str] = None) -> Dict[str, Any]:
+        """The ``GET /debugz/flight`` body."""
+        with self._lock:
+            counters = dict(self.counters)
+            buffered_logs = len(self._logs)
+        return {
+            "enabled": self.enabled,
+            "counters": counters,
+            "buffered_logs": buffered_logs,
+            "snapshots": self.snapshots(trace_id),
+        }
+
+
+class NoopFlightRecorder(FlightRecorder):
+    """The zero-cost default: triggers and logs are discarded."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(max_snapshots=1, max_logs=1)
+
+    def record_log(self, record: Dict[str, Any]) -> None:
+        pass
+
+    def trigger(
+        self,
+        reason: str,
+        trace_id: Optional[str] = None,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> Optional[Dict[str, Any]]:
+        return None
+
+    def payload(self, trace_id: Optional[str] = None) -> Dict[str, Any]:
+        return {
+            "enabled": False,
+            "counters": {},
+            "buffered_logs": 0,
+            "snapshots": [],
+        }
+
+
+# ----------------------------------------------------------------------
+# global recorder management
+# ----------------------------------------------------------------------
+_recorder: FlightRecorder = NoopFlightRecorder()
+_recorder_lock = threading.Lock()
+
+
+def get_flight_recorder() -> FlightRecorder:
+    """The process-global flight recorder (no-op unless configured)."""
+    return _recorder
+
+
+def configure_flight(
+    enabled: bool = True,
+    sink_path: Optional[Union[str, Path]] = None,
+    max_snapshots: int = 32,
+    max_logs: int = 512,
+) -> FlightRecorder:
+    """Install the global flight recorder; returns it.
+
+    Enabling also makes sure span evidence exists to freeze: if the
+    global tracer is the no-op default, a ring-only recording tracer is
+    installed (an explicitly configured tracer/sink is left alone).
+    The recorder subscribes to structured-log records for correlation.
+    """
+    global _recorder
+    with _recorder_lock:
+        previous = _recorder
+        obs_logging.remove_log_listener(previous.record_log)
+        if enabled:
+            recorder: FlightRecorder = FlightRecorder(
+                max_snapshots=max_snapshots,
+                max_logs=max_logs,
+                sink_path=sink_path,
+            )
+            if not obs_trace.get_tracer().enabled:
+                obs_trace.configure_tracing(enabled=True)
+            obs_logging.add_log_listener(recorder.record_log)
+        else:
+            recorder = NoopFlightRecorder()
+        _recorder = recorder
+    return _recorder

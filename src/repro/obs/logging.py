@@ -30,11 +30,31 @@ import os
 import sys
 import threading
 from datetime import datetime, timezone
-from typing import Any, Dict, Optional, TextIO
+from typing import Any, Callable, Dict, List, Optional, TextIO
 
 from repro.obs.trace import current_context
 
 _LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+#: in-process record listeners (flight recorder); called with the record
+#: dict for every log call regardless of the stream-emission gate
+_listeners: List[Callable[[Dict[str, Any]], None]] = []
+
+
+def add_log_listener(listener: Callable[[Dict[str, Any]], None]) -> None:
+    """Subscribe ``listener`` to every structured log record."""
+    with _lock:
+        if listener not in _listeners:
+            _listeners.append(listener)
+
+
+def remove_log_listener(listener: Callable[[Dict[str, Any]], None]) -> None:
+    """Unsubscribe a listener previously added (missing is a no-op)."""
+    with _lock:
+        try:
+            _listeners.remove(listener)
+        except ValueError:
+            pass
 
 _lock = threading.Lock()
 _config: Dict[str, Any] = {
@@ -75,7 +95,8 @@ class StructuredLogger:
 
     # ------------------------------------------------------------------
     def _emit(self, level: str, event: str, fields: Dict[str, Any]) -> None:
-        if not _config["enabled"] or _LEVELS[level] < _config["level"]:
+        emit = _config["enabled"] and _LEVELS[level] >= _config["level"]
+        if not emit and not _listeners:
             return
         record: Dict[str, Any] = {
             "ts": datetime.now(timezone.utc).isoformat(timespec="milliseconds"),
@@ -88,6 +109,13 @@ class StructuredLogger:
             record["trace_id"] = ctx.trace_id
             record["span_id"] = ctx.span_id
         record.update(fields)
+        for listener in list(_listeners):
+            try:
+                listener(record)
+            except Exception:
+                pass  # a listener must never fail the logged computation
+        if not emit:
+            return
         stream = _config["stream"] or sys.stderr
         try:
             stream.write(json.dumps(record, default=str) + "\n")

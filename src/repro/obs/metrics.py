@@ -32,7 +32,10 @@ from __future__ import annotations
 import math
 import os
 import threading
+import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.trace import current_context as _current_span_context
 
 _NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
 _LABEL_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
@@ -76,6 +79,15 @@ def _format_value(value: float) -> str:
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return repr(value)
+
+
+def _format_exemplar(exemplar: Tuple[str, float, float]) -> str:
+    """OpenMetrics-style exemplar suffix for a ``_bucket`` sample line."""
+    trace_id, value, stamp = exemplar
+    return (
+        f' # {{trace_id="{_escape_label_value(trace_id)}"}} '
+        f"{_format_value(float(value))} {_format_value(float(stamp))}"
+    )
 
 
 class _Metric:
@@ -191,7 +203,15 @@ class Gauge(_Metric):
 
 
 class Histogram(_Metric):
-    """Cumulative-bucket distribution (latencies, batch sizes)."""
+    """Cumulative-bucket distribution (latencies, batch sizes).
+
+    Each ``(labelset, bucket)`` pair keeps at most one **exemplar** — the
+    trace id, raw value and wall timestamp of the last sample that landed
+    natively in that bucket — so dashboards can jump from "p99 got worse"
+    straight to a renderable trace.  Exemplars are captured from the
+    ambient span context (or an explicit ``exemplar=`` trace id) and only
+    rendered when present, so expositions without tracing are unchanged.
+    """
 
     kind = "histogram"
 
@@ -204,22 +224,67 @@ class Histogram(_Metric):
         self._counts: Dict[Tuple[str, ...], List[int]] = {}
         self._sums: Dict[Tuple[str, ...], float] = {}
         self._totals: Dict[Tuple[str, ...], int] = {}
+        # labelset -> bucket index (len(bounds) = +Inf) -> (trace_id, value, ts)
+        self._exemplar_map: Dict[Tuple[str, ...], Dict[int, Tuple[str, float, float]]] = {}
 
-    def observe(self, value: float, **labels: Any) -> None:
+    def observe(
+        self, value: float, exemplar: Optional[str] = None, **labels: Any
+    ) -> None:
         if not self._enabled():
             return
         key = self._key(labels)
         value = float(value)
+        if exemplar is None:
+            ctx = _current_span_context()
+            if ctx is not None:
+                exemplar = ctx.trace_id
         with self._lock:
             counts = self._counts.get(key)
             if counts is None:
                 counts = [0] * len(self.bounds)
                 self._counts[key] = counts
+            native = len(self.bounds)  # +Inf unless a finite bucket fits
             for i, bound in enumerate(self.bounds):
                 if value <= bound:
                     counts[i] += 1
+                    if i < native:
+                        native = i
             self._sums[key] = self._sums.get(key, 0.0) + value
             self._totals[key] = self._totals.get(key, 0) + 1
+            if exemplar:
+                self._exemplar_map.setdefault(key, {})[native] = (
+                    str(exemplar),
+                    value,
+                    time.time(),
+                )
+
+    def exemplars(self, **labels: Any) -> Dict[float, Tuple[str, float, float]]:
+        """Bucket bound (``math.inf`` for +Inf) -> (trace_id, value, ts)."""
+        key = self._key(labels)
+        with self._lock:
+            stored = dict(self._exemplar_map.get(key, {}))
+        bounds = self.bounds + (math.inf,)
+        return {bounds[i]: ex for i, ex in sorted(stored.items())}
+
+    def set_exemplar(
+        self, value: float, trace_id: str, stamp: Optional[float] = None, **labels: Any
+    ) -> None:
+        """Attach an exemplar without changing counts (cross-process credit)."""
+        if not self._enabled() or not trace_id:
+            return
+        key = self._key(labels)
+        value = float(value)
+        native = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                native = i
+                break
+        with self._lock:
+            self._exemplar_map.setdefault(key, {})[native] = (
+                str(trace_id),
+                value,
+                time.time() if stamp is None else float(stamp),
+            )
 
     def count(self, **labels: Any) -> int:
         key = self._key(labels)
@@ -239,14 +304,19 @@ class Histogram(_Metric):
             lines: List[str] = []
             for key in keys:
                 counts = self._counts.get(key, [0] * len(self.bounds))
+                exemplars = self._exemplar_map.get(key, {})
                 # observe() increments every bucket the value fits in, so
                 # counts are already cumulative as the format requires
-                for bound, count in zip(self.bounds, counts):
-                    lines.append(
-                        f"{self._bucket_series(key, _format_value(bound))} {count}"
-                    )
+                for i, (bound, count) in enumerate(zip(self.bounds, counts)):
+                    line = f"{self._bucket_series(key, _format_value(bound))} {count}"
+                    if i in exemplars:
+                        line += _format_exemplar(exemplars[i])
+                    lines.append(line)
                 total = self._totals.get(key, 0)
-                lines.append(f"{self._bucket_series(key, '+Inf')} {total}")
+                line = f"{self._bucket_series(key, '+Inf')} {total}"
+                if len(self.bounds) in exemplars:
+                    line += _format_exemplar(exemplars[len(self.bounds)])
+                lines.append(line)
                 lines.append(
                     f"{self._suffix_series(key, '_sum')} "
                     f"{_format_value(self._sums.get(key, 0.0))}"
@@ -288,6 +358,7 @@ class Histogram(_Metric):
             self._counts.clear()
             self._sums.clear()
             self._totals.clear()
+            self._exemplar_map.clear()
 
 
 class MetricsRegistry:
@@ -395,3 +466,31 @@ def histogram(
     buckets: Sequence[float] = DEFAULT_BUCKETS,
 ) -> Histogram:
     return _registry.histogram(name, help=help, labels=labels, buckets=buckets)
+
+
+def record_build_info(registry: Optional[MetricsRegistry] = None) -> Gauge:
+    """Set the ``repro_build_info`` gauge on ``registry`` (default global).
+
+    One series with value 1 whose labels identify everything a fleet
+    audit needs to spot skew between replicas: the full engine
+    signature, the package version, and the resolved theory-kernel and
+    SAT search-configuration switches.  Imported lazily so the metrics
+    module stays dependency-free for pool workers.
+    """
+    from repro import __version__
+    from repro.smt import solver as _solver
+
+    reg = registry if registry is not None else _registry
+    build_info = reg.gauge(
+        "repro_build_info",
+        "Build/configuration identity of this process (value is always 1)",
+        labels=("engine_signature", "version", "kernel", "sat_config"),
+    )
+    build_info.set(
+        1,
+        engine_signature=_solver.engine_signature(),
+        version=__version__,
+        kernel=_solver._resolve_kernel(None),
+        sat_config=_solver._resolve_sat_config(None).token(),
+    )
+    return build_info

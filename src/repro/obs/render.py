@@ -75,7 +75,9 @@ def _tree_order(spans: List[Dict[str, Any]]) -> List[Tuple[int, Dict[str, Any]]]
             parent = None  # orphan: its parent never reached the sink
         children.setdefault(parent, []).append(span)
     for bucket in children.values():
-        bucket.sort(key=_start)
+        # span_id tie-break keeps same-start-time siblings in one stable
+        # order across runs (dict order of the sink is not guaranteed)
+        bucket.sort(key=lambda span: (_start(span), str(span.get("span_id") or "")))
 
     out: List[Tuple[int, Dict[str, Any]]] = []
 
@@ -136,15 +138,45 @@ def render_trace(spans: List[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def parse_time(value: Union[str, float, None]) -> Optional[float]:
+    """A ``--since``/``--until`` value as epoch seconds.
+
+    Accepts a float epoch timestamp or an ISO-8601 datetime string
+    (naive strings are taken as local time, matching how span ``start``
+    stamps from ``time.time()`` read on the same machine).
+    """
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value).strip()
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    from datetime import datetime
+
+    try:
+        return datetime.fromisoformat(text).timestamp()
+    except ValueError:
+        raise ValueError(
+            f"cannot parse time {value!r}: want epoch seconds or ISO-8601"
+        ) from None
+
+
 def render_file(
     path: Union[str, Path],
     trace_id: Optional[str] = None,
     limit: Optional[int] = None,
+    since: Union[str, float, None] = None,
+    until: Union[str, float, None] = None,
 ) -> str:
     """Render every trace in a sink file (newest last).
 
     ``trace_id`` restricts output to one trace (prefix match accepted);
-    ``limit`` keeps only the last N traces.
+    ``limit`` keeps only the last N traces; ``since``/``until`` keep
+    only traces whose earliest span starts inside the window (epoch
+    seconds or ISO-8601, see :func:`parse_time`).
     """
     traces = group_traces(load_spans(path))
     if trace_id is not None:
@@ -155,6 +187,20 @@ def render_file(
         }
         if not traces:
             return f"no trace matching {trace_id!r} in {path}"
+    since_ts = parse_time(since)
+    until_ts = parse_time(until)
+    if since_ts is not None or until_ts is not None:
+        kept = {}
+        for tid, spans in traces.items():
+            t0 = min(_start(span) for span in spans)
+            if since_ts is not None and t0 < since_ts:
+                continue
+            if until_ts is not None and t0 > until_ts:
+                continue
+            kept[tid] = spans
+        if not kept:
+            return f"no traces inside the requested time window in {path}"
+        traces = kept
     items = list(traces.items())
     if limit is not None and limit > 0:
         items = items[-limit:]

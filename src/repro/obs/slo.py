@@ -1,0 +1,558 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An **SLO** states an objective over a request-class metric already in
+the registry — "99.9% of HTTP requests answer without a 5xx", "99% of
+requests finish under 500 ms", "99.9% of jobs reach ``done``" — and the
+evaluator turns the raw counters/histograms into the Google-SRE
+burn-rate model:
+
+* the **error budget** for objective *o* is the allowed bad fraction
+  ``1 - o``;
+* the **burn rate** over a window is ``bad_rate / (1 - o)`` — 1.0 means
+  "spending the budget exactly as fast as allowed";
+* an alert fires when the burn rate exceeds a window's threshold in
+  **both** a short and a long window (``5m``/``1h`` at 14.4x for fast
+  burns, ``6h``/``3d`` at 1.0x for slow leaks) — the short window makes
+  alerts reset quickly, the long one suppresses blips.
+
+The evaluator is deliberately **pull-based and deterministic**: callers
+feed it parsed metric families (:func:`repro.obs.agg.parse_text` on a
+local registry render, or the cluster merge on the router) at whatever
+cadence they like, and the clock is injected so tests can replay exact
+timelines.  Cumulative good/total counts are ring-buffered per SLO;
+window rates difference the closest sample at-or-before the window
+start (falling back to the oldest sample while history is shorter than
+the window — a young process alerts on its lifetime rate, which is the
+conservative choice).
+
+Rising-edge semantics: one alert **event** per SLO when it transitions
+into the alerting state (severity = worst alerting window); the event
+carries the burn rates, remaining budget and — when the metric (or a
+configured ``exemplar_metric``) holds trace exemplars — a trace id
+linking the breach to a renderable trace.  Events feed
+``monitor/incidents.py`` as first-class ``slo_burn`` incidents and the
+``repro_slo_*`` metrics; current state is served by ``GET /sloz``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.agg import Family, Sample
+
+#: label added by the cluster merge to per-replica duplicates; the
+#: evaluator always skips it so merged scrapes are not double-counted
+_REPLICA_LABEL = "replica"
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One multi-window burn-rate alerting rule."""
+
+    name: str
+    short_seconds: float
+    long_seconds: float
+    burn_threshold: float
+    severity: str = "major"
+
+
+#: the canonical Google-SRE page/ticket pair
+DEFAULT_WINDOWS: Tuple[BurnWindow, ...] = (
+    BurnWindow("fast", 300.0, 3600.0, 14.4, "critical"),
+    BurnWindow("slow", 21600.0, 259200.0, 1.0, "major"),
+)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative objective over a registry metric.
+
+    ``kind`` is ``availability`` (a labeled counter; samples whose
+    ``bad_label`` value matches ``bad_prefix``/``bad_values`` are bad)
+    or ``latency`` (a histogram; samples above ``threshold_seconds`` —
+    snapped to the nearest bucket bound — are bad).
+    """
+
+    name: str
+    objective: float
+    kind: str
+    metric: str
+    labels: Tuple[Tuple[str, str], ...] = ()
+    threshold_seconds: Optional[float] = None
+    bad_label: str = "status"
+    bad_prefix: Optional[str] = "5"
+    bad_values: Tuple[str, ...] = ()
+    exemplar_metric: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(f"slo {self.name}: objective must be in (0, 1)")
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"slo {self.name}: unknown kind {self.kind!r}")
+        if self.kind == "latency" and self.threshold_seconds is None:
+            raise ValueError(f"slo {self.name}: latency needs threshold_seconds")
+
+    def is_bad(self, value: Optional[str]) -> bool:
+        if value is None:
+            return False
+        if self.bad_values:
+            return value in self.bad_values
+        if self.bad_prefix:
+            return value.startswith(self.bad_prefix)
+        return False
+
+
+#: served by ``repro serve --slo`` when no config file is given
+DEFAULT_SLOS: Tuple[SloObjective, ...] = (
+    SloObjective(
+        name="availability",
+        objective=0.999,
+        kind="availability",
+        metric="repro_http_requests_total",
+        bad_label="status",
+        bad_prefix="5",
+        exemplar_metric="repro_http_request_seconds",
+    ),
+    SloObjective(
+        name="latency",
+        objective=0.99,
+        kind="latency",
+        metric="repro_http_request_seconds",
+        threshold_seconds=0.5,
+    ),
+    SloObjective(
+        name="jobs",
+        objective=0.999,
+        kind="availability",
+        metric="repro_jobs_finished_total",
+        bad_label="state",
+        bad_prefix=None,
+        bad_values=("failed", "timeout"),
+        exemplar_metric="repro_job_run_seconds",
+    ),
+)
+
+
+@dataclass
+class SloConfig:
+    slos: Tuple[SloObjective, ...] = DEFAULT_SLOS
+    windows: Tuple[BurnWindow, ...] = DEFAULT_WINDOWS
+    interval_seconds: float = 5.0
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "interval_seconds": self.interval_seconds,
+            "windows": [
+                {
+                    "name": w.name,
+                    "short_seconds": w.short_seconds,
+                    "long_seconds": w.long_seconds,
+                    "burn_threshold": w.burn_threshold,
+                    "severity": w.severity,
+                }
+                for w in self.windows
+            ],
+            "slos": [
+                {
+                    "name": s.name,
+                    "objective": s.objective,
+                    "kind": s.kind,
+                    "metric": s.metric,
+                    "labels": dict(s.labels),
+                    "threshold_seconds": s.threshold_seconds,
+                    "bad_label": s.bad_label,
+                    "bad_prefix": s.bad_prefix,
+                    "bad_values": list(s.bad_values),
+                    "exemplar_metric": s.exemplar_metric,
+                }
+                for s in self.slos
+            ],
+        }
+
+
+def _objective_from_payload(payload: Mapping[str, Any]) -> SloObjective:
+    return SloObjective(
+        name=str(payload["name"]),
+        objective=float(payload["objective"]),
+        kind=str(payload.get("kind", "availability")),
+        metric=str(payload["metric"]),
+        labels=tuple(sorted((str(k), str(v)) for k, v in dict(
+            payload.get("labels", {})
+        ).items())),
+        threshold_seconds=(
+            None
+            if payload.get("threshold_seconds") is None
+            else float(payload["threshold_seconds"])
+        ),
+        bad_label=str(payload.get("bad_label", "status")),
+        bad_prefix=(
+            None if payload.get("bad_prefix") is None else str(payload["bad_prefix"])
+        ),
+        bad_values=tuple(str(v) for v in payload.get("bad_values", ())),
+        exemplar_metric=(
+            None
+            if payload.get("exemplar_metric") is None
+            else str(payload["exemplar_metric"])
+        ),
+    )
+
+
+def load_slo_config(path: Union[str, Path, None] = None) -> SloConfig:
+    """Load a JSON SLO config; ``None`` returns the built-in defaults.
+
+    Schema (every field optional, see ``docs/OBSERVABILITY.md``)::
+
+        {"interval_seconds": 5,
+         "windows": [{"name": "fast", "short_seconds": 300,
+                      "long_seconds": 3600, "burn_threshold": 14.4,
+                      "severity": "critical"}, ...],
+         "slos": [{"name": "latency", "objective": 0.99,
+                   "kind": "latency",
+                   "metric": "repro_http_request_seconds",
+                   "threshold_seconds": 0.5}, ...]}
+    """
+    if path is None:
+        return SloConfig()
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict):
+        raise ValueError("SLO config must be a JSON object")
+    config = SloConfig()
+    if "interval_seconds" in payload:
+        config.interval_seconds = float(payload["interval_seconds"])
+    if "windows" in payload:
+        config.windows = tuple(
+            BurnWindow(
+                name=str(w["name"]),
+                short_seconds=float(w["short_seconds"]),
+                long_seconds=float(w["long_seconds"]),
+                burn_threshold=float(w["burn_threshold"]),
+                severity=str(w.get("severity", "major")),
+            )
+            for w in payload["windows"]
+        )
+    if "slos" in payload:
+        config.slos = tuple(
+            _objective_from_payload(s) for s in payload["slos"]
+        )
+    if not config.slos:
+        raise ValueError("SLO config declares no slos")
+    return config
+
+
+# ----------------------------------------------------------------------
+# extraction from parsed metric families
+# ----------------------------------------------------------------------
+def _matches(sample: Sample, slo: SloObjective) -> bool:
+    if sample.label(_REPLICA_LABEL) is not None:
+        return False  # merged-scrape duplicate of a per-replica series
+    for key, value in slo.labels:
+        if sample.label(key) != value:
+            return False
+    return True
+
+
+def _availability_counts(
+    family: Optional[Family], slo: SloObjective
+) -> Tuple[float, float]:
+    good = total = 0.0
+    if family is None:
+        return good, total
+    for sample in family.samples:
+        if not _matches(sample, slo):
+            continue
+        total += sample.value
+        if not slo.is_bad(sample.label(slo.bad_label)):
+            good += sample.value
+    return good, total
+
+
+def _latency_counts(
+    family: Optional[Family], slo: SloObjective
+) -> Tuple[float, float]:
+    """good = cumulative count at the largest bucket bound <= threshold."""
+    good = total = 0.0
+    if family is None:
+        return good, total
+    threshold = float(slo.threshold_seconds or 0.0)
+    # per labelset (minus le): the largest declared bound <= threshold
+    best_bound: Dict[Tuple, float] = {}
+    bucket_value: Dict[Tuple, Dict[float, float]] = {}
+    for sample in family.samples:
+        if not _matches(sample, slo):
+            continue
+        if sample.name == f"{slo.metric}_count":
+            total += sample.value
+        elif sample.name == f"{slo.metric}_bucket":
+            le = sample.label("le", "+Inf")
+            bound = math.inf if le == "+Inf" else float(le)
+            key = sample.without_labels("le")
+            bucket_value.setdefault(key, {})[bound] = sample.value
+            if bound <= threshold:
+                best_bound[key] = max(best_bound.get(key, -math.inf), bound)
+    for key, buckets in bucket_value.items():
+        bound = best_bound.get(key)
+        if bound is not None:
+            good += buckets.get(bound, 0.0)
+    return good, total
+
+
+def _find_exemplar(
+    families: Mapping[str, Family], slo: SloObjective
+) -> Optional[str]:
+    """Newest bad-bucket exemplar trace id for this SLO, if any.
+
+    Prefers buckets *above* the latency threshold (those are the
+    breaching samples); for availability SLOs the configured
+    ``exemplar_metric`` histogram is searched the same way with a zero
+    threshold (any exemplar qualifies).
+    """
+    metric = slo.exemplar_metric or (
+        slo.metric if slo.kind == "latency" else None
+    )
+    if metric is None:
+        return None
+    family = families.get(metric)
+    if family is None:
+        return None
+    threshold = float(slo.threshold_seconds or 0.0) if slo.kind == "latency" else 0.0
+    best: Optional[Tuple[float, str]] = None
+    for sample in family.samples:
+        if sample.exemplar is None or not sample.name.endswith("_bucket"):
+            continue
+        le = sample.label("le", "+Inf")
+        bound = math.inf if le == "+Inf" else float(le)
+        trace_id, _, stamp = sample.exemplar
+        if not trace_id or bound <= threshold:
+            continue
+        if best is None or stamp >= best[0]:
+            best = (stamp, trace_id)
+    return best[1] if best else None
+
+
+# ----------------------------------------------------------------------
+# the evaluator
+# ----------------------------------------------------------------------
+class SloEvaluator:
+    """Ring-buffered burn-rate evaluation over sampled metric families."""
+
+    def __init__(
+        self,
+        config: Optional[SloConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
+        record_metrics: bool = True,
+        registry: Optional[obs_metrics.MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or SloConfig()
+        self.clock = clock or time.time
+        self._history: Dict[str, Deque[Tuple[float, float, float]]] = {
+            slo.name: deque() for slo in self.config.slos
+        }
+        self._active: Dict[str, bool] = {slo.name: False for slo in self.config.slos}
+        self._exemplars: Dict[str, Optional[str]] = {}
+        self._alerts: List[Dict[str, Any]] = []
+        self._max_alerts = 64
+        self._last_status: Dict[str, Dict[str, Any]] = {}
+        self._horizon = max(
+            (w.long_seconds for w in self.config.windows), default=259200.0
+        )
+        self._metrics_enabled = record_metrics
+        reg = registry if registry is not None else obs_metrics.get_registry()
+        if record_metrics:
+            self._g_burn = reg.gauge(
+                "repro_slo_burn_rate",
+                "Error-budget burn rate per SLO and alert window",
+                labels=("slo", "window"),
+            )
+            self._g_budget = reg.gauge(
+                "repro_slo_error_budget_remaining",
+                "Fraction of the error budget left over the longest window",
+                labels=("slo",),
+            )
+            self._c_alerts = reg.counter(
+                "repro_slo_alerts_total",
+                "Burn-rate alerts fired (rising edges)",
+                labels=("slo", "severity"),
+            )
+
+    # ------------------------------------------------------------------
+    def sample(self, families: Mapping[str, Family]) -> List[Dict[str, Any]]:
+        """Ingest one scrape; returns newly fired alert events (if any)."""
+        now = self.clock()
+        fired: List[Dict[str, Any]] = []
+        for slo in self.config.slos:
+            family = families.get(slo.metric)
+            if slo.kind == "latency":
+                good, total = _latency_counts(family, slo)
+            else:
+                good, total = _availability_counts(family, slo)
+            history = self._history[slo.name]
+            history.append((now, good, total))
+            while len(history) > 2 and history[1][0] <= now - self._horizon:
+                history.popleft()
+            exemplar = _find_exemplar(families, slo)
+            if exemplar is not None:
+                self._exemplars[slo.name] = exemplar
+
+            burns: Dict[str, Dict[str, float]] = {}
+            alerting: List[BurnWindow] = []
+            for window in self.config.windows:
+                short = self._burn_rate(slo, window.short_seconds, now)
+                long = self._burn_rate(slo, window.long_seconds, now)
+                burns[window.name] = {
+                    "short": short,
+                    "long": long,
+                    "threshold": window.burn_threshold,
+                }
+                if (
+                    short > window.burn_threshold
+                    and long > window.burn_threshold
+                ):
+                    alerting.append(window)
+                if self._metrics_enabled:
+                    self._g_burn.set(short, slo=slo.name, window=window.name)
+
+            budget = self._budget_remaining(slo, now)
+            if self._metrics_enabled:
+                self._g_budget.set(budget, slo=slo.name)
+
+            was_active = self._active[slo.name]
+            is_active = bool(alerting)
+            self._active[slo.name] = is_active
+            status = {
+                "name": slo.name,
+                "kind": slo.kind,
+                "metric": slo.metric,
+                "objective": slo.objective,
+                "good": good,
+                "total": total,
+                "budget_remaining": budget,
+                "burn_rates": burns,
+                "alerting": is_active,
+                "exemplar_trace_id": self._exemplars.get(slo.name),
+                "sampled_at": now,
+            }
+            self._last_status[slo.name] = status
+            if is_active and not was_active:
+                severity = max(
+                    (w.severity for w in alerting),
+                    key=_severity_rank,
+                )
+                event = {
+                    "slo": slo.name,
+                    "severity": severity,
+                    "windows": [w.name for w in alerting],
+                    "burn_rates": burns,
+                    "budget_remaining": budget,
+                    "objective": slo.objective,
+                    "metric": slo.metric,
+                    "exemplar_trace_id": self._exemplars.get(slo.name),
+                    "fired_at": now,
+                }
+                self._alerts.append(event)
+                del self._alerts[: -self._max_alerts]
+                fired.append(event)
+                if self._metrics_enabled:
+                    self._c_alerts.inc(slo=slo.name, severity=severity)
+        return fired
+
+    def sample_text(self, exposition: str) -> List[Dict[str, Any]]:
+        """:func:`repro.obs.agg.parse_text` + :meth:`sample`."""
+        from repro.obs.agg import parse_text
+
+        return self.sample(parse_text(exposition))
+
+    # ------------------------------------------------------------------
+    def _window_delta(
+        self, slo_name: str, window: float, now: float
+    ) -> Tuple[float, float]:
+        history = self._history[slo_name]
+        if not history:
+            return 0.0, 0.0
+        newest = history[-1]
+        baseline = history[0]
+        start = now - window
+        for entry in history:
+            if entry[0] <= start:
+                baseline = entry
+            else:
+                break
+        return newest[1] - baseline[1], newest[2] - baseline[2]
+
+    def _burn_rate(self, slo: SloObjective, window: float, now: float) -> float:
+        dgood, dtotal = self._window_delta(slo.name, window, now)
+        if dtotal <= 0:
+            return 0.0
+        bad_rate = max(0.0, (dtotal - dgood) / dtotal)
+        return bad_rate / (1.0 - slo.objective)
+
+    def _budget_remaining(self, slo: SloObjective, now: float) -> float:
+        burn = self._burn_rate(slo, self._horizon, now)
+        return 1.0 - burn
+
+    # ------------------------------------------------------------------
+    def alerts(self) -> List[Dict[str, Any]]:
+        """Every alert event fired so far (bounded, oldest first)."""
+        return list(self._alerts)
+
+    def status(self) -> Dict[str, Any]:
+        """The ``GET /sloz`` payload: config, per-SLO state, alerts."""
+        return {
+            "config": self.config.to_payload(),
+            "slos": [
+                self._last_status.get(slo.name, {"name": slo.name})
+                for slo in self.config.slos
+            ],
+            "alerts": self.alerts(),
+        }
+
+
+def _severity_rank(severity: str) -> int:
+    order = ("info", "minor", "major", "critical")
+    try:
+        return order.index(severity)
+    except ValueError:
+        return 0
+
+
+def alert_to_incident_payload(event: Mapping[str, Any], seq: int) -> Dict[str, Any]:
+    """An alert event as a ``monitor`` incident payload (``slo_burn``).
+
+    ``seq`` numbers alerts within the process so incident ids stay
+    unique and deterministic given the alert order.
+    """
+    return {
+        "id": f"slo_burn-{seq:05d}-00",
+        "kind": "slo_burn",
+        "severity": str(event.get("severity", "major")),
+        "tick": seq,
+        "detector": "slo",
+        "evidence_ticks": [],
+        "evidence": {
+            "slo": event.get("slo"),
+            "metric": event.get("metric"),
+            "objective": event.get("objective"),
+            "windows": event.get("windows"),
+            "burn_rates": event.get("burn_rates"),
+            "budget_remaining": event.get("budget_remaining"),
+        },
+        "trace_id": event.get("exemplar_trace_id"),
+        "created_at": event.get("fired_at"),
+    }

@@ -1,0 +1,411 @@
+"""``repro top`` — a live fleet dashboard over the metrics aggregator.
+
+Plain-ANSI terminal refresh (no curses): each tick fetches the cluster
+exposition (``/clusterz/metrics`` on a router, falling back to
+``/metricsz`` on a single replica) plus ``/sloz`` when available, and
+renders:
+
+* a per-replica **RED table** — request rate, error rate and p50/p95/p99
+  latency interpolated from histogram-bucket deltas between refreshes;
+* fleet **gauges** — queue depth/running, cache lookup rate, solver
+  conflicts/pivots rate;
+* **SLO budgets** — remaining error budget, burn rates and alerting
+  state per SLO, with the exemplar trace id linking a breach to a
+  renderable trace (``repro trace show <id>``);
+* recent **alerts** and build-identity **skew** (distinct
+  ``repro_build_info`` signatures across replicas).
+
+Rates need two scrapes, so the first frame shows gauges only.  All the
+arithmetic lives in pure functions over parsed scrapes — the terminal
+loop is a thin shell around :func:`collect` + :func:`render_dashboard`,
+and tests drive those directly with canned expositions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs import agg
+
+#: ANSI "home + clear screen" used between refreshes
+CLEAR = "\x1b[H\x1b[2J"
+
+_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class TopSnapshot:
+    """One dashboard tick: parsed metrics + SLO payload + timestamp."""
+
+    def __init__(
+        self,
+        families: "Mapping[str, agg.Family]",
+        slo: Optional[Dict[str, Any]],
+        stamp: float,
+    ) -> None:
+        self.families = families
+        self.slo = slo
+        self.stamp = stamp
+
+
+def collect(
+    fetch_metrics: Callable[[], str],
+    fetch_slo: Optional[Callable[[], str]] = None,
+    clock: Callable[[], float] = time.time,
+) -> TopSnapshot:
+    """Fetch + parse one tick (``fetch_slo`` failures degrade to None)."""
+    families = agg.parse_text(fetch_metrics())
+    slo: Optional[Dict[str, Any]] = None
+    if fetch_slo is not None:
+        try:
+            slo = json.loads(fetch_slo())
+        except (OSError, ValueError):
+            slo = None
+    return TopSnapshot(families, slo, clock())
+
+
+# ----------------------------------------------------------------------
+# extraction helpers (pure, testable)
+# ----------------------------------------------------------------------
+def _samples(
+    families: "Mapping[str, agg.Family]", metric: str
+) -> List[agg.Sample]:
+    family = families.get(metric)
+    return list(family.samples) if family is not None else []
+
+
+def replica_ids(families: "Mapping[str, agg.Family]") -> List[str]:
+    """Replica ids present in the scrape ('' = unsharded single process)."""
+    ids = {
+        sample.label("replica")
+        for name in ("repro_http_requests_total", "repro_build_info")
+        for sample in _samples(families, name)
+    }
+    ids.discard(None)
+    return sorted(ids) if ids else [""]
+
+
+def _series_sum(
+    families: "Mapping[str, agg.Family]",
+    metric: str,
+    replica: Optional[str],
+    match: Optional[Callable[[agg.Sample], bool]] = None,
+    suffix: str = "",
+) -> float:
+    total = 0.0
+    name = metric + suffix
+    for sample in _samples(families, metric):
+        if sample.name != name:
+            continue
+        if sample.label("replica") != (replica or None):
+            continue
+        if match is not None and not match(sample):
+            continue
+        total += sample.value
+    return total
+
+
+def _bucket_cumulative(
+    families: "Mapping[str, agg.Family]", metric: str, replica: Optional[str]
+) -> Dict[float, float]:
+    """Cumulative counts per bound, summed across non-``le`` labelsets."""
+    buckets: Dict[float, float] = {}
+    for sample in _samples(families, metric):
+        if sample.name != f"{metric}_bucket":
+            continue
+        if sample.label("replica") != (replica or None):
+            continue
+        le = sample.label("le", "+Inf")
+        bound = math.inf if le == "+Inf" else float(le)
+        buckets[bound] = buckets.get(bound, 0.0) + sample.value
+    return buckets
+
+
+def quantiles_from_deltas(
+    current: Dict[float, float],
+    previous: Optional[Dict[float, float]],
+    quantiles: Tuple[float, ...] = _QUANTILES,
+) -> List[Optional[float]]:
+    """Prometheus-style histogram quantiles from bucket-count deltas.
+
+    Linear interpolation inside the target bucket (0 as the lower edge
+    of the first bucket); returns None per quantile when no samples
+    landed in the window.
+    """
+    bounds = sorted(b for b in current if b != math.inf)
+    deltas: List[float] = []
+    running = 0.0
+    for bound in bounds:
+        prev_value = (previous or {}).get(bound, 0.0)
+        cumulative = max(0.0, current[bound] - prev_value)
+        deltas.append(max(0.0, cumulative - running))
+        running = max(running, cumulative)
+    inf_current = current.get(math.inf, running)
+    inf_prev = (previous or {}).get(math.inf, 0.0)
+    total = max(0.0, inf_current - inf_prev)
+    overflow = max(0.0, total - running)
+
+    out: List[Optional[float]] = []
+    for q in quantiles:
+        if total <= 0:
+            out.append(None)
+            continue
+        target = q * total
+        running = 0.0
+        value: Optional[float] = None
+        lower = 0.0
+        for bound, count in zip(bounds, deltas):
+            if running + count >= target and count > 0:
+                fraction = (target - running) / count
+                value = lower + (bound - lower) * fraction
+                break
+            running += count
+            lower = bound
+        if value is None:
+            # target falls in the +Inf bucket: report the largest bound
+            value = bounds[-1] if bounds else None
+        out.append(value)
+    _ = overflow  # documented: overflow mass reports the largest bound
+    return out
+
+
+def replica_red_rows(
+    current: TopSnapshot, previous: Optional[TopSnapshot]
+) -> List[Dict[str, Any]]:
+    """One RED row per replica: rates from deltas, latency quantiles."""
+    dt = (current.stamp - previous.stamp) if previous else 0.0
+    rows: List[Dict[str, Any]] = []
+    for replica in replica_ids(current.families):
+        requests = _series_sum(
+            current.families, "repro_http_requests_total", replica
+        )
+        errors = _series_sum(
+            current.families,
+            "repro_http_requests_total",
+            replica,
+            match=lambda s: str(s.label("status", "")).startswith("5"),
+        )
+        rate = err_rate = None
+        if previous is not None and dt > 0:
+            prev_requests = _series_sum(
+                previous.families, "repro_http_requests_total", replica
+            )
+            prev_errors = _series_sum(
+                previous.families,
+                "repro_http_requests_total",
+                replica,
+                match=lambda s: str(s.label("status", "")).startswith("5"),
+            )
+            rate = max(0.0, requests - prev_requests) / dt
+            err_rate = max(0.0, errors - prev_errors) / dt
+        buckets = _bucket_cumulative(
+            current.families, "repro_http_request_seconds", replica
+        )
+        prev_buckets = (
+            _bucket_cumulative(
+                previous.families, "repro_http_request_seconds", replica
+            )
+            if previous
+            else None
+        )
+        p50, p95, p99 = quantiles_from_deltas(buckets, prev_buckets)
+        rows.append(
+            {
+                "replica": replica or "local",
+                "requests_total": requests,
+                "errors_total": errors,
+                "rate": rate,
+                "error_rate": err_rate,
+                "p50": p50,
+                "p95": p95,
+                "p99": p99,
+                "queue_depth": _series_sum(
+                    current.families, "repro_queue_depth", replica
+                ),
+                "running": _series_sum(
+                    current.families, "repro_queue_running", replica
+                ),
+            }
+        )
+    return rows
+
+
+def build_signatures(families: "Mapping[str, agg.Family]") -> Dict[str, str]:
+    """replica -> engine signature (skew is visible as differing values)."""
+    out: Dict[str, str] = {}
+    for sample in _samples(families, "repro_build_info"):
+        replica = sample.label("replica") or "local"
+        out[replica] = sample.label("engine_signature", "?") or "?"
+    return out
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _fmt_rate(value: Optional[float]) -> str:
+    return "--" if value is None else f"{value:7.2f}/s"
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    return "--" if value is None else f"{value * 1000:8.1f}ms"
+
+
+def render_dashboard(
+    current: TopSnapshot,
+    previous: Optional[TopSnapshot],
+    source: str = "",
+) -> str:
+    lines: List[str] = []
+    stamp = time.strftime("%H:%M:%S", time.localtime(current.stamp))
+    lines.append(f"repro top — {source or 'cluster'} — {stamp}")
+    lines.append("")
+
+    rows = replica_red_rows(current, previous)
+    header = (
+        f"{'REPLICA':<10} {'REQS':>8} {'RATE':>10} {'ERRS':>6} {'ERR/S':>10} "
+        f"{'P50':>10} {'P95':>10} {'P99':>10} {'QUEUE':>6} {'RUN':>4}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row['replica']:<10} {row['requests_total']:>8.0f} "
+            f"{_fmt_rate(row['rate']):>10} {row['errors_total']:>6.0f} "
+            f"{_fmt_rate(row['error_rate']):>10} {_fmt_ms(row['p50']):>10} "
+            f"{_fmt_ms(row['p95']):>10} {_fmt_ms(row['p99']):>10} "
+            f"{row['queue_depth']:>6.0f} {row['running']:>4.0f}"
+        )
+    lines.append("")
+
+    # fleet counters worth a rate readout
+    fleet_counters = (
+        ("cache lookups", "repro_cache_lookups_total"),
+        ("jobs finished", "repro_jobs_finished_total"),
+        ("solver conflicts", "repro_solver_conflicts_total"),
+        ("solver pivots", "repro_solver_pivots_total"),
+    )
+    dt = (current.stamp - previous.stamp) if previous else 0.0
+    parts = []
+    for label, metric in fleet_counters:
+        value = _series_sum(current.families, metric, None)
+        if previous is not None and dt > 0:
+            prev = _series_sum(previous.families, metric, None)
+            parts.append(f"{label} {max(0.0, value - prev) / dt:.1f}/s")
+        else:
+            parts.append(f"{label} {value:.0f}")
+    lines.append("fleet: " + "  ".join(parts))
+    lines.append("")
+
+    if current.slo:
+        lines.append(
+            f"{'SLO':<14} {'OBJECTIVE':>9} {'BUDGET':>8} {'STATE':>8}  EXEMPLAR"
+        )
+        for slo in current.slo.get("slos", []):
+            budget = slo.get("budget_remaining")
+            budget_text = "--" if budget is None else f"{budget * 100:6.1f}%"
+            state = "BURNING" if slo.get("alerting") else "ok"
+            exemplar = slo.get("exemplar_trace_id") or ""
+            objective = slo.get("objective")
+            objective_text = (
+                "--" if objective is None else f"{objective * 100:.2f}%"
+            )
+            lines.append(
+                f"{str(slo.get('name', '?')):<14} {objective_text:>9} "
+                f"{budget_text:>8} {state:>8}  {exemplar[:16]}"
+            )
+        alerts = current.slo.get("alerts", [])
+        if alerts:
+            lines.append("")
+            lines.append("recent alerts:")
+            for alert in alerts[-5:]:
+                fired = alert.get("fired_at")
+                when = (
+                    time.strftime("%H:%M:%S", time.localtime(fired))
+                    if isinstance(fired, (int, float))
+                    else "?"
+                )
+                lines.append(
+                    f"  [{alert.get('severity', '?'):>8}] {when} "
+                    f"slo={alert.get('slo')} windows={','.join(alert.get('windows', []))} "
+                    f"trace={str(alert.get('exemplar_trace_id') or '')[:16]}"
+                )
+        lines.append("")
+
+    signatures = build_signatures(current.families)
+    if signatures:
+        distinct = sorted(set(signatures.values()))
+        if len(distinct) == 1:
+            lines.append(f"build: {distinct[0]} ({len(signatures)} process(es))")
+        else:
+            lines.append(f"build SKEW — {len(distinct)} distinct signatures:")
+            for replica in sorted(signatures):
+                lines.append(f"  {replica:<10} {signatures[replica]}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# the terminal loop
+# ----------------------------------------------------------------------
+def run_top(
+    url: str,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    no_clear: bool = False,
+    out: Any = None,
+    timeout: float = 5.0,
+) -> int:
+    """Refresh loop for ``repro top URL``; returns an exit code.
+
+    ``url`` is a router or replica base URL; ``/clusterz/metrics`` is
+    preferred with a ``/metricsz`` fallback.  ``iterations`` bounds the
+    number of refreshes (None = until interrupted), which CI smokes use
+    with ``--iterations 1 --no-clear`` for a single plain frame.
+    """
+    import sys
+
+    stream = out if out is not None else sys.stdout
+    base = url.rstrip("/")
+
+    metrics_path: Optional[str] = None
+
+    def fetch_metrics() -> str:
+        nonlocal metrics_path
+        paths = (
+            [metrics_path] if metrics_path else ["/clusterz/metrics", "/metricsz"]
+        )
+        last_error: Optional[Exception] = None
+        for path in paths:
+            try:
+                text = agg.http_get_text(base + path, timeout=timeout)
+                metrics_path = path
+                return text
+            except OSError as exc:
+                last_error = exc
+        raise OSError(f"cannot scrape {base}: {last_error}")
+
+    def fetch_slo() -> str:
+        return agg.http_get_text(base + "/sloz", timeout=timeout)
+
+    previous: Optional[TopSnapshot] = None
+    count = 0
+    try:
+        while iterations is None or count < iterations:
+            try:
+                snapshot = collect(fetch_metrics, fetch_slo)
+            except OSError as exc:
+                stream.write(f"repro top: {exc}\n")
+                return 1
+            frame = render_dashboard(snapshot, previous, source=base + (metrics_path or ""))
+            if not no_clear:
+                stream.write(CLEAR)
+            stream.write(frame)
+            stream.flush()
+            previous = snapshot
+            count += 1
+            if iterations is None or count < iterations:
+                time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return 0

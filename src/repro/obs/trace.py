@@ -31,10 +31,42 @@ import json
 import os
 import threading
 import time
-from collections import deque
+from collections import OrderedDict
 from contextvars import ContextVar
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Union
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Tuple, Union
+
+#: default ring memory bound — approximate payload bytes across all
+#: buffered spans (span ids, names, attributes), not counting dict
+#: overhead.  4 MiB holds thousands of typical spans.
+DEFAULT_RING_BYTES = 4 * 1024 * 1024
+
+#: fixed per-span cost charged on top of the measured strings: ids,
+#: timestamps, status, container overhead
+_SPAN_OVERHEAD_BYTES = 96
+
+
+def _approx_span_bytes(span_dict: Dict[str, Any]) -> int:
+    """Cheap payload-size estimate for ring accounting (no serialization)."""
+    total = _SPAN_OVERHEAD_BYTES
+    for key, value in span_dict.items():
+        total += len(key)
+        if isinstance(value, str):
+            total += len(value)
+        elif isinstance(value, dict):
+            for attr_key, attr_value in value.items():
+                total += len(str(attr_key))
+                if isinstance(attr_value, str):
+                    total += len(attr_value)
+                elif isinstance(attr_value, (list, tuple, dict)):
+                    total += len(str(attr_value))
+                else:
+                    total += 8
+        elif isinstance(value, (list, tuple)):
+            total += len(str(value))
+        elif value is not None:
+            total += 8
+    return total
 
 
 class SpanContext(NamedTuple):
@@ -216,7 +248,17 @@ NOOP_SPAN = _NoopSpan()
 
 
 class Tracer:
-    """Recording tracer: bounded ring of finished spans + JSONL sink."""
+    """Recording tracer: bounded ring of finished spans + JSONL sink.
+
+    The ring is bounded twice over — by **span count** (``ring_size``)
+    and by **approximate payload bytes** (``max_ring_bytes``) so a few
+    spans with enormous attribute payloads cannot pin unbounded memory.
+    Eviction removes the oldest *whole traces* (a trace is every span
+    sharing one ``trace_id``), never a partial tree, so whatever is in
+    the ring always renders as complete waterfalls.  A single runaway
+    trace larger than ``ring_size`` spans keeps its oldest spans and
+    drops the excess (``dropped`` counter) rather than splitting.
+    """
 
     enabled = True
 
@@ -224,14 +266,32 @@ class Tracer:
         self,
         ring_size: int = 4096,
         jsonl_path: Optional[Union[str, Path]] = None,
+        max_ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         if ring_size < 1:
             raise ValueError("ring_size must be positive")
+        if max_ring_bytes < 1:
+            raise ValueError("max_ring_bytes must be positive")
         self.ring_size = ring_size
+        self.max_ring_bytes = max_ring_bytes
         self.jsonl_path = Path(jsonl_path).expanduser() if jsonl_path else None
-        self._ring: "deque[Dict[str, Any]]" = deque(maxlen=ring_size)
+        # trace_id -> [(global seq, span dict, approx bytes), ...];
+        # insertion order refreshed on append = trace recency order
+        self._ring: "OrderedDict[str, List[Tuple[int, Dict[str, Any], int]]]" = (
+            OrderedDict()
+        )
+        self._seq = 0
+        self._ring_spans = 0
+        self._ring_bytes = 0
         self._lock = threading.Lock()
-        self.counters = {"started": 0, "finished": 0, "exported": 0, "sink_errors": 0}
+        self.counters = {
+            "started": 0,
+            "finished": 0,
+            "exported": 0,
+            "sink_errors": 0,
+            "evicted_traces": 0,
+            "dropped": 0,
+        }
 
     # ------------------------------------------------------------------
     def span(
@@ -278,7 +338,31 @@ class Tracer:
 
     def _write(self, span_dict: Dict[str, Any]) -> None:
         with self._lock:
-            self._ring.append(span_dict)
+            trace_id = str(span_dict.get("trace_id") or "")
+            bucket = self._ring.get(trace_id)
+            if bucket is None:
+                bucket = []
+                self._ring[trace_id] = bucket
+            else:
+                self._ring.move_to_end(trace_id)
+            if len(bucket) >= self.ring_size:
+                # one runaway trace at the global cap: dropping beats
+                # splitting its already-buffered tree
+                self.counters["dropped"] += 1
+            else:
+                nbytes = _approx_span_bytes(span_dict)
+                bucket.append((self._seq, span_dict, nbytes))
+                self._seq += 1
+                self._ring_spans += 1
+                self._ring_bytes += nbytes
+                while (
+                    self._ring_spans > self.ring_size
+                    or self._ring_bytes > self.max_ring_bytes
+                ) and len(self._ring) > 1:
+                    _, oldest = self._ring.popitem(last=False)
+                    self._ring_spans -= len(oldest)
+                    self._ring_bytes -= sum(entry[2] for entry in oldest)
+                    self.counters["evicted_traces"] += 1
             if self.jsonl_path is not None:
                 try:
                     with self.jsonl_path.open("a") as handle:
@@ -288,24 +372,41 @@ class Tracer:
                     self.counters["sink_errors"] += 1
 
     # ------------------------------------------------------------------
+    def _flattened(self) -> List[Dict[str, Any]]:
+        """Every buffered span in global arrival order (lock held)."""
+        entries = [
+            entry for bucket in self._ring.values() for entry in bucket
+        ]
+        entries.sort(key=lambda entry: entry[0])
+        return [entry[1] for entry in entries]
+
     def finished_spans(self, trace_id: Optional[str] = None) -> List[Dict[str, Any]]:
         """Spans currently in the ring, optionally filtered by trace."""
         with self._lock:
-            spans = list(self._ring)
-        if trace_id is None:
-            return spans
-        return [s for s in spans if s.get("trace_id") == trace_id]
+            if trace_id is not None:
+                bucket = self._ring.get(str(trace_id), ())
+                return [entry[1] for entry in sorted(bucket, key=lambda e: e[0])]
+            return self._flattened()
+
+    def trace_ids(self) -> List[str]:
+        """Trace ids currently buffered, oldest first."""
+        with self._lock:
+            return list(self._ring)
 
     def drain(self) -> List[Dict[str, Any]]:
         """Remove and return every ring span (worker shipping, tests)."""
         with self._lock:
-            spans = list(self._ring)
+            spans = self._flattened()
             self._ring.clear()
+            self._ring_spans = 0
+            self._ring_bytes = 0
         return spans
 
     def clear(self) -> None:
         with self._lock:
             self._ring.clear()
+            self._ring_spans = 0
+            self._ring_bytes = 0
             for key in self.counters:
                 self.counters[key] = 0
 
@@ -315,7 +416,10 @@ class Tracer:
             return {
                 "enabled": self.enabled,
                 "ring_size": self.ring_size,
-                "ring_spans": len(self._ring),
+                "ring_spans": self._ring_spans,
+                "ring_bytes": self._ring_bytes,
+                "max_ring_bytes": self.max_ring_bytes,
+                "ring_traces": len(self._ring),
                 "sink": None if self.jsonl_path is None else str(self.jsonl_path),
                 **self.counters,
             }
@@ -384,11 +488,14 @@ def configure_tracing(
     enabled: bool = True,
     ring_size: int = 4096,
     jsonl_path: Optional[Union[str, Path]] = None,
+    max_ring_bytes: int = DEFAULT_RING_BYTES,
 ) -> Tracer:
     """Build and install the global tracer; returns it."""
     tracer: Tracer
     if enabled:
-        tracer = Tracer(ring_size=ring_size, jsonl_path=jsonl_path)
+        tracer = Tracer(
+            ring_size=ring_size, jsonl_path=jsonl_path, max_ring_bytes=max_ring_bytes
+        )
     else:
         tracer = NoopTracer()
     set_tracer(tracer)

@@ -130,10 +130,19 @@ _M_SESSION_EVENTS = obs_metrics.counter(
 )
 
 
-def _record_result_metrics(result: VerificationResult) -> None:
-    """Fold one solver-produced result into the metrics registry."""
+def _record_result_metrics(
+    result: VerificationResult, trace_id: Optional[str] = None
+) -> None:
+    """Fold one solver-produced result into the metrics registry.
+
+    ``trace_id`` (the submitting request's trace) becomes the solve
+    histogram's bucket exemplar, so a latency outlier on a dashboard
+    links straight to the span tree that produced it.
+    """
     stats = result.statistics
-    _M_SOLVE_SECONDS.observe(result.runtime_seconds, backend=result.backend)
+    _M_SOLVE_SECONDS.observe(
+        result.runtime_seconds, exemplar=trace_id, backend=result.backend
+    )
     for metric, key in (
         (_M_SOLVER_CONFLICTS, "conflicts"),
         (_M_SOLVER_RESTARTS, "restarts"),
@@ -560,8 +569,11 @@ def verify_many(
                     solved.append(result_from_payload(payload))
                     _M_TASKS.inc(mode="pool")
 
-    for result in solved:
-        _record_result_metrics(result)
+    for i, result in zip(order, solved):
+        parent = _parent(i)
+        _record_result_metrics(
+            result, trace_id=(parent or {}).get("trace_id")
+        )
 
     for i, result in zip(order, solved):
         key = fingerprints[i]

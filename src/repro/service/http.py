@@ -14,6 +14,10 @@ Endpoints::
                           batch-size histogram, cache hit-rate,
                           p50/p95 latency, job counters, warm-session
                           registry counters, incident counts
+    GET  /metricsz        Prometheus exposition of this process
+    GET  /sloz            SLO burn-rate state (with ``--slo``)
+    GET  /debugz/flight   flight-recorder snapshots (with ``--flight``;
+                          ``?trace_id=`` freezes/filters one trace)
 
 Requests may carry an ``X-Trace-Context`` header (the JSON of
 :func:`repro.obs.trace.context_payload`); the server parents its
@@ -59,7 +63,9 @@ from repro.core.spec import AttackSpec
 from repro.core.synthesis import SynthesisSettings
 from repro.monitor.incidents import Incident, IncidentStore
 from repro.obs import metrics as obs_metrics
+from repro.obs.flight import configure_flight, get_flight_recorder
 from repro.obs.logging import get_logger
+from repro.obs.slo import SloConfig, SloEvaluator, alert_to_incident_payload, load_slo_config
 from repro.obs.trace import configure_tracing, get_tracer
 from repro.runtime import ResultCache, RuntimeOptions, parse_portfolio_mode
 from repro.runtime.serialize import payload_to_spec, spec_to_payload
@@ -74,6 +80,8 @@ _KNOWN_PATHS = (
     "/healthz",
     "/statsz",
     "/metricsz",
+    "/sloz",
+    "/debugz/flight",
     "/v1/verify",
     "/v1/synthesize",
     "/v1/incidents",
@@ -213,6 +221,7 @@ class ServiceApp:
         max_queue: int = 10_000,
         max_queue_per_client: Optional[int] = None,
         replica_id: Optional[str] = None,
+        slo_config: Optional[SloConfig] = None,
     ) -> None:
         options = options or RuntimeOptions()
         if options.cache is None:
@@ -222,31 +231,101 @@ class ServiceApp:
         self.options = options
         self.replica_id = replica_id
         self.queue = JobQueue(max_depth=max_queue, max_per_client=max_queue_per_client)
+        self.queue.on_terminal = self._on_job_terminal
         self.stats = BatchStats()
         self.scheduler = BatchingScheduler(
             self.queue, options, window=window, max_batch=max_batch, stats=self.stats
         )
         self.draining = False
         self.incidents = IncidentStore()
+        self.slo: Optional[SloEvaluator] = (
+            SloEvaluator(slo_config) if slo_config is not None else None
+        )
+        self._slo_seq = 0
         self.started_wall = time.time()
         self.started_mono = time.monotonic()
         self._scheduler_task: Optional[asyncio.Task] = None
+        self._slo_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
         self._scheduler_task = asyncio.create_task(self.scheduler.run())
+        if self.slo is not None:
+            self._slo_task = asyncio.create_task(self._slo_loop())
 
     async def drain(self) -> None:
         """Stop taking work, finish what's queued/running, stop scheduling."""
         self.draining = True
         await self.queue.join()
-        if self._scheduler_task is not None:
-            self._scheduler_task.cancel()
+        for task_name in ("_scheduler_task", "_slo_task"):
+            task = getattr(self, task_name)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, task_name, None)
+
+    # ------------------------------------------------------------------
+    def _on_job_terminal(self, job: Any, state: str) -> None:
+        """Flight-recorder hook: freeze evidence for failed/timed-out jobs."""
+        if state not in ("failed", "timeout"):
+            return
+        recorder = get_flight_recorder()
+        if not recorder.enabled:
+            return
+        trace = job.trace or {}
+        recorder.trigger(
+            "job_timeout" if state == "timeout" else "job_failed",
+            trace_id=trace.get("trace_id"),
+            detail={
+                "job_id": job.id,
+                "kind": job.kind,
+                "state": state,
+                "error": job.error,
+                "deadline": job.deadline,
+            },
+        )
+
+    async def _slo_loop(self) -> None:
+        """Periodically evaluate SLOs over this replica's own registry."""
+        assert self.slo is not None
+        interval = max(0.05, float(self.slo.config.interval_seconds))
+        while True:
+            await asyncio.sleep(interval)
             try:
-                await self._scheduler_task
-            except asyncio.CancelledError:
-                pass
-            self._scheduler_task = None
+                events = self.slo.sample_text(self.metricsz())
+            except Exception as exc:  # evaluation must never kill the app
+                _LOG.warning("slo.sample_failed", error=str(exc))
+                continue
+            for event in events:
+                self._publish_slo_alert(event)
+
+    def _publish_slo_alert(self, event: Dict[str, Any]) -> None:
+        """An SLO burn alert becomes a first-class monitor incident."""
+        self._slo_seq += 1
+        payload = alert_to_incident_payload(event, self._slo_seq)
+        try:
+            incident = Incident.from_payload(payload)
+        except ValueError:
+            return
+        self.incidents.add(incident)
+        recorder = get_flight_recorder()
+        if recorder.enabled:
+            recorder.trigger(
+                "slo_burn",
+                trace_id=event.get("exemplar_trace_id"),
+                detail={"slo": event.get("slo"), "severity": event.get("severity")},
+            )
+        _LOG.warning(
+            "slo.burn_alert",
+            slo=event.get("slo"),
+            severity=event.get("severity"),
+            windows=event.get("windows"),
+            budget_remaining=event.get("budget_remaining"),
+            exemplar_trace_id=event.get("exemplar_trace_id"),
+        )
 
     # ------------------------------------------------------------------
     async def handle(
@@ -283,8 +362,21 @@ class ServiceApp:
                 # rejection rather than a bare server error
                 status, payload = 429, {"error": str(exc), "code": "queue_full"}
             span.set(status=status)
+            trace_id = span.trace_id
         _M_REQUESTS.inc(method=method, path=endpoint, status=status)
-        _M_REQUEST_SECONDS.observe(time.monotonic() - start, path=endpoint)
+        _M_REQUEST_SECONDS.observe(
+            time.monotonic() - start, exemplar=trace_id or None, path=endpoint
+        )
+        if status >= 500:
+            recorder = get_flight_recorder()
+            if recorder.enabled:
+                # the span is finished by now, so the whole tree is in
+                # the tracer ring and the snapshot sees it
+                recorder.trigger(
+                    "http_5xx",
+                    trace_id=trace_id or None,
+                    detail={"method": method, "path": path, "status": status},
+                )
         return status, payload
 
     async def _route(
@@ -311,6 +403,24 @@ class ServiceApp:
         if path == "/metricsz":
             _require(method == "GET", "use GET", 405)
             return 200, self.metricsz()
+        if path == "/sloz":
+            _require(method == "GET", "use GET", 405)
+            _require(
+                self.slo is not None,
+                "SLO monitoring is not enabled (start with --slo)",
+                404,
+                code="slo_disabled",
+            )
+            assert self.slo is not None
+            return 200, self.slo.status()
+        if path == "/debugz/flight":
+            _require(method == "GET", "use GET", 405)
+            recorder = get_flight_recorder()
+            trace_id = query.get("trace_id")
+            if trace_id and recorder.enabled and not recorder.snapshots(trace_id):
+                # on-demand freeze: capture whatever the ring still holds
+                recorder.trigger("on_demand", trace_id=trace_id)
+            return 200, recorder.payload(trace_id)
         if path.startswith("/v1/jobs/"):
             _require(method == "GET", "use GET", 405)
             job = self.queue.get(path[len("/v1/jobs/") :])
@@ -478,6 +588,14 @@ class ServiceApp:
             "sessions": session_registry_stats(),
             "incidents": self.incidents.snapshot(),
             "tracer": get_tracer().snapshot(),
+            "flight": {
+                "enabled": get_flight_recorder().enabled,
+                **get_flight_recorder().counters,
+            },
+            "slo": None if self.slo is None else {
+                "slos": len(self.slo.config.slos),
+                "alerts": len(self.slo.alerts()),
+            },
         }
 
     def metricsz(self) -> str:
@@ -641,6 +759,8 @@ async def serve_async(
     install_signal_handlers: bool = True,
     log: Callable[[str], None] = print,
     trace_file: Optional[str] = None,
+    slo: Any = None,
+    flight: Any = None,
 ) -> None:
     """Run the service until SIGTERM/SIGINT, then drain gracefully.
 
@@ -651,9 +771,25 @@ async def serve_async(
     ``replica_id`` names this process in a sharded cluster (surfaced in
     ``/healthz`` and ``/statsz``); ``max_queue_per_client`` bounds any
     one client's queued jobs (429 ``queue_full`` beyond it).
+
+    ``slo`` turns on burn-rate SLO monitoring: True evaluates the
+    built-in objectives, a string loads a JSON config file (see
+    :func:`repro.obs.slo.load_slo_config`); alerts surface as
+    ``slo_burn`` incidents and ``GET /sloz``.  ``flight`` arms the
+    flight recorder (True, or a JSONL sink path) so 5xx answers, job
+    failures/deadline misses and SLO alerts freeze a redacted snapshot
+    at ``GET /debugz/flight``.  Both are off by default.
     """
     if trace_file is not None:
         configure_tracing(enabled=True, jsonl_path=trace_file)
+    if flight:
+        configure_flight(
+            enabled=True, sink_path=flight if isinstance(flight, str) else None
+        )
+    slo_config = None
+    if slo:
+        slo_config = load_slo_config(slo if isinstance(slo, str) else None)
+    obs_metrics.record_build_info()
     app = ServiceApp(
         options=options,
         window=window,
@@ -661,6 +797,7 @@ async def serve_async(
         max_queue=max_queue,
         max_queue_per_client=max_queue_per_client,
         replica_id=replica_id,
+        slo_config=slo_config,
     )
     await app.start()
     server = await asyncio.start_server(

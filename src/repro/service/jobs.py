@@ -50,7 +50,7 @@ import uuid
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import context_payload, get_tracer
@@ -208,6 +208,10 @@ class JobQueue:
         self._unfinished = 0
         self._idle = asyncio.Event()
         self._idle.set()
+        #: optional hook invoked as ``on_terminal(job, state_value)`` on
+        #: every terminal transition (flight recorder, SLO bookkeeping);
+        #: exceptions are swallowed so a hook can never wedge a job
+        self.on_terminal: Optional[Callable[[Job, str], None]] = None
         self.counters: Dict[str, int] = {
             "submitted": 0,
             "retried": 0,
@@ -428,7 +432,11 @@ class JobQueue:
             _M_RUNNING.dec()
             run = job.run_seconds()
             if run is not None:
-                _M_RUN.observe(run, kind=job.kind)
+                _M_RUN.observe(
+                    run,
+                    exemplar=(job.trace or {}).get("trace_id"),
+                    kind=job.kind,
+                )
         else:
             _M_DEPTH.dec()
         if job.span is not None:
@@ -450,6 +458,11 @@ class JobQueue:
         while len(self._finished_order) > self.max_finished:
             stale = self._finished_order.popleft()
             self._jobs.pop(stale, None)
+        if self.on_terminal is not None:
+            try:
+                self.on_terminal(job, state.value)
+            except Exception:
+                pass
 
     # ------------------------------------------------------------------
     async def wait(self, job_id: str, timeout: Optional[float] = None) -> Optional[Job]:

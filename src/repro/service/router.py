@@ -60,8 +60,16 @@ from fractions import Fraction
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.io import parse_spec
+from repro.obs import agg as obs_agg
 from repro.obs import metrics as obs_metrics
+from repro.obs.flight import configure_flight, get_flight_recorder
 from repro.obs.logging import get_logger
+from repro.obs.slo import (
+    SloConfig,
+    SloEvaluator,
+    alert_to_incident_payload,
+    load_slo_config,
+)
 from repro.obs.trace import configure_tracing, get_tracer
 from repro.runtime.serialize import (
     canonical_json,
@@ -195,6 +203,7 @@ class RouterApp:
         max_inflight: int = 256,
         health_interval: float = 0.5,
         forward_timeout: float = 120.0,
+        slo_config: Optional[SloConfig] = None,
     ) -> None:
         if not replicas:
             raise ValueError("RouterApp needs at least one replica")
@@ -223,19 +232,31 @@ class RouterApp:
         self._job_owner: "OrderedDict[str, str]" = OrderedDict()
         self._job_owner_limit = 65_536
         self._health_task: Optional[asyncio.Task] = None
+        # cluster-level SLO evaluation runs on the router (over the
+        # merged scrape) so each burn alert fires exactly once for the
+        # whole fleet, not once per replica
+        self.slo: Optional[SloEvaluator] = (
+            SloEvaluator(slo_config) if slo_config is not None else None
+        )
+        self._slo_seq = 0
+        self._slo_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
         self._health_task = asyncio.create_task(self._health_loop())
+        if self.slo is not None:
+            self._slo_task = asyncio.create_task(self._slo_loop())
 
     async def stop(self) -> None:
-        if self._health_task is not None:
-            self._health_task.cancel()
-            try:
-                await self._health_task
-            except asyncio.CancelledError:
-                pass
-            self._health_task = None
+        for task_name in ("_health_task", "_slo_task"):
+            task = getattr(self, task_name)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, task_name, None)
 
     async def _health_loop(self) -> None:
         """Probe downed replicas back alive (forwards mark them down)."""
@@ -444,10 +465,22 @@ class RouterApp:
             return self._healthz()
         if path == "/clusterz":
             return 200, self.clusterz()
+        if path == "/clusterz/metrics":
+            return 200, await self.cluster_metrics(parent)
         if path == "/statsz":
             return 200, await self.statsz(parent)
         if path == "/metricsz":
             return 200, obs_metrics.get_registry().render_prometheus()
+        if path == "/sloz":
+            if self.slo is None:
+                raise RequestError(
+                    "SLO evaluation not enabled (start with --slo)",
+                    404,
+                    "slo_disabled",
+                )
+            return 200, self.slo.status()
+        if path == "/debugz/flight":
+            return 200, await self.cluster_flight(query, parent)
         if path in ("/v1/verify", "/v1/synthesize"):
             if method != "POST":
                 raise RequestError("use POST", 405, "bad_request")
@@ -489,6 +522,15 @@ class RouterApp:
             "max_inflight": self.max_inflight,
             "draining": self.draining,
             "job_owners": len(self._job_owner),
+            "slo": (
+                None
+                if self.slo is None
+                else {
+                    "slos": len(self.slo.config.slos),
+                    "alerts": len(self.slo.alerts()),
+                }
+            ),
+            "flight": get_flight_recorder().enabled,
         }
 
     async def statsz(self, parent: Optional[Dict[str, str]]) -> Dict[str, Any]:
@@ -514,6 +556,105 @@ class RouterApp:
             "inflight": self.inflight,
             "replicas": dict(pairs),
         }
+
+    # ------------------------------------------------------------------
+    async def cluster_metrics(self, parent: Optional[Dict[str, str]]) -> str:
+        """``GET /clusterz/metrics``: one merged Prometheus exposition.
+
+        Every reachable replica's ``/metricsz`` is scraped and merged
+        (counters summed, gauges last-write in replica-id order,
+        histograms re-bucketed onto the union of bounds) with the
+        router's own registry included as replica ``router``; per-series
+        provenance is preserved under a ``replica`` label.
+        """
+
+        async def one(replica: ReplicaEndpoint) -> Tuple[str, Optional[str]]:
+            try:
+                status, raw, _ = await self._forward(
+                    replica, "GET", "/metricsz", b"", parent
+                )
+            except (ReplicaDown, asyncio.TimeoutError):
+                return replica.replica_id, None
+            if status != 200:
+                return replica.replica_id, None
+            return replica.replica_id, raw.decode("utf-8", "replace")
+
+        pairs = await asyncio.gather(
+            *(one(replica) for _, replica in sorted(self.replicas.items()))
+        )
+        scrapes: "OrderedDict[str, str]" = OrderedDict(
+            (replica_id, text) for replica_id, text in pairs if text is not None
+        )
+        scrapes["router"] = obs_metrics.get_registry().render_prometheus()
+        return obs_agg.merge_exposition(scrapes)
+
+    async def cluster_flight(
+        self, query: Dict[str, str], parent: Optional[Dict[str, str]]
+    ) -> Dict[str, Any]:
+        """``GET /debugz/flight``: router snapshots + every replica's."""
+        trace_id = query.get("trace_id")
+        suffix = f"?trace_id={trace_id}" if trace_id else ""
+
+        async def one(replica: ReplicaEndpoint) -> Tuple[str, Any]:
+            try:
+                status, raw, content_type = await self._forward(
+                    replica, "GET", "/debugz/flight" + suffix, b"", parent
+                )
+            except (ReplicaDown, asyncio.TimeoutError) as exc:
+                return replica.replica_id, {"error": str(exc)}
+            payload = _decode_payload(raw, content_type)
+            return (
+                replica.replica_id,
+                payload if status == 200 else {"error": payload},
+            )
+
+        pairs = await asyncio.gather(
+            *(one(replica) for _, replica in sorted(self.replicas.items()))
+        )
+        return {
+            "role": "router",
+            "router": get_flight_recorder().payload(trace_id),
+            "replicas": dict(pairs),
+        }
+
+    async def _slo_loop(self) -> None:
+        """Evaluate cluster SLOs over the merged scrape, post alerts."""
+        assert self.slo is not None
+        interval = max(0.05, float(self.slo.config.interval_seconds))
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                events = self.slo.sample_text(await self.cluster_metrics(None))
+            except Exception as exc:  # evaluation must never kill the router
+                _LOG.warning("router.slo_sample_failed", error=str(exc))
+                continue
+            for event in events:
+                await self._publish_slo_alert(event)
+
+    async def _publish_slo_alert(self, event: Dict[str, Any]) -> None:
+        """Post one burn alert as an incident on the incident home replica."""
+        self._slo_seq += 1
+        payload = alert_to_incident_payload(event, self._slo_seq)
+        recorder = get_flight_recorder()
+        if recorder.enabled:
+            recorder.trigger(
+                "slo_burn",
+                trace_id=event.get("exemplar_trace_id"),
+                detail={"slo": event.get("slo"), "severity": event.get("severity")},
+            )
+        _LOG.warning(
+            "router.slo_burn_alert",
+            slo=event.get("slo"),
+            severity=event.get("severity"),
+            windows=event.get("windows"),
+            budget_remaining=event.get("budget_remaining"),
+            exemplar_trace_id=event.get("exemplar_trace_id"),
+        )
+        body = json.dumps(payload).encode("utf-8")
+        try:
+            await self._route_incidents("POST", "/v1/incidents", body, {}, None)
+        except (RequestError, ReplicaDown, asyncio.TimeoutError) as exc:
+            _LOG.warning("router.slo_incident_post_failed", error=str(exc))
 
     # ------------------------------------------------------------------
     async def _route_submission(
@@ -860,16 +1001,31 @@ async def serve_router_async(
     install_signal_handlers: bool = True,
     log: Callable[[str], None] = print,
     trace_file: Optional[str] = None,
+    slo: Any = None,
+    flight: Any = None,
 ) -> None:
     """Run the router over ``replicas`` until SIGTERM/SIGINT.
 
-    On shutdown the router drains (new submissions 503
-    ``code="draining"``), then stops the supervisor's replicas (each of
-    which drains its own queue before exiting).
+    ``slo`` (True or a JSON config path) turns on cluster-level SLO
+    burn-rate evaluation over the merged scrape; ``flight`` (True or a
+    JSONL sink path) arms the router's flight recorder.  On shutdown
+    the router drains (new submissions 503 ``code="draining"``), then
+    stops the supervisor's replicas (each of which drains its own
+    queue before exiting).
     """
     if trace_file is not None:
         configure_tracing(enabled=True, jsonl_path=trace_file)
-    app = RouterApp(replicas, vnodes=vnodes, max_inflight=max_inflight)
+    if flight:
+        configure_flight(
+            enabled=True, sink_path=flight if isinstance(flight, str) else None
+        )
+    slo_config: Optional[SloConfig] = None
+    if slo:
+        slo_config = load_slo_config(slo if isinstance(slo, str) else None)
+    obs_metrics.record_build_info()
+    app = RouterApp(
+        replicas, vnodes=vnodes, max_inflight=max_inflight, slo_config=slo_config
+    )
     await app.start()
     server = await asyncio.start_server(
         lambda r, w: _handle_router_connection(app, r, w), host, port
@@ -924,12 +1080,17 @@ async def serve_cluster_async(
     install_signal_handlers: bool = True,
     log: Callable[[str], None] = print,
     trace_file: Optional[str] = None,
+    slo: Any = None,
+    flight: Any = None,
 ) -> None:
     """Boot supervisor + N replicas + router: ``repro serve --replicas N``.
 
     Replicas share ``cache_dir`` as the cluster's result tier (a
     temporary directory when not given — still shared, but not
-    persistent across cluster restarts).
+    persistent across cluster restarts).  ``--slo`` stays on the router
+    only (so each cluster burn alert fires exactly once); ``--flight``
+    is forwarded to the replicas as well, because the span evidence for
+    a failing job lives in the replica that ran it.
     """
     scratch: Optional[tempfile.TemporaryDirectory] = None
     if cache_dir is None:
@@ -938,6 +1099,10 @@ async def serve_cluster_async(
     args = list(replica_args or []) + ["--cache-dir", cache_dir]
     if trace_file is not None:
         args += ["--trace-file", trace_file]
+    if flight:
+        # replicas record in memory; a sink path stays router-local so
+        # N processes never interleave writes into one JSONL file
+        args += ["--flight"]
     supervisor = ClusterSupervisor(replicas, host=host, base_args=args, log=log)
     try:
         endpoints = supervisor.start()
@@ -952,6 +1117,8 @@ async def serve_cluster_async(
             install_signal_handlers=install_signal_handlers,
             log=log,
             trace_file=trace_file,
+            slo=slo,
+            flight=flight,
         )
     finally:
         supervisor.stop()

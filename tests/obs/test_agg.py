@@ -1,0 +1,305 @@
+"""Prometheus-text parse/render round-trip and cluster merge semantics.
+
+The round-trip class is the satellite contract: whatever
+``repro.obs.metrics`` renders, ``repro.obs.agg`` must parse and re-emit
+byte-for-byte — including escaped label values, HELP/TYPE headers and
+OpenMetrics exemplar suffixes.  The merge classes pin the per-kind
+semantics ``/clusterz/metrics`` relies on: counters sum, gauges
+last-write, histograms re-bucket exactly on identical bounds.
+"""
+
+import math
+from collections import OrderedDict
+
+import pytest
+
+from repro.obs import agg
+from repro.obs.metrics import MetricsRegistry
+
+
+def build_registry():
+    """A registry exercising every samples shape the renderer can emit."""
+    reg = MetricsRegistry()
+    requests = reg.counter(
+        "t_requests_total", "Requests served", labels=("path", "status")
+    )
+    requests.inc(3, path='a"b\\c\nd', status="200")
+    requests.inc(1, path="/verify", status="500")
+    depth = reg.gauge("t_queue_depth", "Jobs queued right now")
+    depth.set(7)
+    latency = reg.histogram(
+        "t_seconds", "Request latency", buckets=(0.1, 0.5)
+    )
+    latency.observe(0.05, exemplar="trace-fast")
+    latency.observe(0.3)
+    latency.observe(2.0, exemplar="trace-slow")
+    reg.counter("t_bare_total", "").inc(2)  # no HELP line
+    return reg
+
+
+class TestRoundTrip:
+    def test_registry_render_parse_render_is_lossless(self):
+        text = build_registry().render_prometheus()
+        families = agg.parse_text(text)
+        assert agg.render(families) == text
+
+    def test_round_trip_is_stable_under_iteration(self):
+        text = build_registry().render_prometheus()
+        once = agg.render(agg.parse_text(text))
+        assert agg.render(agg.parse_text(once)) == once
+
+    def test_escaped_label_values_survive(self):
+        families = agg.parse_text(build_registry().render_prometheus())
+        sample = next(
+            s
+            for s in families["t_requests_total"].samples
+            if s.label("status") == "200"
+        )
+        assert sample.label("path") == 'a"b\\c\nd'
+
+    def test_help_and_type_preserved(self):
+        families = agg.parse_text(build_registry().render_prometheus())
+        assert families["t_requests_total"].kind == "counter"
+        assert families["t_requests_total"].help == "Requests served"
+        assert families["t_seconds"].kind == "histogram"
+        assert families["t_bare_total"].help == ""
+
+    def test_exemplars_parsed_from_bucket_lines(self):
+        families = agg.parse_text(build_registry().render_prometheus())
+        by_le = {
+            s.label("le"): s.exemplar
+            for s in families["t_seconds"].samples
+            if s.name == "t_seconds_bucket"
+        }
+        assert by_le["0.1"][0] == "trace-fast"
+        assert by_le["0.1"][1] == pytest.approx(0.05)
+        assert by_le["+Inf"][0] == "trace-slow"
+        assert by_le["0.5"] is None
+
+    def test_histogram_components_fold_into_family(self):
+        families = agg.parse_text(build_registry().render_prometheus())
+        names = {s.name for s in families["t_seconds"].samples}
+        assert names == {"t_seconds_bucket", "t_seconds_sum", "t_seconds_count"}
+        assert "t_seconds_sum" not in families
+
+    def test_multiline_help_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("t_total", "line one\nline two \\ back")
+        text = reg.render_prometheus()
+        families = agg.parse_text(text)
+        assert families["t_total"].help == "line one\nline two \\ back"
+        assert agg.render(families) == text
+
+
+class TestParsing:
+    def test_malformed_sample_raises(self):
+        with pytest.raises(ValueError):
+            agg.parse_text("t_total\n")
+
+    def test_unknown_comments_ignored(self):
+        families = agg.parse_text("# EOF\n# random chatter\nt_total 1\n")
+        assert families["t_total"].samples[0].value == 1.0
+
+    def test_timestamped_sample(self):
+        families = agg.parse_text("t_total 4 1700000000\n")
+        sample = families["t_total"].samples[0]
+        assert sample.value == 4.0
+        assert sample.timestamp == 1700000000.0
+
+
+class TestScalarMerge:
+    def test_counters_sum_across_replicas(self):
+        merged = agg.merge_scrapes(
+            OrderedDict(
+                r0='# TYPE t_total counter\nt_total{k="a"} 1\n',
+                r1='# TYPE t_total counter\nt_total{k="a"} 2\n',
+            )
+        )
+        flat = {
+            (s.labels, s.name): s.value for s in merged["t_total"].samples
+        }
+        assert flat[((("k", "a"),), "t_total")] == 3.0
+
+    def test_gauges_last_write_in_replica_order(self):
+        merged = agg.merge_scrapes(
+            OrderedDict(
+                r0="# TYPE t_depth gauge\nt_depth 5\n",
+                r1="# TYPE t_depth gauge\nt_depth 9\n",
+            )
+        )
+        assert merged["t_depth"].samples[0].value == 9.0
+
+    def test_per_replica_series_preserved(self):
+        merged = agg.merge_scrapes(
+            OrderedDict(
+                r0='# TYPE t_total counter\nt_total{k="a"} 1\n',
+                r1='# TYPE t_total counter\nt_total{k="a"} 2\n',
+            )
+        )
+        by_replica = {
+            s.label("replica"): s.value for s in merged["t_total"].samples
+        }
+        assert by_replica[None] == 3.0  # the merged series
+        assert by_replica["r0"] == 1.0
+        assert by_replica["r1"] == 2.0
+
+    def test_include_per_replica_false_drops_raw_series(self):
+        merged = agg.merge_scrapes(
+            OrderedDict(r0="# TYPE t_total counter\nt_total 1\n"),
+            include_per_replica=False,
+        )
+        assert len(merged["t_total"].samples) == 1
+        assert merged["t_total"].samples[0].label("replica") is None
+
+    def test_disjoint_label_sets_pass_through(self):
+        merged = agg.merge_scrapes(
+            OrderedDict(
+                r0='# TYPE t_total counter\nt_total{k="a"} 1\n',
+                r1='# TYPE t_total counter\nt_total{k="b"} 5\n',
+            )
+        )
+        flat = {
+            s.labels: s.value
+            for s in merged["t_total"].samples
+            if s.label("replica") is None
+        }
+        assert flat[(("k", "a"),)] == 1.0
+        assert flat[(("k", "b"),)] == 5.0
+
+
+def histogram_text(buckets, total, sum_value):
+    lines = ["# TYPE t_seconds histogram"]
+    for le, count in buckets:
+        lines.append(f't_seconds_bucket{{le="{le}"}} {count}')
+    lines.append(f"t_seconds_sum {sum_value}")
+    lines.append(f"t_seconds_count {total}")
+    return "\n".join(lines) + "\n"
+
+
+class TestHistogramMerge:
+    def merged_buckets(self, merged):
+        return {
+            s.label("le"): s.value
+            for s in merged["t_seconds"].samples
+            if s.name == "t_seconds_bucket" and s.label("replica") is None
+        }
+
+    def test_identical_bounds_merge_exactly(self):
+        merged = agg.merge_scrapes(
+            OrderedDict(
+                r0=histogram_text(
+                    [("0.1", 2), ("0.5", 5), ("+Inf", 8)], 8, 3.5
+                ),
+                r1=histogram_text(
+                    [("0.1", 1), ("0.5", 1), ("+Inf", 4)], 4, 6.0
+                ),
+            )
+        )
+        assert self.merged_buckets(merged) == {
+            "0.1": 3.0,
+            "0.5": 6.0,
+            "+Inf": 12.0,
+        }
+        scalars = {
+            s.name: s.value
+            for s in merged["t_seconds"].samples
+            if s.label("replica") is None and not s.labels
+        }
+        assert scalars["t_seconds_sum"] == pytest.approx(9.5)
+        assert scalars["t_seconds_count"] == 12.0
+
+    def test_differing_bounds_rebucket_onto_union(self):
+        # r0 declares {0.1, +Inf}, r1 declares {0.5, +Inf}: at a union
+        # bound a replica does not declare, its contribution is the
+        # monotone lower bound (count at its largest bound below)
+        merged = agg.merge_scrapes(
+            OrderedDict(
+                r0=histogram_text([("0.1", 1), ("+Inf", 2)], 2, 1.0),
+                r1=histogram_text([("0.5", 3), ("+Inf", 4)], 4, 2.0),
+            )
+        )
+        assert self.merged_buckets(merged) == {
+            "0.1": 1.0,  # r0 @0.1 + r1 lower bound (nothing below 0.1)
+            "0.5": 4.0,  # r0 lower bound (0.1 -> 1) + r1 @0.5
+            "+Inf": 6.0,
+        }
+
+    def test_missing_inf_bucket_falls_back_to_count(self):
+        text = (
+            "# TYPE t_seconds histogram\n"
+            't_seconds_bucket{le="0.1"} 1\n'
+            "t_seconds_sum 2.0\n"
+            "t_seconds_count 7\n"
+        )
+        merged = agg.merge_scrapes(OrderedDict(r0=text))
+        assert self.merged_buckets(merged)["+Inf"] == 7.0
+
+    def test_newest_exemplar_wins(self):
+        r0 = (
+            "# TYPE t_seconds histogram\n"
+            't_seconds_bucket{le="0.5"} 1 # {trace_id="old"} 0.3 10\n'
+            't_seconds_bucket{le="+Inf"} 1\n'
+            "t_seconds_sum 0.3\nt_seconds_count 1\n"
+        )
+        r1 = (
+            "# TYPE t_seconds histogram\n"
+            't_seconds_bucket{le="0.5"} 2 # {trace_id="new"} 0.4 20\n'
+            't_seconds_bucket{le="+Inf"} 2\n'
+            "t_seconds_sum 0.8\nt_seconds_count 2\n"
+        )
+        merged = agg.merge_scrapes(OrderedDict(r0=r0, r1=r1))
+        exemplars = {
+            s.label("le"): s.exemplar
+            for s in merged["t_seconds"].samples
+            if s.name == "t_seconds_bucket" and s.label("replica") is None
+        }
+        assert exemplars["0.5"][0] == "new"
+
+    def test_replica_label_keeps_le_last(self):
+        merged = agg.merge_scrapes(
+            OrderedDict(
+                r0=histogram_text([("0.1", 1), ("+Inf", 1)], 1, 0.05)
+            )
+        )
+        bucket = next(
+            s
+            for s in merged["t_seconds"].samples
+            if s.name == "t_seconds_bucket" and s.label("replica") == "r0"
+        )
+        assert bucket.labels[-1][0] == "le"
+
+
+class TestMergeExposition:
+    def test_merged_text_parses_back(self):
+        text = agg.merge_exposition(
+            OrderedDict(
+                r0=build_registry().render_prometheus(),
+                r1=build_registry().render_prometheus(),
+            )
+        )
+        families = agg.parse_text(text)
+        # counters doubled, per-replica series audit the merge
+        merged = next(
+            s
+            for s in families["t_requests_total"].samples
+            if s.label("replica") is None and s.label("status") == "500"
+        )
+        assert merged.value == 2.0
+        assert {
+            s.label("replica") for s in families["t_requests_total"].samples
+        } == {None, "r0", "r1"}
+
+    def test_merged_histogram_counts_are_exact(self):
+        text = agg.merge_exposition(
+            OrderedDict(
+                r0=build_registry().render_prometheus(),
+                r1=build_registry().render_prometheus(),
+            )
+        )
+        families = agg.parse_text(text)
+        counts = {
+            s.label("le"): s.value
+            for s in families["t_seconds"].samples
+            if s.name == "t_seconds_bucket" and s.label("replica") is None
+        }
+        assert counts == {"0.1": 2.0, "0.5": 4.0, "+Inf": 6.0}

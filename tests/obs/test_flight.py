@@ -1,0 +1,189 @@
+"""Flight recorder: frozen, redacted snapshots of offending traces."""
+
+import json
+
+import pytest
+
+from repro.obs import flight as flight_mod
+from repro.obs import logging as obs_logging
+from repro.obs.flight import (
+    FlightRecorder,
+    NoopFlightRecorder,
+    configure_flight,
+    get_flight_recorder,
+)
+from repro.obs.trace import NoopTracer, Tracer, get_tracer, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def restore_globals():
+    prev_tracer = get_tracer()
+    prev_recorder = get_flight_recorder()
+    yield
+    configure_flight(enabled=False)  # removes any installed log listener
+    flight_mod._recorder = prev_recorder
+    set_tracer(prev_tracer)
+
+
+@pytest.fixture
+def tracer():
+    tracer = Tracer(ring_size=64)
+    set_tracer(tracer)
+    return tracer
+
+
+def record_trace(tracer, **root_attrs):
+    """A two-span tree in the ring; returns its trace id."""
+    with tracer.span("outer", **root_attrs) as outer:
+        trace_id = outer.trace_id
+        with tracer.span("solve", stats={"conflicts": 3}):
+            pass
+    return trace_id
+
+
+class TestTrigger:
+    def test_snapshot_freezes_spans_logs_and_stats(self, tracer):
+        trace_id = record_trace(tracer)
+        recorder = FlightRecorder()
+        recorder.record_log({"trace_id": trace_id, "event": "boom"})
+        recorder.record_log({"trace_id": "other", "event": "unrelated"})
+        recorder.record_log({"event": "no trace id, not buffered"})
+
+        snap = recorder.trigger(
+            "job_failed", trace_id=trace_id, detail={"job_id": "j1"}
+        )
+        assert snap["reason"] == "job_failed"
+        assert snap["trace_id"] == trace_id
+        assert snap["detail"] == {"job_id": "j1"}
+        assert snap["span_count"] == 2
+        assert {s["name"] for s in snap["spans"]} == {"outer", "solve"}
+        assert snap["logs"] == [{"trace_id": trace_id, "event": "boom"}]
+        assert snap["solver_stats"] == [
+            {"span": "solve", "stats": {"conflicts": 3}}
+        ]
+
+    def test_duplicate_reason_and_trace_dedup(self, tracer):
+        trace_id = record_trace(tracer)
+        recorder = FlightRecorder()
+        assert recorder.trigger("http_5xx", trace_id=trace_id) is not None
+        assert recorder.trigger("http_5xx", trace_id=trace_id) is None
+        assert recorder.counters["duplicates"] == 1
+        assert len(recorder.snapshots()) == 1
+        # a different reason for the same trace is new evidence
+        assert recorder.trigger("slo_burn", trace_id=trace_id) is not None
+        assert len(recorder.snapshots()) == 2
+
+    def test_snapshot_store_is_bounded(self, tracer):
+        recorder = FlightRecorder(max_snapshots=2)
+        for i in range(3):
+            recorder.trigger("job_failed", trace_id=f"trace-{i}")
+        assert recorder.counters["snapshots"] == 3
+        kept = [s["trace_id"] for s in recorder.snapshots()]
+        assert kept == ["trace-1", "trace-2"]
+
+    def test_snapshots_filter_accepts_trace_prefix(self, tracer):
+        recorder = FlightRecorder()
+        recorder.trigger("job_failed", trace_id="abcdef0123456789")
+        recorder.trigger("job_failed", trace_id="ffff000000000000")
+        assert len(recorder.snapshots("abcdef")) == 1
+        assert recorder.snapshots("abcdef")[0]["trace_id"].startswith("abcdef")
+
+    def test_sink_receives_json_lines(self, tracer, tmp_path):
+        sink = tmp_path / "flight.jsonl"
+        recorder = FlightRecorder(sink_path=sink)
+        trace_id = record_trace(tracer)
+        recorder.trigger("deadline_miss", trace_id=trace_id)
+        lines = sink.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["reason"] == "deadline_miss"
+
+
+class TestRedaction:
+    def test_payload_keys_dropped_and_strings_truncated(self, tracer):
+        trace_id = record_trace(
+            tracer, spec="SECRET PROBLEM", note="x" * 600
+        )
+        recorder = FlightRecorder()
+        snap = recorder.trigger(
+            "job_failed",
+            trace_id=trace_id,
+            detail={"payload": {"secret": 1}, "kind": "verify"},
+        )
+        outer = next(s for s in snap["spans"] if s["name"] == "outer")
+        assert "spec" not in outer["attributes"]
+        assert outer["attributes"]["note"].endswith("…[truncated 88 chars]")
+        assert snap["detail"] == {"kind": "verify"}
+
+    def test_redaction_recurses_into_nested_structures(self):
+        recorder = FlightRecorder()
+        snap = recorder.trigger(
+            "http_5xx",
+            trace_id="t-nested",
+            detail={"ctx": {"measurements": [1, 2], "ok": ["a", {"body": 1}]}},
+        )
+        assert snap["detail"]["ctx"] == {"ok": ["a", {}]}
+
+    def test_payload_endpoint_shape(self, tracer):
+        recorder = FlightRecorder()
+        recorder.record_log({"trace_id": "t", "event": "e"})
+        recorder.trigger("job_failed", trace_id="t")
+        payload = recorder.payload()
+        assert payload["enabled"] is True
+        assert payload["buffered_logs"] == 1
+        assert payload["counters"]["triggers"] == 1
+        assert len(payload["snapshots"]) == 1
+
+
+class TestNoop:
+    def test_noop_discards_everything(self):
+        recorder = NoopFlightRecorder()
+        recorder.record_log({"trace_id": "t", "event": "e"})
+        assert recorder.trigger("job_failed", trace_id="t") is None
+        assert recorder.payload() == {
+            "enabled": False,
+            "counters": {},
+            "buffered_logs": 0,
+            "snapshots": [],
+        }
+
+    def test_default_global_recorder_is_noop(self):
+        configure_flight(enabled=False)
+        assert get_flight_recorder().enabled is False
+
+
+class TestConfigure:
+    def test_enable_installs_recorder_and_log_listener(self):
+        set_tracer(NoopTracer())
+        recorder = configure_flight(enabled=True)
+        assert recorder is get_flight_recorder()
+        assert recorder.enabled
+        assert recorder.record_log in obs_logging._listeners
+        # a no-op tracer is replaced so there are spans to freeze
+        assert get_tracer().enabled
+
+    def test_explicitly_configured_tracer_left_alone(self, tracer):
+        configure_flight(enabled=True)
+        assert get_tracer() is tracer
+
+    def test_disable_uninstalls_listener(self):
+        recorder = configure_flight(enabled=True)
+        configure_flight(enabled=False)
+        assert recorder.record_log not in obs_logging._listeners
+        assert get_flight_recorder().enabled is False
+
+    def test_reconfigure_does_not_leak_listeners(self):
+        before = len(obs_logging._listeners)
+        for _ in range(3):
+            configure_flight(enabled=True)
+        assert len(obs_logging._listeners) == before + 1
+
+    def test_structured_logs_reach_the_recorder(self, tracer):
+        recorder = configure_flight(enabled=True)
+        log = obs_logging.get_logger("test.flight")
+        with tracer.span("op") as span:
+            log.warning("something_failed", job="j1")
+            trace_id = span.trace_id
+        snap = recorder.trigger("job_failed", trace_id=trace_id)
+        assert any(
+            r.get("event") == "something_failed" for r in snap["logs"]
+        )

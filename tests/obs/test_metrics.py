@@ -176,3 +176,110 @@ class TestGlobalRegistry:
             "repro_task_timeouts_total",
         ):
             assert family in names
+
+
+class TestExemplars:
+    def histogram(self, registry):
+        return registry.histogram("t_seconds", "latency", buckets=(0.1, 1.0))
+
+    def test_explicit_exemplar_lands_in_native_bucket(self, registry):
+        h = self.histogram(registry)
+        h.observe(0.05, exemplar="trace-a")
+        exemplars = h.exemplars()
+        assert exemplars[0.1][0] == "trace-a"
+        assert exemplars[0.1][1] == pytest.approx(0.05)
+
+    def test_overflow_exemplar_keyed_by_inf(self, registry):
+        import math
+
+        h = self.histogram(registry)
+        h.observe(5.0, exemplar="trace-slow")
+        assert h.exemplars()[math.inf][0] == "trace-slow"
+
+    def test_rendered_only_on_the_native_bucket_line(self, registry):
+        h = self.histogram(registry)
+        h.observe(0.05, exemplar="trace-a")
+        lines = registry.render_prometheus().splitlines()
+        tagged = [line for line in lines if "# {" in line]
+        assert tagged == [
+            't_seconds_bucket{le="0.1"} 1 # {trace_id="trace-a"} 0.05 '
+            + tagged[0].rsplit(" ", 1)[1]
+        ]
+
+    def test_no_exemplar_no_suffix(self, registry):
+        h = self.histogram(registry)
+        h.observe(0.05)
+        assert "# {" not in registry.render_prometheus()
+
+    def test_ambient_span_trace_id_captured(self, registry):
+        from repro.obs.trace import Tracer, get_tracer, set_tracer
+
+        previous = get_tracer()
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            h = self.histogram(registry)
+            with tracer.span("op") as span:
+                h.observe(0.05)
+            assert h.exemplars()[0.1][0] == span.trace_id
+        finally:
+            set_tracer(previous)
+
+    def test_set_exemplar_attaches_without_counting(self, registry):
+        h = self.histogram(registry)
+        h.set_exemplar(0.05, "trace-x", stamp=123.0)
+        assert h.count() == 0
+        assert h.exemplars()[0.1] == ("trace-x", 0.05, 123.0)
+
+    def test_newer_observation_replaces_bucket_exemplar(self, registry):
+        h = self.histogram(registry)
+        h.observe(0.05, exemplar="old")
+        h.observe(0.06, exemplar="new")
+        assert h.exemplars()[0.1][0] == "new"
+
+    def test_labeled_series_keep_separate_exemplars(self, registry):
+        h = registry.histogram(
+            "t_seconds", "latency", labels=("kind",), buckets=(0.1,)
+        )
+        h.observe(0.05, exemplar="a", kind="x")
+        h.observe(0.05, exemplar="b", kind="y")
+        assert h.exemplars(kind="x")[0.1][0] == "a"
+        assert h.exemplars(kind="y")[0.1][0] == "b"
+
+
+class TestBuildInfo:
+    def test_single_series_with_identity_labels(self, registry):
+        from repro.obs.metrics import record_build_info
+
+        gauge = record_build_info(registry)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_build_info gauge" in text
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith("repro_build_info{")
+        )
+        assert line.endswith(" 1")
+        for label in ("engine_signature=", "version=", "kernel=", "sat_config="):
+            assert label in line
+        assert gauge.labelnames == (
+            "engine_signature", "version", "kernel", "sat_config",
+        )
+
+    def test_signature_matches_solver_engine(self, registry):
+        from repro.obs.metrics import record_build_info
+        from repro.smt.solver import engine_signature
+
+        record_build_info(registry)
+        assert engine_signature() in registry.render_prometheus()
+
+    def test_idempotent_re_registration(self, registry):
+        from repro.obs.metrics import record_build_info
+
+        first = record_build_info(registry)
+        second = record_build_info(registry)
+        assert first is second
+        lines = [
+            l for l in registry.render_prometheus().splitlines()
+            if l.startswith("repro_build_info{")
+        ]
+        assert len(lines) == 1

@@ -1,8 +1,17 @@
 """Waterfall rendering of JSONL span sinks."""
 
 import json
+from datetime import datetime
 
-from repro.obs.render import group_traces, load_spans, render_file, render_trace
+import pytest
+
+from repro.obs.render import (
+    group_traces,
+    load_spans,
+    parse_time,
+    render_file,
+    render_trace,
+)
 
 
 def span(trace="t1", sid="s1", parent=None, name="work", start=0.0, dur=0.01, **attrs):
@@ -72,6 +81,35 @@ class TestWaterfall:
         bad["status"] = "error"
         assert "status=error" in render_trace([bad])
 
+    def test_same_start_siblings_ordered_by_span_id(self):
+        # wall clocks tie constantly at millisecond resolution; the
+        # span-id tie-break keeps re-renders byte-stable
+        spans = [
+            span(sid="root", name="parent", start=0.0, dur=0.1),
+            span(sid="zz", parent="root", name="sib-z", start=0.01),
+            span(sid="aa", parent="root", name="sib-a", start=0.01),
+        ]
+        text = render_trace(spans)
+        assert text.index("sib-a") < text.index("sib-z")
+        assert render_trace(list(reversed(spans))) == text
+
+
+class TestParseTime:
+    def test_none_passes_through(self):
+        assert parse_time(None) is None
+
+    def test_epoch_accepted_as_number_or_string(self):
+        assert parse_time(150.5) == 150.5
+        assert parse_time("150.5") == 150.5
+
+    def test_iso_8601_local_time(self):
+        stamp = parse_time("2026-01-02T03:04:05")
+        assert stamp == datetime(2026, 1, 2, 3, 4, 5).timestamp()
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError, match="cannot parse time"):
+            parse_time("five minutes ago")
+
 
 class TestRenderFile:
     def test_multiple_traces_rendered(self, tmp_path):
@@ -108,3 +146,44 @@ class TestRenderFile:
         path = tmp_path / "spans.jsonl"
         path.write_text("")
         assert "no spans" in render_file(path)
+
+    def test_since_until_filter_on_earliest_span_start(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_sink(
+            path,
+            [
+                span(trace="early", sid="e1", start=100.0),
+                span(trace="late", sid="l1", start=200.0),
+            ],
+        )
+        assert "late" in render_file(path, since=150)
+        assert "early" not in render_file(path, since=150)
+        assert "early" in render_file(path, until=150)
+        assert "late" not in render_file(path, until=150)
+        both = render_file(path, since=50, until=250)
+        assert "early" in both and "late" in both
+
+    def test_window_uses_earliest_span_of_each_trace(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_sink(
+            path,
+            [
+                span(trace="t", sid="root", start=100.0, dur=50.0),
+                span(trace="t", sid="child", parent="root", start=140.0),
+            ],
+        )
+        # the trace starts at 100 even though a span starts later
+        assert "trace t" not in render_file(path, since=120)
+        assert "trace t" in render_file(path, since=90)
+
+    def test_since_accepts_string_epoch(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_sink(path, [span(trace="t", start=100.0)])
+        assert "trace t" in render_file(path, since="50")
+
+    def test_empty_window_reported(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_sink(path, [span(start=100.0)])
+        assert "no traces inside the requested time window" in render_file(
+            path, since=1e12
+        )

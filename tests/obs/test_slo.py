@@ -1,0 +1,324 @@
+"""Burn-rate SLO evaluation with an injected clock.
+
+Every scenario drives :class:`SloEvaluator` with hand-built exposition
+text and a fake clock, so window arithmetic is deterministic: alerts
+must fire only when BOTH the short and long window burn over the
+threshold, fire once per breach (rising edge), and re-arm after
+recovery.
+"""
+
+import json
+
+import pytest
+
+from repro.monitor.incidents import Incident
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SloConfig,
+    SloEvaluator,
+    SloObjective,
+    alert_to_incident_payload,
+    load_slo_config,
+)
+
+# one window with easy numbers: objective 0.9 -> budget 0.1,
+# burn = bad_fraction / 0.1; alert when burn > 2 in 60s AND 300s
+WINDOW = BurnWindow(
+    "test", short_seconds=60.0, long_seconds=300.0,
+    burn_threshold=2.0, severity="major",
+)
+AVAIL = SloObjective(
+    name="avail", objective=0.9, kind="availability",
+    metric="m_total", bad_label="status", bad_prefix="5",
+)
+CONFIG = SloConfig(slos=(AVAIL,), windows=(WINDOW,), interval_seconds=1.0)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def exposition(good, bad):
+    return (
+        "# TYPE m_total counter\n"
+        f'm_total{{status="200"}} {good}\n'
+        f'm_total{{status="500"}} {bad}\n'
+    )
+
+
+def make_evaluator(config=CONFIG):
+    clock = FakeClock()
+    evaluator = SloEvaluator(config, clock=clock, record_metrics=False)
+    return evaluator, clock
+
+
+def feed(evaluator, clock, t, good, bad):
+    clock.now = t
+    return evaluator.sample_text(exposition(good, bad))
+
+
+class TestBurnAlerting:
+    def test_no_alert_when_healthy(self):
+        ev, clock = make_evaluator()
+        assert feed(ev, clock, 0, 100, 0) == []
+        assert feed(ev, clock, 30, 200, 0) == []
+        status = ev.status()["slos"][0]
+        assert status["alerting"] is False
+        assert status["budget_remaining"] == pytest.approx(1.0)
+
+    def test_fires_when_both_windows_burn(self):
+        ev, clock = make_evaluator()
+        feed(ev, clock, 0, 100, 0)
+        events = feed(ev, clock, 30, 100, 100)  # 100% bad in the window
+        assert len(events) == 1
+        event = events[0]
+        assert event["slo"] == "avail"
+        assert event["severity"] == "major"
+        assert event["windows"] == ["test"]
+        assert event["burn_rates"]["test"]["short"] == pytest.approx(10.0)
+        assert event["fired_at"] == 30
+        assert ev.status()["slos"][0]["alerting"] is True
+
+    def test_short_blip_alone_does_not_fire(self):
+        ev, clock = make_evaluator()
+        # 10 minutes of dense healthy history (100 requests / 30s)
+        for k in range(21):
+            assert feed(ev, clock, 30 * k, 100 * (k + 1), 0) == []
+        # one 50%-bad blip: short window burns (2.5 > 2) but the long
+        # window still sees mostly-good traffic (0.5 < 2) -> no alert
+        events = feed(ev, clock, 630, 2150, 50)
+        assert events == []
+        burns = ev.status()["slos"][0]["burn_rates"]["test"]
+        assert burns["short"] > 2.0
+        assert burns["long"] < 2.0
+
+    def test_sustained_burn_fires_exactly_once(self):
+        ev, clock = make_evaluator()
+        for k in range(21):
+            feed(ev, clock, 30 * k, 100 * (k + 1), 0)
+        feed(ev, clock, 630, 2150, 50)
+        fired = []
+        # every new request fails from here on
+        for i, t in enumerate(range(660, 960, 30)):
+            fired += feed(ev, clock, t, 2150, 150 + 100 * i)
+        assert len(fired) == 1  # rising edge only, stays active after
+
+    def test_rising_edge_rearms_after_recovery(self):
+        ev, clock = make_evaluator()
+        feed(ev, clock, 0, 100, 0)
+        first = feed(ev, clock, 30, 100, 100)
+        assert len(first) == 1
+        assert feed(ev, clock, 60, 100, 200) == []  # still burning
+        # long quiet stretch: both window baselines pass the burst
+        assert feed(ev, clock, 400, 10100, 200) == []
+        assert ev.status()["slos"][0]["alerting"] is False
+        # a second burst big enough for both windows fires again
+        second = feed(ev, clock, 430, 10100, 5200)
+        assert len(second) == 1
+        assert len(ev.alerts()) == 2
+
+    def test_severity_is_worst_alerting_window(self):
+        config = SloConfig(
+            slos=(AVAIL,),
+            windows=(
+                WINDOW,
+                BurnWindow("page", 60.0, 300.0, 1.0, "critical"),
+            ),
+        )
+        ev, clock = make_evaluator(config)
+        feed(ev, clock, 0, 100, 0)
+        events = feed(ev, clock, 30, 100, 100)
+        assert len(events) == 1
+        assert events[0]["severity"] == "critical"
+        assert sorted(events[0]["windows"]) == ["page", "test"]
+
+    def test_default_windows_are_google_sre_pairs(self):
+        assert [w.name for w in DEFAULT_WINDOWS] == ["fast", "slow"]
+        fast = DEFAULT_WINDOWS[0]
+        assert (fast.short_seconds, fast.long_seconds) == (300.0, 3600.0)
+        assert fast.severity == "critical"
+
+
+LATENCY = SloObjective(
+    name="lat", objective=0.9, kind="latency",
+    metric="m_seconds", threshold_seconds=0.5,
+)
+
+
+def latency_exposition(under, over, exemplar_line=""):
+    total = under + over
+    return (
+        "# TYPE m_seconds histogram\n"
+        f'm_seconds_bucket{{le="0.1"}} {under // 2}\n'
+        f'm_seconds_bucket{{le="0.5"}} {under}\n'
+        f'm_seconds_bucket{{le="+Inf"}} {total}{exemplar_line}\n'
+        f"m_seconds_sum {total * 0.2}\n"
+        f"m_seconds_count {total}\n"
+    )
+
+
+class TestLatencySlo:
+    def test_good_is_cumulative_count_at_threshold_bucket(self):
+        config = SloConfig(slos=(LATENCY,), windows=(WINDOW,))
+        ev, clock = make_evaluator(config)
+        clock.now = 0
+        ev.sample_text(latency_exposition(0, 0))
+        clock.now = 30
+        events = ev.sample_text(latency_exposition(70, 30))
+        # 30% of requests over 0.5s -> burn 3.0 > 2 in both windows
+        assert len(events) == 1
+        status = ev.status()["slos"][0]
+        assert status["good"] == 70.0
+        assert status["total"] == 100.0
+
+    def test_exemplar_comes_from_bucket_above_threshold(self):
+        config = SloConfig(slos=(LATENCY,), windows=(WINDOW,))
+        ev, clock = make_evaluator(config)
+        clock.now = 0
+        ev.sample_text(latency_exposition(0, 0))
+        clock.now = 30
+        events = ev.sample_text(
+            latency_exposition(
+                70, 30, exemplar_line=' # {trace_id="tr-slow"} 2.0 123'
+            )
+        )
+        assert events[0]["exemplar_trace_id"] == "tr-slow"
+
+    def test_missing_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold_seconds"):
+            SloObjective(
+                name="bad", objective=0.9, kind="latency", metric="m"
+            )
+
+
+class TestMergedScrapeHandling:
+    def test_replica_labeled_duplicates_skipped(self):
+        # a /clusterz/metrics scrape carries the merged series AND the
+        # per-replica audit series; only the merged one may count
+        text = (
+            "# TYPE m_total counter\n"
+            'm_total{status="500"} 100\n'
+            'm_total{replica="r0",status="500"} 60\n'
+            'm_total{replica="r1",status="500"} 40\n'
+        )
+        ev, clock = make_evaluator()
+        clock.now = 0
+        ev.sample_text(text)
+        assert ev.status()["slos"][0]["total"] == 100.0
+
+
+class TestSloMetrics:
+    def test_evaluator_records_own_metrics(self):
+        reg = MetricsRegistry()
+        clock = FakeClock()
+        ev = SloEvaluator(CONFIG, clock=clock, registry=reg)
+        clock.now = 0
+        ev.sample_text(exposition(100, 0))
+        clock.now = 30
+        ev.sample_text(exposition(100, 100))
+        text = reg.render_prometheus()
+        assert 'repro_slo_burn_rate{slo="avail",window="test"}' in text
+        assert 'repro_slo_error_budget_remaining{slo="avail"}' in text
+        assert 'repro_slo_alerts_total{slo="avail",severity="major"} 1' in text
+
+
+class TestIncidentBridge:
+    def fired_event(self):
+        ev, clock = make_evaluator()
+        feed(ev, clock, 0, 100, 0)
+        return feed(ev, clock, 30, 100, 100)[0]
+
+    def test_alert_payload_loads_as_incident(self):
+        payload = alert_to_incident_payload(self.fired_event(), 3)
+        incident = Incident.from_payload(payload)
+        assert incident.id == "slo_burn-00003-00"
+        assert incident.kind == "slo_burn"
+        assert incident.severity == "major"
+        assert incident.detector == "slo"
+        assert incident.evidence["slo"] == "avail"
+
+    def test_payload_carries_exemplar_trace(self):
+        event = dict(self.fired_event(), exemplar_trace_id="tr-1")
+        payload = alert_to_incident_payload(event, 1)
+        assert payload["trace_id"] == "tr-1"
+        assert Incident.from_payload(payload).trace_id == "tr-1"
+
+    def test_payload_round_trips_json(self):
+        payload = alert_to_incident_payload(self.fired_event(), 2)
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestConfigLoading:
+    def test_none_returns_defaults(self):
+        config = load_slo_config(None)
+        assert tuple(s.name for s in config.slos) == (
+            "availability", "latency", "jobs",
+        )
+        assert config.windows == DEFAULT_WINDOWS
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "interval_seconds": 0.5,
+                    "windows": [
+                        {
+                            "name": "w", "short_seconds": 10,
+                            "long_seconds": 100, "burn_threshold": 3,
+                            "severity": "critical",
+                        }
+                    ],
+                    "slos": [
+                        {
+                            "name": "jobs", "objective": 0.95,
+                            "metric": "repro_jobs_finished_total",
+                            "bad_label": "state", "bad_prefix": None,
+                            "bad_values": ["failed", "timeout"],
+                        }
+                    ],
+                }
+            )
+        )
+        config = load_slo_config(path)
+        assert config.interval_seconds == 0.5
+        assert config.windows[0].burn_threshold == 3.0
+        slo = config.slos[0]
+        assert slo.kind == "availability"
+        assert slo.is_bad("failed") and not slo.is_bad("ok")
+        # and the parsed config serializes back
+        assert config.to_payload()["slos"][0]["name"] == "jobs"
+
+    def test_empty_slos_rejected(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text('{"slos": []}')
+        with pytest.raises(ValueError, match="no slos"):
+            load_slo_config(path)
+
+    def test_objective_must_be_fraction(self):
+        with pytest.raises(ValueError, match="objective"):
+            SloObjective(
+                name="x", objective=1.5, kind="availability", metric="m"
+            )
+
+    def test_default_slos_cover_http_and_jobs(self):
+        assert {s.metric for s in DEFAULT_SLOS} == {
+            "repro_http_requests_total",
+            "repro_http_request_seconds",
+            "repro_jobs_finished_total",
+        }
+
+    def test_status_payload_shape(self):
+        ev, clock = make_evaluator()
+        feed(ev, clock, 0, 10, 0)
+        status = ev.status()
+        assert set(status) == {"config", "slos", "alerts"}
+        assert status["config"]["windows"][0]["name"] == "test"
+        assert status["slos"][0]["name"] == "avail"

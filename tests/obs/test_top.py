@@ -1,0 +1,207 @@
+"""``repro top`` arithmetic and rendering over canned expositions."""
+
+import io
+import math
+
+import pytest
+
+from repro.obs import agg
+from repro.obs.top import (
+    TopSnapshot,
+    build_signatures,
+    collect,
+    quantiles_from_deltas,
+    render_dashboard,
+    replica_ids,
+    replica_red_rows,
+    run_top,
+)
+
+
+def snapshot(text, stamp, slo=None):
+    return TopSnapshot(agg.parse_text(text), slo, stamp)
+
+
+def cluster_text(r0_requests=100, r0_errors=10, r1_requests=50, buckets=(60, 100, 110)):
+    under_01, under_05, total = buckets
+    return (
+        "# TYPE repro_http_requests_total counter\n"
+        f'repro_http_requests_total{{replica="r0",status="200"}} {r0_requests}\n'
+        f'repro_http_requests_total{{replica="r0",status="500"}} {r0_errors}\n'
+        f'repro_http_requests_total{{replica="r1",status="200"}} {r1_requests}\n'
+        "# TYPE repro_http_request_seconds histogram\n"
+        f'repro_http_request_seconds_bucket{{replica="r0",le="0.1"}} {under_01}\n'
+        f'repro_http_request_seconds_bucket{{replica="r0",le="0.5"}} {under_05}\n'
+        f'repro_http_request_seconds_bucket{{replica="r0",le="+Inf"}} {total}\n'
+        f'repro_http_request_seconds_sum{{replica="r0"}} 9\n'
+        f'repro_http_request_seconds_count{{replica="r0"}} {total}\n'
+        "# TYPE repro_queue_depth gauge\n"
+        'repro_queue_depth{replica="r0"} 3\n'
+        'repro_queue_depth{replica="r1"} 1\n'
+    )
+
+
+class TestQuantiles:
+    def test_interpolates_inside_target_bucket(self):
+        current = {0.1: 10.0, 0.5: 20.0, math.inf: 20.0}
+        p50, p95, p99 = quantiles_from_deltas(current, None)
+        assert p50 == pytest.approx(0.1)
+        assert p95 == pytest.approx(0.46)
+        assert p99 == pytest.approx(0.492)
+
+    def test_previous_counts_subtracted(self):
+        previous = {0.1: 10.0, 0.5: 20.0, math.inf: 20.0}
+        # only slow samples landed since the previous scrape
+        current = {0.1: 10.0, 0.5: 30.0, math.inf: 30.0}
+        p50, _, _ = quantiles_from_deltas(current, previous)
+        assert 0.1 < p50 <= 0.5
+
+    def test_overflow_mass_reports_largest_bound(self):
+        current = {0.1: 0.0, 0.5: 0.0, math.inf: 5.0}
+        assert quantiles_from_deltas(current, None) == [0.5, 0.5, 0.5]
+
+    def test_empty_window_is_none(self):
+        current = {0.1: 7.0, math.inf: 7.0}
+        assert quantiles_from_deltas(current, current) == [None, None, None]
+        assert quantiles_from_deltas({}, None) == [None, None, None]
+
+
+class TestReplicaRows:
+    def test_replica_ids_from_scrape(self):
+        assert replica_ids(agg.parse_text(cluster_text())) == ["r0", "r1"]
+        assert replica_ids(agg.parse_text("# TYPE x counter\nx 1\n")) == [""]
+
+    def test_first_frame_has_totals_but_no_rates(self):
+        rows = replica_red_rows(snapshot(cluster_text(), 100.0), None)
+        assert [r["replica"] for r in rows] == ["r0", "r1"]
+        r0 = rows[0]
+        assert r0["requests_total"] == 110.0
+        assert r0["errors_total"] == 10.0
+        assert r0["rate"] is None and r0["error_rate"] is None
+        assert r0["queue_depth"] == 3.0
+
+    def test_rates_from_two_frame_deltas(self):
+        first = snapshot(cluster_text(), 100.0)
+        second = snapshot(
+            cluster_text(r0_requests=180, r0_errors=30, r1_requests=90),
+            110.0,
+        )
+        rows = replica_red_rows(second, first)
+        r0, r1 = rows
+        assert r0["rate"] == pytest.approx(10.0)  # +100 requests / 10s
+        assert r0["error_rate"] == pytest.approx(2.0)
+        assert r1["rate"] == pytest.approx(4.0)
+
+    def test_latency_quantiles_from_bucket_deltas(self):
+        first = snapshot(cluster_text(buckets=(60, 100, 110)), 100.0)
+        second = snapshot(cluster_text(buckets=(70, 120, 130)), 110.0)
+        r0 = replica_red_rows(second, first)[0]
+        # delta: 10 in (0,0.1], 10 in (0.1,0.5], 0 overflow -> p50=0.1
+        assert r0["p50"] == pytest.approx(0.1)
+        assert r0["p99"] is not None
+
+    def test_unsharded_scrape_renders_as_local(self):
+        text = (
+            "# TYPE repro_http_requests_total counter\n"
+            'repro_http_requests_total{status="200"} 5\n'
+        )
+        rows = replica_red_rows(snapshot(text, 1.0), None)
+        assert [r["replica"] for r in rows] == ["local"]
+        assert rows[0]["requests_total"] == 5.0
+
+
+def build_info_text(signatures):
+    lines = ["# TYPE repro_build_info gauge"]
+    for replica, sig in signatures.items():
+        lines.append(
+            f'repro_build_info{{engine_signature="{sig}",version="1",'
+            f'kernel="dense",sat_config="cfg",replica="{replica}"}} 1'
+        )
+    return "\n".join(lines) + "\n"
+
+
+class TestDashboard:
+    def test_build_signatures_keyed_by_replica(self):
+        families = agg.parse_text(build_info_text({"r0": "sigA", "r1": "sigB"}))
+        assert build_signatures(families) == {"r0": "sigA", "r1": "sigB"}
+
+    def test_uniform_build_renders_one_line(self):
+        text = cluster_text() + build_info_text({"r0": "sigA", "r1": "sigA"})
+        frame = render_dashboard(snapshot(text, 100.0), None, source="router")
+        assert "repro top — router —" in frame
+        assert "build: sigA (2 process(es))" in frame
+        assert "SKEW" not in frame
+
+    def test_skew_lists_every_replica(self):
+        text = cluster_text() + build_info_text({"r0": "sigA", "r1": "sigB"})
+        frame = render_dashboard(snapshot(text, 100.0), None)
+        assert "build SKEW — 2 distinct signatures:" in frame
+        assert "sigA" in frame and "sigB" in frame
+
+    def test_slo_section_shows_burning_state_and_exemplar(self):
+        slo = {
+            "slos": [
+                {
+                    "name": "availability",
+                    "objective": 0.999,
+                    "budget_remaining": 0.25,
+                    "alerting": True,
+                    "exemplar_trace_id": "deadbeefdeadbeefdeadbeef",
+                },
+                {
+                    "name": "latency",
+                    "objective": 0.99,
+                    "budget_remaining": 1.0,
+                    "alerting": False,
+                },
+            ],
+            "alerts": [
+                {
+                    "slo": "availability",
+                    "severity": "critical",
+                    "windows": ["fast"],
+                    "fired_at": 1700000000.0,
+                    "exemplar_trace_id": "deadbeefdeadbeefdeadbeef",
+                }
+            ],
+        }
+        frame = render_dashboard(snapshot(cluster_text(), 100.0, slo), None)
+        assert "BURNING" in frame
+        assert "deadbeefdeadbeef" in frame  # 16-char prefix
+        assert "recent alerts:" in frame
+        assert "slo=availability windows=fast" in frame
+
+    def test_rates_rendered_on_second_frame(self):
+        first = snapshot(cluster_text(), 100.0)
+        second = snapshot(cluster_text(r0_requests=180), 110.0)
+        frame = render_dashboard(second, first)
+        assert "/s" in frame
+        assert "fleet:" in frame
+
+
+class TestCollectAndLoop:
+    def test_collect_parses_metrics_and_slo(self):
+        snap = collect(
+            lambda: cluster_text(),
+            fetch_slo=lambda: '{"slos": []}',
+            clock=lambda: 42.0,
+        )
+        assert snap.stamp == 42.0
+        assert "repro_http_requests_total" in snap.families
+        assert snap.slo == {"slos": []}
+
+    def test_slo_fetch_failure_degrades_to_none(self):
+        def broken():
+            raise OSError("connection refused")
+
+        snap = collect(lambda: cluster_text(), fetch_slo=broken)
+        assert snap.slo is None
+
+    def test_unreachable_endpoint_exits_nonzero(self):
+        out = io.StringIO()
+        code = run_top(
+            "http://127.0.0.1:9", interval=0.01, iterations=1,
+            no_clear=True, out=out, timeout=0.2,
+        )
+        assert code == 1
+        assert out.getvalue().startswith("repro top:")

@@ -137,6 +137,84 @@ class TestRecording:
         assert tracer.finished_spans() == []
 
 
+class TestRingMemoryBounds:
+    """The ring is bounded by payload bytes as well as span count, and
+    eviction removes whole traces only (regression: a handful of spans
+    with enormous attributes used to pin unbounded memory)."""
+
+    def one_span_trace(self, tracer, name, payload_chars):
+        with tracer.span(name, blob="x" * payload_chars) as span:
+            trace_id = span.trace_id
+        return trace_id
+
+    def test_oversized_attributes_evict_older_whole_traces(self):
+        tracer = Tracer(ring_size=1000, max_ring_bytes=4000)
+        traces = [
+            self.one_span_trace(tracer, f"s{i}", 1500) for i in range(4)
+        ]
+        snap = tracer.snapshot()
+        assert snap["evicted_traces"] >= 2
+        assert snap["ring_bytes"] <= 4000
+        # survivors are the newest traces, each still complete
+        survivors = tracer.trace_ids()
+        assert survivors == traces[-len(survivors):]
+        for trace_id in survivors:
+            assert len(tracer.finished_spans(trace_id)) == 1
+
+    def test_eviction_never_splits_a_trace(self):
+        tracer = Tracer(ring_size=1000, max_ring_bytes=2000)
+        with tracer.span("root") as root:
+            first = root.trace_id
+            with tracer.span("child-a"):
+                pass
+            with tracer.span("child-b"):
+                pass
+        # a single fat trace pushes the three-span trace out wholesale
+        second = self.one_span_trace(tracer, "fat", 5000)
+        assert tracer.finished_spans(first) == []
+        assert tracer.trace_ids() == [second]
+        assert tracer.snapshot()["evicted_traces"] == 1
+
+    def test_last_trace_never_evicted_even_over_budget(self):
+        tracer = Tracer(ring_size=1000, max_ring_bytes=1000)
+        trace_id = self.one_span_trace(tracer, "fat", 50_000)
+        assert len(tracer.finished_spans(trace_id)) == 1
+        assert tracer.snapshot()["ring_bytes"] > 1000
+
+    def test_runaway_single_trace_drops_excess_spans(self):
+        tracer = Tracer(ring_size=3)
+        with tracer.span("root") as root:
+            trace_id = root.trace_id
+            for i in range(5):
+                with tracer.span(f"c{i}"):
+                    pass
+        # 6 spans in one trace, cap 3: the tree is truncated, not split
+        assert len(tracer.finished_spans(trace_id)) == 3
+        assert tracer.snapshot()["dropped"] == 3
+        assert tracer.trace_ids() == [trace_id]
+
+    def test_snapshot_reports_byte_accounting(self):
+        tracer = Tracer(ring_size=8, max_ring_bytes=12345)
+        self.one_span_trace(tracer, "s", 100)
+        snap = tracer.snapshot()
+        assert snap["max_ring_bytes"] == 12345
+        assert snap["ring_traces"] == 1
+        assert snap["ring_spans"] == 1
+        assert snap["ring_bytes"] > 100  # payload plus per-span overhead
+
+    def test_drain_resets_byte_accounting(self):
+        tracer = Tracer()
+        self.one_span_trace(tracer, "s", 100)
+        tracer.drain()
+        snap = tracer.snapshot()
+        assert snap["ring_bytes"] == 0
+        assert snap["ring_spans"] == 0
+
+    def test_invalid_byte_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_ring_bytes=0)
+
+
 class TestJsonlSink:
     def test_spans_appended_one_per_line(self, tmp_path):
         path = tmp_path / "spans.jsonl"

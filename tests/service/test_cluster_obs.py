@@ -1,0 +1,256 @@
+"""Cluster telemetry endpoints end-to-end, in one process.
+
+Two in-thread replicas behind an in-thread router exercise the real
+wire paths of the telemetry plane: ``/clusterz/metrics`` (merged +
+per-replica scrape), ``/sloz`` (burn-rate evaluation over the merged
+scrape, alerts bridged to ``/v1/incidents``) and ``/debugz/flight``.
+"""
+
+import json
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.obs import agg
+from repro.obs import flight as flight_mod
+from repro.obs.flight import configure_flight, get_flight_recorder
+from repro.obs.trace import get_tracer, set_tracer
+from repro.runtime import ResultCache, RuntimeOptions
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import start_in_thread
+from repro.service.router import ReplicaEndpoint, start_router_in_thread
+
+
+@pytest.fixture(autouse=True)
+def restore_obs_globals():
+    prev_tracer = get_tracer()
+    prev_recorder = get_flight_recorder()
+    yield
+    configure_flight(enabled=False)
+    flight_mod._recorder = prev_recorder
+    set_tracer(prev_tracer)
+
+
+@contextmanager
+def cluster(tmp_path, replicas=2, **router_kwargs):
+    handles = {}
+    endpoints = []
+    for index in range(replicas):
+        replica_id = f"r{index}"
+        handle = start_in_thread(
+            options=RuntimeOptions(jobs=1, cache=ResultCache()),
+            replica_id=replica_id,
+        )
+        handles[replica_id] = handle
+        endpoints.append(
+            ReplicaEndpoint(
+                replica_id=replica_id, host="127.0.0.1", port=handle.port
+            )
+        )
+    router = start_router_in_thread(endpoints, **router_kwargs)
+    client = ServiceClient(port=router.port)
+    client.wait_until_ready()
+    try:
+        yield router, handles, client
+    finally:
+        router.request_shutdown()
+        router.join(timeout=10.0)
+        for handle in handles.values():
+            handle.request_shutdown()
+            handle.join(timeout=10.0)
+
+
+def get_text(client, path):
+    status, raw = client._raw_request("GET", path)
+    assert status == 200, raw
+    return raw.decode("utf-8")
+
+
+def get_json(client, path):
+    return json.loads(get_text(client, path))
+
+
+class TestClusterMetrics:
+    def test_merged_scrape_covers_replicas_and_router(self, tmp_path):
+        with cluster(tmp_path) as (_, _, client):
+            # the first scrape's own /metricsz requests guarantee every
+            # replica has request series by the second scrape
+            get_text(client, "/clusterz/metrics")
+            families = agg.parse_text(get_text(client, "/clusterz/metrics"))
+            requests = families["repro_http_requests_total"].samples
+            replicas_seen = {s.label("replica") for s in requests}
+            # merged series (no label) + every process's audit series
+            assert {None, "r0", "r1", "router"} <= replicas_seen
+
+    def test_merged_series_is_sum_of_replica_series(self, tmp_path):
+        with cluster(tmp_path) as (_, _, client):
+            get_text(client, "/clusterz/metrics")
+            families = agg.parse_text(get_text(client, "/clusterz/metrics"))
+            family = families["repro_http_requests_total"]
+            merged = {
+                s.labels: s.value
+                for s in family.samples
+                if s.label("replica") is None
+            }
+            summed = {}
+            for s in family.samples:
+                if s.label("replica") is None:
+                    continue
+                key = s.without_labels("replica")
+                summed[key] = summed.get(key, 0.0) + s.value
+            assert merged == summed
+
+    def test_build_info_present_for_every_process(self, tmp_path):
+        with cluster(tmp_path) as (_, _, client):
+            families = agg.parse_text(get_text(client, "/clusterz/metrics"))
+            info = families["repro_build_info"].samples
+            by_replica = {
+                s.label("replica"): s for s in info if s.label("replica")
+            }
+            assert {"r0", "r1", "router"} <= set(by_replica)
+            for sample in by_replica.values():
+                assert sample.value == 1.0
+                assert sample.label("engine_signature")
+                assert sample.label("kernel")
+
+
+class TestSlozEndpoint:
+    def test_disabled_router_answers_404(self, tmp_path):
+        with cluster(tmp_path) as (_, _, client):
+            with pytest.raises(ServiceError) as err:
+                client._request("GET", "/sloz")
+            assert err.value.status == 404
+            assert err.value.payload["code"] == "slo_disabled"
+
+    def test_clusterz_reports_slo_and_flight_state(self, tmp_path):
+        with cluster(tmp_path) as (_, _, client):
+            payload = client._request("GET", "/clusterz")
+            assert payload["slo"] is None
+            assert payload["flight"] is False
+
+
+def aggressive_slo_config(tmp_path):
+    """Counts 4xx answers as bad so tests can burn without crashing."""
+    path = tmp_path / "slo.json"
+    path.write_text(
+        json.dumps(
+            {
+                "interval_seconds": 0.1,
+                "windows": [
+                    {
+                        "name": "t",
+                        "short_seconds": 0.3,
+                        "long_seconds": 0.8,
+                        "burn_threshold": 0.5,
+                        "severity": "critical",
+                    }
+                ],
+                "slos": [
+                    {
+                        "name": "notfound",
+                        "objective": 0.9,
+                        "metric": "repro_router_requests_total",
+                        "bad_label": "status",
+                        "bad_prefix": "4",
+                    }
+                ],
+            }
+        )
+    )
+    return str(path)
+
+
+def wait_for(predicate, timeout=15.0, poll=0.1):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        result = predicate()
+        if result:
+            return result
+        time.sleep(poll)
+    raise AssertionError("condition not met within timeout")
+
+
+class TestSloBurnPipeline:
+    def test_burn_alert_fires_once_and_becomes_incident(self, tmp_path):
+        config = aggressive_slo_config(tmp_path)
+        with cluster(tmp_path, slo=config, flight=True) as (_, _, client):
+            # burn is a delta: the evaluator needs a clean baseline
+            # sample before the burst or the bad counts are invisible
+            wait_for(
+                lambda: (
+                    lambda p: p["slos"] and "good" in p["slos"][0]
+                )(get_json(client, "/sloz"))
+            )
+            # a burst of 404s: way past 10% bad in both windows
+            for _ in range(20):
+                status, _ = client._raw_request("GET", "/no-such-endpoint")
+                assert status == 404
+
+            status_payload = wait_for(
+                lambda: (
+                    lambda p: p if p["alerts"] else None
+                )(get_json(client, "/sloz"))
+            )
+            alerts = status_payload["alerts"]
+            assert len(alerts) == 1  # rising edge, not one per tick
+            assert alerts[0]["slo"] == "notfound"
+            assert alerts[0]["severity"] == "critical"
+
+            # the alert is bridged to the monitor incident store
+            incidents = wait_for(
+                lambda: client.incidents(kind="slo_burn")["incidents"]
+            )
+            assert incidents[0]["kind"] == "slo_burn"
+            assert incidents[0]["detector"] == "slo"
+            assert incidents[0]["evidence"]["slo"] == "notfound"
+
+            # and the router flight recorder froze a slo_burn snapshot
+            flight = get_json(client, "/debugz/flight")
+            assert flight["role"] == "router"
+            assert flight["router"]["enabled"] is True
+            reasons = {s["reason"] for s in flight["router"]["snapshots"]}
+            assert "slo_burn" in reasons
+
+    def test_sloz_status_shape_under_config(self, tmp_path):
+        config = aggressive_slo_config(tmp_path)
+        with cluster(tmp_path, slo=config) as (_, _, client):
+            payload = wait_for(
+                lambda: (
+                    lambda p: p if p["slos"] and "good" in p["slos"][0] else None
+                )(get_json(client, "/sloz"))
+            )
+            assert payload["config"]["interval_seconds"] == 0.1
+            slo = payload["slos"][0]
+            assert slo["name"] == "notfound"
+            assert slo["total"] >= slo["good"] >= 0
+            clusterz = client._request("GET", "/clusterz")
+            assert clusterz["slo"] == {"slos": 1, "alerts": 0}
+
+
+class TestFlightEndpoint:
+    def test_disabled_flight_payload(self, tmp_path):
+        with cluster(tmp_path) as (_, _, client):
+            payload = get_json(client, "/debugz/flight")
+            assert payload["role"] == "router"
+            assert payload["router"]["enabled"] is False
+            assert set(payload["replicas"]) == {"r0", "r1"}
+
+    def test_trace_id_filter_forwarded(self, tmp_path):
+        with cluster(tmp_path, flight=True) as (_, _, client):
+            recorder = get_flight_recorder()
+            recorder.trigger("http_5xx", trace_id="feedface" * 4)
+            payload = get_json(client, "/debugz/flight?trace_id=feedface")
+            snapshots = payload["router"]["snapshots"]
+            # the prefix filter keeps the trigger we planted (in-thread
+            # replicas share the recorder, so on-demand freezes from the
+            # forwarded queries can add snapshots for the same trace)
+            assert any(s["reason"] == "http_5xx" for s in snapshots)
+            assert all(
+                str(s["trace_id"]).startswith("feedface") for s in snapshots
+            )
+            other = get_json(client, "/debugz/flight?trace_id=0000dead")
+            assert not any(
+                s["reason"] == "http_5xx"
+                for s in other["router"]["snapshots"]
+            )
